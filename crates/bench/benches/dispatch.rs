@@ -1,0 +1,36 @@
+//! Ablation: per-graph backend connections established fresh versus drawn
+//! from the pre-established backend pool (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flick_net::{SimNetwork, StackModel};
+use flick_runtime::pool::BackendPool;
+use std::sync::Arc;
+
+fn checkout_loop(pool: &Arc<BackendPool>, n: usize) {
+    for _ in 0..n {
+        let conn = pool.checkout(0).expect("backend reachable");
+        pool.checkin(0, conn);
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let _listener = net.listen(9900).unwrap();
+    let fresh = BackendPool::new(Arc::clone(&net), vec![9900], false);
+    let pooled = BackendPool::new(Arc::clone(&net), vec![9900], true);
+    let mut group = c.benchmark_group("backend_connections");
+    group.bench_with_input(BenchmarkId::from_parameter("fresh"), &fresh, |b, pool| {
+        b.iter(|| checkout_loop(pool, 16))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("pooled"), &pooled, |b, pool| {
+        b.iter(|| checkout_loop(pool, 16))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_dispatch
+}
+criterion_main!(benches);

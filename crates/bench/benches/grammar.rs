@@ -1,0 +1,31 @@
+//! Criterion benches for the grammar engine: full-message parsing versus
+//! projection-specialised parsing (the DESIGN.md ablation), and
+//! serialisation pass-through.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flick_grammar::{memcached, http, WireCodec};
+
+fn bench_grammar(c: &mut Criterion) {
+    let codec = memcached::MemcachedCodec::new();
+    let mut wire = Vec::new();
+    codec
+        .serialize(&memcached::request(memcached::opcode::GETK, b"user:12345", b"", &[7u8; 64]), &mut wire)
+        .unwrap();
+    let projection = memcached::router_projection();
+    let mut group = c.benchmark_group("grammar");
+    group.bench_function("memcached_parse_full", |b| b.iter(|| codec.parse(&wire, None).unwrap()));
+    group.bench_function("memcached_parse_projected", |b| {
+        b.iter(|| codec.parse(&wire, Some(&projection)).unwrap())
+    });
+    let http_codec = http::HttpCodec::new();
+    let request = b"GET /index.html HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n";
+    group.bench_function("http_parse_request", |b| b.iter(|| http_codec.parse(request, None).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_grammar
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 6 (Hadoop aggregation throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flick_bench::{run_hadoop_experiment, HadoopExperiment};
+
+fn bench_hadoop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadoop_aggregation");
+    for word_len in [8usize, 16] {
+        let params = HadoopExperiment {
+            cores: 2,
+            word_len,
+            mappers: 2,
+            bytes_per_mapper: 128 * 1024,
+            link_bits_per_sec: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(word_len), &params, |b, params| {
+            b.iter(|| run_hadoop_experiment(params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_hadoop
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 5 (Memcached proxy vs cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flick_bench::{run_memcached_experiment, MemcachedExperiment, MemcachedSystem};
+use std::time::Duration;
+
+fn bench_memcached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memcached_proxy");
+    for system in MemcachedSystem::all() {
+        for cores in [1usize, 4] {
+            let params = MemcachedExperiment {
+                cores,
+                clients: 16,
+                backends: 2,
+                duration: Duration::from_millis(200),
+            };
+            let id = format!("{}-{}cores", system.label(), cores);
+            group.bench_with_input(BenchmarkId::from_parameter(id), &system, |b, system| {
+                b.iter(|| run_memcached_experiment(*system, &params))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_memcached
+}
+criterion_main!(benches);

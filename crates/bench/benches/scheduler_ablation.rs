@@ -1,0 +1,36 @@
+//! Ablation: per-worker FIFO queues with scavenging (the FLICK design)
+//! versus a single worker (no parallelism) for a fixed batch of tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flick_runtime::scheduler::Scheduler;
+use flick_runtime::task::TaskId;
+use flick_runtime::tasks::SyntheticWorkTask;
+use flick_runtime::{RuntimeMetrics, SchedulingPolicy};
+use std::time::Duration;
+
+fn run_batch(workers: usize) {
+    let scheduler = Scheduler::start(workers, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+    for i in 0..32u64 {
+        let id = TaskId(i + 1);
+        scheduler.register(id, Box::new(SyntheticWorkTask::new(format!("t{i}"), 50, 4096, None)));
+        scheduler.schedule(id);
+    }
+    assert!(scheduler.wait_idle(Duration::from_secs(30)));
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_workers");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, workers| {
+            b.iter(|| run_batch(*workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_scheduler
+}
+criterion_main!(benches);

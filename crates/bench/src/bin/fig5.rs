@@ -1,0 +1,34 @@
+//! Regenerates Figure 5: Memcached proxy throughput and latency versus the
+//! number of CPU cores, comparing FLICK (kernel and mTCP) against the
+//! Moxi-like baseline.
+//!
+//! Paper shape: FLICK kernel peaks around 126 krps at 8 cores, FLICK mTCP
+//! around 198 krps at 16 cores, Moxi peaks around 82 krps at 4 cores and
+//! stops scaling (shared-state contention).
+
+use flick_bench::{print_table, run_memcached_experiment, MemcachedExperiment, MemcachedSystem, Row};
+use std::time::Duration;
+
+fn main() {
+    let cores = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for &c in &cores {
+        for system in MemcachedSystem::all() {
+            let params = MemcachedExperiment {
+                cores: c,
+                clients: 48,
+                backends: 4,
+                duration: Duration::from_millis(700),
+            };
+            let stats = run_memcached_experiment(system, &params);
+            rows.push(Row::new(c, system.label(), stats.requests_per_sec(), "req/s"));
+            rows.push(Row::new(
+                c,
+                format!("{} latency", system.label()),
+                stats.latency.mean.as_secs_f64() * 1000.0,
+                "ms",
+            ));
+        }
+    }
+    print_table("Memcached proxy vs CPU cores — Figure 5a/5b", &rows);
+}

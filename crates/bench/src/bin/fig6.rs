@@ -1,0 +1,29 @@
+//! Regenerates Figure 6: Hadoop in-network aggregation throughput versus the
+//! number of CPU cores, for wordcount datasets of 8-, 12- and 16-character
+//! words.
+//!
+//! Paper shape: throughput scales with cores up to the aggregate capacity of
+//! the 8 mapper links (~7.5 Gbps on the testbed), and longer words yield
+//! higher throughput because they comprise fewer key/value pairs.
+
+use flick_bench::{print_table, run_hadoop_experiment, HadoopExperiment, Row};
+
+fn main() {
+    let cores = [1usize, 2, 4, 8];
+    let word_lens = [8usize, 12, 16];
+    let mut rows = Vec::new();
+    for &c in &cores {
+        for &w in &word_lens {
+            let params = HadoopExperiment {
+                cores: c,
+                word_len: w,
+                mappers: 4,
+                bytes_per_mapper: 1024 * 1024,
+                link_bits_per_sec: None,
+            };
+            let mbps = run_hadoop_experiment(&params);
+            rows.push(Row::new(c, format!("WC {w} char"), mbps, "Mb/s"));
+        }
+    }
+    print_table("Hadoop data aggregator vs CPU cores — Figure 6", &rows);
+}

@@ -1,0 +1,40 @@
+//! Regenerates the static web-server results of §6.3 (throughput for an
+//! increasing number of concurrent connections, persistent and
+//! non-persistent), comparing FLICK (kernel and mTCP cost models) against
+//! the Apache-like and Nginx-like baselines.
+//!
+//! Paper reference points (16-core testbed): peak ~306 krps (FLICK kernel),
+//! ~380 krps (FLICK mTCP), ~159 krps (Apache), ~217 krps (Nginx) with
+//! persistent connections; ~45/193/35/44 krps non-persistent.
+
+use flick_bench::{run_http_experiment, HttpExperiment, HttpSystem};
+use flick_bench::{print_table, Row};
+use std::time::Duration;
+
+fn main() {
+    let concurrencies = [16usize, 32, 64, 128];
+    for persistent in [true, false] {
+        let mut rows = Vec::new();
+        for &concurrency in &concurrencies {
+            for system in HttpSystem::all() {
+                let params = HttpExperiment {
+                    concurrency,
+                    persistent,
+                    duration: Duration::from_millis(700),
+                    workers: 4,
+                    backends: 0,
+                };
+                let stats = run_http_experiment(system, &params);
+                rows.push(Row::new(concurrency, system.label(), stats.requests_per_sec(), "req/s"));
+                rows.push(Row::new(
+                    concurrency,
+                    format!("{} latency", system.label()),
+                    stats.latency.mean.as_secs_f64() * 1000.0,
+                    "ms",
+                ));
+            }
+        }
+        let mode = if persistent { "persistent" } else { "non-persistent" };
+        print_table(&format!("Static web server, {mode} connections (paper §6.3)"), &rows);
+    }
+}

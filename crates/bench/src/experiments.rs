@@ -1,0 +1,413 @@
+//! Experiment runners, one per figure.
+
+use flick_net::{SimNetwork, StackModel};
+use flick_runtime::{Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
+use flick_runtime::scheduler::Scheduler;
+use flick_runtime::task::TaskId;
+use flick_runtime::tasks::SyntheticWorkTask;
+use flick_runtime::RuntimeMetrics;
+use flick_services::baselines::{ApacheLikeProxy, MoxiLikeProxy, NginxLikeProxy};
+use flick_services::hadoop::hadoop_aggregator;
+use flick_services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
+use flick_services::memcached::memcached_proxy;
+use flick_workload::backends::{start_http_backend, start_memcached_backend, start_sink_backend};
+use flick_workload::hadoop::{run_hadoop_mappers, wait_for_quiescence, HadoopLoadConfig};
+use flick_workload::http::{run_http_load, HttpLoadConfig};
+use flick_workload::memcached::{run_memcached_load, MemcachedLoadConfig};
+use flick_workload::RunStats;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The systems compared in the HTTP experiments (Figure 4 and the web-server
+/// results of §6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpSystem {
+    /// FLICK on the kernel-stack cost model.
+    FlickKernel,
+    /// FLICK on the mTCP/DPDK cost model.
+    FlickMtcp,
+    /// The Apache-like baseline.
+    Apache,
+    /// The Nginx-like baseline.
+    Nginx,
+}
+
+impl HttpSystem {
+    /// The label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HttpSystem::FlickKernel => "FLICK",
+            HttpSystem::FlickMtcp => "FLICK mTCP",
+            HttpSystem::Apache => "Apache",
+            HttpSystem::Nginx => "Nginx",
+        }
+    }
+
+    /// All four systems.
+    pub fn all() -> [HttpSystem; 4] {
+        [HttpSystem::FlickKernel, HttpSystem::FlickMtcp, HttpSystem::Apache, HttpSystem::Nginx]
+    }
+}
+
+/// Parameters of one HTTP experiment point.
+#[derive(Debug, Clone)]
+pub struct HttpExperiment {
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Persistent (keep-alive) or one connection per request.
+    pub persistent: bool,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Worker threads / cores for the middlebox.
+    pub workers: usize,
+    /// Number of backend web servers (0 = static web server mode).
+    pub backends: usize,
+}
+
+impl Default for HttpExperiment {
+    fn default() -> Self {
+        HttpExperiment {
+            concurrency: 64,
+            persistent: true,
+            duration: Duration::from_millis(800),
+            workers: 4,
+            backends: 4,
+        }
+    }
+}
+
+/// Runs one HTTP experiment point (Figure 4 when `backends > 0`, the static
+/// web-server experiment when `backends == 0`).
+pub fn run_http_experiment(system: HttpSystem, params: &HttpExperiment) -> RunStats {
+    let stack = match system {
+        HttpSystem::FlickMtcp => StackModel::Mtcp,
+        _ => StackModel::Kernel,
+    };
+    let net = SimNetwork::new(stack);
+    let service_port = 8080u16;
+    let backend_ports: Vec<u16> = (0..params.backends).map(|i| 8200 + i as u16).collect();
+    let _backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_http_backend(&net, *p, &[b'x'; 137]))
+        .collect();
+
+    // Handles are kept alive in these locals until the load run finishes.
+    let mut _platform = None;
+    let mut _service = None;
+    let mut _proxy = None;
+    let mut _static_backend = None;
+    match system {
+        HttpSystem::FlickKernel | HttpSystem::FlickMtcp => {
+            let platform = Platform::with_network(
+                PlatformConfig { workers: params.workers, stack, ..Default::default() },
+                Arc::clone(&net),
+            );
+            let spec = if params.backends == 0 {
+                ServiceSpec::new("web", service_port, StaticWebServerFactory::new(&[b'x'; 137][..]))
+            } else {
+                ServiceSpec::new("lb", service_port, HttpLoadBalancerFactory::new())
+                    .with_backends(backend_ports.clone())
+            };
+            _service = Some(platform.deploy(spec).expect("deploy FLICK HTTP service"));
+            _platform = Some(platform);
+        }
+        HttpSystem::Apache | HttpSystem::Nginx => {
+            // In the static web-server experiment the baselines serve the
+            // content themselves; here that is modelled by fronting one
+            // local content server with the baseline's processing model.
+            let ports = if params.backends == 0 {
+                _static_backend = Some(start_http_backend(&net, 8300, &[b'x'; 137]));
+                vec![8300]
+            } else {
+                backend_ports.clone()
+            };
+            _proxy = Some(if system == HttpSystem::Apache {
+                ApacheLikeProxy::start(&net, service_port, ports)
+            } else {
+                NginxLikeProxy::start(&net, service_port, ports)
+            });
+        }
+    }
+
+    let config = HttpLoadConfig {
+        port: service_port,
+        concurrency: params.concurrency,
+        duration: params.duration,
+        persistent: params.persistent,
+        timeout: Duration::from_secs(5),
+    };
+    run_http_load(&net, &config)
+}
+
+/// The systems compared in the Memcached experiment (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemcachedSystem {
+    /// FLICK on the kernel-stack cost model.
+    FlickKernel,
+    /// FLICK on the mTCP/DPDK cost model.
+    FlickMtcp,
+    /// The Moxi-like baseline.
+    Moxi,
+}
+
+impl MemcachedSystem {
+    /// The label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemcachedSystem::FlickKernel => "FLICK",
+            MemcachedSystem::FlickMtcp => "FLICK mTCP",
+            MemcachedSystem::Moxi => "Moxi",
+        }
+    }
+
+    /// All three systems.
+    pub fn all() -> [MemcachedSystem; 3] {
+        [MemcachedSystem::FlickKernel, MemcachedSystem::FlickMtcp, MemcachedSystem::Moxi]
+    }
+}
+
+/// Parameters of one Memcached experiment point (Figure 5).
+#[derive(Debug, Clone)]
+pub struct MemcachedExperiment {
+    /// CPU cores (worker threads) given to the proxy.
+    pub cores: usize,
+    /// Concurrent clients (128 in the paper).
+    pub clients: usize,
+    /// Number of Memcached back-ends (10 in the paper).
+    pub backends: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+}
+
+impl Default for MemcachedExperiment {
+    fn default() -> Self {
+        MemcachedExperiment { cores: 4, clients: 32, backends: 4, duration: Duration::from_millis(800) }
+    }
+}
+
+/// Runs one Memcached proxy experiment point.
+pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExperiment) -> RunStats {
+    let stack = match system {
+        MemcachedSystem::FlickMtcp => StackModel::Mtcp,
+        _ => StackModel::Kernel,
+    };
+    let net = SimNetwork::new(stack);
+    let service_port = 11211u16;
+    let backend_ports: Vec<u16> = (0..params.backends).map(|i| 11300 + i as u16).collect();
+    let _backends: Vec<_> = backend_ports.iter().map(|p| start_memcached_backend(&net, *p)).collect();
+
+    let mut _platform = None;
+    let mut _service = None;
+    let mut _proxy = None;
+    match system {
+        MemcachedSystem::FlickKernel | MemcachedSystem::FlickMtcp => {
+            let platform = Platform::with_network(
+                PlatformConfig { workers: params.cores, stack, ..Default::default() },
+                Arc::clone(&net),
+            );
+            _service = Some(
+                platform
+                    .deploy(
+                        ServiceSpec::new("memcached", service_port, memcached_proxy())
+                            .with_backends(backend_ports.clone()),
+                    )
+                    .expect("deploy FLICK memcached proxy"),
+            );
+            _platform = Some(platform);
+        }
+        MemcachedSystem::Moxi => {
+            _proxy = Some(MoxiLikeProxy::start(&net, service_port, backend_ports.clone()));
+        }
+    }
+
+    let config = MemcachedLoadConfig {
+        port: service_port,
+        clients: params.clients,
+        duration: params.duration,
+        key_space: 1024,
+        getk_fraction: 1.0,
+        timeout: Duration::from_secs(5),
+    };
+    run_memcached_load(&net, &config)
+}
+
+/// Parameters of one Hadoop aggregation experiment point (Figure 6).
+#[derive(Debug, Clone)]
+pub struct HadoopExperiment {
+    /// CPU cores (worker threads) for the aggregator.
+    pub cores: usize,
+    /// Word length (8, 12 or 16 characters in the paper).
+    pub word_len: usize,
+    /// Number of mapper connections (8 in the paper).
+    pub mappers: usize,
+    /// Bytes each mapper sends.
+    pub bytes_per_mapper: usize,
+    /// Per-mapper link rate (1 Gbps in the paper); `None` disables the cap.
+    pub link_bits_per_sec: Option<u64>,
+}
+
+impl Default for HadoopExperiment {
+    fn default() -> Self {
+        HadoopExperiment {
+            cores: 4,
+            word_len: 8,
+            mappers: 4,
+            bytes_per_mapper: 512 * 1024,
+            link_bits_per_sec: None,
+        }
+    }
+}
+
+/// Runs one Hadoop aggregation point and returns the end-to-end throughput
+/// in megabits per second (mapper bytes over wall-clock time to drain).
+pub fn run_hadoop_experiment(params: &HadoopExperiment) -> f64 {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let reducer_port = 9801u16;
+    let service_port = 9800u16;
+    let (_reducer, reducer_bytes) = start_sink_backend(&net, reducer_port);
+    let platform = Platform::with_network(
+        PlatformConfig { workers: params.cores, stack: StackModel::Kernel, ..Default::default() },
+        Arc::clone(&net),
+    );
+    let _service = platform
+        .deploy(
+            ServiceSpec::new("hadoop", service_port, hadoop_aggregator(params.mappers))
+                .with_backends(vec![reducer_port]),
+        )
+        .expect("deploy hadoop aggregator");
+
+    let config = HadoopLoadConfig {
+        port: service_port,
+        mappers: params.mappers,
+        word_len: params.word_len,
+        distinct_words: 128,
+        bytes_per_mapper: params.bytes_per_mapper,
+        link_bits_per_sec: params.link_bits_per_sec,
+    };
+    let start = Instant::now();
+    let stats = run_hadoop_mappers(&net, &config);
+    let _ = wait_for_quiescence(&reducer_bytes, Duration::from_secs(30));
+    let elapsed = start.elapsed().as_secs_f64();
+    stats.bytes as f64 * 8.0 / 1_000_000.0 / elapsed.max(1e-9)
+}
+
+/// The result of the §6.4 resource-sharing micro-benchmark (Figure 7).
+#[derive(Debug, Clone, Copy)]
+pub struct SharingResult {
+    /// Wall-clock time until the last *light* task completed.
+    pub light_completion: Duration,
+    /// Wall-clock time until the last *heavy* task completed.
+    pub heavy_completion: Duration,
+}
+
+/// Parameters of the resource-sharing micro-benchmark.
+#[derive(Debug, Clone)]
+pub struct SharingExperiment {
+    /// Tasks per class (100 + 100 in the paper).
+    pub tasks_per_class: usize,
+    /// Data items per task.
+    pub items_per_task: usize,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for SharingExperiment {
+    fn default() -> Self {
+        SharingExperiment { tasks_per_class: 100, items_per_task: 400, workers: 2 }
+    }
+}
+
+/// Runs the scheduling-policy micro-benchmark: 50% light tasks (1 KB items)
+/// and 50% heavy tasks (16 KB items), returning per-class completion times.
+pub fn run_sharing_experiment(policy: SchedulingPolicy, params: &SharingExperiment) -> SharingResult {
+    let metrics = RuntimeMetrics::new_shared();
+    let scheduler = Scheduler::start(params.workers, policy, metrics);
+    let start = Instant::now();
+    let light_done: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let heavy_done: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut next_id = 1u64;
+    // The heavy class is registered (and therefore queued) first: under the
+    // non-cooperative policy completion order then follows scheduling order,
+    // which is the effect Figure 7 illustrates.
+    for class in 0..2 {
+        let (item_size, sink) = if class == 1 { (1024, &light_done) } else { (16 * 1024, &heavy_done) };
+        for i in 0..params.tasks_per_class {
+            let sink = Arc::clone(sink);
+            let id = TaskId(next_id);
+            next_id += 1;
+            scheduler.register(
+                id,
+                Box::new(SyntheticWorkTask::new(
+                    format!("{}-{i}", if class == 1 { "light" } else { "heavy" }),
+                    params.items_per_task,
+                    item_size,
+                    Some(Box::new(move || {
+                        sink.lock().push(start.elapsed());
+                    })),
+                )),
+            );
+            scheduler.schedule(id);
+        }
+    }
+    assert!(scheduler.wait_idle(Duration::from_secs(120)), "micro-benchmark stalled");
+    let max_of = |v: &Arc<Mutex<Vec<Duration>>>| v.lock().iter().copied().max().unwrap_or_default();
+    SharingResult { light_completion: max_of(&light_done), heavy_completion: max_of(&heavy_done) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_experiment_runs_all_policies() {
+        let params = SharingExperiment { tasks_per_class: 8, items_per_task: 50, workers: 2 };
+        for policy in [
+            SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) },
+            SchedulingPolicy::NonCooperative,
+            SchedulingPolicy::RoundRobin,
+        ] {
+            let result = run_sharing_experiment(policy, &params);
+            assert!(result.light_completion > Duration::ZERO);
+            assert!(result.heavy_completion >= result.light_completion / 50);
+        }
+    }
+
+    #[test]
+    fn http_experiment_smoke() {
+        let params = HttpExperiment {
+            concurrency: 4,
+            persistent: true,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            backends: 2,
+        };
+        let stats = run_http_experiment(HttpSystem::FlickKernel, &params);
+        assert!(stats.completed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn memcached_experiment_smoke() {
+        let params = MemcachedExperiment {
+            cores: 2,
+            clients: 4,
+            backends: 2,
+            duration: Duration::from_millis(150),
+        };
+        let stats = run_memcached_experiment(MemcachedSystem::FlickKernel, &params);
+        assert!(stats.completed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn hadoop_experiment_smoke() {
+        let params = HadoopExperiment {
+            cores: 2,
+            word_len: 8,
+            mappers: 2,
+            bytes_per_mapper: 64 * 1024,
+            link_bits_per_sec: None,
+        };
+        let mbps = run_hadoop_experiment(&params);
+        assert!(mbps > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Table formatting for the figure harness binaries.
+
+use serde::Serialize;
+
+/// One row of a figure's data series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// The x-axis value (concurrency, cores, word length, policy...).
+    pub x: String,
+    /// The system / series label.
+    pub series: String,
+    /// The measured value.
+    pub value: f64,
+    /// The measurement unit.
+    pub unit: String,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(x: impl ToString, series: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Row { x: x.to_string(), series: series.into(), value, unit: unit.into() }
+    }
+}
+
+/// Prints a title, the rows as an aligned table, and a JSON dump (one line)
+/// for downstream processing.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!("{:<14} {:<22} {:>14} {:<10}", "x", "series", "value", "unit");
+    for row in rows {
+        println!("{:<14} {:<22} {:>14.1} {:<10}", row.x, row.series, row.value, row.unit);
+    }
+    if let Ok(json) = serde_json::to_string(rows) {
+        println!("JSON: {json}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialise() {
+        let rows = vec![Row::new(100, "flick-kernel", 12345.6, "req/s")];
+        let json = serde_json::to_string(&rows).unwrap();
+        assert!(json.contains("flick-kernel"));
+        print_table("test", &rows);
+    }
+}

@@ -1,0 +1,54 @@
+//! Compiler error type.
+
+use flick_lang::LangError;
+use std::fmt;
+
+/// Errors produced while compiling a FLICK program to a task-graph factory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A front-end (parse/type/semantic) error.
+    Lang(LangError),
+    /// The requested process does not exist in the program.
+    UnknownProcess(String),
+    /// The process signature cannot be mapped onto the runtime (for example
+    /// no channel parameters, or an unsupported parameter shape).
+    Signature(String),
+    /// A construct is not supported by this code generator.
+    Unsupported(String),
+    /// No wire codec could be found or synthesised for a data type.
+    MissingCodec(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "{e}"),
+            CompileError::UnknownProcess(name) => write!(f, "process `{name}` is not defined in the program"),
+            CompileError::Signature(msg) => write!(f, "unsupported process signature: {msg}"),
+            CompileError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
+            CompileError::MissingCodec(ty) => {
+                write!(f, "no wire codec available for type `{ty}`: add serialisation annotations or register a codec")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> Self {
+        CompileError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CompileError::UnknownProcess("p".into()).to_string().contains("`p`"));
+        assert!(CompileError::MissingCodec("cmd".into()).to_string().contains("cmd"));
+        assert!(CompileError::Signature("x".into()).to_string().contains("signature"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Compute-task logic generated from FLICK programs.
+//!
+//! [`InterpreterLogic`] implements the runtime's `ComputeLogic` trait by
+//! dispatching arriving messages to the routing rules of the lowered
+//! process and interpreting them. [`FoldtLogic`] is the specialised
+//! implementation of the `foldt` primitive (the paper notes that `foldt` has
+//! a custom platform implementation for performance): it performs an ordered
+//! merge of the key/value streams arriving on its input channels, combining
+//! values of equal keys with the program's combine body, and emits the
+//! aggregated stream when its inputs complete.
+
+use crate::interp::{dict_key, field_value, EmitSink, Interpreter, RtVal};
+use crate::ir::{ProcessIr, ProgramIr};
+use flick_runtime::{ComputeLogic, Outputs, RuntimeError, SharedDict, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Describes how the process's channel parameters map onto the compute
+/// task's input and output channel indices.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelBindings {
+    /// One entry per process channel parameter.
+    pub params: Vec<ParamBinding>,
+}
+
+/// The runtime binding of one channel parameter.
+#[derive(Debug, Clone, Default)]
+pub struct ParamBinding {
+    /// Compute-task input indices delivering messages from this parameter
+    /// (one per connection for array parameters; empty for write-only
+    /// channels).
+    pub inputs: Vec<usize>,
+    /// Compute-task output indices for sends to this parameter (empty for
+    /// read-only channels).
+    pub outputs: Vec<usize>,
+}
+
+impl ChannelBindings {
+    /// Finds the parameter owning a given compute-task input index.
+    pub fn param_of_input(&self, input: usize) -> Option<usize> {
+        self.params.iter().position(|p| p.inputs.contains(&input))
+    }
+
+    /// Builds the frame value for parameter `idx` (a channel, channel array
+    /// or dictionary reference).
+    fn frame_value(&self, process: &ProcessIr, idx: usize) -> RtVal {
+        let binding = &self.params[idx];
+        if process.params[idx].is_array {
+            RtVal::ChannelArray(binding.outputs.clone())
+        } else {
+            RtVal::Channel(binding.outputs.first().copied().unwrap_or(usize::MAX))
+        }
+    }
+}
+
+/// Per-service global state shared by every graph instance (the paper's
+/// key/value abstraction for long-term state).
+#[derive(Debug, Clone, Default)]
+pub struct CompiledGlobals {
+    dicts: Vec<(String, SharedDict)>,
+}
+
+impl CompiledGlobals {
+    /// Creates the globals for a lowered process.
+    pub fn for_process(process: &ProcessIr) -> Arc<Self> {
+        Arc::new(CompiledGlobals {
+            dicts: process.globals.iter().map(|name| (name.clone(), SharedDict::new())).collect(),
+        })
+    }
+
+    /// Looks up a global dictionary by name (used by tests and tooling).
+    pub fn dict(&self, name: &str) -> Option<&SharedDict> {
+        self.dicts.iter().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+}
+
+struct OutputsSink<'a, 'c> {
+    outputs: &'a mut Outputs<'c>,
+}
+
+impl EmitSink for OutputsSink<'_, '_> {
+    fn send(&mut self, channel: usize, value: Value) {
+        self.outputs.emit(channel, value);
+    }
+}
+
+/// The general compute logic for compiled FLICK processes.
+pub struct InterpreterLogic {
+    program: Arc<ProgramIr>,
+    bindings: ChannelBindings,
+    globals: Arc<CompiledGlobals>,
+    /// The process frame: channel parameters followed by globals.
+    base_frame: Vec<RtVal>,
+}
+
+impl InterpreterLogic {
+    /// Creates the logic for one graph instance.
+    pub fn new(program: Arc<ProgramIr>, bindings: ChannelBindings, globals: Arc<CompiledGlobals>) -> Self {
+        let process = &program.process;
+        let mut base_frame = Vec::with_capacity(process.frame_size);
+        for idx in 0..process.params.len() {
+            base_frame.push(bindings.frame_value(process, idx));
+        }
+        for name in &process.globals {
+            let dict = globals.dict(name).cloned().unwrap_or_default();
+            base_frame.push(RtVal::Dict(dict));
+        }
+        base_frame.resize(process.frame_size.max(base_frame.len()), RtVal::Val(Value::Unit));
+        InterpreterLogic { program, bindings, globals, base_frame }
+    }
+
+    /// The per-service globals.
+    pub fn globals(&self) -> &Arc<CompiledGlobals> {
+        &self.globals
+    }
+}
+
+impl ComputeLogic for InterpreterLogic {
+    fn on_value(&mut self, input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        let Some(param) = self.bindings.param_of_input(input) else {
+            return Ok(());
+        };
+        let interp = Interpreter::new(&self.program);
+        let mut sink = OutputsSink { outputs: out };
+        for rule in &self.program.process.rules {
+            if rule.source_param != param {
+                continue;
+            }
+            let mut frame = self.base_frame.clone();
+            // Thread the arriving message through the rule's stages.
+            let mut current = RtVal::Val(value.clone());
+            let mut failed = false;
+            for stage in &rule.stages {
+                let mut args = Vec::with_capacity(stage.args.len() + 1);
+                for arg in &stage.args {
+                    args.push(interp.eval(arg, &mut frame, &mut sink)?);
+                }
+                args.push(current);
+                current = interp.call_function(stage.function, args, &mut sink)?;
+                if matches!(current, RtVal::Val(Value::Unit)) {
+                    // A unit-returning stage consumed the message.
+                    failed = true;
+                    break;
+                }
+            }
+            if failed {
+                continue;
+            }
+            match &rule.sink {
+                crate::ir::IrSink::Channel(chan_expr) => {
+                    let chan = interp.eval(chan_expr, &mut frame, &mut sink)?;
+                    let value = current.into_value()?;
+                    match chan {
+                        RtVal::Channel(idx) => sink.send(idx, value),
+                        RtVal::ChannelArray(idxs) if !idxs.is_empty() => sink.send(idxs[0], value),
+                        _ => {}
+                    }
+                }
+                crate::ir::IrSink::Call(call) => {
+                    let mut args = Vec::with_capacity(call.args.len() + 1);
+                    for arg in &call.args {
+                        args.push(interp.eval(arg, &mut frame, &mut sink)?);
+                    }
+                    args.push(current);
+                    interp.call_function(call.function, args, &mut sink)?;
+                }
+                crate::ir::IrSink::Discard => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The specialised merge logic for `foldt` (Listing 3 / Figure 3c).
+pub struct FoldtLogic {
+    program: Arc<ProgramIr>,
+    /// Output index of the reducer channel.
+    sink_output: usize,
+    /// Number of inputs that have finished.
+    finished_inputs: usize,
+    /// Total number of inputs feeding this combine node.
+    total_inputs: usize,
+    /// The merged elements, ordered by key.
+    merged: BTreeMap<String, Value>,
+    emitted: bool,
+}
+
+impl FoldtLogic {
+    /// Creates the merge logic.
+    pub fn new(program: Arc<ProgramIr>, total_inputs: usize, sink_output: usize) -> Self {
+        FoldtLogic {
+            program,
+            sink_output,
+            finished_inputs: 0,
+            total_inputs,
+            merged: BTreeMap::new(),
+            emitted: false,
+        }
+    }
+
+    fn combine(&self, existing: Value, incoming: Value, key: &str) -> Result<Value, RuntimeError> {
+        let foldt = self
+            .program
+            .process
+            .foldt
+            .as_ref()
+            .ok_or_else(|| RuntimeError::Logic("process has no foldt".into()))?;
+        let interp = Interpreter::new(&self.program);
+        let mut frame = vec![RtVal::Val(Value::Unit); foldt.frame_size];
+        let (s1, s2, sk) = foldt.binder_slots;
+        frame[s1] = RtVal::Val(existing);
+        frame[s2] = RtVal::Val(incoming);
+        frame[sk] = RtVal::Val(Value::Str(key.to_string()));
+        let mut sink = crate::interp::CollectSink::default();
+        let result = interp.exec_block(&foldt.body, &mut frame, &mut sink)?;
+        result
+            .map(RtVal::into_value)
+            .transpose()?
+            .ok_or_else(|| RuntimeError::Logic("foldt body produced no element".into()))
+    }
+
+    fn key_of(&self, value: &Value) -> Option<String> {
+        let foldt = self.program.process.foldt.as_ref()?;
+        match value {
+            Value::Msg(msg) => Some(dict_key(&field_value(msg, &foldt.key_field))),
+            other => Some(dict_key(other)),
+        }
+    }
+}
+
+impl ComputeLogic for FoldtLogic {
+    fn on_value(&mut self, _input: usize, value: Value, _out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        let Some(key) = self.key_of(&value) else {
+            return Ok(());
+        };
+        match self.merged.remove(&key) {
+            Some(existing) => {
+                let combined = self.combine(existing, value, &key)?;
+                self.merged.insert(key, combined);
+            }
+            None => {
+                self.merged.insert(key, value);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_input_finished(&mut self, _input: usize, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        self.finished_inputs += 1;
+        if self.finished_inputs >= self.total_inputs && !self.emitted {
+            self.emitted = true;
+            // Emit the aggregated stream in key order.
+            for (_key, value) in std::mem::take(&mut self.merged) {
+                out.emit(self.sink_output, value);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use flick_lang::compile_to_ast;
+    use flick_runtime::channel::TaskChannel;
+    use flick_runtime::task::{SchedulingPolicy, TaskId, TaskStatus};
+    use flick_runtime::tasks::ComputeTask;
+    use flick_runtime::Task as _;
+    use flick_runtime::{RuntimeMetrics, TaskContext};
+    use flick_grammar::{Message, MsgValue};
+
+    fn ctx() -> TaskContext {
+        TaskContext::new(SchedulingPolicy::NonCooperative, RuntimeMetrics::new_shared())
+    }
+
+    fn kv_msg(key: &str, value: &str) -> Value {
+        let mut m = Message::new("kv");
+        m.set("key", MsgValue::Str(key.into()));
+        m.set("value", MsgValue::Str(value.into()));
+        Value::Msg(m)
+    }
+
+    const PROXY: &str = r#"
+type cmd: record
+  key : string
+
+proc Memcached: (cmd/cmd client, [cmd/cmd] backends)
+  backends => client
+  client => target_backend(backends)
+
+fun target_backend: ([-/cmd] backends, req: cmd) -> ()
+  let target = hash(req.key) mod len(backends)
+  req => backends[target]
+"#;
+
+    fn proxy_logic(backends: usize) -> (Arc<ProgramIr>, InterpreterLogic) {
+        let typed = compile_to_ast(PROXY).unwrap();
+        let program = Arc::new(lower(&typed, "Memcached").unwrap());
+        let bindings = ChannelBindings {
+            params: vec![
+                ParamBinding { inputs: vec![0], outputs: vec![0] },
+                ParamBinding {
+                    inputs: (1..=backends).collect(),
+                    outputs: (1..=backends).collect(),
+                },
+            ],
+        };
+        let globals = CompiledGlobals::for_process(&program.process);
+        let logic = InterpreterLogic::new(Arc::clone(&program), bindings, globals);
+        (program, logic)
+    }
+
+    #[test]
+    fn proxy_routes_requests_to_backends_and_responses_to_client() {
+        let (_program, logic) = proxy_logic(3);
+        // Assemble a compute task with 4 inputs (client + 3 backends) and 4
+        // matching outputs.
+        let mut input_producers = Vec::new();
+        let mut input_consumers = Vec::new();
+        let mut output_producers = Vec::new();
+        let mut output_consumers = Vec::new();
+        for i in 0..4 {
+            let (tx, rx) = TaskChannel::bounded(64, TaskId(100 + i));
+            input_producers.push(tx);
+            input_consumers.push(rx);
+            let (tx, rx) = TaskChannel::bounded(64, TaskId(200 + i));
+            output_producers.push(tx);
+            output_consumers.push(rx);
+        }
+        let mut task = ComputeTask::new("proxy", input_consumers, output_producers, Box::new(logic));
+
+        // A client request is routed to exactly one backend output (1..=3).
+        let mut m = Message::new("cmd");
+        m.set("key", MsgValue::Str("user:7".into()));
+        input_producers[0].push(Value::Msg(m)).unwrap();
+        task.run(&mut ctx());
+        let routed: Vec<usize> = (1..4).filter(|i| output_consumers[*i].len() == 1).collect();
+        assert_eq!(routed.len(), 1, "exactly one backend should receive the request");
+        assert_eq!(output_consumers[0].len(), 0);
+
+        // A backend response goes back to the client output 0.
+        let mut resp = Message::new("cmd");
+        resp.set("key", MsgValue::Str("user:7".into()));
+        input_producers[routed[0]].push(Value::Msg(resp)).unwrap();
+        task.run(&mut ctx());
+        assert_eq!(output_consumers[0].len(), 1);
+    }
+
+    #[test]
+    fn globals_are_shared_across_logic_instances() {
+        let src = r#"
+type cmd: record
+  opcode : integer {signed=false, size=1}
+  keylen : integer {signed=false, size=2}
+  key : string {size=keylen}
+
+proc memcached: (cmd/cmd client, [cmd/cmd] backends)
+  global cache := empty_dict
+  backends => update_cache(cache) => client
+  client => test_cache(client, backends, cache)
+
+fun update_cache: (cache: ref dict<string*cmd>, resp: cmd) -> (cmd)
+  if resp.opcode = 12:
+    cache[resp.key] := resp
+  resp
+
+fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, req: cmd) -> ()
+  if cache[req.key] = None or req.opcode <> 12:
+    let target = hash(req.key) mod len(backends)
+    req => backends[target]
+  else:
+    cache[req.key] => client
+"#;
+        let typed = compile_to_ast(src).unwrap();
+        let program = Arc::new(lower(&typed, "memcached").unwrap());
+        let globals = CompiledGlobals::for_process(&program.process);
+        let bindings = ChannelBindings {
+            params: vec![
+                ParamBinding { inputs: vec![0], outputs: vec![0] },
+                ParamBinding { inputs: vec![1], outputs: vec![1] },
+            ],
+        };
+        let a = InterpreterLogic::new(Arc::clone(&program), bindings.clone(), Arc::clone(&globals));
+        let b = InterpreterLogic::new(program, bindings, Arc::clone(&globals));
+        assert!(Arc::ptr_eq(a.globals(), b.globals()));
+        assert!(globals.dict("cache").is_some());
+        assert!(globals.dict("missing").is_none());
+    }
+
+    #[test]
+    fn foldt_logic_merges_streams_by_key() {
+        let src = r#"
+type kv: record
+  key : string
+  value : string
+
+proc hadoop: ([kv/-] mappers, -/kv reducer):
+  if all_ready(mappers):
+    let result = foldt on mappers ordering elem e1, e2 by elem.key as e_key:
+      let v = combine(e1.value, e2.value)
+      kv(e_key, v)
+    result => reducer
+
+fun combine: (v1: string, v2: string) -> (string)
+  v1 + v2
+"#;
+        let typed = compile_to_ast(src).unwrap();
+        let program = Arc::new(lower(&typed, "hadoop").unwrap());
+        let logic = FoldtLogic::new(program, 2, 0);
+
+        let mut input_producers = Vec::new();
+        let mut input_consumers = Vec::new();
+        for i in 0..2 {
+            let (tx, rx) = TaskChannel::bounded(64, TaskId(300 + i));
+            input_producers.push(tx);
+            input_consumers.push(rx);
+        }
+        let (out_tx, out_rx) = TaskChannel::bounded(64, TaskId(400));
+        let mut task = ComputeTask::new("foldt", input_consumers, vec![out_tx], Box::new(logic));
+
+        input_producers[0].push(kv_msg("apple", "2")).unwrap();
+        input_producers[0].push(kv_msg("pear", "1")).unwrap();
+        input_producers[1].push(kv_msg("apple", "3")).unwrap();
+        task.run(&mut ctx());
+        assert_eq!(out_rx.len(), 0, "nothing is emitted until the inputs finish");
+
+        input_producers[0].close();
+        input_producers[1].close();
+        let status = task.run(&mut ctx());
+        assert_eq!(status, TaskStatus::Finished);
+        // Two keys, in order: apple (combined "2"+"3" = "23"), pear.
+        let first = out_rx.pop().unwrap().into_msg().unwrap();
+        assert_eq!(first.str_field("key"), Some("apple"));
+        assert_eq!(first.str_field("value"), Some("23"));
+        let second = out_rx.pop().unwrap().into_msg().unwrap();
+        assert_eq!(second.str_field("key"), Some("pear"));
+        assert!(out_rx.is_finished());
+    }
+}

@@ -1,0 +1,129 @@
+//! Field-projection derivation.
+//!
+//! FLICK programs declare the data type with exactly the fields they need
+//! (§4.2: "FLICK programs make accesses to message fields explicit by
+//! declaring a FLICK data type corresponding to the message"); the full wire
+//! grammar may carry many more. The projection for a record type is
+//! therefore the set of named fields in the program's `type` declaration,
+//! plus any fields accessed via `.field` expressions in the program (for
+//! robustness when a declaration is wider than its uses).
+
+use flick_grammar::Projection;
+use flick_lang::ast::{Block, Expr, ExprKind, Stmt};
+use flick_lang::TypedProgram;
+use std::collections::BTreeSet;
+
+/// Derives the projection for record type `record_name`.
+pub fn derive(typed: &TypedProgram, record_name: &str) -> Projection {
+    let mut fields: BTreeSet<String> = BTreeSet::new();
+    if let Some(record) = typed.record(record_name) {
+        for field in record.named_fields() {
+            if let Some(name) = &field.name {
+                fields.insert(name.clone());
+            }
+        }
+    }
+    // Also collect every field access mentioned anywhere in the program.
+    for f in &typed.program.functions {
+        collect_block(&f.body, &mut fields);
+    }
+    for p in &typed.program.processes {
+        collect_block(&p.body, &mut fields);
+    }
+    Projection::of(fields)
+}
+
+fn collect_block(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Global { init, .. } => collect_expr(init, out),
+            Stmt::Let { value, .. } => collect_expr(value, out),
+            Stmt::Assign { target, value, .. } => {
+                collect_expr(target, out);
+                collect_expr(value, out);
+            }
+            Stmt::Pipeline { stages, .. } => stages.iter().for_each(|s| collect_expr(s, out)),
+            Stmt::If { cond, then, els, .. } => {
+                collect_expr(cond, out);
+                collect_block(then, out);
+                if let Some(e) = els {
+                    collect_block(e, out);
+                }
+            }
+            Stmt::For { iter, body, .. } => {
+                collect_expr(iter, out);
+                collect_block(body, out);
+            }
+            Stmt::Expr { expr, .. } => collect_expr(expr, out),
+        }
+    }
+}
+
+fn collect_expr(expr: &Expr, out: &mut BTreeSet<String>) {
+    match &expr.kind {
+        ExprKind::Field(base, field) => {
+            out.insert(field.clone());
+            collect_expr(base, out);
+        }
+        ExprKind::Index(base, idx) => {
+            collect_expr(base, out);
+            collect_expr(idx, out);
+        }
+        ExprKind::Call { args, .. } => args.iter().for_each(|a| collect_expr(a, out)),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, out);
+            collect_expr(rhs, out);
+        }
+        ExprKind::Unary { operand, .. } => collect_expr(operand, out),
+        ExprKind::Foldt { channels, order_key, body, .. } => {
+            collect_expr(channels, out);
+            collect_expr(order_key, out);
+            collect_block(body, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_lang::compile_to_ast;
+
+    #[test]
+    fn projection_includes_declared_and_accessed_fields() {
+        let src = r#"
+type cmd: record
+  opcode : integer {size=1}
+  key : string
+
+proc P: (cmd/cmd client, [cmd/cmd] backends)
+  client => route(backends)
+
+fun route: ([-/cmd] backends, req: cmd) -> ()
+  let target = hash(req.key) mod len(backends)
+  req => backends[target]
+"#;
+        let typed = compile_to_ast(src).unwrap();
+        let projection = derive(&typed, "cmd");
+        assert!(projection.requires("opcode"));
+        assert!(projection.requires("key"));
+        assert!(!projection.requires("value"));
+        assert!(!projection.requires("cas"));
+    }
+
+    #[test]
+    fn unknown_record_still_collects_accesses() {
+        let src = r#"
+type kv: record
+  key : string
+  value : string
+
+proc P: (kv/kv client)
+  client => client
+"#;
+        let typed = compile_to_ast(src).unwrap();
+        let projection = derive(&typed, "nonexistent");
+        // The program's own field names are still present via the kv decl uses.
+        assert!(!projection.requires("cas"));
+    }
+}

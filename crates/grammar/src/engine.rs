@@ -1,0 +1,427 @@
+//! The generic grammar-driven parser and serialiser.
+//!
+//! [`GrammarCodec`] interprets a [`UnitGrammar`] to parse and serialise
+//! messages of any binary format expressible in the grammar model. It is the
+//! reproduction of the code the FLICK compiler generates from Spicy-style
+//! grammars: incremental (a partial buffer yields
+//! [`ParseOutcome::Incomplete`]), allocation-light (bytes are sliced from the
+//! input via [`bytes::Bytes`], not copied), and projection-aware (fields the
+//! program never accesses are skipped).
+
+use crate::error::GrammarError;
+use crate::message::{Message, MsgValue};
+use crate::model::{ByteOrder, FieldKind, GrammarItem, UnitGrammar};
+use crate::projection::Projection;
+use crate::{ParseOutcome, WireCodec};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A [`WireCodec`] driven by a [`UnitGrammar`].
+#[derive(Debug, Clone)]
+pub struct GrammarCodec {
+    grammar: UnitGrammar,
+}
+
+impl GrammarCodec {
+    /// Creates a codec from a grammar, validating it first.
+    pub fn new(grammar: UnitGrammar) -> Result<Self, GrammarError> {
+        grammar.validate()?;
+        Ok(GrammarCodec { grammar })
+    }
+
+    /// Returns the underlying grammar.
+    pub fn grammar(&self) -> &UnitGrammar {
+        &self.grammar
+    }
+
+    fn read_uint(&self, buf: &[u8], offset: usize, width: usize) -> u64 {
+        let mut value: u64 = 0;
+        match self.grammar.byte_order {
+            ByteOrder::Big => {
+                for i in 0..width {
+                    value = (value << 8) | buf[offset + i] as u64;
+                }
+            }
+            ByteOrder::Little => {
+                for i in (0..width).rev() {
+                    value = (value << 8) | buf[offset + i] as u64;
+                }
+            }
+        }
+        value
+    }
+
+    fn write_uint(&self, out: &mut Vec<u8>, value: u64, width: usize) {
+        match self.grammar.byte_order {
+            ByteOrder::Big => {
+                for i in (0..width).rev() {
+                    out.push(((value >> (8 * i)) & 0xff) as u8);
+                }
+            }
+            ByteOrder::Little => {
+                for i in 0..width {
+                    out.push(((value >> (8 * i)) & 0xff) as u8);
+                }
+            }
+        }
+    }
+}
+
+impl WireCodec for GrammarCodec {
+    fn name(&self) -> &str {
+        &self.grammar.name
+    }
+
+    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+        let unit = &self.grammar.name;
+        let mut env: HashMap<String, u64> = HashMap::new();
+        let mut message = Message::with_capacity(unit.clone(), self.grammar.items.len());
+        let mut offset = 0usize;
+        for item in &self.grammar.items {
+            match item {
+                GrammarItem::Variable { name, parse } => {
+                    let value = parse.eval(&env, unit)?;
+                    env.insert(name.clone(), value);
+                    if projection.map_or(true, |p| p.requires(name)) {
+                        message.set_parsed(name.clone(), MsgValue::UInt(value));
+                    }
+                }
+                GrammarItem::Field { name, kind } => {
+                    let required = !name.is_empty() && projection.map_or(true, |p| p.requires(name));
+                    match kind {
+                        FieldKind::UInt { width } | FieldKind::Int { width } => {
+                            let width = *width as usize;
+                            if buf.len() < offset + width {
+                                return Ok(ParseOutcome::Incomplete { needed: offset + width - buf.len() });
+                            }
+                            let raw = self.read_uint(buf, offset, width);
+                            offset += width;
+                            // Integer fields always enter the environment:
+                            // later length expressions may depend on them
+                            // even when the program never reads them.
+                            if !name.is_empty() {
+                                env.insert(name.clone(), raw);
+                            }
+                            if required {
+                                let value = if matches!(kind, FieldKind::Int { .. }) {
+                                    let shift = 64 - 8 * width;
+                                    MsgValue::Int(((raw << shift) as i64) >> shift)
+                                } else {
+                                    MsgValue::UInt(raw)
+                                };
+                                message.set_parsed(name.clone(), value);
+                            }
+                        }
+                        FieldKind::Bytes { length } | FieldKind::Str { length } => {
+                            let len = length.eval(&env, unit)? as usize;
+                            if buf.len() < offset + len {
+                                return Ok(ParseOutcome::Incomplete { needed: offset + len - buf.len() });
+                            }
+                            if required {
+                                let slice = &buf[offset..offset + len];
+                                let value = if matches!(kind, FieldKind::Str { .. }) {
+                                    match std::str::from_utf8(slice) {
+                                        Ok(s) => MsgValue::Str(s.to_string()),
+                                        Err(_) => MsgValue::Bytes(Bytes::copy_from_slice(slice)),
+                                    }
+                                } else {
+                                    MsgValue::Bytes(Bytes::copy_from_slice(slice))
+                                };
+                                message.set_parsed(name.clone(), value);
+                            }
+                            if !name.is_empty() {
+                                env.insert(format!("len({name})"), len as u64);
+                            }
+                            offset += len;
+                        }
+                    }
+                }
+            }
+        }
+        message.set_raw(Bytes::copy_from_slice(&buf[..offset]));
+        Ok(ParseOutcome::Complete { message, consumed: offset })
+    }
+
+    fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
+        let unit = &self.grammar.name;
+        // Fast path: an unmodified parsed message is copied through verbatim.
+        if let Some(raw) = msg.raw() {
+            out.extend_from_slice(raw);
+            return Ok(());
+        }
+        // Build the serialisation environment: integer field values from the
+        // message plus `LenOf` entries for byte/string fields.
+        let mut env: HashMap<String, u64> = HashMap::new();
+        for item in &self.grammar.items {
+            if let GrammarItem::Field { name, kind } = item {
+                if name.is_empty() {
+                    continue;
+                }
+                match kind {
+                    FieldKind::UInt { .. } | FieldKind::Int { .. } => {
+                        if let Some(v) = msg.uint_field(name) {
+                            env.insert(name.clone(), v);
+                        }
+                    }
+                    FieldKind::Bytes { .. } | FieldKind::Str { .. } => {
+                        let len = msg.get(name).map(MsgValue::byte_len).unwrap_or(0) as u64;
+                        env.insert(name.clone(), len);
+                    }
+                }
+            }
+        }
+        // Apply serialisation rules (length recomputation) in order.
+        let mut overrides: HashMap<String, u64> = HashMap::new();
+        for rule in &self.grammar.ser_rules {
+            let value = rule.expr.eval(&env, unit)?;
+            env.insert(rule.field.clone(), value);
+            overrides.insert(rule.field.clone(), value);
+        }
+        // Emit each item.
+        for item in &self.grammar.items {
+            match item {
+                GrammarItem::Variable { .. } => {}
+                GrammarItem::Field { name, kind } => match kind {
+                    FieldKind::UInt { width } | FieldKind::Int { width } => {
+                        let width = *width as usize;
+                        let value = overrides
+                            .get(name)
+                            .copied()
+                            .or_else(|| msg.uint_field(name))
+                            .or_else(|| {
+                                msg.get(name).and_then(|v| match v {
+                                    MsgValue::Int(i) => Some(*i as u64),
+                                    _ => None,
+                                })
+                            })
+                            .unwrap_or(0);
+                        let max = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+                        if value > max && !name.is_empty() {
+                            return Err(GrammarError::FieldOverflow {
+                                unit: unit.clone(),
+                                field: name.clone(),
+                                value,
+                                max,
+                            });
+                        }
+                        self.write_uint(out, value & max, width);
+                    }
+                    FieldKind::Bytes { length } | FieldKind::Str { length } => {
+                        match msg.get(name) {
+                            Some(v) => {
+                                let bytes = v.as_bytes().unwrap_or(&[]);
+                                out.extend_from_slice(bytes);
+                            }
+                            None if name.is_empty() => {
+                                // Anonymous padding: emit zero bytes of the declared length.
+                                let len = length.eval(&env, unit).unwrap_or(0) as usize;
+                                out.extend(std::iter::repeat(0u8).take(len));
+                            }
+                            None => {
+                                return Err(GrammarError::MissingField {
+                                    unit: unit.clone(),
+                                    field: name.clone(),
+                                })
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GrammarItem as GI;
+    use crate::model::LenExpr;
+
+    /// A small length-prefixed grammar: `len:u16, tag:u8, body:bytes[len]`.
+    fn demo_grammar() -> UnitGrammar {
+        UnitGrammar::new("demo")
+            .item(GI::field("len", FieldKind::UInt { width: 2 }))
+            .item(GI::field("tag", FieldKind::UInt { width: 1 }))
+            .item(GI::field("body", FieldKind::Bytes { length: LenExpr::field("len") }))
+            .ser_rule("len", LenExpr::LenOf("body".into()))
+    }
+
+    fn demo_codec() -> GrammarCodec {
+        GrammarCodec::new(demo_grammar()).unwrap()
+    }
+
+    fn demo_message(tag: u64, body: &[u8]) -> Message {
+        let mut m = Message::new("demo");
+        m.set("tag", MsgValue::UInt(tag));
+        m.set("body", MsgValue::Bytes(Bytes::copy_from_slice(body)));
+        m
+    }
+
+    #[test]
+    fn roundtrip_simple_message() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec.serialize(&demo_message(7, b"hello"), &mut wire).unwrap();
+        assert_eq!(wire.len(), 2 + 1 + 5);
+        assert_eq!(&wire[0..2], &[0, 5]);
+        match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(message.uint_field("tag"), Some(7));
+                assert_eq!(message.bytes_field("body"), Some(&b"hello"[..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_reports_needed_bytes() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec.serialize(&demo_message(1, b"abcdef"), &mut wire).unwrap();
+        // Header only.
+        match codec.parse(&wire[..2], None).unwrap() {
+            ParseOutcome::Incomplete { needed } => assert_eq!(needed, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Header plus a partial body.
+        match codec.parse(&wire[..5], None).unwrap() {
+            ParseOutcome::Incomplete { needed } => assert_eq!(needed, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_skips_unrequested_fields() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec.serialize(&demo_message(3, b"payload"), &mut wire).unwrap();
+        let projection = Projection::of(["tag"]);
+        match codec.parse(&wire, Some(&projection)).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.uint_field("tag"), Some(3));
+                assert!(message.get("body").is_none(), "body should not be materialised");
+                // The raw bytes are still available for pass-through.
+                assert_eq!(message.raw().unwrap().len(), wire.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passthrough_serialisation_uses_raw_bytes() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec.serialize(&demo_message(9, b"zig"), &mut wire).unwrap();
+        let parsed = match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, .. } => message,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut rewire = Vec::new();
+        codec.serialize(&parsed, &mut rewire).unwrap();
+        assert_eq!(wire, rewire);
+    }
+
+    #[test]
+    fn modified_message_recomputes_lengths() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec.serialize(&demo_message(9, b"zig"), &mut wire).unwrap();
+        let mut parsed = match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, .. } => message,
+            other => panic!("unexpected {other:?}"),
+        };
+        parsed.set("body", MsgValue::Bytes(Bytes::from_static(b"longer-body")));
+        let mut rewire = Vec::new();
+        codec.serialize(&parsed, &mut rewire).unwrap();
+        assert_eq!(&rewire[0..2], &[0, 11]);
+        assert_eq!(rewire.len(), 2 + 1 + 11);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let codec = demo_codec();
+        let mut m = Message::new("demo");
+        m.set("tag", MsgValue::UInt(1));
+        let mut out = Vec::new();
+        assert!(matches!(codec.serialize(&m, &mut out), Err(GrammarError::MissingField { .. })));
+    }
+
+    #[test]
+    fn signed_field_sign_extends() {
+        let g = UnitGrammar::new("s").item(GI::field("x", FieldKind::Int { width: 1 }));
+        let codec = GrammarCodec::new(g).unwrap();
+        match codec.parse(&[0xff], None).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.get("x"), Some(&MsgValue::Int(-1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn little_endian_integers() {
+        let g = UnitGrammar::new("le")
+            .byte_order(ByteOrder::Little)
+            .item(GI::field("x", FieldKind::UInt { width: 2 }));
+        let codec = GrammarCodec::new(g).unwrap();
+        let mut m = Message::new("le");
+        m.set("x", MsgValue::UInt(0x0102));
+        let mut out = Vec::new();
+        codec.serialize(&m, &mut out).unwrap();
+        assert_eq!(out, vec![0x02, 0x01]);
+        match codec.parse(&out, None).unwrap() {
+            ParseOutcome::Complete { message, .. } => assert_eq!(message.uint_field("x"), Some(0x0102)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anonymous_fields_are_skipped_but_consume_bytes() {
+        let g = UnitGrammar::new("anon")
+            .item(GI::field("a", FieldKind::UInt { width: 1 }))
+            .item(GI::anonymous(FieldKind::Bytes { length: LenExpr::Const(3) }))
+            .item(GI::field("b", FieldKind::UInt { width: 1 }));
+        let codec = GrammarCodec::new(g).unwrap();
+        match codec.parse(&[1, 9, 9, 9, 2], None).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, 5);
+                assert_eq!(message.uint_field("a"), Some(1));
+                assert_eq!(message.uint_field("b"), Some(2));
+                assert_eq!(message.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_is_computed_during_parse() {
+        let g = UnitGrammar::new("v")
+            .item(GI::field("total", FieldKind::UInt { width: 1 }))
+            .item(GI::field("keylen", FieldKind::UInt { width: 1 }))
+            .item(GI::variable("vallen", LenExpr::sub(LenExpr::field("total"), LenExpr::field("keylen"))))
+            .item(GI::field("key", FieldKind::Bytes { length: LenExpr::field("keylen") }))
+            .item(GI::field("val", FieldKind::Bytes { length: LenExpr::field("vallen") }));
+        let codec = GrammarCodec::new(g).unwrap();
+        let wire = [5u8, 2, b'a', b'b', b'x', b'y', b'z'];
+        match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, 7);
+                assert_eq!(message.uint_field("vallen"), Some(3));
+                assert_eq!(message.bytes_field("val"), Some(&b"xyz"[..]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_overflow_is_detected() {
+        let g = UnitGrammar::new("o").item(GI::field("x", FieldKind::UInt { width: 1 }));
+        let codec = GrammarCodec::new(g).unwrap();
+        let mut m = Message::new("o");
+        m.set("x", MsgValue::UInt(300));
+        let mut out = Vec::new();
+        assert!(matches!(codec.serialize(&m, &mut out), Err(GrammarError::FieldOverflow { .. })));
+    }
+}

@@ -1,0 +1,361 @@
+//! HTTP/1.1 message grammar.
+//!
+//! HTTP is a text protocol with an LL(1)-parsable line structure, so rather
+//! than interpreting a binary unit grammar the FLICK framework ships a
+//! specialised reusable codec (the paper notes that reusable grammars for
+//! common protocols such as HTTP and Memcached are provided by the
+//! framework). The codec parses both requests and responses, supports
+//! incremental parsing (a partial header or body yields
+//! [`ParseOutcome::Incomplete`]) and keeps the raw bytes of each message so
+//! that the HTTP load balancer can forward traffic without re-serialisation.
+
+use crate::error::GrammarError;
+use crate::message::{Message, MsgValue};
+use crate::projection::Projection;
+use crate::{ParseOutcome, WireCodec};
+use bytes::Bytes;
+
+/// Unit name used for parsed HTTP requests.
+pub const REQUEST_UNIT: &str = "http_request";
+/// Unit name used for parsed HTTP responses.
+pub const RESPONSE_UNIT: &str = "http_response";
+
+/// A [`WireCodec`] for HTTP/1.1 requests and responses.
+#[derive(Debug, Clone, Default)]
+pub struct HttpCodec;
+
+impl HttpCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        HttpCodec
+    }
+}
+
+/// Finds the end of the header block (the index just past `\r\n\r\n`).
+fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_headers(
+    block: &str,
+    message: &mut Message,
+    projection: Option<&Projection>,
+) -> Result<usize, GrammarError> {
+    let mut content_length = 0usize;
+    let mut header_lines = Vec::new();
+    for line in block.split("\r\n").skip(1).filter(|l| !l.is_empty()) {
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            GrammarError::malformed("http", format!("header line without colon: {line:?}"))
+        })?;
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| GrammarError::malformed("http", "invalid Content-Length"))?;
+        }
+        if name.eq_ignore_ascii_case("host") && projection.map_or(true, |p| p.requires("host")) {
+            message.set_parsed("host", MsgValue::Str(value.to_string()));
+        }
+        if name.eq_ignore_ascii_case("connection")
+            && projection.map_or(true, |p| p.requires("connection"))
+        {
+            message.set_parsed("connection", MsgValue::Str(value.to_ascii_lowercase()));
+        }
+        header_lines.push(line);
+    }
+    if projection.map_or(true, |p| p.requires("headers")) {
+        message.set_parsed("headers", MsgValue::Str(header_lines.join("\r\n")));
+    }
+    message.set_parsed("content_length", MsgValue::UInt(content_length as u64));
+    Ok(content_length)
+}
+
+impl WireCodec for HttpCodec {
+    fn name(&self) -> &str {
+        "http"
+    }
+
+    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+        let Some(head_len) = header_end(buf) else {
+            return Ok(ParseOutcome::Incomplete { needed: 0 });
+        };
+        let head = std::str::from_utf8(&buf[..head_len - 4])
+            .map_err(|_| GrammarError::malformed("http", "header block is not valid UTF-8"))?;
+        let first_line = head.split("\r\n").next().unwrap_or_default();
+        let mut parts = first_line.split_whitespace();
+        let is_response = first_line.starts_with("HTTP/");
+        let mut message = Message::with_capacity(
+            if is_response { RESPONSE_UNIT } else { REQUEST_UNIT },
+            8,
+        );
+        if is_response {
+            let version = parts.next().unwrap_or("HTTP/1.1");
+            let status: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GrammarError::malformed("http", "missing status code"))?;
+            let reason = parts.collect::<Vec<_>>().join(" ");
+            message.set_parsed("version", MsgValue::Str(version.to_string()));
+            message.set_parsed("status", MsgValue::UInt(status));
+            message.set_parsed("reason", MsgValue::Str(reason));
+        } else {
+            let method = parts
+                .next()
+                .ok_or_else(|| GrammarError::malformed("http", "missing request method"))?;
+            let path = parts
+                .next()
+                .ok_or_else(|| GrammarError::malformed("http", "missing request path"))?;
+            let version = parts.next().unwrap_or("HTTP/1.1");
+            if !matches!(method, "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS" | "PATCH") {
+                return Err(GrammarError::malformed("http", format!("unknown method {method:?}")));
+            }
+            message.set_parsed("method", MsgValue::Str(method.to_string()));
+            message.set_parsed("path", MsgValue::Str(path.to_string()));
+            message.set_parsed("version", MsgValue::Str(version.to_string()));
+        }
+        let content_length = parse_headers(head, &mut message, projection)?;
+        let total = head_len + content_length;
+        if buf.len() < total {
+            return Ok(ParseOutcome::Incomplete { needed: total - buf.len() });
+        }
+        if content_length > 0 && projection.map_or(true, |p| p.requires("body")) {
+            message.set_parsed(
+                "body",
+                MsgValue::Bytes(Bytes::copy_from_slice(&buf[head_len..total])),
+            );
+        }
+        message.set_raw(Bytes::copy_from_slice(&buf[..total]));
+        Ok(ParseOutcome::Complete { message, consumed: total })
+    }
+
+    fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
+        if let Some(raw) = msg.raw() {
+            out.extend_from_slice(raw);
+            return Ok(());
+        }
+        let body = msg.bytes_field("body").unwrap_or(&[]);
+        let version = msg.str_field("version").unwrap_or("HTTP/1.1");
+        if msg.unit == RESPONSE_UNIT {
+            let status = msg.uint_field("status").unwrap_or(200);
+            let reason = msg.str_field("reason").unwrap_or("OK");
+            out.extend_from_slice(format!("{version} {status} {reason}\r\n").as_bytes());
+        } else {
+            let method = msg
+                .str_field("method")
+                .ok_or_else(|| GrammarError::MissingField { unit: REQUEST_UNIT.into(), field: "method".into() })?;
+            let path = msg
+                .str_field("path")
+                .ok_or_else(|| GrammarError::MissingField { unit: REQUEST_UNIT.into(), field: "path".into() })?;
+            out.extend_from_slice(format!("{method} {path} {version}\r\n").as_bytes());
+        }
+        let mut wrote_content_length = false;
+        if let Some(headers) = msg.str_field("headers") {
+            for line in headers.split("\r\n").filter(|l| !l.is_empty()) {
+                if line.to_ascii_lowercase().starts_with("content-length") {
+                    wrote_content_length = true;
+                    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+                } else {
+                    out.extend_from_slice(line.as_bytes());
+                    out.extend_from_slice(b"\r\n");
+                }
+            }
+        } else if let Some(host) = msg.str_field("host") {
+            out.extend_from_slice(format!("Host: {host}\r\n").as_bytes());
+        }
+        if !wrote_content_length && !body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+        } else if !wrote_content_length && msg.unit == RESPONSE_UNIT {
+            out.extend_from_slice(b"Content-Length: 0\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(body);
+        Ok(())
+    }
+}
+
+/// Builds an HTTP GET request message.
+pub fn get_request(path: &str, host: &str) -> Message {
+    let mut m = Message::with_capacity(REQUEST_UNIT, 6);
+    m.set("method", MsgValue::Str("GET".into()));
+    m.set("path", MsgValue::Str(path.into()));
+    m.set("version", MsgValue::Str("HTTP/1.1".into()));
+    m.set("host", MsgValue::Str(host.into()));
+    m
+}
+
+/// Builds an HTTP response message with the given status and body.
+pub fn response(status: u64, body: &[u8]) -> Message {
+    let mut m = Message::with_capacity(RESPONSE_UNIT, 6);
+    m.set("status", MsgValue::UInt(status));
+    m.set("reason", MsgValue::Str(reason_phrase(status).into()));
+    m.set("version", MsgValue::Str("HTTP/1.1".into()));
+    m.set("body", MsgValue::Bytes(Bytes::copy_from_slice(body)));
+    m
+}
+
+/// The standard reason phrase for a handful of status codes.
+pub fn reason_phrase(status: u64) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Returns `true` if the message asks for the connection to be closed
+/// (`Connection: close`, or HTTP/1.0 without keep-alive).
+pub fn wants_close(msg: &Message) -> bool {
+    match msg.str_field("connection") {
+        Some(c) => c.contains("close"),
+        None => msg.str_field("version") == Some("HTTP/1.0"),
+    }
+}
+
+/// The projection used by the HTTP load balancer: only the request line and
+/// the connection-management headers are needed, not the body.
+pub fn load_balancer_projection() -> Projection {
+    Projection::of(["method", "path", "version", "host", "connection", "content_length"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(codec: &HttpCodec, buf: &[u8]) -> (Message, usize) {
+        match codec.parse(buf, None).unwrap() {
+            ParseOutcome::Complete { message, consumed } => (message, consumed),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_get_request() {
+        let codec = HttpCodec::new();
+        let wire = b"GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n";
+        let (msg, consumed) = parse_ok(&codec, wire);
+        assert_eq!(consumed, wire.len());
+        assert_eq!(msg.unit, REQUEST_UNIT);
+        assert_eq!(msg.str_field("method"), Some("GET"));
+        assert_eq!(msg.str_field("path"), Some("/index.html"));
+        assert_eq!(msg.str_field("host"), Some("example.org"));
+        assert_eq!(msg.uint_field("content_length"), Some(0));
+    }
+
+    #[test]
+    fn parses_response_with_body() {
+        let codec = HttpCodec::new();
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        let (msg, consumed) = parse_ok(&codec, wire);
+        assert_eq!(consumed, wire.len());
+        assert_eq!(msg.unit, RESPONSE_UNIT);
+        assert_eq!(msg.uint_field("status"), Some(200));
+        assert_eq!(msg.bytes_field("body"), Some(&b"hello"[..]));
+    }
+
+    #[test]
+    fn incomplete_header_and_body() {
+        let codec = HttpCodec::new();
+        assert!(matches!(
+            codec.parse(b"GET / HTTP/1.1\r\nHost: a", None).unwrap(),
+            ParseOutcome::Incomplete { .. }
+        ));
+        let partial_body = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc";
+        match codec.parse(partial_body, None).unwrap() {
+            ParseOutcome::Incomplete { needed } => assert_eq!(needed, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialisation_roundtrip_and_passthrough() {
+        let codec = HttpCodec::new();
+        let wire = b"GET /a HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n\r\n".to_vec();
+        let (msg, _) = parse_ok(&codec, &wire);
+        let mut out = Vec::new();
+        codec.serialize(&msg, &mut out).unwrap();
+        assert_eq!(out, wire, "unmodified messages must be forwarded byte-for-byte");
+    }
+
+    #[test]
+    fn built_response_serialises_with_content_length() {
+        let codec = HttpCodec::new();
+        let resp = response(200, b"0123456789");
+        let mut out = Vec::new();
+        codec.serialize(&resp, &mut out).unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 10\r\n"));
+        let (msg, consumed) = parse_ok(&codec, &out);
+        assert_eq!(consumed, out.len());
+        assert_eq!(msg.bytes_field("body"), Some(&b"0123456789"[..]));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let codec = HttpCodec::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /1 HTTP/1.1\r\nHost: h\r\n\r\n");
+        let first = wire.len();
+        wire.extend_from_slice(b"GET /2 HTTP/1.1\r\nHost: h\r\n\r\n");
+        let (msg, consumed) = parse_ok(&codec, &wire);
+        assert_eq!(consumed, first);
+        assert_eq!(msg.str_field("path"), Some("/1"));
+        let (msg2, _) = parse_ok(&codec, &wire[consumed..]);
+        assert_eq!(msg2.str_field("path"), Some("/2"));
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let codec = HttpCodec::new();
+        let (keep, _) = parse_ok(&codec, b"GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert!(!wants_close(&keep));
+        let (close, _) = parse_ok(&codec, b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(wants_close(&close));
+        let (old, _) = parse_ok(&codec, b"GET / HTTP/1.0\r\n\r\n");
+        assert!(wants_close(&old));
+    }
+
+    #[test]
+    fn projection_skips_body_but_keeps_raw() {
+        let codec = HttpCodec::new();
+        let wire = b"POST /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\ndata";
+        let projection = load_balancer_projection();
+        match codec.parse(wire, Some(&projection)).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert!(message.get("body").is_none());
+                assert_eq!(message.raw().unwrap().len(), wire.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_method() {
+        let codec = HttpCodec::new();
+        let wire = b"NONSENSE / HTTP/1.1\r\n\r\n";
+        assert!(codec.parse(wire, None).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let codec = HttpCodec::new();
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        assert!(codec.parse(wire, None).is_err());
+    }
+
+    #[test]
+    fn reason_phrases_cover_common_codes() {
+        assert_eq!(reason_phrase(200), "OK");
+        assert_eq!(reason_phrase(404), "Not Found");
+        assert_eq!(reason_phrase(999), "Unknown");
+    }
+}

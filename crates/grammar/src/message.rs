@@ -1,0 +1,252 @@
+//! The dynamically-typed message representation produced by parsers.
+//!
+//! Input tasks deserialise the byte stream into [`Message`] values, which are
+//! the smallest units appropriate for the service (a complete HTTP request, a
+//! Memcached command, a Hadoop key/value pair). A message keeps its raw wire
+//! bytes when it was parsed from the network, so that services that forward
+//! data unchanged (for example the return path of the HTTP load balancer)
+//! never pay for re-serialisation.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A single field value inside a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgValue {
+    /// An unsigned integer field (lengths, opcodes, status codes...).
+    UInt(u64),
+    /// A signed integer field.
+    Int(i64),
+    /// A byte-string field (keys, values, bodies).
+    Bytes(Bytes),
+    /// A text field.
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl MsgValue {
+    /// Returns the value as an unsigned integer if it is numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MsgValue::UInt(v) => Some(*v),
+            MsgValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as bytes when it is a byte or text field.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            MsgValue::Bytes(b) => Some(b),
+            MsgValue::Str(s) => Some(s.as_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as text when it is (valid UTF-8) bytes or a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MsgValue::Str(s) => Some(s),
+            MsgValue::Bytes(b) => std::str::from_utf8(b).ok(),
+            _ => None,
+        }
+    }
+
+    /// The number of wire bytes a byte/text value occupies.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            MsgValue::Bytes(b) => b.len(),
+            MsgValue::Str(s) => s.len(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for MsgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgValue::UInt(v) => write!(f, "{v}"),
+            MsgValue::Int(v) => write!(f, "{v}"),
+            MsgValue::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            MsgValue::Str(s) => write!(f, "{s:?}"),
+            MsgValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A parsed application-level message.
+///
+/// Fields are stored in parse order in a small vector; lookups are linear,
+/// which is faster than hashing for the handful of fields real protocol
+/// messages carry and avoids any per-message allocation beyond the vector.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Message {
+    /// The unit (grammar) name this message was parsed with.
+    pub unit: String,
+    /// Field name/value pairs in wire order.
+    fields: Vec<(String, MsgValue)>,
+    /// The raw wire bytes of the message, when parsed from the network and
+    /// unmodified since. Cleared by [`Message::set`] so that serialisation
+    /// rebuilds the wire representation.
+    raw: Option<Bytes>,
+}
+
+impl Message {
+    /// Creates an empty message for the given unit.
+    pub fn new(unit: impl Into<String>) -> Self {
+        Message { unit: unit.into(), fields: Vec::new(), raw: None }
+    }
+
+    /// Creates a message with pre-allocated space for `n` fields.
+    pub fn with_capacity(unit: impl Into<String>, n: usize) -> Self {
+        Message { unit: unit.into(), fields: Vec::with_capacity(n), raw: None }
+    }
+
+    /// Returns the number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the message has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Sets a field, replacing any previous value of the same name.
+    ///
+    /// Mutating a field invalidates the cached raw wire bytes.
+    pub fn set(&mut self, name: impl Into<String>, value: MsgValue) -> &mut Self {
+        let name = name.into();
+        self.raw = None;
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+        self
+    }
+
+    /// Sets a field without invalidating the raw bytes.
+    ///
+    /// This is used by parsers, which populate fields that by definition
+    /// agree with the raw representation.
+    pub(crate) fn set_parsed(&mut self, name: impl Into<String>, value: MsgValue) {
+        self.fields.push((name.into(), value));
+    }
+
+    /// Returns a field by name.
+    pub fn get(&self, name: &str) -> Option<&MsgValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Returns a numeric field as `u64`.
+    pub fn uint_field(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(MsgValue::as_u64)
+    }
+
+    /// Returns a text field as `&str`.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(MsgValue::as_str)
+    }
+
+    /// Returns a byte field.
+    pub fn bytes_field(&self, name: &str) -> Option<&[u8]> {
+        self.get(name).and_then(MsgValue::as_bytes)
+    }
+
+    /// Iterates over `(name, value)` pairs in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MsgValue)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Attaches the raw wire bytes this message was parsed from.
+    pub fn set_raw(&mut self, raw: Bytes) {
+        self.raw = Some(raw);
+    }
+
+    /// Returns the raw wire bytes if the message is still unmodified.
+    pub fn raw(&self) -> Option<&Bytes> {
+        self.raw.as_ref()
+    }
+
+    /// Total byte length of the raw representation, if known.
+    pub fn wire_len(&self) -> Option<usize> {
+        self.raw.as_ref().map(|b| b.len())
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.unit)?;
+        for (i, (n, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {n}: {v}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut m = Message::new("cmd");
+        m.set("opcode", MsgValue::UInt(0x0c));
+        m.set("key", MsgValue::Str("user:1".into()));
+        assert_eq!(m.uint_field("opcode"), Some(0x0c));
+        assert_eq!(m.str_field("key"), Some("user:1"));
+        assert_eq!(m.len(), 2);
+        assert!(m.get("missing").is_none());
+    }
+
+    #[test]
+    fn set_replaces_existing_field() {
+        let mut m = Message::new("cmd");
+        m.set("key", MsgValue::Str("a".into()));
+        m.set("key", MsgValue::Str("b".into()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.str_field("key"), Some("b"));
+    }
+
+    #[test]
+    fn mutation_clears_raw_bytes() {
+        let mut m = Message::new("cmd");
+        m.set_raw(Bytes::from_static(b"rawbytes"));
+        assert!(m.raw().is_some());
+        m.set("key", MsgValue::Str("changed".into()));
+        assert!(m.raw().is_none());
+    }
+
+    #[test]
+    fn parsed_fields_keep_raw_bytes() {
+        let mut m = Message::new("cmd");
+        m.set_raw(Bytes::from_static(b"rawbytes"));
+        m.set_parsed("key", MsgValue::Str("k".into()));
+        assert!(m.raw().is_some());
+        assert_eq!(m.wire_len(), Some(8));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(MsgValue::UInt(5).as_u64(), Some(5));
+        assert_eq!(MsgValue::Int(-1).as_u64(), None);
+        assert_eq!(MsgValue::Str("hi".into()).as_bytes(), Some(&b"hi"[..]));
+        assert_eq!(MsgValue::Bytes(Bytes::from_static(b"ok")).as_str(), Some("ok"));
+        assert_eq!(MsgValue::Bytes(Bytes::from_static(b"ok")).byte_len(), 2);
+        assert_eq!(MsgValue::Bool(true).as_u64(), None);
+    }
+
+    #[test]
+    fn display_formats_fields() {
+        let mut m = Message::new("kv");
+        m.set("key", MsgValue::Str("a".into()));
+        let s = format!("{m}");
+        assert!(s.starts_with("kv {"));
+        assert!(s.contains("key"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Field projections: the set of fields a FLICK program actually accesses.
+//!
+//! FLICK grammars aim to be reusable and therefore describe *all* fields of a
+//! message format, but a given service usually touches only a few of them
+//! (the Memcached router needs `opcode` and `key`, nothing else). The FLICK
+//! compiler derives a [`Projection`] from the program's data-type
+//! declarations and field accesses; parsers use it to skip materialising any
+//! field outside the projection, keeping only the raw bytes for pass-through.
+
+use std::collections::BTreeSet;
+
+/// The set of message fields a service requires.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Projection {
+    fields: BTreeSet<String>,
+    /// When `true`, every field is required (equivalent to no projection).
+    all: bool,
+}
+
+impl Projection {
+    /// A projection that requires every field.
+    pub fn all() -> Self {
+        Projection { fields: BTreeSet::new(), all: true }
+    }
+
+    /// An empty projection; fields can be added with [`Projection::with`].
+    pub fn none() -> Self {
+        Projection::default()
+    }
+
+    /// Builds a projection from an iterator of field names.
+    pub fn of<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Projection { fields: names.into_iter().map(Into::into).collect(), all: false }
+    }
+
+    /// Adds a field to the projection.
+    pub fn with(mut self, name: impl Into<String>) -> Self {
+        self.fields.insert(name.into());
+        self
+    }
+
+    /// Returns `true` if the named field must be materialised.
+    pub fn requires(&self, name: &str) -> bool {
+        self.all || self.fields.contains(name)
+    }
+
+    /// Returns `true` if no specific fields are required (and not `all`).
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.fields.is_empty()
+    }
+
+    /// Number of explicitly required fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Iterates over explicitly required field names.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_requires_everything() {
+        let p = Projection::all();
+        assert!(p.requires("anything"));
+        assert!(!p.is_empty() || p.len() == 0);
+    }
+
+    #[test]
+    fn explicit_projection_filters() {
+        let p = Projection::of(["opcode", "key"]);
+        assert!(p.requires("key"));
+        assert!(!p.requires("value"));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn with_adds_fields() {
+        let p = Projection::none().with("key");
+        assert!(p.requires("key"));
+        assert!(!p.requires("opcode"));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_deduplicated() {
+        let p = Projection::of(["b", "a", "b"]);
+        let v: Vec<&str> = p.iter().collect();
+        assert_eq!(v, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,470 @@
+//! Abstract syntax tree for FLICK programs.
+//!
+//! A [`Program`] contains three kinds of declarations, mirroring §4 of the
+//! paper: application data **types** (records with optional wire-format
+//! annotations), **processes** (middlebox logic with typed channel
+//! signatures) and first-order **functions**.
+
+use crate::error::Span;
+
+/// A parsed FLICK program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Record type declarations, in source order.
+    pub types: Vec<TypeDecl>,
+    /// Process declarations, in source order.
+    pub processes: Vec<ProcDecl>,
+    /// Function declarations, in source order.
+    pub functions: Vec<FunDecl>,
+}
+
+impl Program {
+    /// Looks up a type declaration by name.
+    pub fn type_decl(&self, name: &str) -> Option<&TypeDecl> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a function declaration by name.
+    pub fn function(&self, name: &str) -> Option<&FunDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a process declaration by name.
+    pub fn process(&self, name: &str) -> Option<&ProcDecl> {
+        self.processes.iter().find(|p| p.name == name)
+    }
+}
+
+/// A record type declaration (`type cmd: record ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// The type's name.
+    pub name: String,
+    /// The record fields, in wire order.
+    pub fields: Vec<FieldDecl>,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+impl TypeDecl {
+    /// Returns the named (non-anonymous) fields of the record.
+    pub fn named_fields(&self) -> impl Iterator<Item = &FieldDecl> {
+        self.fields.iter().filter(|f| f.name.is_some())
+    }
+}
+
+/// A single field of a record type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// The field name, or `None` for anonymised (`_`) padding fields whose
+    /// values may never be read or written by the program.
+    pub name: Option<String>,
+    /// The declared field type.
+    pub ty: TypeExpr,
+    /// Serialisation attributes such as `size=keylen` or `signed=false`.
+    pub attrs: Vec<FieldAttr>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl FieldDecl {
+    /// Returns the value expression of the attribute named `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&Expr> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+}
+
+/// A `name=expr` serialisation attribute attached to a record field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldAttr {
+    /// The attribute name (`size`, `signed`, ...).
+    pub name: String,
+    /// The attribute value expression; may reference earlier fields.
+    pub value: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A process declaration (`proc Memcached: (cmd/cmd client, ...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDecl {
+    /// The process name.
+    pub name: String,
+    /// Channel parameters in the process signature.
+    pub params: Vec<Param>,
+    /// The process body.
+    pub body: Block,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// A function declaration (`fun f: (params) -> (ret) ...`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDecl {
+    /// The function name.
+    pub name: String,
+    /// Parameters: channels and data values.
+    pub params: Vec<Param>,
+    /// Declared return types; empty for `()`.
+    pub ret: Vec<TypeExpr>,
+    /// The function body.
+    pub body: Block,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// A parameter of a process or function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The parameter name.
+    pub name: String,
+    /// The declared parameter type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A syntactic type expression as written in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// A named type: a primitive (`integer`, `string`, `bool`) or a record.
+    Named(String),
+    /// A list type `[T]`.
+    List(Box<TypeExpr>),
+    /// A dictionary type `dict<K*V>`.
+    Dict(Box<TypeExpr>, Box<TypeExpr>),
+    /// A mutable reference `ref T` (used for shared state parameters).
+    Ref(Box<TypeExpr>),
+    /// The unit type `()`.
+    Unit,
+    /// A channel type `R/W` where either side may be `-` (absent).
+    ///
+    /// `read` is the type of values the program may *receive* from the
+    /// channel and `write` the type it may *send*; per the paper a channel
+    /// typed `-/cmd` is write-only.
+    Channel {
+        /// Receivable value type, or `None` if the channel is write-only.
+        read: Option<Box<TypeExpr>>,
+        /// Sendable value type, or `None` if the channel is read-only.
+        write: Option<Box<TypeExpr>>,
+    },
+    /// An array of channels `[R/W]`.
+    ChannelArray(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// Returns `true` if this is a channel or channel-array type.
+    pub fn is_channel_like(&self) -> bool {
+        matches!(self, TypeExpr::Channel { .. } | TypeExpr::ChannelArray(_))
+    }
+}
+
+/// A block of statements at one indentation level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Returns `true` if the block contains no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `global name := expr` — declares per-program shared state.
+    Global {
+        /// The global's name.
+        name: String,
+        /// Initialiser expression.
+        init: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `let name = expr` — immutable local binding.
+    Let {
+        /// The binding name.
+        name: String,
+        /// The bound value.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `target := expr` — assignment to a dictionary entry or local.
+    Assign {
+        /// Assignment target (identifier, field access or index).
+        target: Expr,
+        /// The assigned value.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `a => f(x) => b` — a routing pipeline between channels and functions.
+    ///
+    /// The first stage is a source (channel or expression), the last stage a
+    /// sink (channel), and intermediate stages are function applications.
+    Pipeline {
+        /// The stages of the pipeline, at least two.
+        stages: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if cond: ... [else: ...]`.
+    If {
+        /// The condition.
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then: Block,
+        /// Statements executed otherwise, if an `else` branch is present.
+        els: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for x in expr: ...` — bounded iteration over a finite list.
+    For {
+        /// The loop variable.
+        var: String,
+        /// The iterated (finite) collection.
+        iter: Expr,
+        /// The loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// A bare expression; the last expression of a function body is its
+    /// return value.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Returns the source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Global { span, .. }
+            | Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Pipeline { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Expr { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `mod`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for comparison operators producing booleans.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+    }
+
+    /// Returns `true` for the boolean connectives `and` / `or`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Boolean negation `not x`.
+    Not,
+}
+
+/// An expression with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates a new expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Returns the identifier name if this expression is a plain identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// The different kinds of expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `None` literal (absent dictionary entry).
+    None,
+    /// A variable, parameter or channel reference.
+    Ident(String),
+    /// Field access `expr.field`.
+    Field(Box<Expr>, String),
+    /// Indexing `expr[index]` into a list, channel array or dictionary.
+    Index(Box<Expr>, Box<Expr>),
+    /// A call `name(args...)`: a user function, a builtin, or a record
+    /// constructor when `name` is a declared type.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// The parallel tree-fold over an array of channels (`foldt on cs ...`).
+    ///
+    /// `foldt` merges elements read from the channels pairwise; `binders`
+    /// name the two elements being combined, `order_key` selects the merge
+    /// key (e.g. `elem.key`), `key_name` binds that key inside the body, and
+    /// the body computes the combined element.
+    Foldt {
+        /// Expression denoting the channel array to aggregate over.
+        channels: Box<Expr>,
+        /// Names bound to the two elements being combined.
+        binders: (String, String),
+        /// Name bound to the generic element in the ordering clause.
+        elem_name: String,
+        /// The ordering key expression (in terms of `elem_name`).
+        order_key: Box<Expr>,
+        /// Name bound to the shared key inside the body.
+        key_name: String,
+        /// The combining body; its final expression is the merged element.
+        body: Block,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::default())
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let mut p = Program::default();
+        p.types.push(TypeDecl { name: "cmd".into(), fields: vec![], span: Span::default() });
+        p.functions.push(FunDecl {
+            name: "f".into(),
+            params: vec![],
+            ret: vec![],
+            body: Block::default(),
+            span: Span::default(),
+        });
+        assert!(p.type_decl("cmd").is_some());
+        assert!(p.type_decl("missing").is_none());
+        assert!(p.function("f").is_some());
+        assert!(p.process("nope").is_none());
+    }
+
+    #[test]
+    fn named_fields_skips_anonymous() {
+        let t = TypeDecl {
+            name: "cmd".into(),
+            fields: vec![
+                FieldDecl {
+                    name: Some("key".into()),
+                    ty: TypeExpr::Named("string".into()),
+                    attrs: vec![],
+                    span: Span::default(),
+                },
+                FieldDecl {
+                    name: None,
+                    ty: TypeExpr::Named("string".into()),
+                    attrs: vec![],
+                    span: Span::default(),
+                },
+            ],
+            span: Span::default(),
+        };
+        assert_eq!(t.named_fields().count(), 1);
+    }
+
+    #[test]
+    fn expr_as_ident() {
+        assert_eq!(e(ExprKind::Ident("x".into())).as_ident(), Some("x"));
+        assert_eq!(e(ExprKind::Int(3)).as_ident(), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+    }
+
+    #[test]
+    fn channel_type_is_channel_like() {
+        let ch = TypeExpr::Channel { read: None, write: Some(Box::new(TypeExpr::Named("cmd".into()))) };
+        assert!(ch.is_channel_like());
+        assert!(TypeExpr::ChannelArray(Box::new(ch.clone())).is_channel_like());
+        assert!(!TypeExpr::Named("cmd".into()).is_channel_like());
+    }
+}

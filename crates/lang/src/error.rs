@@ -1,0 +1,182 @@
+//! Diagnostics and error types shared by the FLICK language front end.
+
+use std::fmt;
+
+/// A byte-offset span into the original source text.
+///
+/// Spans are half-open: `start` is inclusive, `end` is exclusive. They are
+/// attached to tokens and AST nodes so that diagnostics can point at the
+/// offending source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last character covered by the span.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
+        Span { start, end, line, column }
+    }
+
+    /// Returns a span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            column: if self.line <= other.line { self.column } else { other.column },
+        }
+    }
+
+    /// A synthetic span for nodes that do not correspond to source text.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The stage of the front end that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenisation (indentation handling, literals, unknown characters).
+    Lex,
+    /// Grammar errors (unexpected tokens, malformed declarations).
+    Parse,
+    /// Semantic restrictions (recursion, higher-order functions, unbounded iteration).
+    Semantic,
+    /// Static type errors (channel direction misuse, record field mismatch, ...).
+    Type,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Lex => "lex error",
+            Stage::Parse => "parse error",
+            Stage::Semantic => "semantic error",
+            Stage::Type => "type error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single diagnostic message with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which front-end stage rejected the program.
+    pub stage: Stage,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Location of the problem in the source text.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { stage, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+/// Error type returned by every front-end entry point.
+///
+/// A [`LangError`] carries one or more diagnostics; the parser stops at the
+/// first error, while the type checker may accumulate several.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// The diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LangError {
+    /// Creates an error from a single diagnostic.
+    pub fn single(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        LangError { diagnostics: vec![Diagnostic::new(stage, message, span)] }
+    }
+
+    /// Creates an error from a collection of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diagnostics` is empty; an error must explain itself.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        assert!(!diagnostics.is_empty(), "LangError requires at least one diagnostic");
+        LangError { diagnostics }
+    }
+
+    /// Returns the first diagnostic message, used in tests and short reports.
+    pub fn first_message(&self) -> &str {
+        &self.diagnostics[0].message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn diagnostic_display_contains_location() {
+        let d = Diagnostic::new(Stage::Parse, "unexpected token", Span::new(5, 6, 3, 2));
+        let s = format!("{d}");
+        assert!(s.contains("3:2"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diagnostic")]
+    fn empty_diagnostics_panics() {
+        let _ = LangError::from_diagnostics(vec![]);
+    }
+
+    #[test]
+    fn error_display_joins_diagnostics() {
+        let e = LangError::from_diagnostics(vec![
+            Diagnostic::new(Stage::Type, "first", Span::default()),
+            Diagnostic::new(Stage::Type, "second", Span::default()),
+        ]);
+        let s = format!("{e}");
+        assert!(s.contains("first") && s.contains("second"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Indentation-aware lexer for the FLICK language.
+//!
+//! FLICK uses Python-style layout: blocks are introduced by a trailing `:`
+//! and delimited by indentation. The lexer therefore emits synthetic
+//! [`TokenKind::Indent`], [`TokenKind::Dedent`] and [`TokenKind::Newline`]
+//! tokens in addition to ordinary tokens. Lines are joined implicitly while
+//! inside unbalanced parentheses, brackets or braces, which is how process
+//! signatures are allowed to span multiple lines in the paper's listings.
+
+use crate::error::{LangError, Span, Stage};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises FLICK source text.
+///
+/// Returns the token stream including layout tokens, terminated by a single
+/// [`TokenKind::Eof`].
+///
+/// # Examples
+///
+/// ```
+/// use flick_lang::lexer::lex;
+/// use flick_lang::token::TokenKind;
+///
+/// let tokens = lex("let x = 1\n").unwrap();
+/// assert!(matches!(tokens[0].kind, TokenKind::KwLet));
+/// assert!(matches!(tokens.last().unwrap().kind, TokenKind::Eof));
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    indent_stack: Vec<usize>,
+    paren_depth: usize,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            indent_stack: vec![0],
+            paren_depth: 0,
+            at_line_start: true,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while self.pos < self.bytes.len() {
+            if self.at_line_start && self.paren_depth == 0 {
+                self.handle_indentation()?;
+                if self.pos >= self.bytes.len() {
+                    break;
+                }
+            }
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.emit_newline();
+                    self.advance_newline();
+                }
+                b'\r' => {
+                    // Treat CRLF as a single newline.
+                    if self.peek_at(self.pos + 1) == Some(b'\n') {
+                        self.pos += 1;
+                        self.col += 1;
+                    }
+                    self.emit_newline();
+                    self.advance_newline();
+                }
+                b' ' | b'\t' => {
+                    self.pos += 1;
+                    self.col += 1;
+                }
+                b'#' => self.skip_comment(),
+                _ => self.lex_token()?,
+            }
+        }
+        // Close the final logical line and any open blocks.
+        self.emit_newline();
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            self.push(TokenKind::Dedent, self.here(0));
+        }
+        self.push(TokenKind::Eof, self.here(0));
+        Ok(self.tokens)
+    }
+
+    fn handle_indentation(&mut self) -> Result<(), LangError> {
+        loop {
+            // Measure indentation of the current line.
+            let mut indent = 0usize;
+            let mut p = self.pos;
+            while p < self.bytes.len() {
+                match self.bytes[p] {
+                    b' ' => {
+                        indent += 1;
+                        p += 1;
+                    }
+                    b'\t' => {
+                        indent += 8 - (indent % 8);
+                        p += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // Blank or comment-only lines do not affect layout.
+            if p >= self.bytes.len() {
+                self.pos = p;
+                self.at_line_start = false;
+                return Ok(());
+            }
+            match self.bytes[p] {
+                b'\n' => {
+                    self.pos = p + 1;
+                    self.line += 1;
+                    self.col = 1;
+                    continue;
+                }
+                b'\r' => {
+                    self.pos = if self.peek_at(p + 1) == Some(b'\n') { p + 2 } else { p + 1 };
+                    self.line += 1;
+                    self.col = 1;
+                    continue;
+                }
+                b'#' => {
+                    // Skip to end of line.
+                    let mut q = p;
+                    while q < self.bytes.len() && self.bytes[q] != b'\n' {
+                        q += 1;
+                    }
+                    self.pos = if q < self.bytes.len() { q + 1 } else { q };
+                    self.line += 1;
+                    self.col = 1;
+                    continue;
+                }
+                _ => {}
+            }
+            // A real line: adjust the indentation stack.
+            self.col += (p - self.pos) as u32;
+            self.pos = p;
+            let current = *self.indent_stack.last().expect("indent stack never empty");
+            if indent > current {
+                self.indent_stack.push(indent);
+                self.push(TokenKind::Indent, self.here(0));
+            } else if indent < current {
+                while *self.indent_stack.last().expect("indent stack never empty") > indent {
+                    self.indent_stack.pop();
+                    self.push(TokenKind::Dedent, self.here(0));
+                }
+                let landed = *self.indent_stack.last().expect("indent stack never empty");
+                if landed != indent {
+                    return Err(LangError::single(
+                        Stage::Lex,
+                        format!("inconsistent indentation: expected {landed} spaces, found {indent}"),
+                        self.here(0),
+                    ));
+                }
+            }
+            self.at_line_start = false;
+            return Ok(());
+        }
+    }
+
+    fn lex_token(&mut self) -> Result<(), LangError> {
+        // Any real token ends the "start of line" state; this matters when a
+        // line begins while inside brackets (layout is suspended there).
+        self.at_line_start = false;
+        let c = self.bytes[self.pos];
+        match c {
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_ident(),
+            b'0'..=b'9' => self.lex_number(),
+            b'"' | b'\'' => self.lex_string(c),
+            _ => self.lex_punct(),
+        }
+    }
+
+    fn lex_ident(&mut self) -> Result<(), LangError> {
+        let start = self.pos;
+        let span_start = self.here(0);
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' => {
+                    self.pos += 1;
+                    self.col += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, span_start.line, span_start.column);
+        if text == "_" {
+            self.push_span(TokenKind::Underscore, span);
+        } else if let Some(kw) = TokenKind::keyword(text) {
+            self.push_span(kw, span);
+        } else {
+            self.push_span(TokenKind::Ident(text.to_string()), span);
+        }
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<(), LangError> {
+        let start = self.pos;
+        let span_start = self.here(0);
+        let mut is_hex = false;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek_at(self.pos + 1), Some(b'x') | Some(b'X'))
+        {
+            is_hex = true;
+            self.pos += 2;
+            self.col += 2;
+        }
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let ok = if is_hex { b.is_ascii_hexdigit() } else { b.is_ascii_digit() };
+            if ok {
+                self.pos += 1;
+                self.col += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, span_start.line, span_start.column);
+        let value = if is_hex {
+            i64::from_str_radix(&text[2..], 16)
+        } else {
+            text.parse::<i64>()
+        };
+        match value {
+            Ok(v) => {
+                self.push_span(TokenKind::Int(v), span);
+                Ok(())
+            }
+            Err(_) => Err(LangError::single(
+                Stage::Lex,
+                format!("integer literal `{text}` is out of range"),
+                span,
+            )),
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<(), LangError> {
+        let span_start = self.here(0);
+        let start = self.pos;
+        self.pos += 1;
+        self.col += 1;
+        let mut value = String::new();
+        loop {
+            if self.pos >= self.bytes.len() || self.bytes[self.pos] == b'\n' {
+                return Err(LangError::single(
+                    Stage::Lex,
+                    "unterminated string literal",
+                    Span::new(start, self.pos, span_start.line, span_start.column),
+                ));
+            }
+            let b = self.bytes[self.pos];
+            if b == quote {
+                self.pos += 1;
+                self.col += 1;
+                break;
+            }
+            if b == b'\\' {
+                let esc = self.peek_at(self.pos + 1);
+                let resolved = match esc {
+                    Some(b'n') => '\n',
+                    Some(b't') => '\t',
+                    Some(b'r') => '\r',
+                    Some(b'\\') => '\\',
+                    Some(b'"') => '"',
+                    Some(b'\'') => '\'',
+                    Some(b'0') => '\0',
+                    _ => {
+                        return Err(LangError::single(
+                            Stage::Lex,
+                            "unknown escape sequence in string literal",
+                            self.here(2),
+                        ))
+                    }
+                };
+                value.push(resolved);
+                self.pos += 2;
+                self.col += 2;
+            } else {
+                // Strings are UTF-8; copy the full character.
+                let ch = self.src[self.pos..].chars().next().expect("valid utf-8");
+                value.push(ch);
+                self.pos += ch.len_utf8();
+                self.col += 1;
+            }
+        }
+        let span = Span::new(start, self.pos, span_start.line, span_start.column);
+        self.push_span(TokenKind::Str(value), span);
+        Ok(())
+    }
+
+    fn lex_punct(&mut self) -> Result<(), LangError> {
+        let start = self.pos;
+        let span_start = self.here(0);
+        let c = self.bytes[self.pos];
+        let next = self.peek_at(self.pos + 1);
+        let (kind, len) = match (c, next) {
+            (b'=', Some(b'>')) => (TokenKind::Arrow, 2),
+            (b'-', Some(b'>')) => (TokenKind::ThinArrow, 2),
+            (b':', Some(b'=')) => (TokenKind::Assign, 2),
+            (b'<', Some(b'>')) => (TokenKind::Neq, 2),
+            (b'<', Some(b'=')) => (TokenKind::Le, 2),
+            (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+            (b'(', _) => (TokenKind::LParen, 1),
+            (b')', _) => (TokenKind::RParen, 1),
+            (b'[', _) => (TokenKind::LBracket, 1),
+            (b']', _) => (TokenKind::RBracket, 1),
+            (b'{', _) => (TokenKind::LBrace, 1),
+            (b'}', _) => (TokenKind::RBrace, 1),
+            (b',', _) => (TokenKind::Comma, 1),
+            (b':', _) => (TokenKind::Colon, 1),
+            (b'.', _) => (TokenKind::Dot, 1),
+            (b'=', _) => (TokenKind::Eq, 1),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', _) => (TokenKind::Gt, 1),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'|', _) => (TokenKind::Pipe, 1),
+            _ => {
+                return Err(LangError::single(
+                    Stage::Lex,
+                    format!("unexpected character `{}`", c as char),
+                    self.here(1),
+                ))
+            }
+        };
+        match kind {
+            TokenKind::LParen | TokenKind::LBracket | TokenKind::LBrace => self.paren_depth += 1,
+            TokenKind::RParen | TokenKind::RBracket | TokenKind::RBrace => {
+                self.paren_depth = self.paren_depth.saturating_sub(1)
+            }
+            _ => {}
+        }
+        self.pos += len;
+        self.col += len as u32;
+        let span = Span::new(start, self.pos, span_start.line, span_start.column);
+        self.push_span(kind, span);
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+            self.col += 1;
+        }
+    }
+
+    fn emit_newline(&mut self) {
+        // Suppress newlines inside brackets and duplicate newlines.
+        if self.paren_depth > 0 {
+            return;
+        }
+        match self.tokens.last().map(|t| &t.kind) {
+            Some(TokenKind::Newline) | Some(TokenKind::Indent) | Some(TokenKind::Dedent) | None => {}
+            _ => self.push(TokenKind::Newline, self.here(0)),
+        }
+    }
+
+    fn advance_newline(&mut self) {
+        self.pos += 1;
+        self.line += 1;
+        self.col = 1;
+        self.at_line_start = true;
+    }
+
+    fn peek_at(&self, idx: usize) -> Option<u8> {
+        self.bytes.get(idx).copied()
+    }
+
+    fn here(&self, len: usize) -> Span {
+        Span::new(self.pos, self.pos + len, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn push_span(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token::new(kind, span));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_arrows_and_assign() {
+        let k = kinds("a => b := 1 -> c\n");
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::Assign));
+        assert!(k.contains(&TokenKind::ThinArrow));
+    }
+
+    #[test]
+    fn lexes_hex_and_decimal() {
+        let k = kinds("0x0c 12\n");
+        assert_eq!(k[0], TokenKind::Int(0x0c));
+        assert_eq!(k[1], TokenKind::Int(12));
+    }
+
+    #[test]
+    fn indentation_produces_blocks() {
+        let k = kinds("proc p:\n  a\n  b\nc\n");
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_ignored() {
+        let k = kinds("a\n\n   # comment only\nb\n");
+        let idents = k
+            .iter()
+            .filter(|t| matches!(t, TokenKind::Ident(_)))
+            .count();
+        assert_eq!(idents, 2);
+        assert!(!k.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn parens_join_lines() {
+        let k = kinds("f(a,\n   b,\n   c)\n");
+        // No Indent tokens should appear inside the parenthesised argument list.
+        assert!(!k.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn nested_dedents_close_all_blocks() {
+        let k = kinds("a:\n  b:\n    c\n");
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds("\"a\\nb\"\n");
+        assert_eq!(k[0], TokenKind::Str("a\nb".to_string()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc\n").is_err());
+    }
+
+    #[test]
+    fn inconsistent_indent_is_error() {
+        assert!(lex("a:\n    b\n  c\n").is_err());
+    }
+
+    #[test]
+    fn eof_is_last() {
+        let k = kinds("x");
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+}

@@ -1,0 +1,104 @@
+//! The FLICK domain-specific language.
+//!
+//! This crate implements the front end of the FLICK framework described in
+//! *FLICK: Developing and Running Application-Specific Network Services*
+//! (USENIX ATC 2016): an indentation-aware lexer, a recursive-descent parser
+//! producing a typed abstract syntax tree, a static type checker, and the
+//! semantic checks that give FLICK programs their bounded-resource
+//! guarantees (first-order functions, no direct or indirect recursion, and
+//! finite iteration only).
+//!
+//! The language has three kinds of top-level declarations:
+//!
+//! * **types** — record definitions with optional wire-format annotations,
+//! * **processes** — the middlebox logic, connected to the outside world via
+//!   typed, possibly unidirectional channels, and
+//! * **functions** — first-order helpers used by processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_lang::compile_to_ast;
+//!
+//! let src = r#"
+//! type cmd: record
+//!   key : string
+//!
+//! proc Memcached: (cmd/cmd client, [cmd/cmd] backends)
+//!   backends => client
+//!   client => target_backend(backends)
+//!
+//! fun target_backend: ([-/cmd] backends, req: cmd) -> ()
+//!   let target = hash(req.key) mod len(backends)
+//!   req => backends[target]
+//! "#;
+//!
+//! let program = compile_to_ast(src).expect("program should type-check");
+//! assert_eq!(program.processes.len(), 1);
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod semantics;
+pub mod token;
+pub mod typecheck;
+pub mod types;
+
+pub use ast::Program;
+pub use error::{Diagnostic, LangError, Span};
+pub use typecheck::TypedProgram;
+
+/// Parses FLICK source into an untyped [`Program`] AST.
+///
+/// This runs the lexer and parser only; no type checking is performed.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens, source)
+}
+
+/// Parses and type-checks FLICK source, returning the typed program.
+///
+/// This is the main entry point used by the compiler crate. In addition to
+/// type checking it enforces the FLICK semantic restrictions: user functions
+/// must be first order and non-recursive, and iteration is only permitted
+/// over finite structures.
+pub fn compile_to_ast(source: &str) -> Result<TypedProgram, LangError> {
+    let program = parse(source)?;
+    semantics::check(&program)?;
+    typecheck::check(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_process() {
+        let src = "proc P: (cmd/cmd client)\n  client => client\n\ntype cmd: record\n  key : string\n";
+        let program = parse(src).unwrap();
+        assert_eq!(program.processes.len(), 1);
+        assert_eq!(program.types.len(), 1);
+    }
+
+    #[test]
+    fn compile_rejects_recursion() {
+        let src = r#"
+type t: record
+  key : string
+
+proc P: (t/t client)
+  client => f(client)
+
+fun f: (-/t client, x: t) -> ()
+  g(client, x)
+
+fun g: (-/t client, x: t) -> ()
+  f(client, x)
+"#;
+        let err = compile_to_ast(src).unwrap_err();
+        assert!(format!("{err}").contains("recursion"), "got: {err}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Semantic restrictions that give FLICK its bounded-resource guarantee.
+//!
+//! Per §3.2/§4.3 of the paper, FLICK programs are guaranteed to terminate on
+//! finite input because:
+//!
+//! * user-defined functions are first order and may not be recursive,
+//!   directly or indirectly;
+//! * iteration is only possible over finite structures (`for`, `fold`,
+//!   `map`, `filter`, `foldt`), never unbounded (`while`-style loops do not
+//!   exist in the grammar);
+//! * higher-order builtins (`fold`, `map`, `filter`) take a *function name*
+//!   rather than a function value, so no closures are ever created.
+//!
+//! This module checks the first and third property on the untyped AST (the
+//! second holds by construction of the grammar).
+
+use crate::ast::{Block, Expr, ExprKind, Program, Stmt};
+use crate::error::{Diagnostic, LangError, Span, Stage};
+use std::collections::{HashMap, HashSet};
+
+/// Names of builtin functions whose first argument must be the name of a
+/// user-defined function (the bounded higher-order primitives).
+pub const HIGHER_ORDER_BUILTINS: &[&str] = &["fold", "map", "filter"];
+
+/// Names of ordinary builtin functions available to every program.
+pub const BUILTINS: &[&str] = &["hash", "len", "empty_dict", "all_ready", "size", "str", "int"];
+
+/// Runs the semantic checks on a parsed program.
+///
+/// Returns an error listing every violation found.
+pub fn check(program: &Program) -> Result<(), LangError> {
+    let mut diagnostics = Vec::new();
+    check_recursion(program, &mut diagnostics);
+    check_first_order(program, &mut diagnostics);
+    check_duplicate_names(program, &mut diagnostics);
+    if diagnostics.is_empty() {
+        Ok(())
+    } else {
+        Err(LangError::from_diagnostics(diagnostics))
+    }
+}
+
+/// Collects the names of all functions called within a block.
+pub fn called_functions(block: &Block, out: &mut HashSet<String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Global { init, .. } => collect_calls(init, out),
+            Stmt::Let { value, .. } => collect_calls(value, out),
+            Stmt::Assign { target, value, .. } => {
+                collect_calls(target, out);
+                collect_calls(value, out);
+            }
+            Stmt::Pipeline { stages, .. } => {
+                for s in stages {
+                    collect_calls(s, out);
+                }
+            }
+            Stmt::If { cond, then, els, .. } => {
+                collect_calls(cond, out);
+                called_functions(then, out);
+                if let Some(els) = els {
+                    called_functions(els, out);
+                }
+            }
+            Stmt::For { iter, body, .. } => {
+                collect_calls(iter, out);
+                called_functions(body, out);
+            }
+            Stmt::Expr { expr, .. } => collect_calls(expr, out),
+        }
+    }
+}
+
+fn collect_calls(expr: &Expr, out: &mut HashSet<String>) {
+    match &expr.kind {
+        ExprKind::Call { name, args } => {
+            out.insert(name.clone());
+            // The first argument of fold/map/filter is itself a function name.
+            if HIGHER_ORDER_BUILTINS.contains(&name.as_str()) {
+                if let Some(first) = args.first() {
+                    if let Some(f) = first.as_ident() {
+                        out.insert(f.to_string());
+                    }
+                }
+            }
+            for a in args {
+                collect_calls(a, out);
+            }
+        }
+        ExprKind::Field(inner, _) => collect_calls(inner, out),
+        ExprKind::Index(base, idx) => {
+            collect_calls(base, out);
+            collect_calls(idx, out);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_calls(lhs, out);
+            collect_calls(rhs, out);
+        }
+        ExprKind::Unary { operand, .. } => collect_calls(operand, out),
+        ExprKind::Foldt { channels, order_key, body, .. } => {
+            collect_calls(channels, out);
+            collect_calls(order_key, out);
+            called_functions(body, out);
+        }
+        ExprKind::Int(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::None
+        | ExprKind::Ident(_) => {}
+    }
+}
+
+/// Rejects direct and indirect recursion among user-defined functions.
+fn check_recursion(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    // Build the call graph restricted to user-defined functions.
+    let user: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+    let mut graph: HashMap<&str, Vec<String>> = HashMap::new();
+    let mut spans: HashMap<&str, Span> = HashMap::new();
+    for f in &program.functions {
+        let mut calls = HashSet::new();
+        called_functions(&f.body, &mut calls);
+        let edges = calls.into_iter().filter(|c| user.contains(c.as_str())).collect();
+        graph.insert(&f.name, edges);
+        spans.insert(&f.name, f.span);
+    }
+    // Depth-first search with colouring to find cycles.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<&str, Colour> = graph.keys().map(|k| (*k, Colour::White)).collect();
+    let mut reported: HashSet<String> = HashSet::new();
+
+    fn visit<'a>(
+        node: &'a str,
+        graph: &'a HashMap<&'a str, Vec<String>>,
+        colour: &mut HashMap<&'a str, Colour>,
+        stack: &mut Vec<String>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        colour.insert(node, Colour::Grey);
+        stack.push(node.to_string());
+        if let Some(edges) = graph.get(node) {
+            for next in edges {
+                match colour.get(next.as_str()).copied() {
+                    Some(Colour::White) => {
+                        // Re-borrow the key owned by the graph to extend its lifetime.
+                        if let Some((key, _)) = graph.get_key_value(next.as_str()) {
+                            visit(key, graph, colour, stack, cycles);
+                        }
+                    }
+                    Some(Colour::Grey) => {
+                        let start = stack.iter().position(|n| n == next).unwrap_or(0);
+                        cycles.push(stack[start..].to_vec());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        colour.insert(node, Colour::Black);
+    }
+
+    let mut cycles = Vec::new();
+    let keys: Vec<&str> = graph.keys().copied().collect();
+    for k in keys {
+        if colour[k] == Colour::White {
+            let mut stack = Vec::new();
+            visit(k, &graph, &mut colour, &mut stack, &mut cycles);
+        }
+    }
+    for cycle in cycles {
+        let label = cycle.join(" -> ");
+        if reported.insert(label.clone()) {
+            let span = cycle
+                .first()
+                .and_then(|n| spans.get(n.as_str()).copied())
+                .unwrap_or_default();
+            diagnostics.push(Diagnostic::new(
+                Stage::Semantic,
+                format!("recursion is not permitted in FLICK functions: cycle {label}"),
+                span,
+            ));
+        }
+    }
+}
+
+/// Enforces first-order use of functions: function names may appear only in
+/// call position or as the first argument of `fold`, `map` or `filter`.
+fn check_first_order(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    let user: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+    let mut check_block = |block: &Block, owner: &str| {
+        let mut stack: Vec<&Block> = vec![block];
+        while let Some(b) = stack.pop() {
+            for stmt in &b.stmts {
+                let exprs: Vec<&Expr> = match stmt {
+                    Stmt::Global { init, .. } => vec![init],
+                    Stmt::Let { value, .. } => vec![value],
+                    Stmt::Assign { target, value, .. } => vec![target, value],
+                    Stmt::Pipeline { stages, .. } => stages.iter().collect(),
+                    Stmt::If { cond, then, els, .. } => {
+                        stack.push(then);
+                        if let Some(e) = els {
+                            stack.push(e);
+                        }
+                        vec![cond]
+                    }
+                    Stmt::For { iter, body, .. } => {
+                        stack.push(body);
+                        vec![iter]
+                    }
+                    Stmt::Expr { expr, .. } => vec![expr],
+                };
+                for e in exprs {
+                    check_expr_first_order(e, &user, owner, diagnostics, true);
+                }
+            }
+        }
+    };
+    for f in &program.functions {
+        check_block(&f.body, &f.name);
+    }
+    for p in &program.processes {
+        check_block(&p.body, &p.name);
+    }
+}
+
+fn check_expr_first_order(
+    expr: &Expr,
+    user: &HashSet<&str>,
+    owner: &str,
+    diagnostics: &mut Vec<Diagnostic>,
+    _top: bool,
+) {
+    match &expr.kind {
+        ExprKind::Ident(name) => {
+            if user.contains(name.as_str()) {
+                diagnostics.push(Diagnostic::new(
+                    Stage::Semantic,
+                    format!(
+                        "function `{name}` used as a value in `{owner}`; FLICK functions are first order and may only be called"
+                    ),
+                    expr.span,
+                ));
+            }
+        }
+        ExprKind::Call { name, args } => {
+            let skip_first = HIGHER_ORDER_BUILTINS.contains(&name.as_str());
+            for (i, a) in args.iter().enumerate() {
+                if skip_first && i == 0 {
+                    // The function-name argument of fold/map/filter is allowed.
+                    continue;
+                }
+                check_expr_first_order(a, user, owner, diagnostics, false);
+            }
+        }
+        ExprKind::Field(inner, _) => check_expr_first_order(inner, user, owner, diagnostics, false),
+        ExprKind::Index(base, idx) => {
+            check_expr_first_order(base, user, owner, diagnostics, false);
+            check_expr_first_order(idx, user, owner, diagnostics, false);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            check_expr_first_order(lhs, user, owner, diagnostics, false);
+            check_expr_first_order(rhs, user, owner, diagnostics, false);
+        }
+        ExprKind::Unary { operand, .. } => {
+            check_expr_first_order(operand, user, owner, diagnostics, false)
+        }
+        ExprKind::Foldt { channels, order_key, body, .. } => {
+            check_expr_first_order(channels, user, owner, diagnostics, false);
+            check_expr_first_order(order_key, user, owner, diagnostics, false);
+            for stmt in &body.stmts {
+                if let Stmt::Expr { expr, .. } = stmt {
+                    check_expr_first_order(expr, user, owner, diagnostics, false);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rejects duplicate type, process or function names.
+fn check_duplicate_names(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<&str, &str> = HashMap::new();
+    for t in &program.types {
+        if seen.insert(t.name.as_str(), "type").is_some() {
+            diagnostics.push(Diagnostic::new(
+                Stage::Semantic,
+                format!("duplicate declaration of `{}`", t.name),
+                t.span,
+            ));
+        }
+    }
+    for f in &program.functions {
+        if seen.insert(f.name.as_str(), "function").is_some() {
+            diagnostics.push(Diagnostic::new(
+                Stage::Semantic,
+                format!("duplicate declaration of `{}`", f.name),
+                f.span,
+            ));
+        }
+    }
+    for p in &program.processes {
+        if seen.insert(p.name.as_str(), "process").is_some() {
+            diagnostics.push(Diagnostic::new(
+                Stage::Semantic,
+                format!("duplicate declaration of `{}`", p.name),
+                p.span,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn accepts_non_recursive_program() {
+        let src = r#"
+type cmd: record
+  key : string
+
+proc P: (cmd/cmd client)
+  client => f(client)
+
+fun f: (-/cmd client, x: cmd) -> ()
+  g(x) => client
+
+fun g: (x: cmd) -> (cmd)
+  x
+"#;
+        let program = parse(src).unwrap();
+        assert!(check(&program).is_ok());
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        let src = r#"
+fun f: (x: integer) -> (integer)
+  f(x)
+"#;
+        let program = parse(src).unwrap();
+        let err = check(&program).unwrap_err();
+        assert!(err.first_message().contains("recursion"));
+    }
+
+    #[test]
+    fn rejects_indirect_recursion() {
+        let src = r#"
+fun a: (x: integer) -> (integer)
+  b(x)
+
+fun b: (x: integer) -> (integer)
+  a(x)
+"#;
+        let program = parse(src).unwrap();
+        let err = check(&program).unwrap_err();
+        assert!(err.first_message().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_function_used_as_value() {
+        let src = r#"
+fun helper: (x: integer) -> (integer)
+  x
+
+fun f: (x: integer) -> (integer)
+  let g = helper
+  x
+"#;
+        let program = parse(src).unwrap();
+        let err = check(&program).unwrap_err();
+        assert!(err.first_message().contains("first order"));
+    }
+
+    #[test]
+    fn allows_function_name_in_fold() {
+        let src = r#"
+fun add: (acc: integer, x: integer) -> (integer)
+  acc + x
+
+fun total: (xs: [integer]) -> (integer)
+  fold(add, 0, xs)
+"#;
+        let program = parse(src).unwrap();
+        assert!(check(&program).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let src = r#"
+fun f: (x: integer) -> (integer)
+  x
+
+fun f: (y: integer) -> (integer)
+  y
+"#;
+        let program = parse(src).unwrap();
+        let err = check(&program).unwrap_err();
+        assert!(err.first_message().contains("duplicate"));
+    }
+
+    #[test]
+    fn called_functions_sees_nested_calls() {
+        let src = r#"
+fun f: (x: integer) -> (integer)
+  if g(x) = 0:
+    h(x)
+  else:
+    x
+"#;
+        let program = parse(src).unwrap();
+        let mut calls = HashSet::new();
+        called_functions(&program.functions[0].body, &mut calls);
+        assert!(calls.contains("g"));
+        assert!(calls.contains("h"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Token definitions for the FLICK lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Layout tokens produced by the indentation-aware lexer.
+    /// End of a logical line.
+    Newline,
+    /// Increase in indentation depth (opens a block).
+    Indent,
+    /// Decrease in indentation depth (closes a block).
+    Dedent,
+    /// End of the token stream.
+    Eof,
+
+    // Literals and identifiers.
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// A string literal with escapes resolved.
+    Str(String),
+
+    // Keywords.
+    /// `type`
+    KwType,
+    /// `record`
+    KwRecord,
+    /// `proc`
+    KwProc,
+    /// `fun`
+    KwFun,
+    /// `global`
+    KwGlobal,
+    /// `let`
+    KwLet,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `for`
+    KwFor,
+    /// `in`
+    KwIn,
+    /// `ref`
+    KwRef,
+    /// `dict`
+    KwDict,
+    /// `mod`
+    KwMod,
+    /// `and`
+    KwAnd,
+    /// `or`
+    KwOr,
+    /// `not`
+    KwNot,
+    /// `None`
+    KwNone,
+    /// `True`
+    KwTrue,
+    /// `False`
+    KwFalse,
+    /// `foldt`
+    KwFoldt,
+    /// `fold`
+    KwFold,
+    /// `map`
+    KwMap,
+    /// `filter`
+    KwFilter,
+    /// `on`
+    KwOn,
+    /// `ordering`
+    KwOrdering,
+    /// `by`
+    KwBy,
+    /// `as`
+    KwAs,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `_` used on its own (anonymous field).
+    Underscore,
+    /// `=>` channel send / pipeline arrow.
+    Arrow,
+    /// `->` function return arrow.
+    ThinArrow,
+    /// `:=` mutable assignment.
+    Assign,
+    /// `=` equality comparison (and attribute assignment in annotations).
+    Eq,
+    /// `<>` inequality comparison.
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `|` optional pipeline prefix used in process bodies.
+    Pipe,
+}
+
+impl TokenKind {
+    /// Maps an identifier to its keyword token, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "type" => TokenKind::KwType,
+            "record" => TokenKind::KwRecord,
+            "proc" => TokenKind::KwProc,
+            "fun" => TokenKind::KwFun,
+            "global" => TokenKind::KwGlobal,
+            "let" => TokenKind::KwLet,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "in" => TokenKind::KwIn,
+            "ref" => TokenKind::KwRef,
+            "dict" => TokenKind::KwDict,
+            "mod" => TokenKind::KwMod,
+            "and" => TokenKind::KwAnd,
+            "or" => TokenKind::KwOr,
+            "not" => TokenKind::KwNot,
+            "None" => TokenKind::KwNone,
+            "True" | "true" => TokenKind::KwTrue,
+            "False" | "false" => TokenKind::KwFalse,
+            "foldt" => TokenKind::KwFoldt,
+            "fold" => TokenKind::KwFold,
+            "map" => TokenKind::KwMap,
+            "filter" => TokenKind::KwFilter,
+            "on" => TokenKind::KwOn,
+            "ordering" => TokenKind::KwOrdering,
+            "by" => TokenKind::KwBy,
+            "as" => TokenKind::KwAs,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Newline => "end of line".to_string(),
+            TokenKind::Indent => "indented block".to_string(),
+            TokenKind::Dedent => "end of block".to_string(),
+            TokenKind::Eof => "end of file".to_string(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text of punctuation/keyword tokens.
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::KwType => "type",
+            TokenKind::KwRecord => "record",
+            TokenKind::KwProc => "proc",
+            TokenKind::KwFun => "fun",
+            TokenKind::KwGlobal => "global",
+            TokenKind::KwLet => "let",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwFor => "for",
+            TokenKind::KwIn => "in",
+            TokenKind::KwRef => "ref",
+            TokenKind::KwDict => "dict",
+            TokenKind::KwMod => "mod",
+            TokenKind::KwAnd => "and",
+            TokenKind::KwOr => "or",
+            TokenKind::KwNot => "not",
+            TokenKind::KwNone => "None",
+            TokenKind::KwTrue => "True",
+            TokenKind::KwFalse => "False",
+            TokenKind::KwFoldt => "foldt",
+            TokenKind::KwFold => "fold",
+            TokenKind::KwMap => "map",
+            TokenKind::KwFilter => "filter",
+            TokenKind::KwOn => "on",
+            TokenKind::KwOrdering => "ordering",
+            TokenKind::KwBy => "by",
+            TokenKind::KwAs => "as",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Underscore => "_",
+            TokenKind::Arrow => "=>",
+            TokenKind::ThinArrow => "->",
+            TokenKind::Assign => ":=",
+            TokenKind::Eq => "=",
+            TokenKind::Neq => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Pipe => "|",
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for literals).
+    pub kind: TokenKind,
+    /// The source location of the token.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a new token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("proc"), Some(TokenKind::KwProc));
+        assert_eq!(TokenKind::keyword("foldt"), Some(TokenKind::KwFoldt));
+        assert_eq!(TokenKind::keyword("backend"), None);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Arrow.describe(), "`=>`");
+        assert_eq!(TokenKind::Ident("cache".into()).describe(), "identifier `cache`");
+    }
+}

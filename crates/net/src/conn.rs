@@ -1,0 +1,465 @@
+//! In-memory full-duplex connections.
+//!
+//! An [`Endpoint`] is one end of a simulated TCP connection: a pair of
+//! bounded byte pipes with socket-like semantics (non-blocking reads and
+//! writes returning [`NetError::WouldBlock`], EOF after the peer closes,
+//! blocking variants for client workloads). Every call is charged the cost
+//! of the configured [`StackCosts`] so that middlebox throughput reacts to
+//! the transport stack exactly as in the paper's evaluation.
+
+use crate::costs::StackCosts;
+use crate::error::NetError;
+use crate::ratelimit::TokenBucket;
+use crate::stats::NetStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default capacity of each direction's buffer (mirrors a typical socket
+/// send/receive buffer).
+pub const DEFAULT_PIPE_CAPACITY: usize = 256 * 1024;
+
+/// One direction of a connection.
+struct Pipe {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Self {
+        Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::with_capacity(capacity.min(16 * 1024)),
+                writer_closed: false,
+                reader_closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+}
+
+struct Shared {
+    /// Direction written by side A, read by side B.
+    a_to_b: Pipe,
+    /// Direction written by side B, read by side A.
+    b_to_a: Pipe,
+    /// The connection id, for diagnostics.
+    id: u64,
+}
+
+/// Which side of the connection an [`Endpoint`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The side that initiated the connection.
+    Client,
+    /// The side returned by `accept`.
+    Server,
+}
+
+/// One end of a simulated connection.
+///
+/// Endpoints are cheap to clone; clones share the same underlying pipes (as
+/// file descriptors shared between threads would).
+#[derive(Clone)]
+pub struct Endpoint {
+    shared: Arc<Shared>,
+    side: Side,
+    costs: StackCosts,
+    stats: Option<Arc<NetStats>>,
+    rate: Option<Arc<TokenBucket>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.shared.id)
+            .field("side", &self.side)
+            .finish()
+    }
+}
+
+/// Creates a connected pair of endpoints (client, server).
+///
+/// This is the substrate-internal constructor; most code obtains endpoints
+/// through [`crate::SimNetwork::connect`] and [`crate::SimListener::accept`].
+pub fn pair(
+    id: u64,
+    costs: StackCosts,
+    stats: Option<Arc<NetStats>>,
+    capacity: usize,
+) -> (Endpoint, Endpoint) {
+    let shared = Arc::new(Shared { a_to_b: Pipe::new(capacity), b_to_a: Pipe::new(capacity), id });
+    let client = Endpoint {
+        shared: Arc::clone(&shared),
+        side: Side::Client,
+        costs,
+        stats: stats.clone(),
+        rate: None,
+        closed: Arc::new(AtomicBool::new(false)),
+    };
+    let server = Endpoint {
+        shared,
+        side: Side::Server,
+        costs,
+        stats,
+        rate: None,
+        closed: Arc::new(AtomicBool::new(false)),
+    };
+    (client, server)
+}
+
+impl Endpoint {
+    /// The connection identifier (shared by both endpoints).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Which side of the connection this endpoint is.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Attaches a token-bucket rate limit to this endpoint's writes,
+    /// modelling the bandwidth of the link behind it.
+    pub fn set_write_rate(&mut self, bucket: Arc<TokenBucket>) {
+        self.rate = Some(bucket);
+    }
+
+    fn out_pipe(&self) -> &Pipe {
+        match self.side {
+            Side::Client => &self.shared.a_to_b,
+            Side::Server => &self.shared.b_to_a,
+        }
+    }
+
+    fn in_pipe(&self) -> &Pipe {
+        match self.side {
+            Side::Client => &self.shared.b_to_a,
+            Side::Server => &self.shared.a_to_b,
+        }
+    }
+
+    /// Writes as much of `data` as fits, without blocking.
+    ///
+    /// Returns the number of bytes accepted, [`NetError::WouldBlock`] if the
+    /// peer's buffer (or this link's rate budget) is currently full, or
+    /// [`NetError::Closed`] if the peer has closed the connection.
+    pub fn write(&self, data: &[u8]) -> Result<usize, NetError> {
+        StackCosts::charge(self.costs.io_cost(true, data.len()));
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let allowed = match &self.rate {
+            Some(bucket) => bucket.try_acquire(data.len()),
+            None => data.len(),
+        };
+        if allowed == 0 {
+            return Err(NetError::WouldBlock);
+        }
+        let pipe = self.out_pipe();
+        let mut state = pipe.state.lock();
+        if state.reader_closed {
+            return Err(NetError::Closed);
+        }
+        let space = pipe.capacity.saturating_sub(state.buf.len());
+        if space == 0 {
+            return Err(NetError::WouldBlock);
+        }
+        let n = allowed.min(space);
+        state.buf.extend(&data[..n]);
+        pipe.cond.notify_all();
+        drop(state);
+        if let Some(stats) = &self.stats {
+            stats.record_write(n);
+        }
+        Ok(n)
+    }
+
+    /// Writes all of `data`, blocking (with short sleeps) until the peer has
+    /// buffer space and the link budget allows it.
+    ///
+    /// Used by client workloads; the middlebox runtime only uses the
+    /// non-blocking [`Endpoint::write`].
+    pub fn write_all(&self, mut data: &[u8]) -> Result<(), NetError> {
+        while !data.is_empty() {
+            match self.write(data) {
+                Ok(n) => data = &data[n..],
+                Err(NetError::WouldBlock) => {
+                    let pipe = self.out_pipe();
+                    let mut state = pipe.state.lock();
+                    if state.reader_closed {
+                        return Err(NetError::Closed);
+                    }
+                    if pipe.capacity.saturating_sub(state.buf.len()) == 0 {
+                        // Wait for the reader to drain some bytes.
+                        pipe.cond.wait_for(&mut state, Duration::from_millis(1));
+                    } else {
+                        // Rate limited: back off briefly.
+                        drop(state);
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads available bytes into `buf` without blocking.
+    ///
+    /// Returns the number of bytes read, [`NetError::WouldBlock`] when no
+    /// data is buffered, or [`NetError::Closed`] once the peer has closed and
+    /// all data has been drained (EOF).
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        StackCosts::charge(self.costs.io_cost(false, buf.len().min(1024)));
+        let pipe = self.in_pipe();
+        let mut state = pipe.state.lock();
+        if state.buf.is_empty() {
+            return if state.writer_closed { Err(NetError::Closed) } else { Err(NetError::WouldBlock) };
+        }
+        let n = buf.len().min(state.buf.len());
+        for (i, b) in state.buf.drain(..n).enumerate() {
+            buf[i] = b;
+        }
+        pipe.cond.notify_all();
+        drop(state);
+        if let Some(stats) = &self.stats {
+            stats.record_read(n);
+        }
+        Ok(n)
+    }
+
+    /// Reads at least one byte, blocking up to `timeout`.
+    pub fn read_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read(buf) {
+                Err(NetError::WouldBlock) => {
+                    let pipe = self.in_pipe();
+                    let mut state = pipe.state.lock();
+                    if !state.buf.is_empty() || state.writer_closed {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    pipe.cond.wait_for(&mut state, deadline - now);
+                    if state.buf.is_empty() && !state.writer_closed && Instant::now() >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Reads exactly `buf.len()` bytes, blocking up to `timeout` overall.
+    pub fn read_exact_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            let n = self.read_timeout(&mut buf[filled..], deadline - now)?;
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if a read would make progress (data buffered or EOF
+    /// observable).
+    pub fn readable(&self) -> bool {
+        let state = self.in_pipe().state.lock();
+        !state.buf.is_empty() || state.writer_closed
+    }
+
+    /// Number of bytes currently buffered for reading.
+    pub fn pending(&self) -> usize {
+        self.in_pipe().state.lock().buf.len()
+    }
+
+    /// Returns `true` if the peer has closed its sending side.
+    pub fn peer_closed(&self) -> bool {
+        self.in_pipe().state.lock().writer_closed
+    }
+
+    /// Returns `true` if this endpoint has been closed locally.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes this endpoint: the peer will observe EOF after draining.
+    ///
+    /// Closing is idempotent; only the first call pays the teardown cost.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        StackCosts::charge(self.costs.teardown);
+        {
+            let pipe = self.out_pipe();
+            let mut state = pipe.state.lock();
+            state.writer_closed = true;
+            pipe.cond.notify_all();
+        }
+        {
+            let pipe = self.in_pipe();
+            let mut state = pipe.state.lock();
+            state.reader_closed = true;
+            pipe.cond.notify_all();
+        }
+        if let Some(stats) = &self.stats {
+            stats.record_close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_pair() -> (Endpoint, Endpoint) {
+        pair(1, StackCosts::free(), None, DEFAULT_PIPE_CAPACITY)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (client, server) = test_pair();
+        assert_eq!(client.write(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+    }
+
+    #[test]
+    fn both_directions_are_independent() {
+        let (client, server) = test_pair();
+        client.write(b"ping").unwrap();
+        server.write(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        server.read(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        client.read(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn empty_read_would_block() {
+        let (_client, server) = test_pair();
+        let mut buf = [0u8; 4];
+        assert_eq!(server.read(&mut buf), Err(NetError::WouldBlock));
+        assert!(!server.readable());
+    }
+
+    #[test]
+    fn close_gives_eof_after_drain() {
+        let (client, server) = test_pair();
+        client.write(b"bye").unwrap();
+        client.close();
+        assert!(server.readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 3);
+        assert_eq!(server.read(&mut buf), Err(NetError::Closed));
+        assert!(server.peer_closed());
+    }
+
+    #[test]
+    fn write_to_closed_peer_fails() {
+        let (client, server) = test_pair();
+        server.close();
+        assert_eq!(client.write(b"data"), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn buffer_capacity_causes_would_block() {
+        let (client, _server) = pair(2, StackCosts::free(), None, 8);
+        assert_eq!(client.write(b"0123456789").unwrap(), 8);
+        assert_eq!(client.write(b"x"), Err(NetError::WouldBlock));
+    }
+
+    #[test]
+    fn write_all_blocks_until_reader_drains() {
+        let (client, server) = pair(3, StackCosts::free(), None, 16);
+        let reader = std::thread::spawn(move || {
+            let mut total = 0usize;
+            let mut buf = [0u8; 8];
+            while total < 64 {
+                match server.read(&mut buf) {
+                    Ok(n) => total += n,
+                    Err(NetError::WouldBlock) => std::thread::sleep(Duration::from_micros(100)),
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            total
+        });
+        client.write_all(&[7u8; 64]).unwrap();
+        assert_eq!(reader.join().unwrap(), 64);
+    }
+
+    #[test]
+    fn read_timeout_expires() {
+        let (_client, server) = test_pair();
+        let mut buf = [0u8; 4];
+        let err = server.read_timeout(&mut buf, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, NetError::TimedOut);
+    }
+
+    #[test]
+    fn read_exact_collects_across_writes() {
+        let (client, server) = test_pair();
+        let writer = std::thread::spawn(move || {
+            client.write(b"abc").unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            client.write(b"def").unwrap();
+        });
+        let mut buf = [0u8; 6];
+        server.read_exact_timeout(&mut buf, Duration::from_secs(1)).unwrap();
+        assert_eq!(&buf, b"abcdef");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn rate_limited_write_reports_would_block() {
+        let (mut client, _server) = test_pair();
+        client.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(8_000, 4)));
+        assert_eq!(client.write(b"abcd").unwrap(), 4);
+        assert_eq!(client.write(b"efgh"), Err(NetError::WouldBlock));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let stats = NetStats::new_shared();
+        let (client, server) = pair(9, StackCosts::free(), Some(Arc::clone(&stats)), 1024);
+        client.write(b"12345").unwrap();
+        let mut buf = [0u8; 8];
+        server.read(&mut buf).unwrap();
+        client.close();
+        server.close();
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_sent, 5);
+        assert_eq!(snap.bytes_received, 5);
+        assert_eq!(snap.connections_closed, 2);
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let (client, _server) = test_pair();
+        client.close();
+        client.close();
+        assert!(client.is_closed());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the simulated network substrate.
+
+use std::fmt;
+
+/// Errors returned by network operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The operation would block (no data to read, or the peer's receive
+    /// buffer / link budget is full). Mirrors `EWOULDBLOCK`.
+    WouldBlock,
+    /// The connection has been closed by the peer and all buffered data has
+    /// already been consumed.
+    Closed,
+    /// No listener is bound to the requested port.
+    ConnectionRefused,
+    /// A listener is already bound to the requested port.
+    AddrInUse,
+    /// The listener has been shut down.
+    ListenerClosed,
+    /// A blocking operation timed out.
+    TimedOut,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetError::WouldBlock => "operation would block",
+            NetError::Closed => "connection closed by peer",
+            NetError::ConnectionRefused => "connection refused: no listener on port",
+            NetError::AddrInUse => "address already in use",
+            NetError::ListenerClosed => "listener closed",
+            NetError::TimedOut => "operation timed out",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(NetError::WouldBlock.to_string(), "operation would block");
+        assert!(NetError::ConnectionRefused.to_string().contains("refused"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The FLICK network substrate.
+//!
+//! The paper evaluates FLICK on a 10 GbE testbed with two transport stacks:
+//! the Linux kernel TCP stack and a modified mTCP user-space stack on DPDK.
+//! Neither is available in this reproduction environment, so this crate
+//! provides a *simulated* substrate with the properties that matter for the
+//! evaluation (see `DESIGN.md` §3, substitution 1):
+//!
+//! * connections are in-memory full-duplex byte streams
+//!   ([`conn::Endpoint`]) with the same non-blocking semantics as sockets;
+//! * every socket operation is charged a cost taken from a
+//!   [`costs::StackCosts`] model — [`costs::StackModel::Kernel`] and
+//!   [`costs::StackModel::Mtcp`] are calibrated from the per-connection and
+//!   per-request overhead ratios the paper reports;
+//! * links can be rate-limited ([`ratelimit::TokenBucket`]) to model the
+//!   1 Gbps client/back-end NICs of the testbed;
+//! * [`SimNetwork`] plays the role of the switch fabric: listeners bind to
+//!   ports and connects are routed to them.
+//!
+//! Compute inside the middlebox is real Rust running on real threads; only
+//! the wire is synthetic.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_net::{SimNetwork, StackModel};
+//!
+//! let net = SimNetwork::new(StackModel::Free);
+//! let listener = net.listen(8080).unwrap();
+//! let client = net.connect(8080).unwrap();
+//! let server = listener.accept().unwrap();
+//!
+//! client.write(b"ping").unwrap();
+//! let mut buf = [0u8; 16];
+//! let n = server.read(&mut buf).unwrap();
+//! assert_eq!(&buf[..n], b"ping");
+//! ```
+
+pub mod conn;
+pub mod costs;
+pub mod error;
+pub mod listener;
+pub mod ratelimit;
+pub mod stats;
+
+pub use conn::Endpoint;
+pub use costs::{StackCosts, StackModel};
+pub use error::NetError;
+pub use listener::{SimListener, SimNetwork};
+pub use ratelimit::TokenBucket;
+pub use stats::NetStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_example_roundtrip() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(9000).unwrap();
+        let client = net.connect(9000).unwrap();
+        let server = listener.accept().unwrap();
+        client.write(b"hello").unwrap();
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+    }
+}

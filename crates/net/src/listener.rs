@@ -1,0 +1,314 @@
+//! The simulated network fabric: listeners, ports and connection setup.
+//!
+//! [`SimNetwork`] stands in for the data-centre switch fabric of the paper's
+//! testbed. Services bind listeners to ports ([`SimNetwork::listen`]) and
+//! clients connect to them ([`SimNetwork::connect`]); each established
+//! connection is a pair of [`Endpoint`]s, with connection setup and accept
+//! charged according to the configured [`StackModel`].
+
+use crate::conn::{pair, Endpoint, DEFAULT_PIPE_CAPACITY};
+use crate::costs::{StackCosts, StackModel};
+use crate::error::NetError;
+use crate::ratelimit::TokenBucket;
+use crate::stats::NetStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct ListenerInner {
+    pending: Mutex<VecDeque<Endpoint>>,
+    cond: Condvar,
+    closed: AtomicBool,
+    port: u16,
+}
+
+/// A listening socket bound to a port of the simulated network.
+#[derive(Clone)]
+pub struct SimListener {
+    inner: Arc<ListenerInner>,
+    costs: StackCosts,
+}
+
+impl std::fmt::Debug for SimListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimListener").field("port", &self.inner.port).finish()
+    }
+}
+
+impl SimListener {
+    /// The port this listener is bound to.
+    pub fn port(&self) -> u16 {
+        self.inner.port
+    }
+
+    /// Accepts a pending connection without blocking.
+    ///
+    /// Returns [`NetError::WouldBlock`] when no connection is waiting and
+    /// [`NetError::ListenerClosed`] after [`SimListener::close`].
+    pub fn try_accept(&self) -> Result<Endpoint, NetError> {
+        let mut queue = self.inner.pending.lock();
+        match queue.pop_front() {
+            Some(endpoint) => {
+                drop(queue);
+                StackCosts::charge(self.costs.accept);
+                Ok(endpoint)
+            }
+            None if self.inner.closed.load(Ordering::Acquire) => Err(NetError::ListenerClosed),
+            None => Err(NetError::WouldBlock),
+        }
+    }
+
+    /// Accepts a pending connection, blocking until one arrives.
+    pub fn accept(&self) -> Result<Endpoint, NetError> {
+        self.accept_timeout(Duration::from_secs(30))
+    }
+
+    /// Accepts a pending connection, blocking up to `timeout`.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Endpoint, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.pending.lock();
+        loop {
+            if let Some(endpoint) = queue.pop_front() {
+                drop(queue);
+                StackCosts::charge(self.costs.accept);
+                return Ok(endpoint);
+            }
+            if self.inner.closed.load(Ordering::Acquire) {
+                return Err(NetError::ListenerClosed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            self.inner.cond.wait_for(&mut queue, deadline - now);
+        }
+    }
+
+    /// Number of connections waiting to be accepted.
+    pub fn backlog(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// Closes the listener; pending and future accepts fail.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.cond.notify_all();
+    }
+
+    /// Returns `true` after the listener was closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Options controlling one `connect` call.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectOptions {
+    /// A link rate (bits per second) applied to each direction of the new
+    /// connection, or `None` for an uncapped link.
+    pub link_bits_per_sec: Option<u64>,
+    /// Per-direction buffer capacity; defaults to
+    /// [`DEFAULT_PIPE_CAPACITY`].
+    pub capacity: Option<usize>,
+}
+
+/// The simulated network fabric.
+pub struct SimNetwork {
+    listeners: Mutex<HashMap<u16, Arc<ListenerInner>>>,
+    model: StackModel,
+    costs: StackCosts,
+    stats: Arc<NetStats>,
+    next_conn_id: AtomicU64,
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork").field("model", &self.model).finish()
+    }
+}
+
+impl SimNetwork {
+    /// Creates a network whose connections are charged according to `model`.
+    pub fn new(model: StackModel) -> Arc<Self> {
+        Arc::new(SimNetwork {
+            listeners: Mutex::new(HashMap::new()),
+            model,
+            costs: model.costs(),
+            stats: NetStats::new_shared(),
+            next_conn_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The stack model this network charges.
+    pub fn model(&self) -> StackModel {
+        self.model
+    }
+
+    /// The substrate-wide statistics counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Binds a listener to `port`.
+    pub fn listen(&self, port: u16) -> Result<SimListener, NetError> {
+        let mut listeners = self.listeners.lock();
+        if listeners.contains_key(&port) {
+            return Err(NetError::AddrInUse);
+        }
+        let inner = Arc::new(ListenerInner {
+            pending: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            closed: AtomicBool::new(false),
+            port,
+        });
+        listeners.insert(port, Arc::clone(&inner));
+        Ok(SimListener { inner, costs: self.costs })
+    }
+
+    /// Removes the listener bound to `port`, closing it.
+    pub fn unlisten(&self, port: u16) {
+        if let Some(inner) = self.listeners.lock().remove(&port) {
+            inner.closed.store(true, Ordering::Release);
+            inner.cond.notify_all();
+        }
+    }
+
+    /// Establishes a connection to the listener on `port`.
+    pub fn connect(&self, port: u16) -> Result<Endpoint, NetError> {
+        self.connect_with(port, &ConnectOptions::default())
+    }
+
+    /// Establishes a connection with explicit options (link rate, buffers).
+    pub fn connect_with(&self, port: u16, options: &ConnectOptions) -> Result<Endpoint, NetError> {
+        let listener = {
+            let listeners = self.listeners.lock();
+            listeners.get(&port).cloned()
+        };
+        let Some(listener) = listener else {
+            return Err(NetError::ConnectionRefused);
+        };
+        if listener.closed.load(Ordering::Acquire) {
+            return Err(NetError::ConnectionRefused);
+        }
+        StackCosts::charge(self.costs.connect);
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let capacity = options.capacity.unwrap_or(DEFAULT_PIPE_CAPACITY);
+        let (mut client, mut server) = pair(id, self.costs, Some(Arc::clone(&self.stats)), capacity);
+        if let Some(bits) = options.link_bits_per_sec {
+            client.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(bits, 64 * 1024)));
+            server.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(bits, 64 * 1024)));
+        }
+        self.stats.record_open();
+        {
+            let mut queue = listener.pending.lock();
+            queue.push_back(server);
+            listener.cond.notify_one();
+        }
+        Ok(client)
+    }
+
+    /// Number of listeners currently bound.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_accept_exchange() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(80).unwrap();
+        let client = net.connect(80).unwrap();
+        let server = listener.accept().unwrap();
+        client.write(b"GET /").unwrap();
+        let mut buf = [0u8; 16];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"GET /");
+        assert_eq!(net.stats().snapshot().connections_opened, 1);
+    }
+
+    #[test]
+    fn connect_without_listener_is_refused() {
+        let net = SimNetwork::new(StackModel::Free);
+        assert_eq!(net.connect(81).unwrap_err(), NetError::ConnectionRefused);
+    }
+
+    #[test]
+    fn double_listen_is_addr_in_use() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _first = net.listen(82).unwrap();
+        assert_eq!(net.listen(82).unwrap_err(), NetError::AddrInUse);
+    }
+
+    #[test]
+    fn try_accept_reports_would_block_then_accepts() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(83).unwrap();
+        assert_eq!(listener.try_accept().unwrap_err(), NetError::WouldBlock);
+        let _client = net.connect(83).unwrap();
+        assert_eq!(listener.backlog(), 1);
+        assert!(listener.try_accept().is_ok());
+    }
+
+    #[test]
+    fn unlisten_refuses_new_connections() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(84).unwrap();
+        net.unlisten(84);
+        assert!(listener.is_closed());
+        assert_eq!(net.connect(84).unwrap_err(), NetError::ConnectionRefused);
+        assert_eq!(listener.try_accept().unwrap_err(), NetError::ListenerClosed);
+    }
+
+    #[test]
+    fn accept_timeout_expires() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(85).unwrap();
+        let err = listener.accept_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, NetError::TimedOut);
+    }
+
+    #[test]
+    fn accept_wakes_on_concurrent_connect() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(86).unwrap();
+        let net2 = Arc::clone(&net);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            net2.connect(86).unwrap()
+        });
+        let server = listener.accept_timeout(Duration::from_secs(2)).unwrap();
+        let client = handle.join().unwrap();
+        client.write(b"x").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(server.read_timeout(&mut buf, Duration::from_secs(1)).unwrap(), 1);
+    }
+
+    #[test]
+    fn rated_connection_is_slower() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(87).unwrap();
+        // 8 Mbit/s with small burst: pushing 256 kB should take > 100 ms.
+        let options = ConnectOptions { link_bits_per_sec: Some(8_000_000), capacity: Some(1 << 20) };
+        let client = net.connect_with(87, &options).unwrap();
+        let _server = listener.accept().unwrap();
+        let start = Instant::now();
+        client.write_all(&vec![0u8; 256 * 1024]).unwrap();
+        assert!(start.elapsed() > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn listener_count_tracks_bind_and_unbind() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _a = net.listen(1).unwrap();
+        let _b = net.listen(2).unwrap();
+        assert_eq!(net.listener_count(), 2);
+        net.unlisten(1);
+        assert_eq!(net.listener_count(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Token-bucket rate limiting for simulated links.
+//!
+//! The paper's testbed connects clients and back-ends over 1 Gbps NICs while
+//! the FLICK middlebox has a 10 Gbps NIC; the Hadoop experiment (Figure 6)
+//! is explicitly bounded by the 8×1 Gbps mapper links. A [`TokenBucket`]
+//! models such a link: writers acquire tokens (bytes) and are either made to
+//! wait or told how many bytes they may send now.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A token bucket expressed in bytes per second.
+#[derive(Debug)]
+pub struct TokenBucket {
+    state: Mutex<BucketState>,
+    bytes_per_sec: f64,
+    burst: f64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with the given sustained rate in bits per second and
+    /// a burst allowance of `burst_bytes`.
+    pub fn new_bits_per_sec(bits_per_sec: u64, burst_bytes: usize) -> Self {
+        let bytes_per_sec = bits_per_sec as f64 / 8.0;
+        TokenBucket {
+            state: Mutex::new(BucketState { tokens: burst_bytes as f64, last_refill: Instant::now() }),
+            bytes_per_sec,
+            burst: burst_bytes as f64,
+        }
+    }
+
+    /// Creates a 1 Gbps bucket with a 64 KiB burst, the shape of the
+    /// testbed's client/back-end NICs.
+    pub fn one_gbps() -> Self {
+        TokenBucket::new_bits_per_sec(1_000_000_000, 64 * 1024)
+    }
+
+    /// The configured sustained rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    fn refill(&self, state: &mut BucketState) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.bytes_per_sec).min(self.burst);
+        state.last_refill = now;
+    }
+
+    /// Attempts to acquire up to `wanted` bytes of budget without waiting.
+    ///
+    /// Returns how many bytes may be sent now (possibly 0).
+    pub fn try_acquire(&self, wanted: usize) -> usize {
+        let mut state = self.state.lock();
+        self.refill(&mut state);
+        let granted = (wanted as f64).min(state.tokens).floor();
+        state.tokens -= granted;
+        granted as usize
+    }
+
+    /// Acquires exactly `wanted` bytes, sleeping until the budget is
+    /// available. Used by (client-side) blocking writers.
+    pub fn acquire_blocking(&self, wanted: usize) {
+        let mut remaining = wanted;
+        while remaining > 0 {
+            let granted = self.try_acquire(remaining);
+            remaining -= granted;
+            if remaining > 0 {
+                // Sleep for the time it takes the bucket to refill what we need,
+                // capped so that shutdown remains responsive.
+                let wait = (remaining as f64 / self.bytes_per_sec).min(0.005);
+                std::thread::sleep(Duration::from_secs_f64(wait.max(0.00005)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_available_immediately() {
+        let bucket = TokenBucket::new_bits_per_sec(8_000, 1000);
+        assert_eq!(bucket.try_acquire(500), 500);
+        assert_eq!(bucket.try_acquire(500), 500);
+        // Burst exhausted; the 1 kB/s rate grants almost nothing instantly.
+        assert!(bucket.try_acquire(500) < 10);
+    }
+
+    #[test]
+    fn rate_limits_sustained_throughput() {
+        // 8 Mbit/s = 1 MB/s; sending 120 kB should take roughly 0.1 s.
+        let bucket = TokenBucket::new_bits_per_sec(8_000_000, 20 * 1024);
+        let start = Instant::now();
+        let mut sent = 0usize;
+        while sent < 120 * 1024 {
+            let granted = bucket.try_acquire(8 * 1024);
+            sent += granted;
+            if granted == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed > 0.05, "sent {sent} bytes too fast: {elapsed}s");
+        assert!(elapsed < 1.0, "rate limiter far too slow: {elapsed}s");
+    }
+
+    #[test]
+    fn acquire_blocking_waits_for_budget() {
+        let bucket = TokenBucket::new_bits_per_sec(80_000_000, 1024);
+        let start = Instant::now();
+        // 100 kB at 10 MB/s is about 10 ms.
+        bucket.acquire_blocking(100 * 1024);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn one_gbps_preset() {
+        let bucket = TokenBucket::one_gbps();
+        assert!((bucket.bytes_per_sec() - 125_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Substrate-wide counters used by the benchmark harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters describing everything that crossed the substrate.
+///
+/// The counters are updated with relaxed atomics on the data path and read
+/// by the harness after (or during) a run; exactness under concurrent reads
+/// is not required, monotonicity is.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections successfully established.
+    pub connections_opened: AtomicU64,
+    /// Connections fully closed.
+    pub connections_closed: AtomicU64,
+    /// Bytes written into the substrate (all connections, both directions).
+    pub bytes_sent: AtomicU64,
+    /// Bytes read out of the substrate.
+    pub bytes_received: AtomicU64,
+    /// Read calls issued (including ones that returned `WouldBlock`).
+    pub read_calls: AtomicU64,
+    /// Write calls issued.
+    pub write_calls: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates a fresh, shareable counter block.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(NetStats::default())
+    }
+
+    /// Records an opened connection.
+    pub fn record_open(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn record_close(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write of `n` bytes.
+    pub fn record_write(&self, n: usize) {
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a read of `n` bytes.
+    pub fn record_read(&self, n: usize) {
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            read_calls: self.read_calls.load(Ordering::Relaxed),
+            write_calls: self.write_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`NetStats`] taken at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections successfully established.
+    pub connections_opened: u64,
+    /// Connections fully closed.
+    pub connections_closed: u64,
+    /// Bytes written into the substrate.
+    pub bytes_sent: u64,
+    /// Bytes read out of the substrate.
+    pub bytes_received: u64,
+    /// Read calls issued.
+    pub read_calls: u64,
+    /// Write calls issued.
+    pub write_calls: u64,
+}
+
+impl StatsSnapshot {
+    /// Megabits represented by `bytes_received`, convenient for Figure 6.
+    pub fn received_megabits(&self) -> f64 {
+        self.bytes_received as f64 * 8.0 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = NetStats::default();
+        stats.record_open();
+        stats.record_write(100);
+        stats.record_write(50);
+        stats.record_read(100);
+        stats.record_close();
+        let snap = stats.snapshot();
+        assert_eq!(snap.connections_opened, 1);
+        assert_eq!(snap.connections_closed, 1);
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.bytes_received, 100);
+        assert_eq!(snap.write_calls, 2);
+    }
+
+    #[test]
+    fn megabit_conversion() {
+        let snap = StatsSnapshot { bytes_received: 1_000_000, ..Default::default() };
+        assert!((snap.received_megabits() - 8.0).abs() < 1e-9);
+    }
+}

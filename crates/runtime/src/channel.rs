@@ -1,0 +1,227 @@
+//! Bounded task channels.
+//!
+//! Task channels move [`Value`]s between the tasks of a graph. They are
+//! bounded (FLICK guarantees bounded resource usage per §3.2/§4.3), multiple
+//! producer / single consumer, and record which task consumes them so that a
+//! producer can ask the scheduler to wake that task after pushing.
+
+use crate::task::TaskId;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default per-channel capacity, in values.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+struct Inner {
+    queue: Mutex<VecDeque<Value>>,
+    capacity: usize,
+    /// Number of producer handles still alive (or explicitly not closed).
+    producers: AtomicUsize,
+    closed: AtomicBool,
+    consumer: TaskId,
+}
+
+/// A task channel: create with [`TaskChannel::bounded`], then hand the
+/// producer and consumer halves to the producing and consuming tasks.
+#[derive(Debug)]
+pub struct TaskChannel;
+
+impl TaskChannel {
+    /// Creates a bounded channel whose consumer is the task `consumer`.
+    ///
+    /// Returns the producer and consumer halves.
+    pub fn bounded(capacity: usize, consumer: TaskId) -> (ChannelProducer, ChannelConsumer) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+            capacity,
+            producers: AtomicUsize::new(1),
+            closed: AtomicBool::new(false),
+            consumer,
+        });
+        (
+            ChannelProducer { inner: Arc::clone(&inner), handle_closed: AtomicBool::new(false) },
+            ChannelConsumer { inner },
+        )
+    }
+
+    /// Creates a channel with the default capacity.
+    pub fn with_default_capacity(consumer: TaskId) -> (ChannelProducer, ChannelConsumer) {
+        Self::bounded(DEFAULT_CHANNEL_CAPACITY, consumer)
+    }
+}
+
+/// The producing half of a task channel.
+pub struct ChannelProducer {
+    inner: Arc<Inner>,
+    /// Whether this particular handle has already called [`Self::close`].
+    handle_closed: AtomicBool,
+}
+
+impl std::fmt::Debug for ChannelProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelProducer").field("consumer", &self.inner.consumer).finish()
+    }
+}
+
+impl Clone for ChannelProducer {
+    fn clone(&self) -> Self {
+        self.inner.producers.fetch_add(1, Ordering::AcqRel);
+        ChannelProducer { inner: Arc::clone(&self.inner), handle_closed: AtomicBool::new(false) }
+    }
+}
+
+impl ChannelProducer {
+    /// The task that consumes from this channel (to be woken after a push).
+    pub fn consumer(&self) -> TaskId {
+        self.inner.consumer
+    }
+
+    /// Pushes a value.
+    ///
+    /// Returns `Err(value)` (giving the value back) if the channel is full or
+    /// already fully closed, so the producer can retry on its next timeslice
+    /// without losing data.
+    pub fn push(&self, value: Value) -> Result<(), Value> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let mut queue = self.inner.queue.lock();
+        if queue.len() >= self.inner.capacity {
+            return Err(value);
+        }
+        queue.push_back(value);
+        Ok(())
+    }
+
+    /// Returns `true` if a push would currently succeed.
+    pub fn has_space(&self) -> bool {
+        !self.inner.closed.load(Ordering::Acquire) && self.inner.queue.lock().len() < self.inner.capacity
+    }
+
+    /// Marks this producer as finished. When the last producer closes, the
+    /// consumer observes end-of-stream after draining. Closing the same
+    /// handle more than once is a no-op.
+    pub fn close(&self) {
+        if self.handle_closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if self.inner.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.closed.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The consuming half of a task channel.
+pub struct ChannelConsumer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ChannelConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelConsumer")
+            .field("consumer", &self.inner.consumer)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ChannelConsumer {
+    /// Pops the next value, or `None` if the channel is currently empty.
+    pub fn pop(&self) -> Option<Value> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Number of values currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Returns `true` if no values are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.queue.lock().is_empty()
+    }
+
+    /// Returns `true` once every producer has closed *and* the buffer has
+    /// been drained: no more values will ever arrive.
+    pub fn is_finished(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+
+    /// Returns `true` if all producers have closed (there may still be
+    /// buffered values to drain).
+    pub fn producers_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// The id of the consuming task.
+    pub fn consumer(&self) -> TaskId {
+        self.inner.consumer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_in_order() {
+        let (tx, rx) = TaskChannel::bounded(4, TaskId(1));
+        tx.push(Value::Int(1)).unwrap();
+        tx.push(Value::Int(2)).unwrap();
+        assert_eq!(rx.pop(), Some(Value::Int(1)));
+        assert_eq!(rx.pop(), Some(Value::Int(2)));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn bounded_capacity_rejects_push() {
+        let (tx, rx) = TaskChannel::bounded(2, TaskId(1));
+        tx.push(Value::Int(1)).unwrap();
+        tx.push(Value::Int(2)).unwrap();
+        let rejected = tx.push(Value::Int(3)).unwrap_err();
+        assert_eq!(rejected, Value::Int(3));
+        assert!(!tx.has_space());
+        rx.pop();
+        assert!(tx.has_space());
+    }
+
+    #[test]
+    fn close_signals_end_of_stream_after_drain() {
+        let (tx, rx) = TaskChannel::bounded(4, TaskId(2));
+        tx.push(Value::Int(1)).unwrap();
+        tx.close();
+        assert!(rx.producers_closed());
+        assert!(!rx.is_finished(), "still has a buffered value");
+        assert_eq!(rx.pop(), Some(Value::Int(1)));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn multiple_producers_must_all_close() {
+        let (tx1, rx) = TaskChannel::bounded(4, TaskId(3));
+        let tx2 = tx1.clone();
+        tx1.close();
+        assert!(!rx.producers_closed());
+        tx2.close();
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn push_after_full_close_returns_value() {
+        let (tx, rx) = TaskChannel::bounded(4, TaskId(4));
+        tx.close();
+        let back = tx.push(Value::Int(9)).unwrap_err();
+        assert_eq!(back, Value::Int(9));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn consumer_id_is_recorded() {
+        let (tx, rx) = TaskChannel::with_default_capacity(TaskId(42));
+        assert_eq!(tx.consumer(), TaskId(42));
+        assert_eq!(rx.consumer(), TaskId(42));
+    }
+}

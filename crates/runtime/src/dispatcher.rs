@@ -1,0 +1,389 @@
+//! The application and graph dispatchers.
+//!
+//! §5 of the paper: the *application dispatcher* owns the listening socket
+//! of a service, maps new connections to the service's program instance and
+//! indicates connection closes; the *graph dispatcher* assigns connections
+//! to task graphs, instantiating a new one when needed. Both run on one
+//! dispatcher thread per deployed service. The dispatcher also plays the
+//! role of the epoll loop: it polls the connections bound to input tasks and
+//! wakes those tasks when data (or EOF) is available.
+
+use crate::metrics::RuntimeMetrics;
+use crate::platform::{GraphFactory, ServiceEnv};
+use crate::scheduler::Scheduler;
+use crate::task::TaskId;
+use crate::value::SharedDict;
+use flick_net::{Endpoint, NetError, SimListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between the platform, the dispatcher thread and the service
+/// handle.
+pub struct DispatcherShared {
+    name: String,
+    listener: SimListener,
+    factory: Arc<dyn GraphFactory>,
+    env: ServiceEnv,
+    scheduler: Arc<Scheduler>,
+    poll_interval: Duration,
+    /// Connections accepted so far.
+    pub connections_accepted: AtomicU64,
+    /// Graph instances currently alive.
+    pub live_graphs: AtomicU64,
+}
+
+impl DispatcherShared {
+    /// The service name this dispatcher serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates the shared dispatcher state.
+    pub fn new(
+        name: String,
+        listener: SimListener,
+        factory: Arc<dyn GraphFactory>,
+        env: ServiceEnv,
+        scheduler: Arc<Scheduler>,
+        poll_interval: Duration,
+    ) -> Self {
+        DispatcherShared {
+            name,
+            listener,
+            factory,
+            env,
+            scheduler,
+            poll_interval,
+            connections_accepted: AtomicU64::new(0),
+            live_graphs: AtomicU64::new(0),
+        }
+    }
+}
+
+struct LiveGraph {
+    task_ids: Vec<TaskId>,
+    client_tasks: Vec<TaskId>,
+    watchers: Vec<(TaskId, Endpoint)>,
+    /// Set once every client task has finished: the graph is draining. The
+    /// deadline bounds how long a non-quiescent graph may linger before it
+    /// is torn down forcibly.
+    draining_until: Option<std::time::Instant>,
+}
+
+/// The dispatcher loop; runs on its own thread until `stop` is set.
+pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
+    let mut pending_clients: Vec<Endpoint> = Vec::new();
+    let mut graphs: Vec<LiveGraph> = Vec::new();
+    let per_graph = shared.factory.connections_per_graph().max(1);
+
+    while !stop.load(Ordering::Acquire) {
+        // 1. Application dispatcher: accept new connections.
+        loop {
+            match shared.listener.try_accept() {
+                Ok(client) => {
+                    shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    pending_clients.push(client);
+                }
+                Err(NetError::WouldBlock) => break,
+                Err(_) => break,
+            }
+        }
+        // 2. Graph dispatcher: instantiate a graph once enough connections
+        //    have arrived for one instance.
+        while pending_clients.len() >= per_graph {
+            let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
+            match shared.factory.build(clients, &shared.env) {
+                Ok(built) => {
+                    let task_ids = built.graph.task_ids().to_vec();
+                    shared.scheduler.register_graph(built.graph, &built.initial);
+                    // Give freshly created input tasks a first chance to run:
+                    // data may already be waiting on the connection.
+                    for (task, _) in &built.watchers {
+                        shared.scheduler.schedule(*task);
+                    }
+                    graphs.push(LiveGraph {
+                        task_ids,
+                        client_tasks: built.client_tasks,
+                        watchers: built.watchers,
+                        draining_until: None,
+                    });
+                    shared.live_graphs.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Factory failure: the client connections are dropped
+                    // (and closed by their Drop impls in the tasks that did
+                    // get built, if any).
+                }
+            }
+        }
+        // 3. Poll connections and wake input tasks; tear down graphs whose
+        //    client connections have all finished.
+        let scheduler = &shared.scheduler;
+        let metrics = scheduler.metrics();
+        graphs.retain_mut(|graph| {
+            graph.watchers.retain(|(task, endpoint)| {
+                if !scheduler.is_registered(*task) {
+                    return false;
+                }
+                if endpoint.readable() {
+                    scheduler.schedule(*task);
+                }
+                true
+            });
+            let clients_done = graph
+                .client_tasks
+                .iter()
+                .all(|task| !scheduler.is_registered(*task));
+            if !clients_done {
+                return true;
+            }
+            // The client side is gone: let the remaining tasks drain (the
+            // aggregator still has output to flush), but bound how long a
+            // graph may linger. Closing the remaining watched connections
+            // makes the graph's own input tasks observe EOF and finish.
+            let all_done = graph.task_ids.iter().all(|task| !scheduler.is_registered(*task));
+            if graph.draining_until.is_none() {
+                for (_task, endpoint) in &graph.watchers {
+                    endpoint.close();
+                }
+                for task in &graph.task_ids {
+                    scheduler.schedule(*task);
+                }
+                graph.draining_until = Some(std::time::Instant::now() + Duration::from_secs(2));
+            }
+            let expired = graph
+                .draining_until
+                .map(|d| std::time::Instant::now() >= d)
+                .unwrap_or(false);
+            if all_done || expired {
+                for task in &graph.task_ids {
+                    scheduler.remove(*task);
+                }
+                RuntimeMetrics::add(&metrics.graphs_destroyed, 1);
+                shared.live_graphs.fetch_sub(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        std::thread::sleep(shared.poll_interval);
+    }
+    shared.listener.close();
+    // Tear everything down on shutdown.
+    for graph in graphs {
+        for task in graph.task_ids {
+            shared.scheduler.remove(task);
+        }
+    }
+}
+
+/// Handle to a deployed service; stopping it terminates its dispatcher.
+pub struct DeployedService {
+    name: String,
+    port: u16,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    globals: SharedDict,
+    shared: Arc<DispatcherShared>,
+}
+
+impl std::fmt::Debug for DeployedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeployedService")
+            .field("name", &self.name)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl DeployedService {
+    /// Creates the handle (platform-internal).
+    pub fn new(
+        name: String,
+        port: u16,
+        stop: Arc<AtomicBool>,
+        handle: JoinHandle<()>,
+        globals: SharedDict,
+        shared: Arc<DispatcherShared>,
+    ) -> Self {
+        DeployedService { name, port, stop, handle: Some(handle), globals, shared }
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port the service listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The FLICK `global` shared dictionary of this service.
+    pub fn globals(&self) -> &SharedDict {
+        &self.globals
+    }
+
+    /// Number of client connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Number of task-graph instances currently alive.
+    pub fn live_graphs(&self) -> u64 {
+        self.shared.live_graphs.load(Ordering::Relaxed)
+    }
+
+    /// Stops the dispatcher and waits for its thread to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DeployedService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RuntimeError;
+    use crate::graph::GraphBuilder;
+    use crate::platform::{BuiltGraph, Platform, PlatformConfig, ServiceSpec};
+    use crate::tasks::{ComputeLogic, ComputeTask, InputTask, Outputs, OutputTask};
+    use crate::value::Value;
+    use flick_grammar::http::{self, HttpCodec};
+
+    /// A tiny static web server: replies 200 with a fixed body to every
+    /// request (the paper's "static web server" variant of the HTTP use
+    /// case, used here to exercise the whole dispatch path).
+    struct StaticServerFactory;
+
+    struct RespondLogic;
+    impl ComputeLogic for RespondLogic {
+        fn on_value(&mut self, _input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+            if value.as_msg().is_some() {
+                out.emit(0, Value::Msg(http::response(200, b"hello from flick")));
+            }
+            Ok(())
+        }
+    }
+
+    impl GraphFactory for StaticServerFactory {
+        fn build(&self, mut clients: Vec<Endpoint>, env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
+            let client = clients.pop().expect("one client connection");
+            let codec = Arc::new(HttpCodec::new());
+            let mut builder = GraphBuilder::new("static-web", &env.allocator)
+                .with_channel_capacity(env.channel_capacity);
+            let input_node = builder.declare_node();
+            let compute_node = builder.declare_node();
+            let output_node = builder.declare_node();
+            let (req_tx, req_rx) = builder.channel(compute_node);
+            let (resp_tx, resp_rx) = builder.channel(output_node);
+            builder.install(
+                input_node,
+                Box::new(InputTask::new("http-in", client.clone(), codec.clone(), None, req_tx)),
+            );
+            builder.install(
+                compute_node,
+                Box::new(ComputeTask::new("respond", vec![req_rx], vec![resp_tx], Box::new(RespondLogic))),
+            );
+            builder.install(
+                output_node,
+                Box::new(OutputTask::new("http-out", client.clone(), codec, resp_rx)),
+            );
+            Ok(BuiltGraph {
+                graph: builder.build(),
+                watchers: vec![(input_node.task_id(), client)],
+                initial: vec![],
+                client_tasks: vec![input_node.task_id()],
+            })
+        }
+    }
+
+    #[test]
+    fn end_to_end_static_web_server() {
+        let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8080, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+
+        // Issue three requests over one persistent connection.
+        let client = net.connect(8080).unwrap();
+        for i in 0..3 {
+            client.write_all(format!("GET /{i} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+            let mut response = Vec::new();
+            let mut buf = [0u8; 1024];
+            loop {
+                match client.read_timeout(&mut buf, Duration::from_secs(5)) {
+                    Ok(n) => {
+                        response.extend_from_slice(&buf[..n]);
+                        if response.windows(16).any(|w| w == b"hello from flick") {
+                            break;
+                        }
+                    }
+                    Err(e) => panic!("request {i}: {e}"),
+                }
+            }
+            let text = String::from_utf8_lossy(&response);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+        }
+        assert_eq!(service.connections_accepted(), 1);
+        assert_eq!(service.live_graphs(), 1);
+
+        // Closing the client tears the graph down.
+        client.close();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.live_graphs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.live_graphs(), 0, "graph should be destroyed after the client closes");
+    }
+
+    #[test]
+    fn multiple_concurrent_connections_get_their_own_graphs() {
+        let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8081, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        let clients: Vec<_> = (0..8).map(|_| net.connect(8081).unwrap()).collect();
+        for (i, c) in clients.iter().enumerate() {
+            c.write_all(format!("GET /{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).unwrap();
+        }
+        for c in &clients {
+            let mut buf = [0u8; 1024];
+            let n = c.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+            assert!(n > 0);
+        }
+        assert_eq!(service.connections_accepted(), 8);
+        for c in &clients {
+            c.close();
+        }
+        drop(clients);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.live_graphs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.live_graphs(), 0);
+    }
+
+    #[test]
+    fn stop_terminates_the_dispatcher_and_unbinds_nothing_else() {
+        let platform = Platform::new(PlatformConfig::default());
+        let mut service = platform
+            .deploy(ServiceSpec::new("web", 8082, Arc::new(StaticServerFactory)))
+            .unwrap();
+        service.stop();
+        // After stop, new connections are refused because the listener closed.
+        assert!(platform.net().connect(8082).is_err());
+    }
+}

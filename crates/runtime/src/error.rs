@@ -1,0 +1,68 @@
+//! Runtime error type.
+
+use flick_grammar::GrammarError;
+use flick_net::NetError;
+use std::fmt;
+
+/// Errors surfaced by the FLICK runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A wire-format parse or serialise error from the grammar engine.
+    Grammar(GrammarError),
+    /// A substrate error that is not part of normal flow control
+    /// (`WouldBlock` and EOF are handled internally and never surfaced).
+    Net(NetError),
+    /// A task channel was used after being closed.
+    ChannelClosed,
+    /// A bounded task channel is full and the producer cannot make progress.
+    ChannelFull,
+    /// A service was configured inconsistently (e.g. no backends where one
+    /// is required).
+    Config(String),
+    /// An error raised by service compute logic.
+    Logic(String),
+    /// The platform is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Grammar(e) => write!(f, "grammar error: {e}"),
+            RuntimeError::Net(e) => write!(f, "network error: {e}"),
+            RuntimeError::ChannelClosed => write!(f, "task channel closed"),
+            RuntimeError::ChannelFull => write!(f, "task channel full"),
+            RuntimeError::Config(msg) => write!(f, "configuration error: {msg}"),
+            RuntimeError::Logic(msg) => write!(f, "service logic error: {msg}"),
+            RuntimeError::ShuttingDown => write!(f, "platform is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<GrammarError> for RuntimeError {
+    fn from(e: GrammarError) -> Self {
+        RuntimeError::Grammar(e)
+    }
+}
+
+impl From<NetError> for RuntimeError {
+    fn from(e: NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = NetError::ConnectionRefused.into();
+        assert!(e.to_string().contains("refused"));
+        let g: RuntimeError = GrammarError::malformed("cmd", "bad").into();
+        assert!(g.to_string().contains("malformed"));
+        assert!(RuntimeError::Config("no backends".into()).to_string().contains("no backends"));
+    }
+}

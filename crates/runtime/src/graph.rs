@@ -1,0 +1,242 @@
+//! Task-graph assembly.
+//!
+//! A [`GraphBuilder`] wires tasks together with bounded channels and produces
+//! a [`GraphInstance`]: the set of tasks (with their global [`TaskId`]s)
+//! ready to be registered with the scheduler. Graphs are directed and
+//! acyclic by construction — channels can only be created from an
+//! already-added producer node to an already-added consumer node, and the
+//! builder assigns identifiers in topological insertion order.
+
+use crate::channel::{ChannelConsumer, ChannelProducer, TaskChannel, DEFAULT_CHANNEL_CAPACITY};
+use crate::task::{Task, TaskId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global task-id allocator shared by all graphs of a platform.
+#[derive(Debug, Default)]
+pub struct TaskIdAllocator {
+    next: AtomicU64,
+}
+
+impl TaskIdAllocator {
+    /// Creates an allocator starting at id 1.
+    pub fn new() -> Self {
+        TaskIdAllocator { next: AtomicU64::new(1) }
+    }
+
+    /// Allocates a fresh task id.
+    pub fn allocate(&self) -> TaskId {
+        TaskId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Identifies a node within a graph being built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub TaskId);
+
+impl NodeId {
+    /// The global task id of this node.
+    pub fn task_id(&self) -> TaskId {
+        self.0
+    }
+}
+
+/// A graph under construction.
+///
+/// The builder separates *declaring* nodes (which allocates their task ids
+/// and channels) from *installing* the task objects, because a task object
+/// usually needs its input consumers and output producers at construction
+/// time. The typical sequence is:
+///
+/// 1. [`GraphBuilder::declare_node`] for every task;
+/// 2. [`GraphBuilder::channel`] for every edge, obtaining producer/consumer
+///    halves;
+/// 3. [`GraphBuilder::install`] each constructed task;
+/// 4. [`GraphBuilder::build`].
+pub struct GraphBuilder<'a> {
+    allocator: &'a TaskIdAllocator,
+    name: String,
+    declared: Vec<NodeId>,
+    tasks: HashMap<TaskId, Box<dyn Task>>,
+    channel_capacity: usize,
+}
+
+impl<'a> GraphBuilder<'a> {
+    /// Starts building a graph named `name`.
+    pub fn new(name: impl Into<String>, allocator: &'a TaskIdAllocator) -> Self {
+        GraphBuilder {
+            allocator,
+            name: name.into(),
+            declared: Vec::new(),
+            tasks: HashMap::new(),
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
+    }
+
+    /// Overrides the capacity used for channels created by this builder.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Declares a node, allocating its task id.
+    pub fn declare_node(&mut self) -> NodeId {
+        let id = NodeId(self.allocator.allocate());
+        self.declared.push(id);
+        id
+    }
+
+    /// Creates a channel whose consumer is `consumer`.
+    pub fn channel(&self, consumer: NodeId) -> (ChannelProducer, ChannelConsumer) {
+        TaskChannel::bounded(self.channel_capacity, consumer.task_id())
+    }
+
+    /// Installs the task object for a declared node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not declared by this builder or was already
+    /// installed — both are programming errors in graph-factory code.
+    pub fn install(&mut self, node: NodeId, task: Box<dyn Task>) {
+        assert!(self.declared.contains(&node), "node {:?} was not declared by this builder", node);
+        let previous = self.tasks.insert(node.task_id(), task);
+        assert!(previous.is_none(), "node {:?} was installed twice", node);
+    }
+
+    /// Finishes the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared node was never installed.
+    pub fn build(self) -> GraphInstance {
+        for node in &self.declared {
+            assert!(
+                self.tasks.contains_key(&node.task_id()),
+                "node {:?} of graph `{}` was declared but never installed",
+                node,
+                self.name
+            );
+        }
+        GraphInstance {
+            name: self.name,
+            tasks: self.tasks.into_iter().collect(),
+            entry_tasks: self.declared.iter().map(|n| n.task_id()).collect(),
+        }
+    }
+}
+
+/// A fully assembled task graph, ready to hand to the scheduler.
+pub struct GraphInstance {
+    name: String,
+    tasks: Vec<(TaskId, Box<dyn Task>)>,
+    entry_tasks: Vec<TaskId>,
+}
+
+impl std::fmt::Debug for GraphInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphInstance")
+            .field("name", &self.name)
+            .field("tasks", &self.entry_tasks)
+            .finish()
+    }
+}
+
+impl GraphInstance {
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ids of every task in the graph.
+    pub fn task_ids(&self) -> &[TaskId] {
+        &self.entry_tasks
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Consumes the graph, yielding its tasks for registration.
+    pub fn into_tasks(self) -> Vec<(TaskId, Box<dyn Task>)> {
+        self.tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskContext, TaskStatus};
+
+    struct NopTask;
+    impl Task for NopTask {
+        fn label(&self) -> &str {
+            "nop"
+        }
+        fn run(&mut self, _ctx: &mut TaskContext) -> TaskStatus {
+            TaskStatus::Finished
+        }
+    }
+
+    #[test]
+    fn build_two_node_graph() {
+        let alloc = TaskIdAllocator::new();
+        let mut builder = GraphBuilder::new("g", &alloc);
+        let a = builder.declare_node();
+        let b = builder.declare_node();
+        let (_tx, _rx) = builder.channel(b);
+        builder.install(a, Box::new(NopTask));
+        builder.install(b, Box::new(NopTask));
+        let graph = builder.build();
+        assert_eq!(graph.len(), 2);
+        assert_eq!(graph.name(), "g");
+        assert_eq!(graph.task_ids().len(), 2);
+        assert!(!graph.is_empty());
+    }
+
+    #[test]
+    fn allocator_produces_unique_ids_across_graphs() {
+        let alloc = TaskIdAllocator::new();
+        let mut b1 = GraphBuilder::new("g1", &alloc);
+        let n1 = b1.declare_node();
+        let mut b2 = GraphBuilder::new("g2", &alloc);
+        let n2 = b2.declare_node();
+        assert_ne!(n1.task_id(), n2.task_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not declared")]
+    fn installing_undeclared_node_panics() {
+        let alloc = TaskIdAllocator::new();
+        let mut b1 = GraphBuilder::new("g1", &alloc);
+        let mut b2 = GraphBuilder::new("g2", &alloc);
+        let foreign = b2.declare_node();
+        b1.install(foreign, Box::new(NopTask));
+    }
+
+    #[test]
+    #[should_panic(expected = "never installed")]
+    fn building_with_missing_task_panics() {
+        let alloc = TaskIdAllocator::new();
+        let mut b = GraphBuilder::new("g", &alloc);
+        let _node = b.declare_node();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn channel_consumer_matches_node() {
+        let alloc = TaskIdAllocator::new();
+        let mut b = GraphBuilder::new("g", &alloc);
+        let n = b.declare_node();
+        let (tx, rx) = b.channel(n);
+        assert_eq!(tx.consumer(), n.task_id());
+        assert_eq!(rx.consumer(), n.task_id());
+        b.install(n, Box::new(NopTask));
+        let _ = b.build();
+    }
+}

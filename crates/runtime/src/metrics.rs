@@ -1,0 +1,96 @@
+//! Runtime-wide metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters describing what the runtime has done.
+///
+/// Updated with relaxed atomics on the hot path; read by the benchmark
+/// harness and by tests.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    /// Task executions (one per scheduler dispatch of a task).
+    pub task_runs: AtomicU64,
+    /// Times a task voluntarily yielded because its timeslice expired.
+    pub cooperative_yields: AtomicU64,
+    /// Values processed by compute tasks.
+    pub values_processed: AtomicU64,
+    /// Application messages deserialised by input tasks.
+    pub messages_in: AtomicU64,
+    /// Application messages serialised by output tasks.
+    pub messages_out: AtomicU64,
+    /// Task graphs instantiated.
+    pub graphs_created: AtomicU64,
+    /// Task graphs torn down.
+    pub graphs_destroyed: AtomicU64,
+    /// Tasks stolen from another worker's queue ("scavenged").
+    pub tasks_scavenged: AtomicU64,
+}
+
+impl RuntimeMetrics {
+    /// Creates a fresh shareable metrics block.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(RuntimeMetrics::default())
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            task_runs: Self::get(&self.task_runs),
+            cooperative_yields: Self::get(&self.cooperative_yields),
+            values_processed: Self::get(&self.values_processed),
+            messages_in: Self::get(&self.messages_in),
+            messages_out: Self::get(&self.messages_out),
+            graphs_created: Self::get(&self.graphs_created),
+            graphs_destroyed: Self::get(&self.graphs_destroyed),
+            tasks_scavenged: Self::get(&self.tasks_scavenged),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`RuntimeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Task executions.
+    pub task_runs: u64,
+    /// Cooperative yields.
+    pub cooperative_yields: u64,
+    /// Values processed by compute tasks.
+    pub values_processed: u64,
+    /// Messages deserialised.
+    pub messages_in: u64,
+    /// Messages serialised.
+    pub messages_out: u64,
+    /// Graphs created.
+    pub graphs_created: u64,
+    /// Graphs destroyed.
+    pub graphs_destroyed: u64,
+    /// Tasks scavenged from other workers.
+    pub tasks_scavenged: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = RuntimeMetrics::default();
+        RuntimeMetrics::add(&m.task_runs, 3);
+        RuntimeMetrics::add(&m.messages_in, 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.task_runs, 3);
+        assert_eq!(snap.messages_in, 10);
+        assert_eq!(snap.messages_out, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The FLICK platform: scheduler + substrate + deployed services.
+//!
+//! A [`Platform`] owns the worker-thread [`Scheduler`], the simulated
+//! network, and the global task-id allocator. Services are deployed from a
+//! [`ServiceSpec`]; the spec's [`GraphFactory`] is invoked by the dispatcher
+//! whenever enough client connections have arrived to instantiate a new task
+//! graph (one connection for the HTTP and Memcached services, all the mapper
+//! connections for the Hadoop aggregator).
+
+use crate::dispatcher::{run_dispatcher, DeployedService, DispatcherShared};
+use crate::error::RuntimeError;
+use crate::graph::{GraphInstance, TaskIdAllocator};
+use crate::metrics::RuntimeMetrics;
+use crate::pool::BackendPool;
+use crate::scheduler::Scheduler;
+use crate::task::{SchedulingPolicy, TaskId};
+use crate::value::SharedDict;
+use flick_net::{Endpoint, SimNetwork, StackModel};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`Platform`].
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Number of worker threads (the paper uses one per CPU core).
+    pub workers: usize,
+    /// Scheduling policy (cooperative with a 10–100 µs timeslice by default).
+    pub policy: SchedulingPolicy,
+    /// Transport-stack cost model for every connection.
+    pub stack: StackModel,
+    /// How often the dispatcher polls connections for readability.
+    pub poll_interval: Duration,
+    /// Capacity of task channels created by graph factories.
+    pub channel_capacity: usize,
+    /// Whether backend connections are drawn from a pre-established pool.
+    pub backend_pooling: bool,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            workers: 4,
+            policy: SchedulingPolicy::default(),
+            stack: StackModel::Free,
+            poll_interval: Duration::from_micros(50),
+            channel_capacity: 1024,
+            backend_pooling: false,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Convenience constructor used by the benchmark harness.
+    pub fn new(workers: usize, stack: StackModel) -> Self {
+        PlatformConfig { workers, stack, ..Default::default() }
+    }
+}
+
+/// Everything a [`GraphFactory`] may need while assembling a graph.
+pub struct ServiceEnv {
+    /// The network substrate (for opening backend connections directly).
+    pub net: Arc<SimNetwork>,
+    /// The service-wide shared dictionary backing FLICK `global` state.
+    pub globals: SharedDict,
+    /// The configured back-ends of the service.
+    pub backends: Arc<BackendPool>,
+    /// Allocator for task ids (pass to [`crate::graph::GraphBuilder`]).
+    pub allocator: Arc<TaskIdAllocator>,
+    /// Capacity to use for task channels.
+    pub channel_capacity: usize,
+}
+
+/// A graph produced by a factory, plus the bookkeeping the dispatcher needs.
+pub struct BuiltGraph {
+    /// The assembled graph.
+    pub graph: GraphInstance,
+    /// Input tasks to wake when their endpoint becomes readable.
+    pub watchers: Vec<(TaskId, Endpoint)>,
+    /// Tasks to schedule immediately after registration.
+    pub initial: Vec<TaskId>,
+    /// The input tasks bound to *client* connections; when all of them have
+    /// finished the dispatcher tears the remaining tasks of the graph down.
+    pub client_tasks: Vec<TaskId>,
+}
+
+/// Builds task-graph instances for one service.
+///
+/// Implemented by the compiler crate for FLICK programs and by hand for the
+/// baseline systems.
+pub trait GraphFactory: Send + Sync {
+    /// How many client connections one graph instance serves (1 for the
+    /// HTTP load balancer and Memcached proxy; the number of mappers for the
+    /// Hadoop aggregator).
+    fn connections_per_graph(&self) -> usize {
+        1
+    }
+
+    /// Assembles a graph for the given client connections.
+    fn build(&self, clients: Vec<Endpoint>, env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError>;
+}
+
+/// Description of a deployable service.
+#[derive(Clone)]
+pub struct ServiceSpec {
+    /// Service name (diagnostics only).
+    pub name: String,
+    /// Port the application dispatcher listens on.
+    pub port: u16,
+    /// Ports of the service's back-end servers.
+    pub backends: Vec<u16>,
+    /// The graph factory.
+    pub factory: Arc<dyn GraphFactory>,
+}
+
+impl std::fmt::Debug for ServiceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSpec")
+            .field("name", &self.name)
+            .field("port", &self.port)
+            .field("backends", &self.backends)
+            .finish()
+    }
+}
+
+impl ServiceSpec {
+    /// Creates a spec with no back-ends.
+    pub fn new(name: impl Into<String>, port: u16, factory: Arc<dyn GraphFactory>) -> Self {
+        ServiceSpec { name: name.into(), port, backends: Vec::new(), factory }
+    }
+
+    /// Sets the back-end ports.
+    pub fn with_backends(mut self, backends: Vec<u16>) -> Self {
+        self.backends = backends;
+        self
+    }
+}
+
+/// The running FLICK platform.
+pub struct Platform {
+    net: Arc<SimNetwork>,
+    scheduler: Arc<Scheduler>,
+    allocator: Arc<TaskIdAllocator>,
+    config: PlatformConfig,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform").field("config", &self.config).finish()
+    }
+}
+
+impl Platform {
+    /// Starts a platform with its own simulated network.
+    pub fn new(config: PlatformConfig) -> Self {
+        let net = SimNetwork::new(config.stack);
+        Self::with_network(config, net)
+    }
+
+    /// Starts a platform over an existing network (so that workload
+    /// generators and back-end servers share the same fabric).
+    pub fn with_network(config: PlatformConfig, net: Arc<SimNetwork>) -> Self {
+        let metrics = RuntimeMetrics::new_shared();
+        let scheduler = Arc::new(Scheduler::start(config.workers, config.policy, metrics));
+        Platform { net, scheduler, allocator: Arc::new(TaskIdAllocator::new()), config }
+    }
+
+    /// The simulated network this platform is attached to.
+    pub fn net(&self) -> Arc<SimNetwork> {
+        Arc::clone(&self.net)
+    }
+
+    /// The task scheduler.
+    pub fn scheduler(&self) -> Arc<Scheduler> {
+        Arc::clone(&self.scheduler)
+    }
+
+    /// The runtime metrics.
+    pub fn metrics(&self) -> Arc<RuntimeMetrics> {
+        self.scheduler.metrics()
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The global task-id allocator.
+    pub fn allocator(&self) -> Arc<TaskIdAllocator> {
+        Arc::clone(&self.allocator)
+    }
+
+    /// Deploys a service: binds its port and starts its dispatcher thread.
+    pub fn deploy(&self, spec: ServiceSpec) -> Result<DeployedService, RuntimeError> {
+        let listener = self.net.listen(spec.port)?;
+        let globals = SharedDict::new();
+        let backends = BackendPool::new(
+            Arc::clone(&self.net),
+            spec.backends.clone(),
+            self.config.backend_pooling,
+        );
+        let env = ServiceEnv {
+            net: Arc::clone(&self.net),
+            globals: globals.clone(),
+            backends,
+            allocator: Arc::clone(&self.allocator),
+            channel_capacity: self.config.channel_capacity,
+        };
+        let shared = Arc::new(DispatcherShared::new(
+            spec.name.clone(),
+            listener,
+            spec.factory,
+            env,
+            Arc::clone(&self.scheduler),
+            self.config.poll_interval,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_shared = Arc::clone(&shared);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("flick-dispatch-{}", spec.name))
+            .spawn(move || run_dispatcher(thread_shared, thread_stop))
+            .map_err(|e| RuntimeError::Config(format!("could not spawn dispatcher: {e}")))?;
+        Ok(DeployedService::new(spec.name, spec.port, stop, handle, globals, shared))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_starts_and_exposes_components() {
+        let platform = Platform::new(PlatformConfig::default());
+        assert_eq!(platform.config().workers, 4);
+        assert_eq!(platform.net().model(), StackModel::Free);
+        assert_eq!(platform.scheduler().task_count(), 0);
+        let id_a = platform.allocator().allocate();
+        let id_b = platform.allocator().allocate();
+        assert_ne!(id_a, id_b);
+    }
+
+    #[test]
+    fn deploy_binds_the_port() {
+        let platform = Platform::new(PlatformConfig::default());
+
+        struct NeverFactory;
+        impl GraphFactory for NeverFactory {
+            fn build(&self, _clients: Vec<Endpoint>, _env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
+                Err(RuntimeError::Config("not used in this test".into()))
+            }
+        }
+
+        let spec = ServiceSpec::new("noop", 4242, Arc::new(NeverFactory));
+        let service = platform.deploy(spec).unwrap();
+        assert_eq!(service.port(), 4242);
+        // The port is now taken.
+        assert!(platform.net().listen(4242).is_err());
+    }
+
+    #[test]
+    fn config_constructor_sets_fields() {
+        let cfg = PlatformConfig::new(8, StackModel::Mtcp);
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.stack, StackModel::Mtcp);
+        assert!(!cfg.backend_pooling);
+    }
+}

@@ -1,0 +1,220 @@
+//! Pre-allocated pools: backend connections and byte buffers.
+//!
+//! §5 of the paper stresses that the platform avoids dynamic allocation on
+//! the data path: buffers are drawn from a pre-allocated pool, and the graph
+//! dispatcher maintains pre-created resources to avoid per-connection setup
+//! costs. This module provides both pools; the dispatch ablation benchmark
+//! (`benches/dispatch.rs`) measures their effect.
+
+use crate::error::RuntimeError;
+use flick_net::{Endpoint, SimNetwork};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A pool of reusable byte buffers.
+///
+/// Buffers are handed out with their previous contents cleared and returned
+/// to the pool after use; if the pool is empty a new buffer is allocated (the
+/// pool is an optimisation, not a correctness requirement).
+#[derive(Debug)]
+pub struct BufferPool {
+    buffers: Mutex<Vec<Vec<u8>>>,
+    buffer_capacity: usize,
+    max_pooled: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool that pre-allocates `count` buffers of `buffer_capacity`
+    /// bytes and keeps at most `count` buffers around.
+    pub fn new(count: usize, buffer_capacity: usize) -> Arc<Self> {
+        let buffers = (0..count).map(|_| Vec::with_capacity(buffer_capacity)).collect();
+        Arc::new(BufferPool { buffers: Mutex::new(buffers), buffer_capacity, max_pooled: count })
+    }
+
+    /// Takes a buffer from the pool (or allocates one if the pool is empty).
+    pub fn get(&self) -> Vec<u8> {
+        match self.buffers.lock().pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(self.buffer_capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn put(&self, buf: Vec<u8>) {
+        let mut buffers = self.buffers.lock();
+        if buffers.len() < self.max_pooled {
+            buffers.push(buf);
+        }
+    }
+
+    /// Number of buffers currently available.
+    pub fn available(&self) -> usize {
+        self.buffers.lock().len()
+    }
+}
+
+/// Access to a service's back-end servers.
+///
+/// `connect` always establishes a fresh connection (paying the stack's
+/// connect cost); `checkout`/`checkin` maintain a pool of pre-established
+/// connections per backend, which the dispatch ablation compares against.
+pub struct BackendPool {
+    net: Arc<SimNetwork>,
+    ports: Vec<u16>,
+    pooled: Vec<Mutex<VecDeque<Endpoint>>>,
+    pooling_enabled: bool,
+}
+
+impl std::fmt::Debug for BackendPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendPool")
+            .field("ports", &self.ports)
+            .field("pooling", &self.pooling_enabled)
+            .finish()
+    }
+}
+
+impl BackendPool {
+    /// Creates a backend pool over the given ports.
+    pub fn new(net: Arc<SimNetwork>, ports: Vec<u16>, pooling_enabled: bool) -> Arc<Self> {
+        let pooled = ports.iter().map(|_| Mutex::new(VecDeque::new())).collect();
+        Arc::new(BackendPool { net, ports, pooled, pooling_enabled })
+    }
+
+    /// Number of configured back-ends.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Returns `true` if no back-ends are configured.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The configured backend ports.
+    pub fn ports(&self) -> &[u16] {
+        &self.ports
+    }
+
+    /// Establishes a fresh connection to backend `idx`.
+    pub fn connect(&self, idx: usize) -> Result<Endpoint, RuntimeError> {
+        let port = *self
+            .ports
+            .get(idx)
+            .ok_or_else(|| RuntimeError::Config(format!("backend index {idx} out of range")))?;
+        Ok(self.net.connect(port)?)
+    }
+
+    /// Obtains a connection to backend `idx`, reusing a pooled one if
+    /// pooling is enabled and one is available.
+    pub fn checkout(&self, idx: usize) -> Result<Endpoint, RuntimeError> {
+        if self.pooling_enabled {
+            if let Some(slot) = self.pooled.get(idx) {
+                if let Some(endpoint) = slot.lock().pop_front() {
+                    if !endpoint.is_closed() && !endpoint.peer_closed() {
+                        return Ok(endpoint);
+                    }
+                }
+            }
+        }
+        self.connect(idx)
+    }
+
+    /// Returns a still-usable connection to the pool.
+    pub fn checkin(&self, idx: usize, endpoint: Endpoint) {
+        if !self.pooling_enabled || endpoint.is_closed() || endpoint.peer_closed() {
+            return;
+        }
+        if let Some(slot) = self.pooled.get(idx) {
+            slot.lock().push_back(endpoint);
+        }
+    }
+
+    /// Number of pooled connections for backend `idx`.
+    pub fn pooled_count(&self, idx: usize) -> usize {
+        self.pooled.get(idx).map(|s| s.lock().len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_net::StackModel;
+
+    #[test]
+    fn buffer_pool_reuses_buffers() {
+        let pool = BufferPool::new(2, 1024);
+        assert_eq!(pool.available(), 2);
+        let mut a = pool.get();
+        a.extend_from_slice(b"junk");
+        pool.put(a);
+        let b = pool.get();
+        assert!(b.is_empty(), "returned buffers must be cleared");
+        assert!(b.capacity() >= 1024);
+    }
+
+    #[test]
+    fn buffer_pool_caps_pooled_buffers() {
+        let pool = BufferPool::new(1, 64);
+        let a = pool.get();
+        let b = pool.get();
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn backend_pool_connects_to_each_port() {
+        let net = SimNetwork::new(StackModel::Free);
+        let l1 = net.listen(9001).unwrap();
+        let l2 = net.listen(9002).unwrap();
+        let pool = BackendPool::new(Arc::clone(&net), vec![9001, 9002], false);
+        assert_eq!(pool.len(), 2);
+        let _c1 = pool.connect(0).unwrap();
+        let _c2 = pool.connect(1).unwrap();
+        assert_eq!(l1.backlog(), 1);
+        assert_eq!(l2.backlog(), 1);
+        assert!(pool.connect(5).is_err());
+    }
+
+    #[test]
+    fn checkout_reuses_checked_in_connections() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _listener = net.listen(9003).unwrap();
+        let pool = BackendPool::new(Arc::clone(&net), vec![9003], true);
+        let conn = pool.checkout(0).unwrap();
+        let id = conn.id();
+        pool.checkin(0, conn);
+        assert_eq!(pool.pooled_count(0), 1);
+        let again = pool.checkout(0).unwrap();
+        assert_eq!(again.id(), id, "pooled connection should be reused");
+        assert_eq!(pool.pooled_count(0), 0);
+    }
+
+    #[test]
+    fn closed_connections_are_not_pooled() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _listener = net.listen(9004).unwrap();
+        let pool = BackendPool::new(Arc::clone(&net), vec![9004], true);
+        let conn = pool.checkout(0).unwrap();
+        conn.close();
+        pool.checkin(0, conn);
+        assert_eq!(pool.pooled_count(0), 0);
+    }
+
+    #[test]
+    fn pooling_disabled_always_connects_fresh() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _listener = net.listen(9005).unwrap();
+        let pool = BackendPool::new(Arc::clone(&net), vec![9005], false);
+        let conn = pool.checkout(0).unwrap();
+        let id = conn.id();
+        pool.checkin(0, conn);
+        let again = pool.checkout(0).unwrap();
+        assert_ne!(again.id(), id);
+    }
+}

@@ -1,0 +1,778 @@
+//! Concrete task kinds: input, compute, output, and synthetic tasks.
+//!
+//! These are the building blocks the FLICK compiler (and hand-written
+//! services) assemble into task graphs:
+//!
+//! * [`InputTask`] — owns one network connection, performs incremental
+//!   deserialisation using a [`WireCodec`] and a field [`Projection`], and
+//!   pushes parsed messages into the graph;
+//! * [`ComputeTask`] — runs a [`ComputeLogic`] over values arriving on any
+//!   number of input channels, emitting to any number of output channels;
+//! * [`OutputTask`] — serialises values and writes them to a connection;
+//! * [`SourceTask`] and [`SyntheticWorkTask`] — synthetic producers used by
+//!   tests and by the resource-sharing micro-benchmark of §6.4.
+
+use crate::channel::{ChannelConsumer, ChannelProducer};
+use crate::error::RuntimeError;
+use crate::metrics::RuntimeMetrics;
+use crate::task::{Task, TaskContext, TaskStatus};
+use crate::value::Value;
+use bytes::Bytes;
+use flick_grammar::{ParseOutcome, Projection, WireCodec};
+use flick_net::{Endpoint, NetError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How many bytes an input task reads per socket call.
+pub const READ_CHUNK: usize = 16 * 1024;
+
+// ---------------------------------------------------------------------------
+// Input task
+// ---------------------------------------------------------------------------
+
+/// A task that reads bytes from one connection and deserialises them into
+/// application messages.
+pub struct InputTask {
+    label: String,
+    endpoint: Endpoint,
+    codec: Arc<dyn WireCodec>,
+    projection: Option<Projection>,
+    buffer: Vec<u8>,
+    pending: Option<Value>,
+    output: ChannelProducer,
+    eof: bool,
+}
+
+impl InputTask {
+    /// Creates an input task reading from `endpoint` and pushing parsed
+    /// messages into `output`.
+    pub fn new(
+        label: impl Into<String>,
+        endpoint: Endpoint,
+        codec: Arc<dyn WireCodec>,
+        projection: Option<Projection>,
+        output: ChannelProducer,
+    ) -> Self {
+        InputTask {
+            label: label.into(),
+            endpoint,
+            codec,
+            projection,
+            buffer: Vec::with_capacity(READ_CHUNK),
+            pending: None,
+            output,
+            eof: false,
+        }
+    }
+
+    /// The connection this task reads from.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Tries to push a parsed message, stashing it if the channel is full.
+    fn push_out(&mut self, value: Value, ctx: &mut TaskContext) -> bool {
+        match self.output.push(value) {
+            Ok(()) => {
+                ctx.wake(self.output.consumer());
+                RuntimeMetrics::add(&ctx.metrics().messages_in, 1);
+                true
+            }
+            Err(back) => {
+                self.pending = Some(back);
+                false
+            }
+        }
+    }
+
+    /// Parses as many complete messages as possible from the buffer.
+    fn drain_buffer(&mut self, ctx: &mut TaskContext) -> Result<bool, RuntimeError> {
+        loop {
+            if self.buffer.is_empty() {
+                return Ok(true);
+            }
+            match self.codec.parse(&self.buffer, self.projection.as_ref())? {
+                ParseOutcome::Complete { message, consumed } => {
+                    self.buffer.drain(..consumed);
+                    if !self.push_out(Value::Msg(message), ctx) {
+                        return Ok(false);
+                    }
+                    if !ctx.can_continue() {
+                        return Ok(false);
+                    }
+                }
+                ParseOutcome::Incomplete { .. } => return Ok(true),
+            }
+        }
+    }
+}
+
+impl Drop for InputTask {
+    fn drop(&mut self) {
+        // Dropping a task (graph teardown) must release the connection so
+        // that the peer observes EOF instead of a hung socket.
+        self.endpoint.close();
+        self.output.close();
+    }
+}
+
+impl Task for InputTask {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&mut self, ctx: &mut TaskContext) -> TaskStatus {
+        // First retry any message that did not fit the channel last time.
+        if let Some(value) = self.pending.take() {
+            if !self.push_out(value, ctx) {
+                return TaskStatus::Runnable;
+            }
+        }
+        // Parse whatever is already buffered.
+        match self.drain_buffer(ctx) {
+            Ok(true) => {}
+            Ok(false) => return TaskStatus::Runnable,
+            Err(_) => {
+                // A malformed stream terminates the connection, as the paper's
+                // default behaviour for unparseable input.
+                self.endpoint.close();
+                self.output.close();
+                return TaskStatus::Finished;
+            }
+        }
+        // Then read more bytes from the connection.
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.endpoint.read(&mut chunk) {
+                Ok(n) => {
+                    self.buffer.extend_from_slice(&chunk[..n]);
+                    match self.drain_buffer(ctx) {
+                        Ok(true) => {}
+                        Ok(false) => return TaskStatus::Runnable,
+                        Err(_) => {
+                            self.endpoint.close();
+                            self.output.close();
+                            return TaskStatus::Finished;
+                        }
+                    }
+                    if !ctx.can_continue() {
+                        return TaskStatus::Runnable;
+                    }
+                }
+                Err(NetError::WouldBlock) => return TaskStatus::Idle,
+                Err(_) => {
+                    // Peer closed (or the connection failed): drain what we
+                    // have and finish. The consumer is woken so that it
+                    // observes the end of the stream promptly.
+                    self.eof = true;
+                    let _ = self.drain_buffer(ctx);
+                    self.output.close();
+                    ctx.wake(self.output.consumer());
+                    return TaskStatus::Finished;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compute task
+// ---------------------------------------------------------------------------
+
+/// Emission interface handed to [`ComputeLogic::on_value`].
+pub struct Outputs<'a> {
+    producers: &'a [ChannelProducer],
+    overflow: &'a mut VecDeque<(usize, Value)>,
+    wakes: Vec<crate::task::TaskId>,
+}
+
+impl<'a> Outputs<'a> {
+    /// Number of output channels available.
+    pub fn len(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// Returns `true` if the task has no output channels.
+    pub fn is_empty(&self) -> bool {
+        self.producers.is_empty()
+    }
+
+    /// Emits `value` on output channel `output`.
+    ///
+    /// If the channel is full the value is buffered and delivered on a later
+    /// dispatch, so logic never loses data.
+    pub fn emit(&mut self, output: usize, value: Value) {
+        debug_assert!(output < self.producers.len(), "output index out of range");
+        let producer = &self.producers[output];
+        let consumer = producer.consumer();
+        match producer.push(value) {
+            Ok(()) => {
+                if !self.wakes.contains(&consumer) {
+                    self.wakes.push(consumer);
+                }
+            }
+            Err(back) => self.overflow.push_back((output, back)),
+        }
+    }
+}
+
+/// User-supplied (or compiler-generated) processing logic for a compute task.
+pub trait ComputeLogic: Send {
+    /// Called for every value arriving on input channel `input`.
+    fn on_value(&mut self, input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError>;
+
+    /// Called once when input channel `input` will deliver no further values.
+    fn on_input_finished(&mut self, _input: usize, _out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        Ok(())
+    }
+}
+
+/// A task running [`ComputeLogic`] over its input channels.
+pub struct ComputeTask {
+    label: String,
+    inputs: Vec<ChannelConsumer>,
+    outputs: Vec<ChannelProducer>,
+    logic: Box<dyn ComputeLogic>,
+    overflow: VecDeque<(usize, Value)>,
+    input_finished: Vec<bool>,
+}
+
+impl ComputeTask {
+    /// Creates a compute task.
+    pub fn new(
+        label: impl Into<String>,
+        inputs: Vec<ChannelConsumer>,
+        outputs: Vec<ChannelProducer>,
+        logic: Box<dyn ComputeLogic>,
+    ) -> Self {
+        let n = inputs.len();
+        ComputeTask {
+            label: label.into(),
+            inputs,
+            outputs,
+            logic,
+            overflow: VecDeque::new(),
+            input_finished: vec![false; n],
+        }
+    }
+
+    fn flush_overflow(&mut self, ctx: &mut TaskContext) -> bool {
+        while let Some((output, value)) = self.overflow.pop_front() {
+            match self.outputs[output].push(value) {
+                Ok(()) => ctx.wake(self.outputs[output].consumer()),
+                Err(back) => {
+                    self.overflow.push_front((output, back));
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Task for ComputeTask {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&mut self, ctx: &mut TaskContext) -> TaskStatus {
+        if !self.flush_overflow(ctx) {
+            return TaskStatus::Runnable;
+        }
+        let mut made_progress = true;
+        while made_progress {
+            made_progress = false;
+            for input in 0..self.inputs.len() {
+                let value = self.inputs[input].pop();
+                match value {
+                    Some(value) => {
+                        made_progress = true;
+                        RuntimeMetrics::add(&ctx.metrics().values_processed, 1);
+                        let mut outputs = Outputs {
+                            producers: &self.outputs,
+                            overflow: &mut self.overflow,
+                            wakes: Vec::new(),
+                        };
+                        let result = self.logic.on_value(input, value, &mut outputs);
+                        let wakes = std::mem::take(&mut outputs.wakes);
+                        for w in wakes {
+                            ctx.wake(w);
+                        }
+                        if result.is_err() {
+                            // Logic errors terminate the graph instance.
+                            for out in &self.outputs {
+                                out.close();
+                            }
+                            return TaskStatus::Finished;
+                        }
+                        if !ctx.can_continue() {
+                            return TaskStatus::Runnable;
+                        }
+                    }
+                    None => {
+                        if self.inputs[input].is_finished() && !self.input_finished[input] {
+                            self.input_finished[input] = true;
+                            let mut outputs = Outputs {
+                                producers: &self.outputs,
+                                overflow: &mut self.overflow,
+                                wakes: Vec::new(),
+                            };
+                            let result = self.logic.on_input_finished(input, &mut outputs);
+                            let wakes = std::mem::take(&mut outputs.wakes);
+                            for w in wakes {
+                                ctx.wake(w);
+                            }
+                            if result.is_err() {
+                                for out in &self.outputs {
+                                    out.close();
+                                }
+                                return TaskStatus::Finished;
+                            }
+                            made_progress = true;
+                        }
+                    }
+                }
+            }
+        }
+        if self.input_finished.iter().all(|f| *f) && self.overflow.is_empty() {
+            for out in &self.outputs {
+                out.close();
+                ctx.wake(out.consumer());
+            }
+            return TaskStatus::Finished;
+        }
+        if !self.overflow.is_empty() {
+            TaskStatus::Runnable
+        } else {
+            TaskStatus::Idle
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output task
+// ---------------------------------------------------------------------------
+
+/// A task that serialises values and writes them to one connection.
+pub struct OutputTask {
+    label: String,
+    endpoint: Endpoint,
+    codec: Arc<dyn WireCodec>,
+    input: ChannelConsumer,
+    outbuf: Vec<u8>,
+    close_on_finish: bool,
+}
+
+impl OutputTask {
+    /// Creates an output task writing to `endpoint`.
+    pub fn new(
+        label: impl Into<String>,
+        endpoint: Endpoint,
+        codec: Arc<dyn WireCodec>,
+        input: ChannelConsumer,
+    ) -> Self {
+        OutputTask {
+            label: label.into(),
+            endpoint,
+            codec,
+            input,
+            outbuf: Vec::with_capacity(READ_CHUNK),
+            close_on_finish: true,
+        }
+    }
+
+    /// Controls whether the connection is closed when the input channel
+    /// finishes (default `true`).
+    pub fn set_close_on_finish(&mut self, close: bool) {
+        self.close_on_finish = close;
+    }
+
+    /// The connection this task writes to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    fn flush(&mut self) -> Result<bool, RuntimeError> {
+        while !self.outbuf.is_empty() {
+            match self.endpoint.write(&self.outbuf) {
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                }
+                Err(NetError::WouldBlock) => return Ok(false),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl Drop for OutputTask {
+    fn drop(&mut self) {
+        if self.close_on_finish {
+            self.endpoint.close();
+        }
+    }
+}
+
+impl Task for OutputTask {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&mut self, ctx: &mut TaskContext) -> TaskStatus {
+        loop {
+            match self.flush() {
+                Ok(true) => {}
+                Ok(false) => return TaskStatus::Runnable,
+                Err(_) => {
+                    // The peer is gone; drop remaining output.
+                    self.endpoint.close();
+                    return TaskStatus::Finished;
+                }
+            }
+            match self.input.pop() {
+                Some(value) => {
+                    let result = match &value {
+                        Value::Msg(msg) => self.codec.serialize(msg, &mut self.outbuf).map_err(RuntimeError::from),
+                        Value::Bytes(bytes) => {
+                            self.outbuf.extend_from_slice(bytes);
+                            Ok(())
+                        }
+                        Value::Str(s) => {
+                            self.outbuf.extend_from_slice(s.as_bytes());
+                            Ok(())
+                        }
+                        other => Err(RuntimeError::Logic(format!(
+                            "output task cannot serialise value {other}"
+                        ))),
+                    };
+                    if result.is_err() {
+                        self.endpoint.close();
+                        return TaskStatus::Finished;
+                    }
+                    RuntimeMetrics::add(&ctx.metrics().messages_out, 1);
+                    if !ctx.can_continue() {
+                        return TaskStatus::Runnable;
+                    }
+                }
+                None => {
+                    if self.input.is_finished() && self.outbuf.is_empty() {
+                        if self.close_on_finish {
+                            self.endpoint.close();
+                        }
+                        return TaskStatus::Finished;
+                    }
+                    return TaskStatus::Idle;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic tasks
+// ---------------------------------------------------------------------------
+
+/// A task that emits a fixed number of synthetic values then finishes.
+pub struct SourceTask {
+    label: String,
+    remaining: usize,
+    item_size: usize,
+    output: ChannelProducer,
+}
+
+impl SourceTask {
+    /// Creates a source emitting `count` byte values of `item_size` bytes.
+    pub fn new(label: impl Into<String>, count: usize, item_size: usize, output: ChannelProducer) -> Self {
+        SourceTask { label: label.into(), remaining: count, item_size, output }
+    }
+}
+
+impl Task for SourceTask {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&mut self, ctx: &mut TaskContext) -> TaskStatus {
+        while self.remaining > 0 {
+            let value = Value::Bytes(Bytes::from(vec![1u8; self.item_size]));
+            match self.output.push(value) {
+                Ok(()) => {
+                    ctx.wake(self.output.consumer());
+                    self.remaining -= 1;
+                }
+                Err(_) => return TaskStatus::Runnable,
+            }
+            if !ctx.can_continue() {
+                return if self.remaining == 0 { self.finish() } else { TaskStatus::Runnable };
+            }
+        }
+        self.finish()
+    }
+}
+
+impl SourceTask {
+    fn finish(&mut self) -> TaskStatus {
+        self.output.close();
+        TaskStatus::Finished
+    }
+}
+
+/// A self-contained task owning a finite list of data items, used by the
+/// §6.4 resource-sharing micro-benchmark.
+///
+/// Each item is `item_size` bytes and processing an item computes a simple
+/// addition over every byte, exactly as described in the paper. When the last
+/// item has been processed the `on_complete` callback fires (the benchmark
+/// uses it to record the task's completion time).
+pub struct SyntheticWorkTask {
+    label: String,
+    remaining: usize,
+    item_size: usize,
+    accumulator: u64,
+    on_complete: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl SyntheticWorkTask {
+    /// Creates a synthetic task with `items` items of `item_size` bytes.
+    pub fn new(
+        label: impl Into<String>,
+        items: usize,
+        item_size: usize,
+        on_complete: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Self {
+        SyntheticWorkTask { label: label.into(), remaining: items, item_size, accumulator: 0, on_complete }
+    }
+
+    /// The running checksum (prevents the work from being optimised away).
+    pub fn accumulator(&self) -> u64 {
+        self.accumulator
+    }
+
+    fn process_one_item(&mut self) {
+        // A simple addition for each input byte (§6.4).
+        let mut sum = self.accumulator;
+        for i in 0..self.item_size {
+            sum = sum.wrapping_add((i as u64) ^ 0x5a);
+        }
+        self.accumulator = sum;
+        self.remaining -= 1;
+    }
+}
+
+impl Task for SyntheticWorkTask {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&mut self, ctx: &mut TaskContext) -> TaskStatus {
+        while self.remaining > 0 {
+            self.process_one_item();
+            RuntimeMetrics::add(&ctx.metrics().values_processed, 1);
+            if self.remaining == 0 {
+                break;
+            }
+            if !ctx.can_continue() {
+                return TaskStatus::Runnable;
+            }
+        }
+        if let Some(cb) = self.on_complete.take() {
+            cb();
+        }
+        TaskStatus::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::TaskChannel;
+    use crate::task::{SchedulingPolicy, TaskId};
+    use flick_grammar::http::{self, HttpCodec};
+    use flick_net::{SimNetwork, StackModel};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn ctx() -> TaskContext {
+        TaskContext::new(SchedulingPolicy::NonCooperative, RuntimeMetrics::new_shared())
+    }
+
+    /// Logic that forwards every value to output 0, uppercasing strings.
+    struct Passthrough;
+    impl ComputeLogic for Passthrough {
+        fn on_value(&mut self, _input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+            out.emit(0, value);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn input_task_parses_http_requests_from_connection() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(80).unwrap();
+        let client = net.connect(80).unwrap();
+        let server = listener.accept().unwrap();
+        client.write(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+
+        let (tx, rx) = TaskChannel::bounded(16, TaskId(1));
+        let mut task = InputTask::new("in", server, Arc::new(HttpCodec::new()), None, tx);
+        let mut c = ctx();
+        assert_eq!(task.run(&mut c), TaskStatus::Idle);
+        assert_eq!(rx.len(), 2);
+        let first = rx.pop().unwrap().into_msg().unwrap();
+        assert_eq!(first.str_field("path"), Some("/a"));
+        // The compute task consuming channel 1 must have been woken.
+        assert!(c.take_wakes().contains(&TaskId(1)));
+    }
+
+    #[test]
+    fn input_task_finishes_on_peer_close() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(81).unwrap();
+        let client = net.connect(81).unwrap();
+        let server = listener.accept().unwrap();
+        client.write(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        client.close();
+
+        let (tx, rx) = TaskChannel::bounded(16, TaskId(1));
+        let mut task = InputTask::new("in", server, Arc::new(HttpCodec::new()), None, tx);
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+        assert_eq!(rx.len(), 1);
+        assert!(rx.producers_closed());
+    }
+
+    #[test]
+    fn input_task_handles_partial_then_complete_messages() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(82).unwrap();
+        let client = net.connect(82).unwrap();
+        let server = listener.accept().unwrap();
+
+        let (tx, rx) = TaskChannel::bounded(16, TaskId(1));
+        let mut task = InputTask::new("in", server, Arc::new(HttpCodec::new()), None, tx);
+        client.write(b"GET /part HTTP/1.1\r\nHo").unwrap();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Idle);
+        assert_eq!(rx.len(), 0);
+        client.write(b"st: h\r\n\r\n").unwrap();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Idle);
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn compute_task_passthrough_and_finish() {
+        let (in_tx, in_rx) = TaskChannel::bounded(16, TaskId(2));
+        let (out_tx, out_rx) = TaskChannel::bounded(16, TaskId(3));
+        let mut task = ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
+        in_tx.push(Value::Int(1)).unwrap();
+        in_tx.push(Value::Int(2)).unwrap();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Idle);
+        assert_eq!(out_rx.len(), 2);
+        in_tx.close();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+        assert!(out_rx.producers_closed());
+    }
+
+    #[test]
+    fn compute_task_overflow_is_retried() {
+        let (in_tx, in_rx) = TaskChannel::bounded(16, TaskId(2));
+        // Output capacity 1 forces overflow.
+        let (out_tx, out_rx) = TaskChannel::bounded(1, TaskId(3));
+        let mut task = ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
+        in_tx.push(Value::Int(1)).unwrap();
+        in_tx.push(Value::Int(2)).unwrap();
+        in_tx.push(Value::Int(3)).unwrap();
+        let status = task.run(&mut ctx());
+        assert_eq!(status, TaskStatus::Runnable, "overflowed values keep the task runnable");
+        assert_eq!(out_rx.pop(), Some(Value::Int(1)));
+        // Draining the output lets the retry succeed.
+        let status = task.run(&mut ctx());
+        assert!(matches!(status, TaskStatus::Idle | TaskStatus::Runnable));
+        assert_eq!(out_rx.pop(), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn output_task_serialises_and_writes() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(83).unwrap();
+        let client = net.connect(83).unwrap();
+        let server = listener.accept().unwrap();
+
+        let (tx, rx) = TaskChannel::bounded(16, TaskId(4));
+        let mut task = OutputTask::new("out", server, Arc::new(HttpCodec::new()), rx);
+        tx.push(Value::Msg(http::response(200, b"hello"))).unwrap();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Idle);
+        let mut buf = [0u8; 256];
+        let n = client.read(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]);
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.ends_with("hello"));
+        // Closing the channel finishes the task and closes the connection.
+        tx.close();
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+        assert!(client.peer_closed());
+    }
+
+    #[test]
+    fn output_task_writes_raw_bytes_and_strings() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(84).unwrap();
+        let client = net.connect(84).unwrap();
+        let server = listener.accept().unwrap();
+        let (tx, rx) = TaskChannel::bounded(16, TaskId(4));
+        let mut task = OutputTask::new("out", server, Arc::new(HttpCodec::new()), rx);
+        tx.push(Value::Bytes(Bytes::from_static(b"raw-"))).unwrap();
+        tx.push(Value::Str("text".into())).unwrap();
+        task.run(&mut ctx());
+        let mut buf = [0u8; 64];
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"raw-text");
+    }
+
+    #[test]
+    fn source_task_emits_and_closes() {
+        let (tx, rx) = TaskChannel::bounded(64, TaskId(5));
+        let mut task = SourceTask::new("src", 10, 32, tx);
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+        assert_eq!(rx.len(), 10);
+        assert!(rx.producers_closed());
+        assert_eq!(rx.pop().unwrap().approx_size(), 32);
+    }
+
+    #[test]
+    fn source_task_respects_full_channel() {
+        let (tx, rx) = TaskChannel::bounded(4, TaskId(5));
+        let mut task = SourceTask::new("src", 10, 8, tx);
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Runnable);
+        assert_eq!(rx.len(), 4);
+        while rx.pop().is_some() {}
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Runnable);
+        while rx.pop().is_some() {}
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+    }
+
+    #[test]
+    fn synthetic_work_task_completes_and_calls_back() {
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let mut task = SyntheticWorkTask::new(
+            "work",
+            100,
+            1024,
+            Some(Box::new(move || done2.store(true, Ordering::SeqCst))),
+        );
+        assert_eq!(task.run(&mut ctx()), TaskStatus::Finished);
+        assert!(done.load(Ordering::SeqCst));
+        assert!(task.accumulator() > 0);
+    }
+
+    #[test]
+    fn synthetic_work_task_round_robin_yields_per_item() {
+        let mut task = SyntheticWorkTask::new("work", 3, 16, None);
+        let metrics = RuntimeMetrics::new_shared();
+        let mut c1 = TaskContext::new(SchedulingPolicy::RoundRobin, Arc::clone(&metrics));
+        assert_eq!(task.run(&mut c1), TaskStatus::Runnable);
+        let mut c2 = TaskContext::new(SchedulingPolicy::RoundRobin, Arc::clone(&metrics));
+        assert_eq!(task.run(&mut c2), TaskStatus::Runnable);
+        let mut c3 = TaskContext::new(SchedulingPolicy::RoundRobin, metrics);
+        assert_eq!(task.run(&mut c3), TaskStatus::Finished);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's application-specific network services and baseline systems.
+//!
+//! Use cases (§2.1 / §6.1):
+//!
+//! * [`http`] — the HTTP load balancer and its static-web-server variant,
+//!   built as explicit task graphs on the FLICK runtime (the shape of
+//!   Figure 3a);
+//! * [`memcached`] — the Memcached proxy (Listing 1) and cache router,
+//!   compiled from their FLICK sources;
+//! * [`hadoop`] — the Hadoop in-network data aggregator (Listing 3),
+//!   compiled from its FLICK source;
+//! * [`baselines`] — behavioural models of the systems the paper compares
+//!   against: Apache (thread-per-connection proxy), Nginx (event-loop proxy)
+//!   and Moxi (multi-threaded Memcached proxy with shared state).
+
+pub mod baselines;
+pub mod hadoop;
+pub mod http;
+pub mod memcached;
+
+pub use http::{HttpLoadBalancerFactory, StaticWebServerFactory};

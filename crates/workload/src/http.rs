@@ -1,0 +1,176 @@
+//! Closed-loop HTTP client fleet (the ApacheBench stand-in).
+
+use crate::metrics::{LatencyRecorder, RunStats};
+use flick_grammar::http::HttpCodec;
+use flick_grammar::{ParseOutcome, WireCodec};
+use flick_net::{NetError, SimNetwork};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one HTTP load-generation run.
+#[derive(Debug, Clone)]
+pub struct HttpLoadConfig {
+    /// Port of the system under test.
+    pub port: u16,
+    /// Number of concurrent client connections.
+    pub concurrency: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// `true` for HTTP keep-alive (persistent connections); `false` opens a
+    /// new connection per request.
+    pub persistent: bool,
+    /// Per-request timeout before the request counts as failed.
+    pub timeout: Duration,
+}
+
+impl Default for HttpLoadConfig {
+    fn default() -> Self {
+        HttpLoadConfig {
+            port: 80,
+            concurrency: 16,
+            duration: Duration::from_millis(500),
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Runs a closed-loop HTTP workload: each client keeps exactly one request
+/// outstanding, as ApacheBench does.
+pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats {
+    let recorder = LatencyRecorder::new();
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let mut handles = Vec::new();
+    for client_id in 0..config.concurrency {
+        let net = Arc::clone(net);
+        let config = config.clone();
+        let recorder = recorder.clone();
+        let completed = Arc::clone(&completed);
+        let failed = Arc::clone(&failed);
+        let bytes = Arc::clone(&bytes);
+        handles.push(std::thread::spawn(move || {
+            let codec = HttpCodec::new();
+            let mut connection = None;
+            let mut request_id = 0usize;
+            while Instant::now() < deadline {
+                // (Re-)establish the connection as needed.
+                if connection.is_none() {
+                    match net.connect(config.port) {
+                        Ok(conn) => connection = Some(conn),
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                    }
+                }
+                let conn = connection.as_ref().expect("connection established");
+                request_id += 1;
+                let request = format!(
+                    "GET /c{client_id}/r{request_id} HTTP/1.1\r\nHost: bench\r\n{}\r\n",
+                    if config.persistent { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" }
+                );
+                let started = Instant::now();
+                if conn.write_all(request.as_bytes()).is_err() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    connection = None;
+                    continue;
+                }
+                // Read one full response.
+                let mut buf = Vec::with_capacity(512);
+                let mut chunk = [0u8; 4096];
+                let mut ok = false;
+                while started.elapsed() < config.timeout {
+                    match conn.read_timeout(&mut chunk, config.timeout) {
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            match codec.parse(&buf, None) {
+                                Ok(ParseOutcome::Complete { consumed, .. }) => {
+                                    bytes.fetch_add(consumed as u64, Ordering::Relaxed);
+                                    ok = true;
+                                    break;
+                                }
+                                Ok(ParseOutcome::Incomplete { .. }) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(NetError::TimedOut) | Err(_) => break,
+                    }
+                }
+                if ok {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    recorder.record(started.elapsed());
+                } else {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    connection = None;
+                    continue;
+                }
+                if !config.persistent {
+                    if let Some(conn) = connection.take() {
+                        conn.close();
+                    }
+                }
+            }
+            if let Some(conn) = connection.take() {
+                conn.close();
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    RunStats {
+        completed: completed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        latency: recorder.stats(),
+        bytes: bytes.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::start_http_backend;
+    use flick_net::StackModel;
+
+    #[test]
+    fn load_generator_measures_a_direct_backend() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _backend = start_http_backend(&net, 9401, b"ok");
+        let config = HttpLoadConfig {
+            port: 9401,
+            concurrency: 4,
+            duration: Duration::from_millis(200),
+            persistent: true,
+            timeout: Duration::from_secs(2),
+        };
+        let stats = run_http_load(&net, &config);
+        assert!(stats.completed > 10, "expected some completed requests, got {stats:?}");
+        assert!(stats.requests_per_sec() > 0.0);
+        assert!(stats.latency.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn non_persistent_mode_reconnects_per_request() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _backend = start_http_backend(&net, 9402, b"ok");
+        let config = HttpLoadConfig {
+            port: 9402,
+            concurrency: 2,
+            duration: Duration::from_millis(150),
+            persistent: false,
+            timeout: Duration::from_secs(2),
+        };
+        let stats = run_http_load(&net, &config);
+        assert!(stats.completed > 5);
+        let opened = net.stats().snapshot().connections_opened;
+        // Roughly one connection per completed request (plus the warm-up).
+        assert!(opened as u64 >= stats.completed, "opened {opened}, completed {}", stats.completed);
+    }
+}

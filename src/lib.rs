@@ -1,0 +1,15 @@
+//! FLICK: developing and running application-specific network services.
+//!
+//! This is the umbrella crate of the FLICK reproduction (USENIX ATC 2016).
+//! It re-exports the public API of every subsystem crate; see the `examples/`
+//! directory for runnable end-to-end scenarios and `DESIGN.md` for the
+//! system inventory.
+
+pub use flick_compiler as compiler;
+pub use flick_core::*;
+pub use flick_grammar as grammar;
+pub use flick_lang as lang;
+pub use flick_net as net_substrate;
+pub use flick_runtime as runtime_crate;
+pub use flick_services as services;
+pub use flick_workload as workload;

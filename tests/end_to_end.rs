@@ -1,0 +1,131 @@
+//! Integration tests spanning the whole stack: FLICK source → compiler →
+//! platform → simulated network → workload generators.
+
+use flick::services::hadoop::hadoop_aggregator;
+use flick::services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
+use flick::services::memcached::{memcached_proxy, memcached_router};
+use flick::{Flick, Platform, PlatformConfig, ServiceSpec};
+use flick_workload::backends::{start_http_backend, start_memcached_backend, start_sink_backend};
+use flick_workload::hadoop::{run_hadoop_mappers, wait_for_quiescence, HadoopLoadConfig};
+use flick_workload::http::{run_http_load, HttpLoadConfig};
+use flick_workload::memcached::{run_memcached_load, MemcachedLoadConfig};
+use std::time::Duration;
+
+#[test]
+fn listing1_memcached_proxy_end_to_end() {
+    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let net = platform.net();
+    let backend_ports = vec![11501u16, 11502, 11503];
+    let backends: Vec<_> = backend_ports.iter().map(|p| start_memcached_backend(&net, *p)).collect();
+    let _svc = platform
+        .deploy(ServiceSpec::new("proxy", 11500, memcached_proxy()).with_backends(backend_ports))
+        .unwrap();
+    let stats = run_memcached_load(
+        &net,
+        &MemcachedLoadConfig {
+            port: 11500,
+            clients: 8,
+            duration: Duration::from_millis(400),
+            key_space: 256,
+            ..Default::default()
+        },
+    );
+    assert!(stats.completed > 50, "{stats:?}");
+    assert_eq!(stats.failed, 0);
+    // Hash partitioning spreads keys over every backend.
+    assert!(backends.iter().all(|b| b.requests_served() > 0));
+}
+
+#[test]
+fn cache_router_reduces_backend_load() {
+    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let net = platform.net();
+    let backend = start_memcached_backend(&net, 11601);
+    let _svc = platform
+        .deploy(ServiceSpec::new("router", 11600, memcached_router()).with_backends(vec![11601]))
+        .unwrap();
+    let stats = run_memcached_load(
+        &net,
+        &MemcachedLoadConfig {
+            port: 11600,
+            clients: 4,
+            duration: Duration::from_millis(400),
+            key_space: 8, // a tiny key space makes almost every request a cache hit
+            ..Default::default()
+        },
+    );
+    assert!(stats.completed > 50, "{stats:?}");
+    let backend_requests = backend.requests_served();
+    assert!(
+        backend_requests * 4 < stats.completed,
+        "the router cache should absorb most requests: {backend_requests} backend vs {} total",
+        stats.completed
+    );
+}
+
+#[test]
+fn http_lb_and_static_server_serve_traffic() {
+    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let net = platform.net();
+    let backend_ports = vec![8601u16, 8602];
+    let _backends: Vec<_> = backend_ports.iter().map(|p| start_http_backend(&net, *p, b"w")).collect();
+    let _lb = platform
+        .deploy(ServiceSpec::new("lb", 8600, HttpLoadBalancerFactory::new()).with_backends(backend_ports))
+        .unwrap();
+    let _web = platform
+        .deploy(ServiceSpec::new("web", 8610, StaticWebServerFactory::new(&b"static"[..])))
+        .unwrap();
+    for port in [8600u16, 8610] {
+        let stats = run_http_load(
+            &net,
+            &HttpLoadConfig { port, concurrency: 4, duration: Duration::from_millis(300), ..Default::default() },
+        );
+        assert!(stats.completed > 10, "port {port}: {stats:?}");
+        assert_eq!(stats.failed, 0, "port {port}");
+    }
+}
+
+#[test]
+fn listing3_hadoop_aggregation_reduces_traffic() {
+    let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+    let net = platform.net();
+    let (_reducer, reducer_bytes) = start_sink_backend(&net, 9901);
+    let _svc = platform
+        .deploy(ServiceSpec::new("hadoop", 9900, hadoop_aggregator(3)).with_backends(vec![9901]))
+        .unwrap();
+    let stats = run_hadoop_mappers(
+        &net,
+        &HadoopLoadConfig {
+            port: 9900,
+            mappers: 3,
+            word_len: 12,
+            distinct_words: 50,
+            bytes_per_mapper: 128 * 1024,
+            link_bits_per_sec: None,
+        },
+    );
+    assert_eq!(stats.failed, 0);
+    let forwarded = wait_for_quiescence(&reducer_bytes, Duration::from_secs(10));
+    assert!(forwarded > 0);
+    assert!(forwarded < stats.bytes / 2, "aggregation must reduce traffic: {} -> {forwarded}", stats.bytes);
+}
+
+#[test]
+fn facade_compiles_and_runs_custom_program() {
+    let flick = Flick::new(PlatformConfig { workers: 2, ..Default::default() });
+    let program = r#"
+type frame: record
+  kind : integer {signed=false, size=1}
+  len : integer {signed=false, size=2}
+  body : string {size=len}
+
+proc Mirror: (frame/frame client)
+  client => client
+"#;
+    let _svc = flick.run_program(program, "Mirror", 9950, &[]).unwrap();
+    let client = flick.net().connect(9950).unwrap();
+    client.write_all(&[3u8, 0, 2, b'o', b'k']).unwrap();
+    let mut buf = [0u8; 5];
+    client.read_exact_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+    assert_eq!(&buf, &[3u8, 0, 2, b'o', b'k']);
+}
