@@ -3,23 +3,30 @@
 //! serialisation pass-through.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use flick_grammar::{memcached, http, WireCodec};
+use flick_grammar::{http, memcached, WireCodec};
 
 fn bench_grammar(c: &mut Criterion) {
     let codec = memcached::MemcachedCodec::new();
     let mut wire = Vec::new();
     codec
-        .serialize(&memcached::request(memcached::opcode::GETK, b"user:12345", b"", &[7u8; 64]), &mut wire)
+        .serialize(
+            &memcached::request(memcached::opcode::GETK, b"user:12345", b"", &[7u8; 64]),
+            &mut wire,
+        )
         .unwrap();
     let projection = memcached::router_projection();
     let mut group = c.benchmark_group("grammar");
-    group.bench_function("memcached_parse_full", |b| b.iter(|| codec.parse(&wire, None).unwrap()));
+    group.bench_function("memcached_parse_full", |b| {
+        b.iter(|| codec.parse(&wire, None).unwrap())
+    });
     group.bench_function("memcached_parse_projected", |b| {
         b.iter(|| codec.parse(&wire, Some(&projection)).unwrap())
     });
     let http_codec = http::HttpCodec::new();
     let request = b"GET /index.html HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n";
-    group.bench_function("http_parse_request", |b| b.iter(|| http_codec.parse(request, None).unwrap()));
+    group.bench_function("http_parse_request", |b| {
+        b.iter(|| http_codec.parse(request, None).unwrap())
+    });
     group.finish();
 }
 

@@ -13,9 +13,11 @@ fn bench_hadoop(c: &mut Criterion) {
             bytes_per_mapper: 128 * 1024,
             link_bits_per_sec: None,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(word_len), &params, |b, params| {
-            b.iter(|| run_hadoop_experiment(params))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(word_len),
+            &params,
+            |b, params| b.iter(|| run_hadoop_experiment(params)),
+        );
     }
     group.finish();
 }

@@ -7,7 +7,11 @@ use std::time::Duration;
 
 fn bench_http_lb(c: &mut Criterion) {
     for persistent in [true, false] {
-        let name = if persistent { "http_lb_persistent" } else { "http_lb_non_persistent" };
+        let name = if persistent {
+            "http_lb_persistent"
+        } else {
+            "http_lb_non_persistent"
+        };
         let mut group = c.benchmark_group(name);
         for system in HttpSystem::all() {
             let params = HttpExperiment {
@@ -17,9 +21,11 @@ fn bench_http_lb(c: &mut Criterion) {
                 workers: 2,
                 backends: 2,
             };
-            group.bench_with_input(BenchmarkId::from_parameter(system.label()), &system, |b, system| {
-                b.iter(|| run_http_experiment(*system, &params))
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.label()),
+                &system,
+                |b, system| b.iter(|| run_http_experiment(*system, &params)),
+            );
         }
         group.finish();
     }

@@ -9,10 +9,17 @@ use flick_runtime::{RuntimeMetrics, SchedulingPolicy};
 use std::time::Duration;
 
 fn run_batch(workers: usize) {
-    let scheduler = Scheduler::start(workers, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+    let scheduler = Scheduler::start(
+        workers,
+        SchedulingPolicy::default(),
+        RuntimeMetrics::new_shared(),
+    );
     for i in 0..32u64 {
         let id = TaskId(i + 1);
-        scheduler.register(id, Box::new(SyntheticWorkTask::new(format!("t{i}"), 50, 4096, None)));
+        scheduler.register(
+            id,
+            Box::new(SyntheticWorkTask::new(format!("t{i}"), 50, 4096, None)),
+        );
         scheduler.schedule(id);
     }
     assert!(scheduler.wait_idle(Duration::from_secs(30)));
@@ -21,9 +28,11 @@ fn run_batch(workers: usize) {
 fn bench_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_workers");
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, workers| {
-            b.iter(|| run_batch(*workers))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, workers| b.iter(|| run_batch(*workers)),
+        );
     }
     group.finish();
 }

@@ -7,10 +7,19 @@ use flick_runtime::SchedulingPolicy;
 use std::time::Duration;
 
 fn bench_scheduling(c: &mut Criterion) {
-    let params = SharingExperiment { tasks_per_class: 10, items_per_task: 50, workers: 2 };
+    let params = SharingExperiment {
+        tasks_per_class: 10,
+        items_per_task: 50,
+        workers: 2,
+    };
     let mut group = c.benchmark_group("scheduling_policies");
     for (label, policy) in [
-        ("cooperative", SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) }),
+        (
+            "cooperative",
+            SchedulingPolicy::Cooperative {
+                timeslice: Duration::from_micros(50),
+            },
+        ),
         ("non-cooperative", SchedulingPolicy::NonCooperative),
         ("round-robin", SchedulingPolicy::RoundRobin),
     ] {
@@ -22,7 +31,9 @@ fn bench_scheduling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("timeslice_ablation");
     for micros in [10u64, 100, 1000] {
-        let policy = SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(micros) };
+        let policy = SchedulingPolicy::Cooperative {
+            timeslice: Duration::from_micros(micros),
+        };
         group.bench_with_input(BenchmarkId::from_parameter(micros), &policy, |b, policy| {
             b.iter(|| run_sharing_experiment(*policy, &params))
         });

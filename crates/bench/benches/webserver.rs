@@ -16,9 +16,11 @@ fn bench_webserver(c: &mut Criterion) {
             workers: 2,
             backends: 0,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(system.label()), &system, |b, system| {
-            b.iter(|| run_http_experiment(*system, &params))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, system| b.iter(|| run_http_experiment(*system, &params)),
+        );
     }
     group.finish();
 }

@@ -24,7 +24,12 @@ fn main() {
                     backends: 4,
                 };
                 let stats = run_http_experiment(system, &params);
-                rows.push(Row::new(concurrency, system.label(), stats.requests_per_sec(), "req/s"));
+                rows.push(Row::new(
+                    concurrency,
+                    system.label(),
+                    stats.requests_per_sec(),
+                    "req/s",
+                ));
                 rows.push(Row::new(
                     concurrency,
                     format!("{} latency", system.label()),
@@ -33,7 +38,11 @@ fn main() {
                 ));
             }
         }
-        let fig = if persistent { "Figure 4a/4b (persistent)" } else { "Figure 4c/4d (non-persistent)" };
+        let fig = if persistent {
+            "Figure 4a/4b (persistent)"
+        } else {
+            "Figure 4c/4d (non-persistent)"
+        };
         print_table(&format!("HTTP load balancer — {fig}"), &rows);
     }
 }

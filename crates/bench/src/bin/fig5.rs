@@ -6,7 +6,9 @@
 //! around 198 krps at 16 cores, Moxi peaks around 82 krps at 4 cores and
 //! stops scaling (shared-state contention).
 
-use flick_bench::{print_table, run_memcached_experiment, MemcachedExperiment, MemcachedSystem, Row};
+use flick_bench::{
+    print_table, run_memcached_experiment, MemcachedExperiment, MemcachedSystem, Row,
+};
 use std::time::Duration;
 
 fn main() {
@@ -21,7 +23,12 @@ fn main() {
                 duration: Duration::from_millis(700),
             };
             let stats = run_memcached_experiment(system, &params);
-            rows.push(Row::new(c, system.label(), stats.requests_per_sec(), "req/s"));
+            rows.push(Row::new(
+                c,
+                system.label(),
+                stats.requests_per_sec(),
+                "req/s",
+            ));
             rows.push(Row::new(
                 c,
                 format!("{} latency", system.label()),

@@ -12,16 +12,35 @@ use flick_runtime::SchedulingPolicy;
 use std::time::Duration;
 
 fn main() {
-    let params = SharingExperiment { tasks_per_class: 100, items_per_task: 400, workers: 2 };
+    let params = SharingExperiment {
+        tasks_per_class: 100,
+        items_per_task: 400,
+        workers: 2,
+    };
     let mut rows = Vec::new();
     for (label, policy) in [
-        ("Cooperative", SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) }),
+        (
+            "Cooperative",
+            SchedulingPolicy::Cooperative {
+                timeslice: Duration::from_micros(50),
+            },
+        ),
         ("Non cooperative", SchedulingPolicy::NonCooperative),
         ("Round robin", SchedulingPolicy::RoundRobin),
     ] {
         let result = run_sharing_experiment(policy, &params);
-        rows.push(Row::new(label, "Light", result.light_completion.as_secs_f64(), "s"));
-        rows.push(Row::new(label, "Heavy", result.heavy_completion.as_secs_f64(), "s"));
+        rows.push(Row::new(
+            label,
+            "Light",
+            result.light_completion.as_secs_f64(),
+            "s",
+        ));
+        rows.push(Row::new(
+            label,
+            "Heavy",
+            result.heavy_completion.as_secs_f64(),
+            "s",
+        ));
     }
     print_table("Resource sharing micro-benchmark — Figure 7", &rows);
 }

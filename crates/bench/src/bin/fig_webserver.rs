@@ -7,8 +7,8 @@
 //! ~380 krps (FLICK mTCP), ~159 krps (Apache), ~217 krps (Nginx) with
 //! persistent connections; ~45/193/35/44 krps non-persistent.
 
-use flick_bench::{run_http_experiment, HttpExperiment, HttpSystem};
 use flick_bench::{print_table, Row};
+use flick_bench::{run_http_experiment, HttpExperiment, HttpSystem};
 use std::time::Duration;
 
 fn main() {
@@ -25,7 +25,12 @@ fn main() {
                     backends: 0,
                 };
                 let stats = run_http_experiment(system, &params);
-                rows.push(Row::new(concurrency, system.label(), stats.requests_per_sec(), "req/s"));
+                rows.push(Row::new(
+                    concurrency,
+                    system.label(),
+                    stats.requests_per_sec(),
+                    "req/s",
+                ));
                 rows.push(Row::new(
                     concurrency,
                     format!("{} latency", system.label()),
@@ -34,7 +39,14 @@ fn main() {
                 ));
             }
         }
-        let mode = if persistent { "persistent" } else { "non-persistent" };
-        print_table(&format!("Static web server, {mode} connections (paper §6.3)"), &rows);
+        let mode = if persistent {
+            "persistent"
+        } else {
+            "non-persistent"
+        };
+        print_table(
+            &format!("Static web server, {mode} connections (paper §6.3)"),
+            &rows,
+        );
     }
 }

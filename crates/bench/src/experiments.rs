@@ -1,11 +1,11 @@
 //! Experiment runners, one per figure.
 
 use flick_net::{SimNetwork, StackModel};
-use flick_runtime::{Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
 use flick_runtime::scheduler::Scheduler;
 use flick_runtime::task::TaskId;
 use flick_runtime::tasks::SyntheticWorkTask;
 use flick_runtime::RuntimeMetrics;
+use flick_runtime::{Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
 use flick_services::baselines::{ApacheLikeProxy, MoxiLikeProxy, NginxLikeProxy};
 use flick_services::hadoop::hadoop_aggregator;
 use flick_services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
@@ -46,7 +46,12 @@ impl HttpSystem {
 
     /// All four systems.
     pub fn all() -> [HttpSystem; 4] {
-        [HttpSystem::FlickKernel, HttpSystem::FlickMtcp, HttpSystem::Apache, HttpSystem::Nginx]
+        [
+            HttpSystem::FlickKernel,
+            HttpSystem::FlickMtcp,
+            HttpSystem::Apache,
+            HttpSystem::Nginx,
+        ]
     }
 }
 
@@ -100,11 +105,19 @@ pub fn run_http_experiment(system: HttpSystem, params: &HttpExperiment) -> RunSt
     match system {
         HttpSystem::FlickKernel | HttpSystem::FlickMtcp => {
             let platform = Platform::with_network(
-                PlatformConfig { workers: params.workers, stack, ..Default::default() },
+                PlatformConfig {
+                    workers: params.workers,
+                    stack,
+                    ..Default::default()
+                },
                 Arc::clone(&net),
             );
             let spec = if params.backends == 0 {
-                ServiceSpec::new("web", service_port, StaticWebServerFactory::new(&[b'x'; 137][..]))
+                ServiceSpec::new(
+                    "web",
+                    service_port,
+                    StaticWebServerFactory::new(&[b'x'; 137][..]),
+                )
             } else {
                 ServiceSpec::new("lb", service_port, HttpLoadBalancerFactory::new())
                     .with_backends(backend_ports.clone())
@@ -163,7 +176,11 @@ impl MemcachedSystem {
 
     /// All three systems.
     pub fn all() -> [MemcachedSystem; 3] {
-        [MemcachedSystem::FlickKernel, MemcachedSystem::FlickMtcp, MemcachedSystem::Moxi]
+        [
+            MemcachedSystem::FlickKernel,
+            MemcachedSystem::FlickMtcp,
+            MemcachedSystem::Moxi,
+        ]
     }
 }
 
@@ -182,7 +199,12 @@ pub struct MemcachedExperiment {
 
 impl Default for MemcachedExperiment {
     fn default() -> Self {
-        MemcachedExperiment { cores: 4, clients: 32, backends: 4, duration: Duration::from_millis(800) }
+        MemcachedExperiment {
+            cores: 4,
+            clients: 32,
+            backends: 4,
+            duration: Duration::from_millis(800),
+        }
     }
 }
 
@@ -195,7 +217,10 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
     let net = SimNetwork::new(stack);
     let service_port = 11211u16;
     let backend_ports: Vec<u16> = (0..params.backends).map(|i| 11300 + i as u16).collect();
-    let _backends: Vec<_> = backend_ports.iter().map(|p| start_memcached_backend(&net, *p)).collect();
+    let _backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_memcached_backend(&net, *p))
+        .collect();
 
     let mut _platform = None;
     let mut _service = None;
@@ -203,7 +228,11 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
     match system {
         MemcachedSystem::FlickKernel | MemcachedSystem::FlickMtcp => {
             let platform = Platform::with_network(
-                PlatformConfig { workers: params.cores, stack, ..Default::default() },
+                PlatformConfig {
+                    workers: params.cores,
+                    stack,
+                    ..Default::default()
+                },
                 Arc::clone(&net),
             );
             _service = Some(
@@ -217,7 +246,11 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
             _platform = Some(platform);
         }
         MemcachedSystem::Moxi => {
-            _proxy = Some(MoxiLikeProxy::start(&net, service_port, backend_ports.clone()));
+            _proxy = Some(MoxiLikeProxy::start(
+                &net,
+                service_port,
+                backend_ports.clone(),
+            ));
         }
     }
 
@@ -267,7 +300,11 @@ pub fn run_hadoop_experiment(params: &HadoopExperiment) -> f64 {
     let service_port = 9800u16;
     let (_reducer, reducer_bytes) = start_sink_backend(&net, reducer_port);
     let platform = Platform::with_network(
-        PlatformConfig { workers: params.cores, stack: StackModel::Kernel, ..Default::default() },
+        PlatformConfig {
+            workers: params.cores,
+            stack: StackModel::Kernel,
+            ..Default::default()
+        },
         Arc::clone(&net),
     );
     let _service = platform
@@ -314,13 +351,20 @@ pub struct SharingExperiment {
 
 impl Default for SharingExperiment {
     fn default() -> Self {
-        SharingExperiment { tasks_per_class: 100, items_per_task: 400, workers: 2 }
+        SharingExperiment {
+            tasks_per_class: 100,
+            items_per_task: 400,
+            workers: 2,
+        }
     }
 }
 
 /// Runs the scheduling-policy micro-benchmark: 50% light tasks (1 KB items)
 /// and 50% heavy tasks (16 KB items), returning per-class completion times.
-pub fn run_sharing_experiment(policy: SchedulingPolicy, params: &SharingExperiment) -> SharingResult {
+pub fn run_sharing_experiment(
+    policy: SchedulingPolicy,
+    params: &SharingExperiment,
+) -> SharingResult {
     let metrics = RuntimeMetrics::new_shared();
     let scheduler = Scheduler::start(params.workers, policy, metrics);
     let start = Instant::now();
@@ -331,7 +375,11 @@ pub fn run_sharing_experiment(policy: SchedulingPolicy, params: &SharingExperime
     // non-cooperative policy completion order then follows scheduling order,
     // which is the effect Figure 7 illustrates.
     for class in 0..2 {
-        let (item_size, sink) = if class == 1 { (1024, &light_done) } else { (16 * 1024, &heavy_done) };
+        let (item_size, sink) = if class == 1 {
+            (1024, &light_done)
+        } else {
+            (16 * 1024, &heavy_done)
+        };
         for i in 0..params.tasks_per_class {
             let sink = Arc::clone(sink);
             let id = TaskId(next_id);
@@ -350,9 +398,15 @@ pub fn run_sharing_experiment(policy: SchedulingPolicy, params: &SharingExperime
             scheduler.schedule(id);
         }
     }
-    assert!(scheduler.wait_idle(Duration::from_secs(120)), "micro-benchmark stalled");
+    assert!(
+        scheduler.wait_idle(Duration::from_secs(120)),
+        "micro-benchmark stalled"
+    );
     let max_of = |v: &Arc<Mutex<Vec<Duration>>>| v.lock().iter().copied().max().unwrap_or_default();
-    SharingResult { light_completion: max_of(&light_done), heavy_completion: max_of(&heavy_done) }
+    SharingResult {
+        light_completion: max_of(&light_done),
+        heavy_completion: max_of(&heavy_done),
+    }
 }
 
 #[cfg(test)]
@@ -361,9 +415,15 @@ mod tests {
 
     #[test]
     fn sharing_experiment_runs_all_policies() {
-        let params = SharingExperiment { tasks_per_class: 8, items_per_task: 50, workers: 2 };
+        let params = SharingExperiment {
+            tasks_per_class: 8,
+            items_per_task: 50,
+            workers: 2,
+        };
         for policy in [
-            SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) },
+            SchedulingPolicy::Cooperative {
+                timeslice: Duration::from_micros(50),
+            },
             SchedulingPolicy::NonCooperative,
             SchedulingPolicy::RoundRobin,
         ] {

@@ -23,7 +23,9 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Lang(e) => write!(f, "{e}"),
-            CompileError::UnknownProcess(name) => write!(f, "process `{name}` is not defined in the program"),
+            CompileError::UnknownProcess(name) => {
+                write!(f, "process `{name}` is not defined in the program")
+            }
             CompileError::Signature(msg) => write!(f, "unsupported process signature: {msg}"),
             CompileError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
             CompileError::MissingCodec(ty) => {
@@ -47,8 +49,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CompileError::UnknownProcess("p".into()).to_string().contains("`p`"));
-        assert!(CompileError::MissingCodec("cmd".into()).to_string().contains("cmd"));
-        assert!(CompileError::Signature("x".into()).to_string().contains("signature"));
+        assert!(CompileError::UnknownProcess("p".into())
+            .to_string()
+            .contains("`p`"));
+        assert!(CompileError::MissingCodec("cmd".into())
+            .to_string()
+            .contains("cmd"));
+        assert!(CompileError::Signature("x".into())
+            .to_string()
+            .contains("signature"));
     }
 }

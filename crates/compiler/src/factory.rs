@@ -21,7 +21,9 @@ use crate::grammar_gen;
 use crate::ir::{lower, ProgramIr};
 use crate::logic::{ChannelBindings, CompiledGlobals, FoldtLogic, InterpreterLogic, ParamBinding};
 use crate::projection;
-use flick_grammar::{hadoop::HadoopKvCodec, http::HttpCodec, memcached::MemcachedCodec, Projection, WireCodec};
+use flick_grammar::{
+    hadoop::HadoopKvCodec, http::HttpCodec, memcached::MemcachedCodec, Projection, WireCodec,
+};
 use flick_lang::TypedProgram;
 use flick_net::Endpoint;
 use flick_runtime::platform::BuiltGraph;
@@ -59,7 +61,10 @@ impl Default for CompileOptions {
         codecs.insert("kv".into(), Arc::new(HadoopKvCodec::new()));
         codecs.insert("http".into(), Arc::new(HttpCodec::new()));
         codecs.insert("request".into(), Arc::new(HttpCodec::new()));
-        CompileOptions { codecs, client_connections: 1 }
+        CompileOptions {
+            codecs,
+            client_connections: 1,
+        }
     }
 }
 
@@ -121,7 +126,10 @@ impl CompiledService {
             } else {
                 return Err(CompileError::MissingCodec(param.record.clone()));
             };
-            plans.push(ParamPlan { codec, projection: projection::derive(typed, &param.record) });
+            plans.push(ParamPlan {
+                codec,
+                projection: projection::derive(typed, &param.record),
+            });
         }
         Ok(CompiledService {
             program,
@@ -154,7 +162,14 @@ impl CompiledService {
 
 impl GraphFactory for CompiledService {
     fn connections_per_graph(&self) -> usize {
-        if self.program.process.params.first().map(|p| p.is_array).unwrap_or(false) {
+        if self
+            .program
+            .process
+            .params
+            .first()
+            .map(|p| p.is_array)
+            .unwrap_or(false)
+        {
             self.client_connections
         } else {
             1
@@ -176,58 +191,59 @@ impl GraphFactory for CompiledService {
 
         // Helper that wires one endpoint to the compute task according to the
         // parameter's direction, returning the (input, output) indices used.
-        let wire_endpoint = |builder: &mut GraphBuilder<'_>,
-                                 endpoint: &Endpoint,
-                                 plan: &ParamPlan,
-                                 readable: bool,
-                                 writable: bool,
-                                 label: &str,
-                                 is_client: bool,
-                                 compute_inputs: &mut Vec<flick_runtime::ChannelConsumer>,
-                                 compute_outputs: &mut Vec<flick_runtime::ChannelProducer>,
-                                 installs: &mut Vec<(flick_runtime::NodeId, Box<dyn flick_runtime::Task>)>,
-                                 watchers: &mut Vec<(TaskId, Endpoint)>,
-                                 client_tasks: &mut Vec<TaskId>|
-         -> (Option<usize>, Option<usize>) {
-            let mut input_idx = None;
-            let mut output_idx = None;
-            if readable {
-                let node = builder.declare_node();
-                let (tx, rx) = builder.channel(compute_node);
-                installs.push((
-                    node,
-                    Box::new(InputTask::new(
-                        format!("{label}-in"),
-                        endpoint.clone(),
-                        Arc::clone(&plan.codec),
-                        Some(plan.projection.clone()),
-                        tx,
-                    )),
-                ));
-                watchers.push((node.task_id(), endpoint.clone()));
-                if is_client {
-                    client_tasks.push(node.task_id());
+        let wire_endpoint =
+            |builder: &mut GraphBuilder<'_>,
+             endpoint: &Endpoint,
+             plan: &ParamPlan,
+             readable: bool,
+             writable: bool,
+             label: &str,
+             is_client: bool,
+             compute_inputs: &mut Vec<flick_runtime::ChannelConsumer>,
+             compute_outputs: &mut Vec<flick_runtime::ChannelProducer>,
+             installs: &mut Vec<(flick_runtime::NodeId, Box<dyn flick_runtime::Task>)>,
+             watchers: &mut Vec<(TaskId, Endpoint)>,
+             client_tasks: &mut Vec<TaskId>|
+             -> (Option<usize>, Option<usize>) {
+                let mut input_idx = None;
+                let mut output_idx = None;
+                if readable {
+                    let node = builder.declare_node();
+                    let (tx, rx) = builder.channel(compute_node);
+                    installs.push((
+                        node,
+                        Box::new(InputTask::new(
+                            format!("{label}-in"),
+                            endpoint.clone(),
+                            Arc::clone(&plan.codec),
+                            Some(plan.projection.clone()),
+                            tx,
+                        )),
+                    ));
+                    watchers.push((node.task_id(), endpoint.clone()));
+                    if is_client {
+                        client_tasks.push(node.task_id());
+                    }
+                    input_idx = Some(compute_inputs.len());
+                    compute_inputs.push(rx);
                 }
-                input_idx = Some(compute_inputs.len());
-                compute_inputs.push(rx);
-            }
-            if writable {
-                let node = builder.declare_node();
-                let (tx, rx) = builder.channel(node);
-                installs.push((
-                    node,
-                    Box::new(OutputTask::new(
-                        format!("{label}-out"),
-                        endpoint.clone(),
-                        Arc::clone(&plan.codec),
-                        rx,
-                    )),
-                ));
-                output_idx = Some(compute_outputs.len());
-                compute_outputs.push(tx);
-            }
-            (input_idx, output_idx)
-        };
+                if writable {
+                    let node = builder.declare_node();
+                    let (tx, rx) = builder.channel(node);
+                    installs.push((
+                        node,
+                        Box::new(OutputTask::new(
+                            format!("{label}-out"),
+                            endpoint.clone(),
+                            Arc::clone(&plan.codec),
+                            rx,
+                        )),
+                    ));
+                    output_idx = Some(compute_outputs.len());
+                    compute_outputs.push(tx);
+                }
+                (input_idx, output_idx)
+            };
 
         let mut backend_cursor = 0usize;
         let mut clients = clients;
@@ -309,8 +325,14 @@ impl GraphFactory for CompiledService {
                 .outputs
                 .first()
                 .copied()
-                .ok_or_else(|| RuntimeError::Config("foldt output channel is not writable".into()))?;
-            Box::new(FoldtLogic::new(Arc::clone(&self.program), total_inputs, sink_output))
+                .ok_or_else(|| {
+                    RuntimeError::Config("foldt output channel is not writable".into())
+                })?;
+            Box::new(FoldtLogic::new(
+                Arc::clone(&self.program),
+                total_inputs,
+                sink_output,
+            ))
         } else {
             Box::new(InterpreterLogic::new(
                 Arc::clone(&self.program),
@@ -330,7 +352,12 @@ impl GraphFactory for CompiledService {
         for (node, task) in installs {
             builder.install(node, task);
         }
-        Ok(BuiltGraph { graph: builder.build(), watchers, initial: vec![], client_tasks })
+        Ok(BuiltGraph {
+            graph: builder.build(),
+            watchers,
+            initial: vec![],
+            client_tasks,
+        })
     }
 }
 
@@ -355,7 +382,8 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
 
     #[test]
     fn compiles_proxy_with_registry_codec() {
-        let service = crate::compile_source(PROXY, "Memcached", &CompileOptions::default()).unwrap();
+        let service =
+            crate::compile_source(PROXY, "Memcached", &CompileOptions::default()).unwrap();
         assert_eq!(service.process_name(), "Memcached");
         assert!(!service.is_foldt());
         assert_eq!(service.connections_per_graph(), 1);
@@ -413,7 +441,9 @@ proc Echo: (pkt/pkt client)
         let wire = [9u8, 0, 4, b'p', b'i', b'n', b'g'];
         client.write_all(&wire).unwrap();
         let mut buf = [0u8; 16];
-        client.read_exact_timeout(&mut buf[..7], Duration::from_secs(5)).unwrap();
+        client
+            .read_exact_timeout(&mut buf[..7], Duration::from_secs(5))
+            .unwrap();
         assert_eq!(&buf[..7], &wire);
         drop(deployed);
     }
@@ -421,7 +451,8 @@ proc Echo: (pkt/pkt client)
     #[test]
     fn end_to_end_compiled_memcached_proxy_routes_to_backend() {
         use flick_grammar::{memcached, ParseOutcome, WireCodec};
-        let service = crate::compile_source(PROXY, "Memcached", &CompileOptions::default()).unwrap();
+        let service =
+            crate::compile_source(PROXY, "Memcached", &CompileOptions::default()).unwrap();
         let platform = Platform::new(PlatformConfig::default());
         let net = platform.net();
         // One fake backend that answers every request with a response echoing
@@ -429,16 +460,20 @@ proc Echo: (pkt/pkt client)
         let backend_listener = net.listen(7201).unwrap();
         let backend_thread = std::thread::spawn(move || {
             let codec = memcached::MemcachedCodec::new();
-            let conn = backend_listener.accept_timeout(Duration::from_secs(5)).unwrap();
+            let conn = backend_listener
+                .accept_timeout(Duration::from_secs(5))
+                .unwrap();
             let mut buf = Vec::new();
             let mut chunk = [0u8; 4096];
             loop {
                 match conn.read_timeout(&mut chunk, Duration::from_secs(5)) {
                     Ok(n) => {
                         buf.extend_from_slice(&chunk[..n]);
-                        if let Ok(ParseOutcome::Complete { message, .. }) = codec.parse(&buf, None) {
+                        if let Ok(ParseOutcome::Complete { message, .. }) = codec.parse(&buf, None)
+                        {
                             let key = message.str_field("key").unwrap_or("").as_bytes().to_vec();
-                            let resp = memcached::response(memcached::opcode::GETK, 0, &key, b"value!");
+                            let resp =
+                                memcached::response(memcached::opcode::GETK, 0, &key, b"value!");
                             let mut out = Vec::new();
                             codec.serialize(&resp, &mut out).unwrap();
                             conn.write_all(&out).unwrap();
@@ -464,7 +499,9 @@ proc Echo: (pkt/pkt client)
         let mut buf = Vec::new();
         let mut chunk = [0u8; 4096];
         let response = loop {
-            let n = client.read_timeout(&mut chunk, Duration::from_secs(5)).unwrap();
+            let n = client
+                .read_timeout(&mut chunk, Duration::from_secs(5))
+                .unwrap();
             buf.extend_from_slice(&chunk[..n]);
             if let Ok(ParseOutcome::Complete { message, .. }) = codec.parse(&buf, None) {
                 break message;

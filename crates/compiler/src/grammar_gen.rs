@@ -52,9 +52,15 @@ pub fn synthesise(record: &RecordInfo) -> Result<GrammarCodec, CompileError> {
                 };
                 let width = width as u8;
                 if field.signed {
-                    GrammarItem::Field { name, kind: FieldKind::Int { width } }
+                    GrammarItem::Field {
+                        name,
+                        kind: FieldKind::Int { width },
+                    }
                 } else {
-                    GrammarItem::Field { name, kind: FieldKind::UInt { width } }
+                    GrammarItem::Field {
+                        name,
+                        kind: FieldKind::UInt { width },
+                    }
                 }
             }
             Type::Str => {
@@ -65,7 +71,10 @@ pub fn synthesise(record: &RecordInfo) -> Result<GrammarCodec, CompileError> {
                     ))
                 })?;
                 let length = lower_len_expr(size, record)?;
-                GrammarItem::Field { name, kind: FieldKind::Str { length } }
+                GrammarItem::Field {
+                    name,
+                    kind: FieldKind::Str { length },
+                }
             }
             other => {
                 return Err(CompileError::Unsupported(format!(
@@ -124,7 +133,9 @@ fn lower_len_expr(expr: &Expr, record: &RecordInfo) -> Result<LenExpr, CompileEr
                 ))),
             }
         }
-        _ => Err(CompileError::Unsupported("unsupported size expression".to_string())),
+        _ => Err(CompileError::Unsupported(
+            "unsupported size expression".to_string(),
+        )),
     }
 }
 

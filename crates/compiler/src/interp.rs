@@ -30,14 +30,18 @@ impl RtVal {
     pub fn into_value(self) -> Result<Value, RuntimeError> {
         match self {
             RtVal::Val(v) => Ok(v),
-            other => Err(RuntimeError::Logic(format!("expected a value, found {other:?}"))),
+            other => Err(RuntimeError::Logic(format!(
+                "expected a value, found {other:?}"
+            ))),
         }
     }
 
     fn as_value(&self) -> Result<&Value, RuntimeError> {
         match self {
             RtVal::Val(v) => Ok(v),
-            other => Err(RuntimeError::Logic(format!("expected a value, found {other:?}"))),
+            other => Err(RuntimeError::Logic(format!(
+                "expected a value, found {other:?}"
+            ))),
         }
     }
 }
@@ -131,7 +135,11 @@ impl<'a> Interpreter<'a> {
                 frame[*slot] = value;
                 Ok(None)
             }
-            IrStmt::AssignIndex { target, index, value } => {
+            IrStmt::AssignIndex {
+                target,
+                index,
+                value,
+            } => {
                 let target = self.eval(target, frame, sink)?;
                 let key = self.eval(index, frame, sink)?;
                 let value = self.eval(value, frame, sink)?.into_value()?;
@@ -140,10 +148,16 @@ impl<'a> Interpreter<'a> {
                         dict.set(dict_key(key.as_value()?), value);
                         Ok(None)
                     }
-                    other => Err(RuntimeError::Logic(format!("cannot index-assign into {other:?}"))),
+                    other => Err(RuntimeError::Logic(format!(
+                        "cannot index-assign into {other:?}"
+                    ))),
                 }
             }
-            IrStmt::Pipeline { source, stages, sink: dest } => {
+            IrStmt::Pipeline {
+                source,
+                stages,
+                sink: dest,
+            } => {
                 let mut value = self.eval(source, frame, sink)?;
                 for stage in stages {
                     value = self.run_call(stage, Some(value), frame, sink)?;
@@ -154,7 +168,9 @@ impl<'a> Interpreter<'a> {
                         let value = value.into_value()?;
                         match chan {
                             RtVal::Channel(idx) => sink.send(idx, value),
-                            RtVal::ChannelArray(ref idxs) if idxs.len() == 1 => sink.send(idxs[0], value),
+                            RtVal::ChannelArray(ref idxs) if idxs.len() == 1 => {
+                                sink.send(idxs[0], value)
+                            }
                             other => {
                                 return Err(RuntimeError::Logic(format!(
                                     "pipeline destination is not a channel: {other:?}"
@@ -183,7 +199,9 @@ impl<'a> Interpreter<'a> {
                 let items = match list {
                     RtVal::Val(Value::List(items)) => items,
                     other => {
-                        return Err(RuntimeError::Logic(format!("`for` expects a list, found {other:?}")))
+                        return Err(RuntimeError::Logic(format!(
+                            "`for` expects a list, found {other:?}"
+                        )))
                     }
                 };
                 for item in items {
@@ -295,7 +313,11 @@ impl<'a> Interpreter<'a> {
                 }
                 RtVal::Val(Value::Msg(msg))
             }
-            IrExpr::Fold { function, init, list } => {
+            IrExpr::Fold {
+                function,
+                init,
+                list,
+            } => {
                 let mut acc = self.eval(init, frame, sink)?;
                 for item in self.eval_list(list, frame, sink)? {
                     acc = self.call_function(*function, vec![acc, RtVal::Val(item)], sink)?;
@@ -305,7 +327,10 @@ impl<'a> Interpreter<'a> {
             IrExpr::Map { function, list } => {
                 let mut out = Vec::new();
                 for item in self.eval_list(list, frame, sink)? {
-                    out.push(self.call_function(*function, vec![RtVal::Val(item)], sink)?.into_value()?);
+                    out.push(
+                        self.call_function(*function, vec![RtVal::Val(item)], sink)?
+                            .into_value()?,
+                    );
                 }
                 RtVal::Val(Value::List(out))
             }
@@ -333,10 +358,10 @@ impl<'a> Interpreter<'a> {
     ) -> Result<Vec<Value>, RuntimeError> {
         match self.eval(list, frame, sink)? {
             RtVal::Val(Value::List(items)) => Ok(items),
-            RtVal::Val(Value::Str(s)) => {
-                Ok(s.chars().map(|c| Value::Str(c.to_string())).collect())
-            }
-            other => Err(RuntimeError::Logic(format!("expected a list, found {other:?}"))),
+            RtVal::Val(Value::Str(s)) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+            other => Err(RuntimeError::Logic(format!(
+                "expected a list, found {other:?}"
+            ))),
         }
     }
 
@@ -359,7 +384,9 @@ impl<'a> Interpreter<'a> {
                     RtVal::Val(Value::Str(s)) => s.len() as i64,
                     RtVal::Val(Value::Bytes(b)) => b.len() as i64,
                     other => {
-                        return Err(RuntimeError::Logic(format!("`len` of unsupported value {other:?}")))
+                        return Err(RuntimeError::Logic(format!(
+                            "`len` of unsupported value {other:?}"
+                        )))
                     }
                 };
                 RtVal::Val(Value::Int(len))
@@ -552,14 +579,18 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
         // backends as output channels 1..=4.
         let backends = RtVal::ChannelArray(vec![1, 2, 3, 4]);
         let req = RtVal::Val(Value::Msg(cmd_msg("user:42")));
-        interp.call_function(0, vec![backends.clone(), req.clone()], &mut sink).unwrap();
+        interp
+            .call_function(0, vec![backends.clone(), req.clone()], &mut sink)
+            .unwrap();
         assert_eq!(sink.sent.len(), 1);
         let (chan_a, _) = sink.sent[0];
         assert!((1..=4).contains(&chan_a));
         // Deterministic: the same key always picks the same backend.
         let mut sink2 = CollectSink::default();
         let interp2 = Interpreter::new(&ir);
-        interp2.call_function(0, vec![backends, req], &mut sink2).unwrap();
+        interp2
+            .call_function(0, vec![backends, req], &mut sink2)
+            .unwrap();
         assert_eq!(sink2.sent[0].0, chan_a);
     }
 
@@ -573,13 +604,19 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
             interp
                 .call_function(
                     0,
-                    vec![RtVal::ChannelArray(vec![1, 2, 3, 4]), RtVal::Val(Value::Msg(cmd_msg(&format!("key-{i}"))))],
+                    vec![
+                        RtVal::ChannelArray(vec![1, 2, 3, 4]),
+                        RtVal::Val(Value::Msg(cmd_msg(&format!("key-{i}")))),
+                    ],
                     &mut sink,
                 )
                 .unwrap();
             chosen.insert(sink.sent[0].0);
         }
-        assert!(chosen.len() >= 3, "hash routing should use most backends, got {chosen:?}");
+        assert!(
+            chosen.len() >= 3,
+            "hash routing should use most backends, got {chosen:?}"
+        );
     }
 
     #[test]
@@ -610,8 +647,16 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
         let ir = program(src, "memcached");
         let interp = Interpreter::new(&ir);
         let cache = SharedDict::new();
-        let update_idx = ir.functions.iter().position(|f| f.name == "update_cache").unwrap();
-        let test_idx = ir.functions.iter().position(|f| f.name == "test_cache").unwrap();
+        let update_idx = ir
+            .functions
+            .iter()
+            .position(|f| f.name == "update_cache")
+            .unwrap();
+        let test_idx = ir
+            .functions
+            .iter()
+            .position(|f| f.name == "test_cache")
+            .unwrap();
 
         let mut getk = cmd_msg("user:1");
         getk.set("opcode", MsgValue::UInt(12));
@@ -638,7 +683,10 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
         let result = interp
             .call_function(
                 update_idx,
-                vec![RtVal::Dict(cache.clone()), RtVal::Val(Value::Msg(getk.clone()))],
+                vec![
+                    RtVal::Dict(cache.clone()),
+                    RtVal::Val(Value::Msg(getk.clone())),
+                ],
                 &mut sink,
             )
             .unwrap();
@@ -660,7 +708,10 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
             )
             .unwrap();
         assert_eq!(sink.sent.len(), 1);
-        assert_eq!(sink.sent[0].0, 0, "cache hit must be sent back to the client");
+        assert_eq!(
+            sink.sent[0].0, 0,
+            "cache hit must be sent back to the client"
+        );
     }
 
     #[test]
@@ -687,7 +738,11 @@ proc P: (t/t c)
         let ir = program(src, "P");
         let interp = Interpreter::new(&ir);
         let calc = ir.functions.iter().position(|f| f.name == "calc").unwrap();
-        let xs = RtVal::Val(Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+        let xs = RtVal::Val(Value::List(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+        ]));
         let mut sink = CollectSink::default();
         // doubles: [2,4,6]; filtered (>4): [6]; sum = 6.
         let result = interp.call_function(calc, vec![xs], &mut sink).unwrap();
@@ -698,18 +753,35 @@ proc P: (t/t c)
     fn division_and_modulo_by_zero_are_errors() {
         assert!(binary(BinOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
         assert!(binary(BinOp::Mod, &Value::Int(1), &Value::Int(0)).is_err());
-        assert_eq!(binary(BinOp::Mod, &Value::Int(-3), &Value::Int(4)).unwrap(), Value::Int(1));
+        assert_eq!(
+            binary(BinOp::Mod, &Value::Int(-3), &Value::Int(4)).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
     fn string_comparisons_and_concatenation() {
         assert_eq!(
-            binary(BinOp::Add, &Value::Str("ab".into()), &Value::Str("cd".into())).unwrap(),
+            binary(
+                BinOp::Add,
+                &Value::Str("ab".into()),
+                &Value::Str("cd".into())
+            )
+            .unwrap(),
             Value::Str("abcd".into())
         );
-        assert_eq!(binary(BinOp::Lt, &Value::Str("a".into()), &Value::Str("b".into())).unwrap(), Value::Bool(true));
-        assert_eq!(binary(BinOp::Eq, &Value::None, &Value::Str("x".into())).unwrap(), Value::Bool(false));
-        assert_eq!(binary(BinOp::Eq, &Value::None, &Value::None).unwrap(), Value::Bool(true));
+        assert_eq!(
+            binary(BinOp::Lt, &Value::Str("a".into()), &Value::Str("b".into())).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            binary(BinOp::Eq, &Value::None, &Value::Str("x".into())).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            binary(BinOp::Eq, &Value::None, &Value::None).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]

@@ -273,7 +273,10 @@ struct Scope {
 
 impl Scope {
     fn new() -> Self {
-        Scope { slots: HashMap::new(), next: 0 }
+        Scope {
+            slots: HashMap::new(),
+            next: 0,
+        }
     }
 
     fn declare(&mut self, name: &str) -> usize {
@@ -322,7 +325,12 @@ impl<'a> Lowerer<'a> {
         }
         let params = decl.params.len();
         let body = self.lower_block(&decl.body, &mut scope)?;
-        Ok(FunctionIr { name: decl.name.clone(), params, frame_size: scope.next, body })
+        Ok(FunctionIr {
+            name: decl.name.clone(),
+            params,
+            frame_size: scope.next,
+            body,
+        })
     }
 
     fn lower_process(&self, proc_name: &str) -> Result<ProcessIr, CompileError> {
@@ -338,8 +346,16 @@ impl<'a> Lowerer<'a> {
         let mut params = Vec::new();
         for (name, ty) in &sig.params {
             let (is_array, value, readable, writable) = match ty {
-                Type::Channel { value, can_read, can_write } => (false, value, *can_read, *can_write),
-                Type::ChannelArray { value, can_read, can_write } => (true, value, *can_read, *can_write),
+                Type::Channel {
+                    value,
+                    can_read,
+                    can_write,
+                } => (false, value, *can_read, *can_write),
+                Type::ChannelArray {
+                    value,
+                    can_read,
+                    can_write,
+                } => (true, value, *can_read, *can_write),
                 other => {
                     return Err(CompileError::Signature(format!(
                         "parameter `{name}` has non-channel type {other}"
@@ -362,7 +378,9 @@ impl<'a> Lowerer<'a> {
             });
         }
         if params.is_empty() {
-            return Err(CompileError::Signature("a process needs at least one channel".into()));
+            return Err(CompileError::Signature(
+                "a process needs at least one channel".into(),
+            ));
         }
 
         // Frame: channel params first, then globals.
@@ -373,7 +391,14 @@ impl<'a> Lowerer<'a> {
         let mut globals = Vec::new();
         let mut rules = Vec::new();
         let mut foldt = None;
-        self.lower_proc_block(&decl.body, &params, &mut scope, &mut globals, &mut rules, &mut foldt)?;
+        self.lower_proc_block(
+            &decl.body,
+            &params,
+            &mut scope,
+            &mut globals,
+            &mut rules,
+            &mut foldt,
+        )?;
         Ok(ProcessIr {
             name: decl.name.clone(),
             frame_size: scope.next,
@@ -451,7 +476,11 @@ impl<'a> Lowerer<'a> {
             // Not a channel source: this is a value pipeline such as
             // `result => reducer` following a foldt; the foldt logic already
             // routes its output, so the rule is dropped here.
-            return Ok(RouteRule { source_param: usize::MAX, stages: Vec::new(), sink: IrSink::Discard });
+            return Ok(RouteRule {
+                source_param: usize::MAX,
+                stages: Vec::new(),
+                sink: IrSink::Discard,
+            });
         };
         let mut calls = Vec::new();
         for stage in &stages[1..stages.len() - 1] {
@@ -462,20 +491,28 @@ impl<'a> Lowerer<'a> {
             ExprKind::Call { .. } => IrSink::Call(self.lower_stage_call(last, scope)?),
             _ => IrSink::Channel(self.lower_expr(last, scope)?),
         };
-        Ok(RouteRule { source_param, stages: calls, sink })
+        Ok(RouteRule {
+            source_param,
+            stages: calls,
+            sink,
+        })
     }
 
     fn lower_stage_call(&self, expr: &Expr, scope: &mut Scope) -> Result<IrCall, CompileError> {
         match &expr.kind {
             ExprKind::Call { name, args } => {
-                let function = *self
-                    .fun_indices
-                    .get(name)
-                    .ok_or_else(|| CompileError::Unsupported(format!("unknown function `{name}` in pipeline")))?;
-                let args = args.iter().map(|a| self.lower_expr(a, scope)).collect::<Result<_, _>>()?;
+                let function = *self.fun_indices.get(name).ok_or_else(|| {
+                    CompileError::Unsupported(format!("unknown function `{name}` in pipeline"))
+                })?;
+                let args = args
+                    .iter()
+                    .map(|a| self.lower_expr(a, scope))
+                    .collect::<Result<_, _>>()?;
                 Ok(IrCall { function, args })
             }
-            _ => Err(CompileError::Unsupported("pipeline stages must be function calls".into())),
+            _ => Err(CompileError::Unsupported(
+                "pipeline stages must be function calls".into(),
+            )),
         }
     }
 
@@ -490,18 +527,22 @@ impl<'a> Lowerer<'a> {
         params: &[ChannelParam],
         scope: &mut Scope,
     ) -> Result<FoldtIr, CompileError> {
-        let source_name = channels
-            .as_ident()
-            .ok_or_else(|| CompileError::Unsupported("foldt must aggregate over a channel-array parameter".into()))?;
+        let source_name = channels.as_ident().ok_or_else(|| {
+            CompileError::Unsupported("foldt must aggregate over a channel-array parameter".into())
+        })?;
         let source_param = params
             .iter()
             .position(|p| p.name == source_name)
-            .ok_or_else(|| CompileError::Unsupported(format!("unknown channel array `{source_name}`")))?;
+            .ok_or_else(|| {
+                CompileError::Unsupported(format!("unknown channel array `{source_name}`"))
+            })?;
         // The sink is the (single) writable scalar channel parameter.
         let sink_param = params
             .iter()
             .position(|p| !p.is_array && p.dir.writable)
-            .ok_or_else(|| CompileError::Signature("foldt needs a writable output channel".into()))?;
+            .ok_or_else(|| {
+                CompileError::Signature("foldt needs a writable output channel".into())
+            })?;
         let key_field = match &order_key.kind {
             ExprKind::Field(_, field) => field.clone(),
             _ => {
@@ -552,7 +593,11 @@ impl<'a> Lowerer<'a> {
                         let slot = scope.declare(name);
                         out.push(IrStmt::Store(slot, value));
                     }
-                    _ => return Err(CompileError::Unsupported("unsupported assignment target".into())),
+                    _ => {
+                        return Err(CompileError::Unsupported(
+                            "unsupported assignment target".into(),
+                        ))
+                    }
                 },
                 Stmt::Pipeline { stages, .. } => {
                     let source = self.lower_expr(&stages[0], scope)?;
@@ -565,9 +610,15 @@ impl<'a> Lowerer<'a> {
                         ExprKind::Call { .. } => IrSink::Call(self.lower_stage_call(last, scope)?),
                         _ => IrSink::Channel(self.lower_expr(last, scope)?),
                     };
-                    out.push(IrStmt::Pipeline { source, stages: calls, sink });
+                    out.push(IrStmt::Pipeline {
+                        source,
+                        stages: calls,
+                        sink,
+                    });
                 }
-                Stmt::If { cond, then, els, .. } => {
+                Stmt::If {
+                    cond, then, els, ..
+                } => {
                     let cond = self.lower_expr(cond, scope)?;
                     let then = self.lower_block(then, scope)?;
                     let els = match els {
@@ -576,7 +627,9 @@ impl<'a> Lowerer<'a> {
                     };
                     out.push(IrStmt::If { cond, then, els });
                 }
-                Stmt::For { var, iter, body, .. } => {
+                Stmt::For {
+                    var, iter, body, ..
+                } => {
                     let iter = self.lower_expr(iter, scope)?;
                     let slot = scope.declare(var);
                     let body = self.lower_block(body, scope)?;
@@ -598,7 +651,9 @@ impl<'a> Lowerer<'a> {
                 Some(slot) => IrExpr::Load(slot),
                 None if name == "empty_dict" => IrExpr::Builtin(Builtin::EmptyDict, vec![]),
                 None => {
-                    return Err(CompileError::Unsupported(format!("unresolved variable `{name}`")))
+                    return Err(CompileError::Unsupported(format!(
+                        "unresolved variable `{name}`"
+                    )))
                 }
             },
             ExprKind::Field(base, field) => {
@@ -625,31 +680,46 @@ impl<'a> Lowerer<'a> {
         })
     }
 
-    fn lower_call(&self, name: &str, args: &[Expr], scope: &mut Scope) -> Result<IrExpr, CompileError> {
+    fn lower_call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        scope: &mut Scope,
+    ) -> Result<IrExpr, CompileError> {
         // Record constructor.
         if let Some(record) = self.typed.record(name) {
-            let field_names: Vec<String> =
-                record.named_fields().filter_map(|f| f.name.clone()).collect();
-            let values = args.iter().map(|a| self.lower_expr(a, scope)).collect::<Result<_, _>>()?;
+            let field_names: Vec<String> = record
+                .named_fields()
+                .filter_map(|f| f.name.clone())
+                .collect();
+            let values = args
+                .iter()
+                .map(|a| self.lower_expr(a, scope))
+                .collect::<Result<_, _>>()?;
             return Ok(IrExpr::MakeRecord(name.to_string(), field_names, values));
         }
         // Higher-order builtins take a function name first.
         if matches!(name, "fold" | "map" | "filter") {
-            let fun_name = args[0]
-                .as_ident()
-                .ok_or_else(|| CompileError::Unsupported(format!("`{name}` needs a function name")))?;
-            let function = *self
-                .fun_indices
-                .get(fun_name)
-                .ok_or_else(|| CompileError::Unsupported(format!("unknown function `{fun_name}`")))?;
+            let fun_name = args[0].as_ident().ok_or_else(|| {
+                CompileError::Unsupported(format!("`{name}` needs a function name"))
+            })?;
+            let function = *self.fun_indices.get(fun_name).ok_or_else(|| {
+                CompileError::Unsupported(format!("unknown function `{fun_name}`"))
+            })?;
             return Ok(match name {
                 "fold" => IrExpr::Fold {
                     function,
                     init: Box::new(self.lower_expr(&args[1], scope)?),
                     list: Box::new(self.lower_expr(&args[2], scope)?),
                 },
-                "map" => IrExpr::Map { function, list: Box::new(self.lower_expr(&args[1], scope)?) },
-                _ => IrExpr::Filter { function, list: Box::new(self.lower_expr(&args[1], scope)?) },
+                "map" => IrExpr::Map {
+                    function,
+                    list: Box::new(self.lower_expr(&args[1], scope)?),
+                },
+                _ => IrExpr::Filter {
+                    function,
+                    list: Box::new(self.lower_expr(&args[1], scope)?),
+                },
             });
         }
         let builtin = match name {
@@ -661,8 +731,10 @@ impl<'a> Lowerer<'a> {
             "int" => Some(Builtin::Int),
             _ => None,
         };
-        let lowered_args: Vec<IrExpr> =
-            args.iter().map(|a| self.lower_expr(a, scope)).collect::<Result<_, _>>()?;
+        let lowered_args: Vec<IrExpr> = args
+            .iter()
+            .map(|a| self.lower_expr(a, scope))
+            .collect::<Result<_, _>>()?;
         if let Some(builtin) = builtin {
             return Ok(IrExpr::Builtin(builtin, lowered_args));
         }
@@ -670,7 +742,10 @@ impl<'a> Lowerer<'a> {
             .fun_indices
             .get(name)
             .ok_or_else(|| CompileError::Unsupported(format!("unknown function `{name}`")))?;
-        Ok(IrExpr::Call(IrCall { function, args: lowered_args }))
+        Ok(IrExpr::Call(IrCall {
+            function,
+            args: lowered_args,
+        }))
     }
 }
 
@@ -703,7 +778,10 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
         // Rule 0: backends => client (no stages, channel sink).
         assert_eq!(ir.process.rules[0].source_param, 1);
         assert!(ir.process.rules[0].stages.is_empty());
-        assert!(matches!(ir.process.rules[0].sink, IrSink::Channel(IrExpr::Load(0))));
+        assert!(matches!(
+            ir.process.rules[0].sink,
+            IrSink::Channel(IrExpr::Load(0))
+        ));
         // Rule 1: client => target_backend(backends) (call sink).
         assert_eq!(ir.process.rules[1].source_param, 0);
         assert!(matches!(ir.process.rules[1].sink, IrSink::Call(_)));
@@ -746,7 +824,11 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
         assert_eq!(ir.process.frame_size, 3, "client, backends, cache");
         assert_eq!(ir.process.rules.len(), 2);
         assert_eq!(ir.process.rules[0].stages.len(), 1, "update_cache stage");
-        let update = ir.functions.iter().find(|f| f.name == "update_cache").unwrap();
+        let update = ir
+            .functions
+            .iter()
+            .find(|f| f.name == "update_cache")
+            .unwrap();
         assert!(matches!(update.body[0], IrStmt::If { .. }));
         assert!(matches!(update.body[1], IrStmt::Expr(IrExpr::Load(1))));
     }
@@ -775,13 +857,19 @@ fun combine: (v1: string, v2: string) -> (string)
         assert_eq!(foldt.sink_param, 1);
         assert_eq!(foldt.key_field, "key");
         assert_eq!(foldt.binder_slots, (0, 1, 2));
-        assert!(matches!(foldt.body.last(), Some(IrStmt::Expr(IrExpr::MakeRecord(_, _, _)))));
+        assert!(matches!(
+            foldt.body.last(),
+            Some(IrStmt::Expr(IrExpr::MakeRecord(_, _, _)))
+        ));
     }
 
     #[test]
     fn unknown_process_is_an_error() {
         let typed = compile_to_ast(PROXY).unwrap();
-        assert!(matches!(lower(&typed, "nope"), Err(CompileError::UnknownProcess(_))));
+        assert!(matches!(
+            lower(&typed, "nope"),
+            Err(CompileError::UnknownProcess(_))
+        ));
     }
 
     #[test]

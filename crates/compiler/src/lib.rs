@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn compile_source_rejects_invalid_program() {
-        let err = compile_source("fun f: (x: integer) -> (integer)\n  f(x)\n", "P", &CompileOptions::default());
+        let err = compile_source(
+            "fun f: (x: integer) -> (integer)\n  f(x)\n",
+            "P",
+            &CompileOptions::default(),
+        );
         assert!(err.is_err());
     }
 }

@@ -64,7 +64,11 @@ impl CompiledGlobals {
     /// Creates the globals for a lowered process.
     pub fn for_process(process: &ProcessIr) -> Arc<Self> {
         Arc::new(CompiledGlobals {
-            dicts: process.globals.iter().map(|name| (name.clone(), SharedDict::new())).collect(),
+            dicts: process
+                .globals
+                .iter()
+                .map(|name| (name.clone(), SharedDict::new()))
+                .collect(),
         })
     }
 
@@ -95,7 +99,11 @@ pub struct InterpreterLogic {
 
 impl InterpreterLogic {
     /// Creates the logic for one graph instance.
-    pub fn new(program: Arc<ProgramIr>, bindings: ChannelBindings, globals: Arc<CompiledGlobals>) -> Self {
+    pub fn new(
+        program: Arc<ProgramIr>,
+        bindings: ChannelBindings,
+        globals: Arc<CompiledGlobals>,
+    ) -> Self {
         let process = &program.process;
         let mut base_frame = Vec::with_capacity(process.frame_size);
         for idx in 0..process.params.len() {
@@ -105,8 +113,16 @@ impl InterpreterLogic {
             let dict = globals.dict(name).cloned().unwrap_or_default();
             base_frame.push(RtVal::Dict(dict));
         }
-        base_frame.resize(process.frame_size.max(base_frame.len()), RtVal::Val(Value::Unit));
-        InterpreterLogic { program, bindings, globals, base_frame }
+        base_frame.resize(
+            process.frame_size.max(base_frame.len()),
+            RtVal::Val(Value::Unit),
+        );
+        InterpreterLogic {
+            program,
+            bindings,
+            globals,
+            base_frame,
+        }
     }
 
     /// The per-service globals.
@@ -116,7 +132,12 @@ impl InterpreterLogic {
 }
 
 impl ComputeLogic for InterpreterLogic {
-    fn on_value(&mut self, input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_value(
+        &mut self,
+        input: usize,
+        value: Value,
+        out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         let Some(param) = self.bindings.param_of_input(input) else {
             return Ok(());
         };
@@ -229,7 +250,12 @@ impl FoldtLogic {
 }
 
 impl ComputeLogic for FoldtLogic {
-    fn on_value(&mut self, _input: usize, value: Value, _out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_value(
+        &mut self,
+        _input: usize,
+        value: Value,
+        _out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         let Some(key) = self.key_of(&value) else {
             return Ok(());
         };
@@ -245,7 +271,11 @@ impl ComputeLogic for FoldtLogic {
         Ok(())
     }
 
-    fn on_input_finished(&mut self, _input: usize, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_input_finished(
+        &mut self,
+        _input: usize,
+        out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         self.finished_inputs += 1;
         if self.finished_inputs >= self.total_inputs && !self.emitted {
             self.emitted = true;
@@ -262,16 +292,19 @@ impl ComputeLogic for FoldtLogic {
 mod tests {
     use super::*;
     use crate::ir::lower;
+    use flick_grammar::{Message, MsgValue};
     use flick_lang::compile_to_ast;
     use flick_runtime::channel::TaskChannel;
     use flick_runtime::task::{SchedulingPolicy, TaskId, TaskStatus};
     use flick_runtime::tasks::ComputeTask;
     use flick_runtime::Task as _;
     use flick_runtime::{RuntimeMetrics, TaskContext};
-    use flick_grammar::{Message, MsgValue};
 
     fn ctx() -> TaskContext {
-        TaskContext::new(SchedulingPolicy::NonCooperative, RuntimeMetrics::new_shared())
+        TaskContext::new(
+            SchedulingPolicy::NonCooperative,
+            RuntimeMetrics::new_shared(),
+        )
     }
 
     fn kv_msg(key: &str, value: &str) -> Value {
@@ -299,7 +332,10 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
         let program = Arc::new(lower(&typed, "Memcached").unwrap());
         let bindings = ChannelBindings {
             params: vec![
-                ParamBinding { inputs: vec![0], outputs: vec![0] },
+                ParamBinding {
+                    inputs: vec![0],
+                    outputs: vec![0],
+                },
                 ParamBinding {
                     inputs: (1..=backends).collect(),
                     outputs: (1..=backends).collect(),
@@ -328,7 +364,8 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
             output_producers.push(tx);
             output_consumers.push(rx);
         }
-        let mut task = ComputeTask::new("proxy", input_consumers, output_producers, Box::new(logic));
+        let mut task =
+            ComputeTask::new("proxy", input_consumers, output_producers, Box::new(logic));
 
         // A client request is routed to exactly one backend output (1..=3).
         let mut m = Message::new("cmd");
@@ -336,7 +373,11 @@ fun target_backend: ([-/cmd] backends, req: cmd) -> ()
         input_producers[0].push(Value::Msg(m)).unwrap();
         task.run(&mut ctx());
         let routed: Vec<usize> = (1..4).filter(|i| output_consumers[*i].len() == 1).collect();
-        assert_eq!(routed.len(), 1, "exactly one backend should receive the request");
+        assert_eq!(
+            routed.len(),
+            1,
+            "exactly one backend should receive the request"
+        );
         assert_eq!(output_consumers[0].len(), 0);
 
         // A backend response goes back to the client output 0.
@@ -377,8 +418,14 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
         let globals = CompiledGlobals::for_process(&program.process);
         let bindings = ChannelBindings {
             params: vec![
-                ParamBinding { inputs: vec![0], outputs: vec![0] },
-                ParamBinding { inputs: vec![1], outputs: vec![1] },
+                ParamBinding {
+                    inputs: vec![0],
+                    outputs: vec![0],
+                },
+                ParamBinding {
+                    inputs: vec![1],
+                    outputs: vec![1],
+                },
             ],
         };
         let a = InterpreterLogic::new(Arc::clone(&program), bindings.clone(), Arc::clone(&globals));
@@ -423,7 +470,11 @@ fun combine: (v1: string, v2: string) -> (string)
         input_producers[0].push(kv_msg("pear", "1")).unwrap();
         input_producers[1].push(kv_msg("apple", "3")).unwrap();
         task.run(&mut ctx());
-        assert_eq!(out_rx.len(), 0, "nothing is emitted until the inputs finish");
+        assert_eq!(
+            out_rx.len(),
+            0,
+            "nothing is emitted until the inputs finish"
+        );
 
         input_producers[0].close();
         input_producers[1].close();

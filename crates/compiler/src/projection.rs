@@ -43,7 +43,9 @@ fn collect_block(block: &Block, out: &mut BTreeSet<String>) {
                 collect_expr(value, out);
             }
             Stmt::Pipeline { stages, .. } => stages.iter().for_each(|s| collect_expr(s, out)),
-            Stmt::If { cond, then, els, .. } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 collect_expr(cond, out);
                 collect_block(then, out);
                 if let Some(e) = els {
@@ -75,7 +77,12 @@ fn collect_expr(expr: &Expr, out: &mut BTreeSet<String>) {
             collect_expr(rhs, out);
         }
         ExprKind::Unary { operand, .. } => collect_expr(operand, out),
-        ExprKind::Foldt { channels, order_key, body, .. } => {
+        ExprKind::Foldt {
+            channels,
+            order_key,
+            body,
+            ..
+        } => {
             collect_expr(channels, out);
             collect_expr(order_key, out);
             collect_block(body, out);

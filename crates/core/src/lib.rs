@@ -84,14 +84,19 @@ pub struct Flick {
 
 impl std::fmt::Debug for Flick {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Flick").field("platform", &self.platform).finish()
+        f.debug_struct("Flick")
+            .field("platform", &self.platform)
+            .finish()
     }
 }
 
 impl Flick {
     /// Starts a FLICK platform with the given configuration.
     pub fn new(config: PlatformConfig) -> Self {
-        Flick { platform: Platform::new(config), compile_options: CompileOptions::default() }
+        Flick {
+            platform: Platform::new(config),
+            compile_options: CompileOptions::default(),
+        }
     }
 
     /// Starts a FLICK platform attached to an existing simulated network
@@ -176,7 +181,9 @@ proc Echo: (pkt/pkt client)
         let client = flick.net().connect(9200).unwrap();
         client.write_all(&[1, 0, 3, b'a', b'b', b'c']).unwrap();
         let mut buf = [0u8; 6];
-        client.read_exact_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+        client
+            .read_exact_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
         assert_eq!(&buf, &[1, 0, 3, b'a', b'b', b'c']);
         assert_eq!(deployed.connections_accepted(), 1);
     }
@@ -184,7 +191,9 @@ proc Echo: (pkt/pkt client)
     #[test]
     fn compile_error_is_surfaced() {
         let flick = Flick::new(PlatformConfig::default());
-        let err = flick.compile("fun f: (x: integer) -> (integer)\n  f(x)\n", "P").unwrap_err();
+        let err = flick
+            .compile("fun f: (x: integer) -> (integer)\n  f(x)\n", "P")
+            .unwrap_err();
         assert!(matches!(err, FlickError::Compile(_)));
         assert!(err.to_string().contains("recursion"));
     }

@@ -72,7 +72,11 @@ impl WireCodec for GrammarCodec {
         &self.grammar.name
     }
 
-    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
         let unit = &self.grammar.name;
         let mut env: HashMap<String, u64> = HashMap::new();
         let mut message = Message::with_capacity(unit.clone(), self.grammar.items.len());
@@ -87,12 +91,15 @@ impl WireCodec for GrammarCodec {
                     }
                 }
                 GrammarItem::Field { name, kind } => {
-                    let required = !name.is_empty() && projection.map_or(true, |p| p.requires(name));
+                    let required =
+                        !name.is_empty() && projection.map_or(true, |p| p.requires(name));
                     match kind {
                         FieldKind::UInt { width } | FieldKind::Int { width } => {
                             let width = *width as usize;
                             if buf.len() < offset + width {
-                                return Ok(ParseOutcome::Incomplete { needed: offset + width - buf.len() });
+                                return Ok(ParseOutcome::Incomplete {
+                                    needed: offset + width - buf.len(),
+                                });
                             }
                             let raw = self.read_uint(buf, offset, width);
                             offset += width;
@@ -115,7 +122,9 @@ impl WireCodec for GrammarCodec {
                         FieldKind::Bytes { length } | FieldKind::Str { length } => {
                             let len = length.eval(&env, unit)? as usize;
                             if buf.len() < offset + len {
-                                return Ok(ParseOutcome::Incomplete { needed: offset + len - buf.len() });
+                                return Ok(ParseOutcome::Incomplete {
+                                    needed: offset + len - buf.len(),
+                                });
                             }
                             if required {
                                 let slice = &buf[offset..offset + len];
@@ -139,7 +148,10 @@ impl WireCodec for GrammarCodec {
             }
         }
         message.set_raw(Bytes::copy_from_slice(&buf[..offset]));
-        Ok(ParseOutcome::Complete { message, consumed: offset })
+        Ok(ParseOutcome::Complete {
+            message,
+            consumed: offset,
+        })
     }
 
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
@@ -195,7 +207,11 @@ impl WireCodec for GrammarCodec {
                                 })
                             })
                             .unwrap_or(0);
-                        let max = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+                        let max = if width == 8 {
+                            u64::MAX
+                        } else {
+                            (1u64 << (8 * width)) - 1
+                        };
                         if value > max && !name.is_empty() {
                             return Err(GrammarError::FieldOverflow {
                                 unit: unit.clone(),
@@ -243,7 +259,12 @@ mod tests {
         UnitGrammar::new("demo")
             .item(GI::field("len", FieldKind::UInt { width: 2 }))
             .item(GI::field("tag", FieldKind::UInt { width: 1 }))
-            .item(GI::field("body", FieldKind::Bytes { length: LenExpr::field("len") }))
+            .item(GI::field(
+                "body",
+                FieldKind::Bytes {
+                    length: LenExpr::field("len"),
+                },
+            ))
             .ser_rule("len", LenExpr::LenOf("body".into()))
     }
 
@@ -262,7 +283,9 @@ mod tests {
     fn roundtrip_simple_message() {
         let codec = demo_codec();
         let mut wire = Vec::new();
-        codec.serialize(&demo_message(7, b"hello"), &mut wire).unwrap();
+        codec
+            .serialize(&demo_message(7, b"hello"), &mut wire)
+            .unwrap();
         assert_eq!(wire.len(), 2 + 1 + 5);
         assert_eq!(&wire[0..2], &[0, 5]);
         match codec.parse(&wire, None).unwrap() {
@@ -279,7 +302,9 @@ mod tests {
     fn incremental_parse_reports_needed_bytes() {
         let codec = demo_codec();
         let mut wire = Vec::new();
-        codec.serialize(&demo_message(1, b"abcdef"), &mut wire).unwrap();
+        codec
+            .serialize(&demo_message(1, b"abcdef"), &mut wire)
+            .unwrap();
         // Header only.
         match codec.parse(&wire[..2], None).unwrap() {
             ParseOutcome::Incomplete { needed } => assert_eq!(needed, 1),
@@ -296,12 +321,17 @@ mod tests {
     fn projection_skips_unrequested_fields() {
         let codec = demo_codec();
         let mut wire = Vec::new();
-        codec.serialize(&demo_message(3, b"payload"), &mut wire).unwrap();
+        codec
+            .serialize(&demo_message(3, b"payload"), &mut wire)
+            .unwrap();
         let projection = Projection::of(["tag"]);
         match codec.parse(&wire, Some(&projection)).unwrap() {
             ParseOutcome::Complete { message, .. } => {
                 assert_eq!(message.uint_field("tag"), Some(3));
-                assert!(message.get("body").is_none(), "body should not be materialised");
+                assert!(
+                    message.get("body").is_none(),
+                    "body should not be materialised"
+                );
                 // The raw bytes are still available for pass-through.
                 assert_eq!(message.raw().unwrap().len(), wire.len());
             }
@@ -313,7 +343,9 @@ mod tests {
     fn passthrough_serialisation_uses_raw_bytes() {
         let codec = demo_codec();
         let mut wire = Vec::new();
-        codec.serialize(&demo_message(9, b"zig"), &mut wire).unwrap();
+        codec
+            .serialize(&demo_message(9, b"zig"), &mut wire)
+            .unwrap();
         let parsed = match codec.parse(&wire, None).unwrap() {
             ParseOutcome::Complete { message, .. } => message,
             other => panic!("unexpected {other:?}"),
@@ -327,7 +359,9 @@ mod tests {
     fn modified_message_recomputes_lengths() {
         let codec = demo_codec();
         let mut wire = Vec::new();
-        codec.serialize(&demo_message(9, b"zig"), &mut wire).unwrap();
+        codec
+            .serialize(&demo_message(9, b"zig"), &mut wire)
+            .unwrap();
         let mut parsed = match codec.parse(&wire, None).unwrap() {
             ParseOutcome::Complete { message, .. } => message,
             other => panic!("unexpected {other:?}"),
@@ -345,7 +379,10 @@ mod tests {
         let mut m = Message::new("demo");
         m.set("tag", MsgValue::UInt(1));
         let mut out = Vec::new();
-        assert!(matches!(codec.serialize(&m, &mut out), Err(GrammarError::MissingField { .. })));
+        assert!(matches!(
+            codec.serialize(&m, &mut out),
+            Err(GrammarError::MissingField { .. })
+        ));
     }
 
     #[test]
@@ -372,7 +409,9 @@ mod tests {
         codec.serialize(&m, &mut out).unwrap();
         assert_eq!(out, vec![0x02, 0x01]);
         match codec.parse(&out, None).unwrap() {
-            ParseOutcome::Complete { message, .. } => assert_eq!(message.uint_field("x"), Some(0x0102)),
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.uint_field("x"), Some(0x0102))
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -381,7 +420,9 @@ mod tests {
     fn anonymous_fields_are_skipped_but_consume_bytes() {
         let g = UnitGrammar::new("anon")
             .item(GI::field("a", FieldKind::UInt { width: 1 }))
-            .item(GI::anonymous(FieldKind::Bytes { length: LenExpr::Const(3) }))
+            .item(GI::anonymous(FieldKind::Bytes {
+                length: LenExpr::Const(3),
+            }))
             .item(GI::field("b", FieldKind::UInt { width: 1 }));
         let codec = GrammarCodec::new(g).unwrap();
         match codec.parse(&[1, 9, 9, 9, 2], None).unwrap() {
@@ -400,9 +441,22 @@ mod tests {
         let g = UnitGrammar::new("v")
             .item(GI::field("total", FieldKind::UInt { width: 1 }))
             .item(GI::field("keylen", FieldKind::UInt { width: 1 }))
-            .item(GI::variable("vallen", LenExpr::sub(LenExpr::field("total"), LenExpr::field("keylen"))))
-            .item(GI::field("key", FieldKind::Bytes { length: LenExpr::field("keylen") }))
-            .item(GI::field("val", FieldKind::Bytes { length: LenExpr::field("vallen") }));
+            .item(GI::variable(
+                "vallen",
+                LenExpr::sub(LenExpr::field("total"), LenExpr::field("keylen")),
+            ))
+            .item(GI::field(
+                "key",
+                FieldKind::Bytes {
+                    length: LenExpr::field("keylen"),
+                },
+            ))
+            .item(GI::field(
+                "val",
+                FieldKind::Bytes {
+                    length: LenExpr::field("vallen"),
+                },
+            ));
         let codec = GrammarCodec::new(g).unwrap();
         let wire = [5u8, 2, b'a', b'b', b'x', b'y', b'z'];
         match codec.parse(&wire, None).unwrap() {
@@ -422,6 +476,9 @@ mod tests {
         let mut m = Message::new("o");
         m.set("x", MsgValue::UInt(300));
         let mut out = Vec::new();
-        assert!(matches!(codec.serialize(&m, &mut out), Err(GrammarError::FieldOverflow { .. })));
+        assert!(matches!(
+            codec.serialize(&m, &mut out),
+            Err(GrammarError::FieldOverflow { .. })
+        ));
     }
 }

@@ -44,12 +44,18 @@ pub enum GrammarError {
 impl GrammarError {
     /// Convenience constructor for [`GrammarError::Malformed`].
     pub fn malformed(unit: impl Into<String>, reason: impl Into<String>) -> Self {
-        GrammarError::Malformed { unit: unit.into(), reason: reason.into() }
+        GrammarError::Malformed {
+            unit: unit.into(),
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`GrammarError::InvalidGrammar`].
     pub fn invalid(unit: impl Into<String>, reason: impl Into<String>) -> Self {
-        GrammarError::InvalidGrammar { unit: unit.into(), reason: reason.into() }
+        GrammarError::InvalidGrammar {
+            unit: unit.into(),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -62,7 +68,12 @@ impl fmt::Display for GrammarError {
             GrammarError::MissingField { unit, field } => {
                 write!(f, "cannot serialise `{unit}`: missing field `{field}`")
             }
-            GrammarError::FieldOverflow { unit, field, value, max } => {
+            GrammarError::FieldOverflow {
+                unit,
+                field,
+                value,
+                max,
+            } => {
                 write!(f, "field `{field}` of `{unit}` holds {value}, which exceeds the wire maximum {max}")
             }
             GrammarError::InvalidGrammar { unit, reason } => {
@@ -80,7 +91,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GrammarError::FieldOverflow { unit: "cmd".into(), field: "key_len".into(), value: 70000, max: 65535 };
+        let e = GrammarError::FieldOverflow {
+            unit: "cmd".into(),
+            field: "key_len".into(),
+            value: 70000,
+            max: 65535,
+        };
         let s = e.to_string();
         assert!(s.contains("key_len") && s.contains("65535"));
         let m = GrammarError::malformed("http", "truncated header");

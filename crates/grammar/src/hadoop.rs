@@ -24,9 +24,22 @@ use crate::{ParseOutcome, WireCodec};
 pub fn grammar() -> UnitGrammar {
     UnitGrammar::new("kv")
         .item(GrammarItem::field("key_len", FieldKind::UInt { width: 4 }))
-        .item(GrammarItem::field("value_len", FieldKind::UInt { width: 4 }))
-        .item(GrammarItem::field("key", FieldKind::Str { length: LenExpr::field("key_len") }))
-        .item(GrammarItem::field("value", FieldKind::Str { length: LenExpr::field("value_len") }))
+        .item(GrammarItem::field(
+            "value_len",
+            FieldKind::UInt { width: 4 },
+        ))
+        .item(GrammarItem::field(
+            "key",
+            FieldKind::Str {
+                length: LenExpr::field("key_len"),
+            },
+        ))
+        .item(GrammarItem::field(
+            "value",
+            FieldKind::Str {
+                length: LenExpr::field("value_len"),
+            },
+        ))
         .ser_rule("key_len", LenExpr::LenOf("key".into()))
         .ser_rule("value_len", LenExpr::LenOf("value".into()))
 }
@@ -40,7 +53,9 @@ pub struct HadoopKvCodec {
 impl HadoopKvCodec {
     /// Creates the codec.
     pub fn new() -> Self {
-        HadoopKvCodec { inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid") }
+        HadoopKvCodec {
+            inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid"),
+        }
     }
 }
 
@@ -55,7 +70,11 @@ impl WireCodec for HadoopKvCodec {
         "hadoop-kv"
     }
 
-    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
         self.inner.parse(buf, projection)
     }
 
@@ -84,7 +103,10 @@ pub fn count_of(msg: &Message) -> Option<u64> {
 }
 
 /// Serialises a whole batch of records into one byte stream.
-pub fn serialize_batch(codec: &HadoopKvCodec, records: &[Message]) -> Result<Vec<u8>, GrammarError> {
+pub fn serialize_batch(
+    codec: &HadoopKvCodec,
+    records: &[Message],
+) -> Result<Vec<u8>, GrammarError> {
     let mut out = Vec::new();
     for r in records {
         codec.serialize(r, &mut out)?;
@@ -102,7 +124,10 @@ pub fn parse_batch(codec: &HadoopKvCodec, mut buf: &[u8]) -> Result<Vec<Message>
                 buf = &buf[consumed..];
             }
             ParseOutcome::Incomplete { .. } => {
-                return Err(GrammarError::malformed("kv", "truncated record at end of stream"))
+                return Err(GrammarError::malformed(
+                    "kv",
+                    "truncated record at end of stream",
+                ))
             }
         }
     }
@@ -113,7 +138,6 @@ pub fn parse_batch(codec: &HadoopKvCodec, mut buf: &[u8]) -> Result<Vec<Message>
 pub fn record_wire_len(key: &str, value: &str) -> usize {
     8 + key.len() + value.len()
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -76,7 +76,11 @@ impl WireCodec for HttpCodec {
         "http"
     }
 
-    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
         let Some(head_len) = header_end(buf) else {
             return Ok(ParseOutcome::Incomplete { needed: 0 });
         };
@@ -86,7 +90,11 @@ impl WireCodec for HttpCodec {
         let mut parts = first_line.split_whitespace();
         let is_response = first_line.starts_with("HTTP/");
         let mut message = Message::with_capacity(
-            if is_response { RESPONSE_UNIT } else { REQUEST_UNIT },
+            if is_response {
+                RESPONSE_UNIT
+            } else {
+                REQUEST_UNIT
+            },
             8,
         );
         if is_response {
@@ -107,8 +115,14 @@ impl WireCodec for HttpCodec {
                 .next()
                 .ok_or_else(|| GrammarError::malformed("http", "missing request path"))?;
             let version = parts.next().unwrap_or("HTTP/1.1");
-            if !matches!(method, "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS" | "PATCH") {
-                return Err(GrammarError::malformed("http", format!("unknown method {method:?}")));
+            if !matches!(
+                method,
+                "GET" | "HEAD" | "POST" | "PUT" | "DELETE" | "OPTIONS" | "PATCH"
+            ) {
+                return Err(GrammarError::malformed(
+                    "http",
+                    format!("unknown method {method:?}"),
+                ));
             }
             message.set_parsed("method", MsgValue::Str(method.to_string()));
             message.set_parsed("path", MsgValue::Str(path.to_string()));
@@ -117,7 +131,9 @@ impl WireCodec for HttpCodec {
         let content_length = parse_headers(head, &mut message, projection)?;
         let total = head_len + content_length;
         if buf.len() < total {
-            return Ok(ParseOutcome::Incomplete { needed: total - buf.len() });
+            return Ok(ParseOutcome::Incomplete {
+                needed: total - buf.len(),
+            });
         }
         if content_length > 0 && projection.map_or(true, |p| p.requires("body")) {
             message.set_parsed(
@@ -126,7 +142,10 @@ impl WireCodec for HttpCodec {
             );
         }
         message.set_raw(Bytes::copy_from_slice(&buf[..total]));
-        Ok(ParseOutcome::Complete { message, consumed: total })
+        Ok(ParseOutcome::Complete {
+            message,
+            consumed: total,
+        })
     }
 
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
@@ -143,10 +162,16 @@ impl WireCodec for HttpCodec {
         } else {
             let method = msg
                 .str_field("method")
-                .ok_or_else(|| GrammarError::MissingField { unit: REQUEST_UNIT.into(), field: "method".into() })?;
+                .ok_or_else(|| GrammarError::MissingField {
+                    unit: REQUEST_UNIT.into(),
+                    field: "method".into(),
+                })?;
             let path = msg
                 .str_field("path")
-                .ok_or_else(|| GrammarError::MissingField { unit: REQUEST_UNIT.into(), field: "path".into() })?;
+                .ok_or_else(|| GrammarError::MissingField {
+                    unit: REQUEST_UNIT.into(),
+                    field: "path".into(),
+                })?;
             out.extend_from_slice(format!("{method} {path} {version}\r\n").as_bytes());
         }
         let mut wrote_content_length = false;
@@ -223,7 +248,14 @@ pub fn wants_close(msg: &Message) -> bool {
 /// The projection used by the HTTP load balancer: only the request line and
 /// the connection-management headers are needed, not the body.
 pub fn load_balancer_projection() -> Projection {
-    Projection::of(["method", "path", "version", "host", "connection", "content_length"])
+    Projection::of([
+        "method",
+        "path",
+        "version",
+        "host",
+        "connection",
+        "content_length",
+    ])
 }
 
 #[cfg(test)]
@@ -282,7 +314,10 @@ mod tests {
         let (msg, _) = parse_ok(&codec, &wire);
         let mut out = Vec::new();
         codec.serialize(&msg, &mut out).unwrap();
-        assert_eq!(out, wire, "unmodified messages must be forwarded byte-for-byte");
+        assert_eq!(
+            out, wire,
+            "unmodified messages must be forwarded byte-for-byte"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub trait WireCodec: Send + Sync {
     /// `projection`, when given, names the fields the caller will access;
     /// the codec may skip materialising any other field as long as the raw
     /// bytes of the message are preserved for pass-through forwarding.
-    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError>;
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError>;
 
     /// Serialises `msg` to `out`, appending to it.
     ///
@@ -99,6 +103,9 @@ mod tests {
         let request = memcached::request(memcached::opcode::GET, b"k", b"", b"");
         let mut wire = Vec::new();
         codec.serialize(&request, &mut wire).unwrap();
-        assert!(matches!(codec.parse(&wire, None).unwrap(), ParseOutcome::Complete { .. }));
+        assert!(matches!(
+            codec.parse(&wire, None).unwrap(),
+            ParseOutcome::Complete { .. }
+        ));
     }
 }

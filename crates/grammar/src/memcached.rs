@@ -37,14 +37,26 @@ pub const MAGIC_RESPONSE: u64 = 0x81;
 /// the computed `value_len`, then `extras`, `key` and `value`.
 pub fn grammar() -> UnitGrammar {
     UnitGrammar::new("cmd")
-        .item(GrammarItem::field("magic_code", FieldKind::UInt { width: 1 }))
+        .item(GrammarItem::field(
+            "magic_code",
+            FieldKind::UInt { width: 1 },
+        ))
         .item(GrammarItem::field("opcode", FieldKind::UInt { width: 1 }))
         .item(GrammarItem::field("key_len", FieldKind::UInt { width: 2 }))
-        .item(GrammarItem::field("extras_len", FieldKind::UInt { width: 1 }))
+        .item(GrammarItem::field(
+            "extras_len",
+            FieldKind::UInt { width: 1 },
+        ))
         // Anonymous field, reserved for future use (data type in the real protocol).
         .item(GrammarItem::anonymous(FieldKind::UInt { width: 1 }))
-        .item(GrammarItem::field("status_or_v_bucket", FieldKind::UInt { width: 2 }))
-        .item(GrammarItem::field("total_len", FieldKind::UInt { width: 4 }))
+        .item(GrammarItem::field(
+            "status_or_v_bucket",
+            FieldKind::UInt { width: 2 },
+        ))
+        .item(GrammarItem::field(
+            "total_len",
+            FieldKind::UInt { width: 4 },
+        ))
         .item(GrammarItem::field("opaque", FieldKind::UInt { width: 4 }))
         .item(GrammarItem::field("cas", FieldKind::UInt { width: 8 }))
         .item(GrammarItem::variable(
@@ -54,9 +66,24 @@ pub fn grammar() -> UnitGrammar {
                 LenExpr::add(LenExpr::field("extras_len"), LenExpr::field("key_len")),
             ),
         ))
-        .item(GrammarItem::field("extras", FieldKind::Bytes { length: LenExpr::field("extras_len") }))
-        .item(GrammarItem::field("key", FieldKind::Str { length: LenExpr::field("key_len") }))
-        .item(GrammarItem::field("value", FieldKind::Bytes { length: LenExpr::field("value_len") }))
+        .item(GrammarItem::field(
+            "extras",
+            FieldKind::Bytes {
+                length: LenExpr::field("extras_len"),
+            },
+        ))
+        .item(GrammarItem::field(
+            "key",
+            FieldKind::Str {
+                length: LenExpr::field("key_len"),
+            },
+        ))
+        .item(GrammarItem::field(
+            "value",
+            FieldKind::Bytes {
+                length: LenExpr::field("value_len"),
+            },
+        ))
         .ser_rule("key_len", LenExpr::LenOf("key".into()))
         .ser_rule("extras_len", LenExpr::LenOf("extras".into()))
         .ser_rule(
@@ -89,7 +116,9 @@ impl MemcachedCodec {
     /// Never panics in practice: the built-in grammar is statically valid
     /// (covered by tests).
     pub fn new() -> Self {
-        MemcachedCodec { inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid") }
+        MemcachedCodec {
+            inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid"),
+        }
     }
 }
 
@@ -104,7 +133,11 @@ impl WireCodec for MemcachedCodec {
         "memcached"
     }
 
-    fn parse(&self, buf: &[u8], projection: Option<&Projection>) -> Result<ParseOutcome, GrammarError> {
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
         self.inner.parse(buf, projection)
     }
 
@@ -152,7 +185,9 @@ mod tests {
     fn header_is_24_bytes() {
         let codec = MemcachedCodec::new();
         let mut wire = Vec::new();
-        codec.serialize(&request(opcode::GET, b"", b"", b""), &mut wire).unwrap();
+        codec
+            .serialize(&request(opcode::GET, b"", b"", b""), &mut wire)
+            .unwrap();
         assert_eq!(wire.len(), 24);
     }
 
@@ -204,7 +239,9 @@ mod tests {
     fn partial_body_is_incomplete_with_exact_need() {
         let codec = MemcachedCodec::new();
         let mut wire = Vec::new();
-        codec.serialize(&request(opcode::GET, b"abcd", b"", b""), &mut wire).unwrap();
+        codec
+            .serialize(&request(opcode::GET, b"abcd", b"", b""), &mut wire)
+            .unwrap();
         match codec.parse(&wire[..26], None).unwrap() {
             ParseOutcome::Incomplete { needed } => assert_eq!(needed, 2),
             other => panic!("unexpected {other:?}"),
@@ -236,9 +273,13 @@ mod tests {
     fn two_pipelined_commands_parse_sequentially() {
         let codec = MemcachedCodec::new();
         let mut wire = Vec::new();
-        codec.serialize(&request(opcode::GET, b"a", b"", b""), &mut wire).unwrap();
+        codec
+            .serialize(&request(opcode::GET, b"a", b"", b""), &mut wire)
+            .unwrap();
         let first_len = wire.len();
-        codec.serialize(&request(opcode::GET, b"bb", b"", b""), &mut wire).unwrap();
+        codec
+            .serialize(&request(opcode::GET, b"bb", b"", b""), &mut wire)
+            .unwrap();
         match codec.parse(&wire, None).unwrap() {
             ParseOutcome::Complete { message, consumed } => {
                 assert_eq!(consumed, first_len);

@@ -95,12 +95,20 @@ pub struct Message {
 impl Message {
     /// Creates an empty message for the given unit.
     pub fn new(unit: impl Into<String>) -> Self {
-        Message { unit: unit.into(), fields: Vec::new(), raw: None }
+        Message {
+            unit: unit.into(),
+            fields: Vec::new(),
+            raw: None,
+        }
     }
 
     /// Creates a message with pre-allocated space for `n` fields.
     pub fn with_capacity(unit: impl Into<String>, n: usize) -> Self {
-        Message { unit: unit.into(), fields: Vec::with_capacity(n), raw: None }
+        Message {
+            unit: unit.into(),
+            fields: Vec::with_capacity(n),
+            raw: None,
+        }
     }
 
     /// Returns the number of fields.
@@ -236,7 +244,10 @@ mod tests {
         assert_eq!(MsgValue::UInt(5).as_u64(), Some(5));
         assert_eq!(MsgValue::Int(-1).as_u64(), None);
         assert_eq!(MsgValue::Str("hi".into()).as_bytes(), Some(&b"hi"[..]));
-        assert_eq!(MsgValue::Bytes(Bytes::from_static(b"ok")).as_str(), Some("ok"));
+        assert_eq!(
+            MsgValue::Bytes(Bytes::from_static(b"ok")).as_str(),
+            Some("ok")
+        );
         assert_eq!(MsgValue::Bytes(Bytes::from_static(b"ok")).byte_len(), 2);
         assert_eq!(MsgValue::Bool(true).as_u64(), None);
     }

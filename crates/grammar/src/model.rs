@@ -45,11 +45,13 @@ pub enum LenExpr {
 
 impl LenExpr {
     /// Convenience constructor: `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: LenExpr, b: LenExpr) -> LenExpr {
         LenExpr::Add(Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor: `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: LenExpr, b: LenExpr) -> LenExpr {
         LenExpr::Sub(Box::new(a), Box::new(b))
     }
@@ -65,9 +67,14 @@ impl LenExpr {
     pub fn eval(&self, env: &HashMap<String, u64>, unit: &str) -> Result<u64, GrammarError> {
         match self {
             LenExpr::Const(v) => Ok(*v),
-            LenExpr::Field(name) | LenExpr::LenOf(name) => env.get(name).copied().ok_or_else(|| {
-                GrammarError::invalid(unit, format!("length expression references unknown field `{name}`"))
-            }),
+            LenExpr::Field(name) | LenExpr::LenOf(name) => {
+                env.get(name).copied().ok_or_else(|| {
+                    GrammarError::invalid(
+                        unit,
+                        format!("length expression references unknown field `{name}`"),
+                    )
+                })
+            }
             LenExpr::Add(a, b) => Ok(a.eval(env, unit)?.saturating_add(b.eval(env, unit)?)),
             LenExpr::Sub(a, b) => {
                 let (av, bv) = (a.eval(env, unit)?, b.eval(env, unit)?);
@@ -156,17 +163,26 @@ pub enum GrammarItem {
 impl GrammarItem {
     /// Convenience constructor for a named field.
     pub fn field(name: impl Into<String>, kind: FieldKind) -> Self {
-        GrammarItem::Field { name: name.into(), kind }
+        GrammarItem::Field {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Convenience constructor for an anonymous (skipped) field.
     pub fn anonymous(kind: FieldKind) -> Self {
-        GrammarItem::Field { name: String::new(), kind }
+        GrammarItem::Field {
+            name: String::new(),
+            kind,
+        }
     }
 
     /// Convenience constructor for a computed variable.
     pub fn variable(name: impl Into<String>, parse: LenExpr) -> Self {
-        GrammarItem::Variable { name: name.into(), parse }
+        GrammarItem::Variable {
+            name: name.into(),
+            parse,
+        }
     }
 }
 
@@ -221,7 +237,10 @@ impl UnitGrammar {
 
     /// Appends a serialisation rule.
     pub fn ser_rule(mut self, field: impl Into<String>, expr: LenExpr) -> Self {
-        self.ser_rules.push(SerRule { field: field.into(), expr });
+        self.ser_rules.push(SerRule {
+            field: field.into(),
+            expr,
+        });
         self
     }
 
@@ -293,7 +312,12 @@ impl UnitGrammar {
         Ok(())
     }
 
-    fn check_expr(&self, expr: &LenExpr, known: &[&str], all_fields: &[&str]) -> Result<(), GrammarError> {
+    fn check_expr(
+        &self,
+        expr: &LenExpr,
+        known: &[&str],
+        all_fields: &[&str],
+    ) -> Result<(), GrammarError> {
         match expr {
             LenExpr::Const(_) => Ok(()),
             LenExpr::Field(name) => {
@@ -338,7 +362,12 @@ mod tests {
             LenExpr::field("total_len"),
             LenExpr::add(LenExpr::field("extras_len"), LenExpr::field("key_len")),
         );
-        let v = e.eval(&env(&[("total_len", 30), ("extras_len", 4), ("key_len", 6)]), "cmd").unwrap();
+        let v = e
+            .eval(
+                &env(&[("total_len", 30), ("extras_len", 4), ("key_len", 6)]),
+                "cmd",
+            )
+            .unwrap();
         assert_eq!(v, 20);
     }
 
@@ -352,21 +381,34 @@ mod tests {
     #[test]
     fn len_expr_unknown_field() {
         let e = LenExpr::field("missing");
-        assert!(matches!(e.eval(&env(&[]), "cmd"), Err(GrammarError::InvalidGrammar { .. })));
+        assert!(matches!(
+            e.eval(&env(&[]), "cmd"),
+            Err(GrammarError::InvalidGrammar { .. })
+        ));
     }
 
     #[test]
     fn validate_accepts_forward_only_references() {
         let g = UnitGrammar::new("t")
             .item(GrammarItem::field("len", FieldKind::UInt { width: 2 }))
-            .item(GrammarItem::field("body", FieldKind::Bytes { length: LenExpr::field("len") }));
+            .item(GrammarItem::field(
+                "body",
+                FieldKind::Bytes {
+                    length: LenExpr::field("len"),
+                },
+            ));
         assert!(g.validate().is_ok());
     }
 
     #[test]
     fn validate_rejects_reference_before_parse() {
         let g = UnitGrammar::new("t")
-            .item(GrammarItem::field("body", FieldKind::Bytes { length: LenExpr::field("len") }))
+            .item(GrammarItem::field(
+                "body",
+                FieldKind::Bytes {
+                    length: LenExpr::field("len"),
+                },
+            ))
             .item(GrammarItem::field("len", FieldKind::UInt { width: 2 }));
         assert!(g.validate().is_err());
     }

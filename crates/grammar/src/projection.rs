@@ -20,7 +20,10 @@ pub struct Projection {
 impl Projection {
     /// A projection that requires every field.
     pub fn all() -> Self {
-        Projection { fields: BTreeSet::new(), all: true }
+        Projection {
+            fields: BTreeSet::new(),
+            all: true,
+        }
     }
 
     /// An empty projection; fields can be added with [`Projection::with`].
@@ -34,7 +37,10 @@ impl Projection {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Projection { fields: names.into_iter().map(Into::into).collect(), all: false }
+        Projection {
+            fields: names.into_iter().map(Into::into).collect(),
+            all: false,
+        }
     }
 
     /// Adds a field to the projection.
@@ -72,7 +78,10 @@ mod tests {
     fn all_requires_everything() {
         let p = Projection::all();
         assert!(p.requires("anything"));
-        assert!(!p.is_empty() || p.len() == 0);
+        // `all()` is not "empty" (it requires everything) yet names no
+        // explicit fields.
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 0);
     }
 
     #[test]

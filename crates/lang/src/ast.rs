@@ -294,7 +294,10 @@ pub enum BinOp {
 impl BinOp {
     /// Returns `true` for comparison operators producing booleans.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
     }
 
     /// Returns `true` for the boolean connectives `and` / `or`.
@@ -410,7 +413,11 @@ mod tests {
     #[test]
     fn program_lookup_helpers() {
         let mut p = Program::default();
-        p.types.push(TypeDecl { name: "cmd".into(), fields: vec![], span: Span::default() });
+        p.types.push(TypeDecl {
+            name: "cmd".into(),
+            fields: vec![],
+            span: Span::default(),
+        });
         p.functions.push(FunDecl {
             name: "f".into(),
             params: vec![],
@@ -462,7 +469,10 @@ mod tests {
 
     #[test]
     fn channel_type_is_channel_like() {
-        let ch = TypeExpr::Channel { read: None, write: Some(Box::new(TypeExpr::Named("cmd".into()))) };
+        let ch = TypeExpr::Channel {
+            read: None,
+            write: Some(Box::new(TypeExpr::Named("cmd".into()))),
+        };
         assert!(ch.is_channel_like());
         assert!(TypeExpr::ChannelArray(Box::new(ch.clone())).is_channel_like());
         assert!(!TypeExpr::Named("cmd".into()).is_channel_like());

@@ -22,7 +22,12 @@ pub struct Span {
 impl Span {
     /// Creates a new span.
     pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
-        Span { start, end, line, column }
+        Span {
+            start,
+            end,
+            line,
+            column,
+        }
     }
 
     /// Returns a span covering both `self` and `other`.
@@ -31,7 +36,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            column: if self.line <= other.line { self.column } else { other.column },
+            column: if self.line <= other.line {
+                self.column
+            } else {
+                other.column
+            },
         }
     }
 
@@ -86,7 +95,11 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a new diagnostic.
     pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { stage, message: message.into(), span }
+        Diagnostic {
+            stage,
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -109,7 +122,9 @@ pub struct LangError {
 impl LangError {
     /// Creates an error from a single diagnostic.
     pub fn single(stage: Stage, message: impl Into<String>, span: Span) -> Self {
-        LangError { diagnostics: vec![Diagnostic::new(stage, message, span)] }
+        LangError {
+            diagnostics: vec![Diagnostic::new(stage, message, span)],
+        }
     }
 
     /// Creates an error from a collection of diagnostics.
@@ -118,7 +133,10 @@ impl LangError {
     ///
     /// Panics if `diagnostics` is empty; an error must explain itself.
     pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
-        assert!(!diagnostics.is_empty(), "LangError requires at least one diagnostic");
+        assert!(
+            !diagnostics.is_empty(),
+            "LangError requires at least one diagnostic"
+        );
         LangError { diagnostics }
     }
 

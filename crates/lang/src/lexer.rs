@@ -129,7 +129,11 @@ impl<'a> Lexer<'a> {
                     continue;
                 }
                 b'\r' => {
-                    self.pos = if self.peek_at(p + 1) == Some(b'\n') { p + 2 } else { p + 1 };
+                    self.pos = if self.peek_at(p + 1) == Some(b'\n') {
+                        p + 2
+                    } else {
+                        p + 1
+                    };
                     self.line += 1;
                     self.col = 1;
                     continue;
@@ -163,7 +167,9 @@ impl<'a> Lexer<'a> {
                 if landed != indent {
                     return Err(LangError::single(
                         Stage::Lex,
-                        format!("inconsistent indentation: expected {landed} spaces, found {indent}"),
+                        format!(
+                            "inconsistent indentation: expected {landed} spaces, found {indent}"
+                        ),
                         self.here(0),
                     ));
                 }
@@ -223,7 +229,11 @@ impl<'a> Lexer<'a> {
         }
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            let ok = if is_hex { b.is_ascii_hexdigit() } else { b.is_ascii_digit() };
+            let ok = if is_hex {
+                b.is_ascii_hexdigit()
+            } else {
+                b.is_ascii_digit()
+            };
             if ok {
                 self.pos += 1;
                 self.col += 1;
@@ -369,7 +379,8 @@ impl<'a> Lexer<'a> {
             return;
         }
         match self.tokens.last().map(|t| &t.kind) {
-            Some(TokenKind::Newline) | Some(TokenKind::Indent) | Some(TokenKind::Dedent) | None => {}
+            Some(TokenKind::Newline) | Some(TokenKind::Indent) | Some(TokenKind::Dedent) | None => {
+            }
             _ => self.push(TokenKind::Newline, self.here(0)),
         }
     }

@@ -77,7 +77,8 @@ mod tests {
 
     #[test]
     fn parse_minimal_process() {
-        let src = "proc P: (cmd/cmd client)\n  client => client\n\ntype cmd: record\n  key : string\n";
+        let src =
+            "proc P: (cmd/cmd client)\n  client => client\n\ntype cmd: record\n  key : string\n";
         let program = parse(src).unwrap();
         assert_eq!(program.processes.len(), 1);
         assert_eq!(program.types.len(), 1);

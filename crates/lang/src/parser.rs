@@ -15,7 +15,11 @@ use crate::token::{Token, TokenKind};
 ///
 /// `source` is only used to improve diagnostics.
 pub fn parse_tokens(tokens: &[Token], source: &str) -> Result<Program, LangError> {
-    let mut parser = Parser { tokens, pos: 0, _source: source };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        _source: source,
+    };
     parser.program()
 }
 
@@ -64,7 +68,11 @@ impl<'a> Parser<'a> {
             self.bump();
             Ok(span)
         } else {
-            Err(self.err(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -158,7 +166,11 @@ impl<'a> Parser<'a> {
                 let (attr_name, attr_span) = self.expect_ident()?;
                 self.expect(TokenKind::Eq)?;
                 let value = self.expr()?;
-                attrs.push(FieldAttr { name: attr_name, value, span: attr_span });
+                attrs.push(FieldAttr {
+                    name: attr_name,
+                    value,
+                    span: attr_span,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -168,7 +180,12 @@ impl<'a> Parser<'a> {
         if !matches!(self.peek(), TokenKind::Dedent | TokenKind::Eof) {
             self.expect(TokenKind::Newline)?;
         }
-        Ok(FieldDecl { name, ty, attrs, span })
+        Ok(FieldDecl {
+            name,
+            ty,
+            attrs,
+            span,
+        })
     }
 
     fn proc_decl(&mut self) -> Result<ProcDecl, LangError> {
@@ -181,7 +198,12 @@ impl<'a> Parser<'a> {
         // A trailing colon after the signature is accepted (Listing 3 style).
         self.eat(&TokenKind::Colon);
         let body = self.indented_block()?;
-        Ok(ProcDecl { name, params, body, span })
+        Ok(ProcDecl {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn fun_decl(&mut self) -> Result<FunDecl, LangError> {
@@ -210,7 +232,13 @@ impl<'a> Parser<'a> {
         }
         self.eat(&TokenKind::Colon);
         let body = self.indented_block()?;
-        Ok(FunDecl { name, params, ret, body, span })
+        Ok(FunDecl {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
     }
 
     fn params(&mut self) -> Result<Vec<Param>, LangError> {
@@ -259,7 +287,10 @@ impl<'a> Parser<'a> {
         if read.is_none() && write.is_none() {
             return Err(self.err("channel type `-/-` can neither be read nor written".to_string()));
         }
-        Ok(TypeExpr::Channel { read: read.map(Box::new), write: write.map(Box::new) })
+        Ok(TypeExpr::Channel {
+            read: read.map(Box::new),
+            write: write.map(Box::new),
+        })
     }
 
     fn channel_side(&mut self) -> Result<Option<TypeExpr>, LangError> {
@@ -320,7 +351,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 self.expect(TokenKind::Slash)?;
                 let write = self.channel_side()?;
-                Ok(TypeExpr::Channel { read: None, write: write.map(Box::new) })
+                Ok(TypeExpr::Channel {
+                    read: None,
+                    write: write.map(Box::new),
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -400,7 +434,12 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then, els, span })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    span,
+                })
             }
             TokenKind::KwFor => {
                 self.bump();
@@ -409,7 +448,12 @@ impl<'a> Parser<'a> {
                 let iter = self.expr()?;
                 self.expect(TokenKind::Colon)?;
                 let body = self.indented_block()?;
-                Ok(Stmt::For { var, iter, body, span })
+                Ok(Stmt::For {
+                    var,
+                    iter,
+                    body,
+                    span,
+                })
             }
             _ => {
                 let first = self.expr()?;
@@ -426,7 +470,11 @@ impl<'a> Parser<'a> {
                         self.bump();
                         let value = self.expr()?;
                         self.end_of_stmt()?;
-                        Ok(Stmt::Assign { target: first, value, span })
+                        Ok(Stmt::Assign {
+                            target: first,
+                            value,
+                            span,
+                        })
                     }
                     _ => {
                         self.end_of_stmt()?;
@@ -453,7 +501,10 @@ impl<'a> Parser<'a> {
                 Ok(())
             }
             TokenKind::Dedent | TokenKind::Eof => Ok(()),
-            other => Err(self.err(format!("expected end of statement, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected end of statement, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -497,7 +548,14 @@ impl<'a> Parser<'a> {
         while self.eat(&TokenKind::KwOr) {
             let rhs = self.and_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -507,7 +565,14 @@ impl<'a> Parser<'a> {
         while self.eat(&TokenKind::KwAnd) {
             let rhs = self.not_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -517,7 +582,13 @@ impl<'a> Parser<'a> {
             let span = self.span();
             self.bump();
             let operand = self.not_expr()?;
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         self.comparison()
     }
@@ -537,7 +608,14 @@ impl<'a> Parser<'a> {
             self.bump();
             let rhs = self.additive()?;
             let span = lhs.span.merge(rhs.span);
-            return Ok(Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span));
+            return Ok(Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -553,7 +631,14 @@ impl<'a> Parser<'a> {
             self.bump();
             let rhs = self.multiplicative()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -570,7 +655,14 @@ impl<'a> Parser<'a> {
             self.bump();
             let rhs = self.unary()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -580,7 +672,13 @@ impl<'a> Parser<'a> {
             let span = self.span();
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         self.postfix()
     }
@@ -659,7 +757,10 @@ impl<'a> Parser<'a> {
                     Ok(Expr::new(ExprKind::Ident(name), span))
                 }
             }
-            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -792,7 +893,8 @@ fun combine: (v1: string, v2: string) -> (string)
 
     #[test]
     fn pipeline_collects_all_stages() {
-        let src = "proc p: (c/c a, c/c b)\n  a => f(x) => g(y) => b\n\ntype c: record\n  k : string\n";
+        let src =
+            "proc p: (c/c a, c/c b)\n  a => f(x) => g(y) => b\n\ntype c: record\n  k : string\n";
         let p = parse(src);
         match &p.processes[0].body.stmts[0] {
             Stmt::Pipeline { stages, .. } => assert_eq!(stages.len(), 4),
@@ -806,7 +908,9 @@ fun combine: (v1: string, v2: string) -> (string)
         let p = parse(src);
         match &p.functions[0].body.stmts[0] {
             Stmt::Expr { expr, .. } => match &expr.kind {
-                ExprKind::Binary { op: BinOp::Eq, lhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Eq, lhs, ..
+                } => {
                     assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Mod, .. }));
                 }
                 other => panic!("expected comparison at top, got {other:?}"),
@@ -825,7 +929,9 @@ fun combine: (v1: string, v2: string) -> (string)
     #[test]
     fn error_on_unknown_top_level() {
         let e = parse_err("banana\n");
-        assert!(e.first_message().contains("expected `type`, `proc` or `fun`"));
+        assert!(e
+            .first_message()
+            .contains("expected `type`, `proc` or `fun`"));
     }
 
     #[test]

@@ -23,7 +23,15 @@ use std::collections::{HashMap, HashSet};
 pub const HIGHER_ORDER_BUILTINS: &[&str] = &["fold", "map", "filter"];
 
 /// Names of ordinary builtin functions available to every program.
-pub const BUILTINS: &[&str] = &["hash", "len", "empty_dict", "all_ready", "size", "str", "int"];
+pub const BUILTINS: &[&str] = &[
+    "hash",
+    "len",
+    "empty_dict",
+    "all_ready",
+    "size",
+    "str",
+    "int",
+];
 
 /// Runs the semantic checks on a parsed program.
 ///
@@ -55,7 +63,9 @@ pub fn called_functions(block: &Block, out: &mut HashSet<String>) {
                     collect_calls(s, out);
                 }
             }
-            Stmt::If { cond, then, els, .. } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 collect_calls(cond, out);
                 called_functions(then, out);
                 if let Some(els) = els {
@@ -97,7 +107,12 @@ fn collect_calls(expr: &Expr, out: &mut HashSet<String>) {
             collect_calls(rhs, out);
         }
         ExprKind::Unary { operand, .. } => collect_calls(operand, out),
-        ExprKind::Foldt { channels, order_key, body, .. } => {
+        ExprKind::Foldt {
+            channels,
+            order_key,
+            body,
+            ..
+        } => {
             collect_calls(channels, out);
             collect_calls(order_key, out);
             called_functions(body, out);
@@ -119,7 +134,10 @@ fn check_recursion(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
     for f in &program.functions {
         let mut calls = HashSet::new();
         called_functions(&f.body, &mut calls);
-        let edges = calls.into_iter().filter(|c| user.contains(c.as_str())).collect();
+        let edges = calls
+            .into_iter()
+            .filter(|c| user.contains(c.as_str()))
+            .collect();
         graph.insert(&f.name, edges);
         spans.insert(&f.name, f.span);
     }
@@ -200,7 +218,9 @@ fn check_first_order(program: &Program, diagnostics: &mut Vec<Diagnostic>) {
                     Stmt::Let { value, .. } => vec![value],
                     Stmt::Assign { target, value, .. } => vec![target, value],
                     Stmt::Pipeline { stages, .. } => stages.iter().collect(),
-                    Stmt::If { cond, then, els, .. } => {
+                    Stmt::If {
+                        cond, then, els, ..
+                    } => {
                         stack.push(then);
                         if let Some(e) = els {
                             stack.push(e);
@@ -235,16 +255,14 @@ fn check_expr_first_order(
     _top: bool,
 ) {
     match &expr.kind {
-        ExprKind::Ident(name) => {
-            if user.contains(name.as_str()) {
-                diagnostics.push(Diagnostic::new(
-                    Stage::Semantic,
-                    format!(
-                        "function `{name}` used as a value in `{owner}`; FLICK functions are first order and may only be called"
-                    ),
-                    expr.span,
-                ));
-            }
+        ExprKind::Ident(name) if user.contains(name.as_str()) => {
+            diagnostics.push(Diagnostic::new(
+                Stage::Semantic,
+                format!(
+                    "function `{name}` used as a value in `{owner}`; FLICK functions are first order and may only be called"
+                ),
+                expr.span,
+            ));
         }
         ExprKind::Call { name, args } => {
             let skip_first = HIGHER_ORDER_BUILTINS.contains(&name.as_str());
@@ -268,7 +286,12 @@ fn check_expr_first_order(
         ExprKind::Unary { operand, .. } => {
             check_expr_first_order(operand, user, owner, diagnostics, false)
         }
-        ExprKind::Foldt { channels, order_key, body, .. } => {
+        ExprKind::Foldt {
+            channels,
+            order_key,
+            body,
+            ..
+        } => {
             check_expr_first_order(channels, user, owner, diagnostics, false);
             check_expr_first_order(order_key, user, owner, diagnostics, false);
             for stmt in &body.stmts {

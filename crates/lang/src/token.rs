@@ -275,6 +275,9 @@ mod tests {
     #[test]
     fn describe_is_readable() {
         assert_eq!(TokenKind::Arrow.describe(), "`=>`");
-        assert_eq!(TokenKind::Ident("cache".into()).describe(), "identifier `cache`");
+        assert_eq!(
+            TokenKind::Ident("cache".into()).describe(),
+            "identifier `cache`"
+        );
     }
 }

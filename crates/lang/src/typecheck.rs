@@ -136,7 +136,8 @@ impl<'a> Checker<'a> {
     }
 
     fn error(&mut self, message: impl Into<String>, span: Span) {
-        self.diagnostics.push(Diagnostic::new(Stage::Type, message, span));
+        self.diagnostics
+            .push(Diagnostic::new(Stage::Type, message, span));
     }
 
     fn resolve(&mut self, expr: &TypeExpr, span: Span) -> Type {
@@ -157,7 +158,10 @@ impl<'a> Checker<'a> {
             let mut seen_names: Vec<&str> = Vec::new();
             for field in &decl.fields {
                 let ty = self.resolve(&field.ty, field.span);
-                if !matches!(ty.deref(), Type::Int | Type::Str | Type::Bool | Type::Record(_)) {
+                if !matches!(
+                    ty.deref(),
+                    Type::Int | Type::Str | Type::Bool | Type::Record(_)
+                ) {
                     self.error(
                         format!("field type `{ty}` is not allowed in a record"),
                         field.span,
@@ -168,13 +172,22 @@ impl<'a> Checker<'a> {
                     self.check_size_expr(size, &seen_names, field.span);
                 }
                 let signed = match field.attr("signed") {
-                    Some(Expr { kind: ExprKind::Bool(b), .. }) => *b,
-                    Some(Expr { kind: ExprKind::Ident(s), .. }) => s == "true",
+                    Some(Expr {
+                        kind: ExprKind::Bool(b),
+                        ..
+                    }) => *b,
+                    Some(Expr {
+                        kind: ExprKind::Ident(s),
+                        ..
+                    }) => s == "true",
                     _ => true,
                 };
                 if let Some(name) = &field.name {
                     if seen_names.contains(&name.as_str()) {
-                        self.error(format!("duplicate field `{name}` in record `{}`", decl.name), field.span);
+                        self.error(
+                            format!("duplicate field `{name}` in record `{}`", decl.name),
+                            field.span,
+                        );
                     }
                     seen_names.push(name);
                 }
@@ -185,7 +198,13 @@ impl<'a> Checker<'a> {
                     signed,
                 });
             }
-            self.records.insert(decl.name.clone(), RecordInfo { name: decl.name.clone(), fields });
+            self.records.insert(
+                decl.name.clone(),
+                RecordInfo {
+                    name: decl.name.clone(),
+                    fields,
+                },
+            );
         }
     }
 
@@ -199,7 +218,9 @@ impl<'a> Checker<'a> {
             ExprKind::Ident(name) => {
                 if !earlier_fields.contains(&name.as_str()) {
                     self.error(
-                        format!("size expression references `{name}`, which is not an earlier field"),
+                        format!(
+                            "size expression references `{name}`, which is not an earlier field"
+                        ),
                         span,
                     );
                 }
@@ -230,7 +251,8 @@ impl<'a> Checker<'a> {
                     Type::Unit
                 }
             };
-            self.functions.insert(f.name.clone(), FunSig { params, ret });
+            self.functions
+                .insert(f.name.clone(), FunSig { params, ret });
         }
         for p in &self.program.processes {
             let params: Vec<(String, Type)> = p
@@ -240,14 +262,23 @@ impl<'a> Checker<'a> {
                     let ty = self.resolve(&param.ty, param.span);
                     if !ty.is_channel_like() {
                         self.error(
-                            format!("process parameter `{}` must be a channel, found {ty}", param.name),
+                            format!(
+                                "process parameter `{}` must be a channel, found {ty}",
+                                param.name
+                            ),
                             param.span,
                         );
                     }
                     (param.name.clone(), ty)
                 })
                 .collect();
-            self.processes.insert(p.name.clone(), ProcSig { params, globals: Vec::new() });
+            self.processes.insert(
+                p.name.clone(),
+                ProcSig {
+                    params,
+                    globals: Vec::new(),
+                },
+            );
         }
     }
 
@@ -255,7 +286,11 @@ impl<'a> Checker<'a> {
 
     fn check_functions(&mut self) {
         for f in &self.program.functions {
-            let sig = self.functions.get(&f.name).cloned().expect("signature collected");
+            let sig = self
+                .functions
+                .get(&f.name)
+                .cloned()
+                .expect("signature collected");
             let mut scope: Scope = sig.params.iter().cloned().collect();
             let last_ty = self.check_block(&f.body, &mut scope, Some(&f.name));
             if sig.ret != Type::Unit {
@@ -276,7 +311,11 @@ impl<'a> Checker<'a> {
 
     fn check_processes(&mut self) {
         for p in &self.program.processes {
-            let sig = self.processes.get(&p.name).cloned().expect("signature collected");
+            let sig = self
+                .processes
+                .get(&p.name)
+                .cloned()
+                .expect("signature collected");
             let mut scope: Scope = sig.params.iter().cloned().collect();
             self.check_block(&p.body, &mut scope, None);
             // Collect globals declared in the body into the process signature.
@@ -308,18 +347,29 @@ impl<'a> Checker<'a> {
         match stmt {
             Stmt::Global { name, init, span } => {
                 if fun.is_some() {
-                    self.error("`global` declarations are only allowed in process bodies", *span);
+                    self.error(
+                        "`global` declarations are only allowed in process bodies",
+                        *span,
+                    );
                 }
                 let ty = self.check_expr(init, scope);
                 scope.insert(name.clone(), ty);
                 None
             }
-            Stmt::Let { name, value, span: _ } => {
+            Stmt::Let {
+                name,
+                value,
+                span: _,
+            } => {
                 let ty = self.check_expr(value, scope);
                 scope.insert(name.clone(), ty);
                 None
             }
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let value_ty = self.check_expr(value, scope);
                 match &target.kind {
                     ExprKind::Index(base, key) => {
@@ -335,7 +385,9 @@ impl<'a> Checker<'a> {
                                 }
                                 if !v.accepts(&value_ty) {
                                     self.error(
-                                        format!("dictionary value has type {value_ty}, expected {v}"),
+                                        format!(
+                                            "dictionary value has type {value_ty}, expected {v}"
+                                        ),
                                         *span,
                                     );
                                 }
@@ -358,7 +410,9 @@ impl<'a> Checker<'a> {
                         if let Some(existing) = scope.get(name).cloned() {
                             if !existing.accepts(&value_ty) {
                                 self.error(
-                                    format!("cannot assign {value_ty} to `{name}` of type {existing}"),
+                                    format!(
+                                        "cannot assign {value_ty} to `{name}` of type {existing}"
+                                    ),
                                     *span,
                                 );
                             }
@@ -374,7 +428,12 @@ impl<'a> Checker<'a> {
                 self.check_pipeline(stages, scope, *span);
                 None
             }
-            Stmt::If { cond, then, els, span } => {
+            Stmt::If {
+                cond,
+                then,
+                els,
+                span,
+            } => {
                 let cond_ty = self.check_expr(cond, scope);
                 if !Type::Bool.accepts(&cond_ty) {
                     self.error(format!("if condition must be bool, found {cond_ty}"), *span);
@@ -393,7 +452,12 @@ impl<'a> Checker<'a> {
                     (None, None) => None,
                 }
             }
-            Stmt::For { var, iter, body, span } => {
+            Stmt::For {
+                var,
+                iter,
+                body,
+                span,
+            } => {
                 let iter_ty = self.check_expr(iter, scope);
                 let elem = match iter_ty.deref() {
                     Type::List(e) => (**e).clone(),
@@ -431,11 +495,18 @@ impl<'a> Checker<'a> {
             let first = &stages[0];
             let ty = self.check_expr(first, scope);
             match ty.deref() {
-                Type::Channel { value, can_read, .. } | Type::ChannelArray { value, can_read, .. } => {
+                Type::Channel {
+                    value, can_read, ..
+                }
+                | Type::ChannelArray {
+                    value, can_read, ..
+                } => {
                     if !can_read {
                         self.error(
-                            format!("channel `{}` is write-only and cannot be a pipeline source",
-                                first.as_ident().unwrap_or("<expr>")),
+                            format!(
+                                "channel `{}` is write-only and cannot be a pipeline source",
+                                first.as_ident().unwrap_or("<expr>")
+                            ),
                             first.span,
                         );
                     }
@@ -456,8 +527,12 @@ impl<'a> Checker<'a> {
             _ => {
                 let ty = self.check_expr(last, scope);
                 match ty.deref() {
-                    Type::Channel { value, can_write, .. }
-                    | Type::ChannelArray { value, can_write, .. } => {
+                    Type::Channel {
+                        value, can_write, ..
+                    }
+                    | Type::ChannelArray {
+                        value, can_write, ..
+                    } => {
                         if !can_write {
                             self.error(
                                 format!(
@@ -475,7 +550,9 @@ impl<'a> Checker<'a> {
                         }
                     }
                     other => self.error(
-                        format!("pipeline destination must be a channel or function, found {other}"),
+                        format!(
+                            "pipeline destination must be a channel or function, found {other}"
+                        ),
                         last.span,
                     ),
                 }
@@ -485,7 +562,12 @@ impl<'a> Checker<'a> {
 
     /// Checks one function stage of a pipeline: the piped value is passed as
     /// the function's final parameter. Returns the type produced by the stage.
-    fn check_pipeline_function(&mut self, stage: &Expr, incoming: &Type, scope: &mut Scope) -> Type {
+    fn check_pipeline_function(
+        &mut self,
+        stage: &Expr,
+        incoming: &Type,
+        scope: &mut Scope,
+    ) -> Type {
         match &stage.kind {
             ExprKind::Call { name, args } => {
                 if let Some(sig) = self.functions.get(name).cloned() {
@@ -504,7 +586,9 @@ impl<'a> Checker<'a> {
                             let aty = self.check_expr(arg, scope);
                             if !pty.accepts(&aty) {
                                 self.error(
-                                    format!("argument `{pname}` of `{name}` expects {pty}, found {aty}"),
+                                    format!(
+                                        "argument `{pname}` of `{name}` expects {pty}, found {aty}"
+                                    ),
                                     arg.span,
                                 );
                             }
@@ -526,7 +610,10 @@ impl<'a> Checker<'a> {
                 }
             }
             _ => {
-                self.error("intermediate pipeline stages must be function calls", stage.span);
+                self.error(
+                    "intermediate pipeline stages must be function calls",
+                    stage.span,
+                );
                 Type::NoneType
             }
         }
@@ -568,7 +655,10 @@ impl<'a> Checker<'a> {
                     }
                     Type::NoneType => Type::NoneType,
                     other => {
-                        self.error(format!("cannot access field `{field}` of {other}"), expr.span);
+                        self.error(
+                            format!("cannot access field `{field}` of {other}"),
+                            expr.span,
+                        );
                         Type::NoneType
                     }
                 }
@@ -579,28 +669,45 @@ impl<'a> Checker<'a> {
                 match base_ty.deref() {
                     Type::List(e) => {
                         if !Type::Int.accepts(&index_ty) {
-                            self.error(format!("list index must be integer, found {index_ty}"), expr.span);
+                            self.error(
+                                format!("list index must be integer, found {index_ty}"),
+                                expr.span,
+                            );
                         }
                         (**e).clone()
                     }
-                    Type::ChannelArray { value, can_read, can_write } => {
+                    Type::ChannelArray {
+                        value,
+                        can_read,
+                        can_write,
+                    } => {
                         if !Type::Int.accepts(&index_ty) {
                             self.error(
                                 format!("channel-array index must be integer, found {index_ty}"),
                                 expr.span,
                             );
                         }
-                        Type::Channel { value: value.clone(), can_read: *can_read, can_write: *can_write }
+                        Type::Channel {
+                            value: value.clone(),
+                            can_read: *can_read,
+                            can_write: *can_write,
+                        }
                     }
                     Type::Dict(k, v) => {
                         if !k.accepts(&index_ty) {
-                            self.error(format!("dictionary key must be {k}, found {index_ty}"), expr.span);
+                            self.error(
+                                format!("dictionary key must be {k}, found {index_ty}"),
+                                expr.span,
+                            );
                         }
                         (**v).clone()
                     }
                     Type::NoneType => Type::NoneType,
                     other => {
-                        self.error(format!("cannot index into a value of type {other}"), expr.span);
+                        self.error(
+                            format!("cannot index into a value of type {other}"),
+                            expr.span,
+                        );
                         Type::NoneType
                     }
                 }
@@ -626,7 +733,9 @@ impl<'a> Checker<'a> {
                     } else {
                         if !Type::Int.accepts(&lt) || !Type::Int.accepts(&rt) {
                             self.error(
-                                format!("arithmetic requires integer operands, found {lt} and {rt}"),
+                                format!(
+                                    "arithmetic requires integer operands, found {lt} and {rt}"
+                                ),
                                 expr.span,
                             );
                         }
@@ -639,7 +748,10 @@ impl<'a> Checker<'a> {
                 match op {
                     UnOp::Neg => {
                         if !Type::Int.accepts(&t) {
-                            self.error(format!("negation requires an integer, found {t}"), expr.span);
+                            self.error(
+                                format!("negation requires an integer, found {t}"),
+                                expr.span,
+                            );
                         }
                         Type::Int
                     }
@@ -651,17 +763,29 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            ExprKind::Foldt { channels, binders, elem_name, order_key, key_name, body } => {
+            ExprKind::Foldt {
+                channels,
+                binders,
+                elem_name,
+                order_key,
+                key_name,
+                body,
+            } => {
                 let chan_ty = self.check_expr(channels, scope);
                 let elem_ty = match chan_ty.deref() {
-                    Type::ChannelArray { value, can_read, .. } => {
+                    Type::ChannelArray {
+                        value, can_read, ..
+                    } => {
                         if !can_read {
                             self.error("foldt requires readable channels", expr.span);
                         }
                         (**value).clone()
                     }
                     other => {
-                        self.error(format!("foldt operates on a channel array, found {other}"), expr.span);
+                        self.error(
+                            format!("foldt operates on a channel array, found {other}"),
+                            expr.span,
+                        );
                         Type::NoneType
                     }
                 };
@@ -739,9 +863,16 @@ impl<'a> Checker<'a> {
                 let t = self.check_expr(&args[0], scope);
                 if !matches!(
                     t.deref(),
-                    Type::List(_) | Type::ChannelArray { .. } | Type::Str | Type::Dict(_, _) | Type::NoneType
+                    Type::List(_)
+                        | Type::ChannelArray { .. }
+                        | Type::Str
+                        | Type::Dict(_, _)
+                        | Type::NoneType
                 ) {
-                    self.error(format!("`{name}` expects a list, string or dictionary, found {t}"), span);
+                    self.error(
+                        format!("`{name}` expects a list, string or dictionary, found {t}"),
+                        span,
+                    );
                 }
                 Type::Int
             }
@@ -803,7 +934,13 @@ impl<'a> Checker<'a> {
     }
 
     /// Checks `fold(f, init, xs)`, `map(f, xs)` and `filter(f, xs)`.
-    fn check_higher_order(&mut self, name: &str, args: &[Expr], span: Span, scope: &mut Scope) -> Type {
+    fn check_higher_order(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        scope: &mut Scope,
+    ) -> Type {
         let expected_args = if name == "fold" { 3 } else { 2 };
         if args.len() != expected_args {
             self.error(format!("`{name}` expects {expected_args} arguments"), span);
@@ -812,12 +949,18 @@ impl<'a> Checker<'a> {
         let fname = match args[0].as_ident() {
             Some(f) => f.to_string(),
             None => {
-                self.error(format!("the first argument of `{name}` must be a function name"), args[0].span);
+                self.error(
+                    format!("the first argument of `{name}` must be a function name"),
+                    args[0].span,
+                );
                 return Type::NoneType;
             }
         };
         let Some(sig) = self.functions.get(&fname).cloned() else {
-            self.error(format!("unknown function `{fname}` passed to `{name}`"), args[0].span);
+            self.error(
+                format!("unknown function `{fname}` passed to `{name}`"),
+                args[0].span,
+            );
             return Type::NoneType;
         };
         let list_arg = &args[expected_args - 1];
@@ -826,7 +969,10 @@ impl<'a> Checker<'a> {
             Type::List(e) => (**e).clone(),
             Type::Str => Type::Str,
             other => {
-                self.error(format!("`{name}` iterates over a finite list, found {other}"), list_arg.span);
+                self.error(
+                    format!("`{name}` iterates over a finite list, found {other}"),
+                    list_arg.span,
+                );
                 Type::NoneType
             }
         };
@@ -835,17 +981,26 @@ impl<'a> Checker<'a> {
                 // fold(f, init, xs): f(acc, elem) -> acc
                 let init_ty = self.check_expr(&args[1], scope);
                 if sig.params.len() != 2 {
-                    self.error(format!("`{fname}` must take (accumulator, element) for fold"), span);
+                    self.error(
+                        format!("`{fname}` must take (accumulator, element) for fold"),
+                        span,
+                    );
                 } else {
                     if !sig.params[0].1.accepts(&init_ty) {
                         self.error(
-                            format!("fold initialiser has type {init_ty}, expected {}", sig.params[0].1),
+                            format!(
+                                "fold initialiser has type {init_ty}, expected {}",
+                                sig.params[0].1
+                            ),
                             args[1].span,
                         );
                     }
                     if !sig.params[1].1.accepts(&elem_ty) {
                         self.error(
-                            format!("fold element has type {elem_ty}, expected {}", sig.params[1].1),
+                            format!(
+                                "fold element has type {elem_ty}, expected {}",
+                                sig.params[1].1
+                            ),
                             list_arg.span,
                         );
                     }
@@ -854,10 +1009,16 @@ impl<'a> Checker<'a> {
             }
             "map" => {
                 if sig.params.len() != 1 {
-                    self.error(format!("`{fname}` must take a single element for map"), span);
+                    self.error(
+                        format!("`{fname}` must take a single element for map"),
+                        span,
+                    );
                 } else if !sig.params[0].1.accepts(&elem_ty) {
                     self.error(
-                        format!("map element has type {elem_ty}, expected {}", sig.params[0].1),
+                        format!(
+                            "map element has type {elem_ty}, expected {}",
+                            sig.params[0].1
+                        ),
                         list_arg.span,
                     );
                 }
@@ -866,9 +1027,15 @@ impl<'a> Checker<'a> {
             _ => {
                 // filter
                 if sig.params.len() != 1 {
-                    self.error(format!("`{fname}` must take a single element for filter"), span);
+                    self.error(
+                        format!("`{fname}` must take a single element for filter"),
+                        span,
+                    );
                 } else if !Type::Bool.accepts(&sig.ret) {
-                    self.error(format!("`{fname}` must return bool to be used with filter"), span);
+                    self.error(
+                        format!("`{fname}` must return bool to be used with filter"),
+                        span,
+                    );
                 }
                 Type::List(Box::new(elem_ty))
             }

@@ -69,12 +69,28 @@ impl Type {
             (Ref(a), b) => a.accepts(b),
             (a, Ref(b)) => a.accepts(b),
             (
-                Channel { value: va, can_read: ra, can_write: wa },
-                Channel { value: vb, can_read: rb, can_write: wb },
+                Channel {
+                    value: va,
+                    can_read: ra,
+                    can_write: wa,
+                },
+                Channel {
+                    value: vb,
+                    can_read: rb,
+                    can_write: wb,
+                },
             ) => va.accepts(vb) && (!*ra || *rb) && (!*wa || *wb),
             (
-                ChannelArray { value: va, can_read: ra, can_write: wa },
-                ChannelArray { value: vb, can_read: rb, can_write: wb },
+                ChannelArray {
+                    value: va,
+                    can_read: ra,
+                    can_write: wa,
+                },
+                ChannelArray {
+                    value: vb,
+                    can_read: rb,
+                    can_write: wb,
+                },
             ) => va.accepts(vb) && (!*ra || *rb) && (!*wa || *wb),
             (List(a), List(b)) => a.accepts(b),
             (Dict(ka, va), Dict(kb, vb)) => ka.accepts(kb) && va.accepts(vb),
@@ -96,6 +112,7 @@ impl Type {
     }
 
     /// Strips any `ref` wrapper.
+    #[allow(clippy::should_implement_trait)]
     pub fn deref(&self) -> &Type {
         match self {
             Type::Ref(inner) => inner.deref(),
@@ -116,14 +133,38 @@ impl fmt::Display for Type {
             Type::List(t) => write!(f, "[{t}]"),
             Type::Dict(k, v) => write!(f, "dict<{k}*{v}>"),
             Type::Ref(t) => write!(f, "ref {t}"),
-            Type::Channel { value, can_read, can_write } => {
-                let r = if *can_read { value.to_string() } else { "-".to_string() };
-                let w = if *can_write { value.to_string() } else { "-".to_string() };
+            Type::Channel {
+                value,
+                can_read,
+                can_write,
+            } => {
+                let r = if *can_read {
+                    value.to_string()
+                } else {
+                    "-".to_string()
+                };
+                let w = if *can_write {
+                    value.to_string()
+                } else {
+                    "-".to_string()
+                };
                 write!(f, "{r}/{w}")
             }
-            Type::ChannelArray { value, can_read, can_write } => {
-                let r = if *can_read { value.to_string() } else { "-".to_string() };
-                let w = if *can_write { value.to_string() } else { "-".to_string() };
+            Type::ChannelArray {
+                value,
+                can_read,
+                can_write,
+            } => {
+                let r = if *can_read {
+                    value.to_string()
+                } else {
+                    "-".to_string()
+                };
+                let w = if *can_write {
+                    value.to_string()
+                } else {
+                    "-".to_string()
+                };
                 write!(f, "[{r}/{w}]")
             }
         }
@@ -145,8 +186,14 @@ pub fn resolve(expr: &TypeExpr, program: &Program, span: Span) -> Result<Type, L
         )),
         TypeExpr::Ref(inner) => Ok(Type::Ref(Box::new(resolve(inner, program, span)?))),
         TypeExpr::Channel { read, write } => {
-            let read_ty = read.as_ref().map(|t| resolve(t, program, span)).transpose()?;
-            let write_ty = write.as_ref().map(|t| resolve(t, program, span)).transpose()?;
+            let read_ty = read
+                .as_ref()
+                .map(|t| resolve(t, program, span))
+                .transpose()?;
+            let write_ty = write
+                .as_ref()
+                .map(|t| resolve(t, program, span))
+                .transpose()?;
             let value = match (&read_ty, &write_ty) {
                 (Some(r), Some(w)) if r != w => {
                     return Err(LangError::single(
@@ -174,9 +221,15 @@ pub fn resolve(expr: &TypeExpr, program: &Program, span: Span) -> Result<Type, L
         TypeExpr::ChannelArray(inner) => {
             let inner_ty = resolve(inner, program, span)?;
             match inner_ty {
-                Type::Channel { value, can_read, can_write } => {
-                    Ok(Type::ChannelArray { value, can_read, can_write })
-                }
+                Type::Channel {
+                    value,
+                    can_read,
+                    can_write,
+                } => Ok(Type::ChannelArray {
+                    value,
+                    can_read,
+                    can_write,
+                }),
                 other => Err(LangError::single(
                     Stage::Type,
                     format!("expected a channel type inside `[...]`, found {other}"),
@@ -229,7 +282,10 @@ mod tests {
     #[test]
     fn resolves_primitives_and_records() {
         let p = program_with_cmd();
-        assert_eq!(resolve(&TypeExpr::Named("integer".into()), &p, Span::default()).unwrap(), Type::Int);
+        assert_eq!(
+            resolve(&TypeExpr::Named("integer".into()), &p, Span::default()).unwrap(),
+            Type::Int
+        );
         assert_eq!(
             resolve(&TypeExpr::Named("cmd".into()), &p, Span::default()).unwrap(),
             Type::Record("cmd".into())
@@ -240,10 +296,17 @@ mod tests {
     #[test]
     fn resolves_channel_directions() {
         let p = program_with_cmd();
-        let write_only = TypeExpr::Channel { read: None, write: Some(Box::new(TypeExpr::Named("cmd".into()))) };
+        let write_only = TypeExpr::Channel {
+            read: None,
+            write: Some(Box::new(TypeExpr::Named("cmd".into()))),
+        };
         let t = resolve(&write_only, &p, Span::default()).unwrap();
         match t {
-            Type::Channel { can_read, can_write, .. } => {
+            Type::Channel {
+                can_read,
+                can_write,
+                ..
+            } => {
                 assert!(!can_read);
                 assert!(can_write);
             }
@@ -263,8 +326,16 @@ mod tests {
 
     #[test]
     fn capability_narrowing_is_accepted_but_not_widening() {
-        let bidir = Type::Channel { value: Box::new(Type::Record("cmd".into())), can_read: true, can_write: true };
-        let write_only = Type::Channel { value: Box::new(Type::Record("cmd".into())), can_read: false, can_write: true };
+        let bidir = Type::Channel {
+            value: Box::new(Type::Record("cmd".into())),
+            can_read: true,
+            can_write: true,
+        };
+        let write_only = Type::Channel {
+            value: Box::new(Type::Record("cmd".into())),
+            can_read: false,
+            can_write: true,
+        };
         assert!(write_only.accepts(&bidir));
         assert!(!bidir.accepts(&write_only));
     }
@@ -277,9 +348,16 @@ mod tests {
 
     #[test]
     fn display_round_trips_shape() {
-        let t = Type::ChannelArray { value: Box::new(Type::Record("cmd".into())), can_read: false, can_write: true };
+        let t = Type::ChannelArray {
+            value: Box::new(Type::Record("cmd".into())),
+            can_read: false,
+            can_write: true,
+        };
         assert_eq!(t.to_string(), "[-/cmd]");
-        assert_eq!(Type::Dict(Box::new(Type::Str), Box::new(Type::Str)).to_string(), "dict<string*string>");
+        assert_eq!(
+            Type::Dict(Box::new(Type::Str), Box::new(Type::Str)).to_string(),
+            "dict<string*string>"
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ pub fn pair(
     stats: Option<Arc<NetStats>>,
     capacity: usize,
 ) -> (Endpoint, Endpoint) {
-    let shared = Arc::new(Shared { a_to_b: Pipe::new(capacity), b_to_a: Pipe::new(capacity), id });
+    let shared = Arc::new(Shared {
+        a_to_b: Pipe::new(capacity),
+        b_to_a: Pipe::new(capacity),
+        id,
+    });
     let client = Endpoint {
         shared: Arc::clone(&shared),
         side: Side::Client,
@@ -226,7 +230,11 @@ impl Endpoint {
         let pipe = self.in_pipe();
         let mut state = pipe.state.lock();
         if state.buf.is_empty() {
-            return if state.writer_closed { Err(NetError::Closed) } else { Err(NetError::WouldBlock) };
+            return if state.writer_closed {
+                Err(NetError::Closed)
+            } else {
+                Err(NetError::WouldBlock)
+            };
         }
         let n = buf.len().min(state.buf.len());
         for (i, b) in state.buf.drain(..n).enumerate() {
@@ -414,7 +422,9 @@ mod tests {
     fn read_timeout_expires() {
         let (_client, server) = test_pair();
         let mut buf = [0u8; 4];
-        let err = server.read_timeout(&mut buf, Duration::from_millis(20)).unwrap_err();
+        let err = server
+            .read_timeout(&mut buf, Duration::from_millis(20))
+            .unwrap_err();
         assert_eq!(err, NetError::TimedOut);
     }
 
@@ -427,7 +437,9 @@ mod tests {
             client.write(b"def").unwrap();
         });
         let mut buf = [0u8; 6];
-        server.read_exact_timeout(&mut buf, Duration::from_secs(1)).unwrap();
+        server
+            .read_exact_timeout(&mut buf, Duration::from_secs(1))
+            .unwrap();
         assert_eq!(&buf, b"abcdef");
         writer.join().unwrap();
     }

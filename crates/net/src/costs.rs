@@ -96,7 +96,11 @@ impl StackCosts {
 
     /// Returns the cost of a read or write moving `bytes` bytes.
     pub fn io_cost(&self, write: bool, bytes: usize) -> Duration {
-        let base = if write { self.write_call } else { self.read_call };
+        let base = if write {
+            self.write_call
+        } else {
+            self.read_call
+        };
         base + Duration::from_nanos((self.per_kilobyte.as_nanos() as u64 * bytes as u64) / 1024)
     }
 

@@ -33,7 +33,9 @@ pub struct SimListener {
 
 impl std::fmt::Debug for SimListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimListener").field("port", &self.inner.port).finish()
+        f.debug_struct("SimListener")
+            .field("port", &self.inner.port)
+            .finish()
     }
 }
 
@@ -125,7 +127,9 @@ pub struct SimNetwork {
 
 impl std::fmt::Debug for SimNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimNetwork").field("model", &self.model).finish()
+        f.debug_struct("SimNetwork")
+            .field("model", &self.model)
+            .finish()
     }
 }
 
@@ -164,7 +168,10 @@ impl SimNetwork {
             port,
         });
         listeners.insert(port, Arc::clone(&inner));
-        Ok(SimListener { inner, costs: self.costs })
+        Ok(SimListener {
+            inner,
+            costs: self.costs,
+        })
     }
 
     /// Removes the listener bound to `port`, closing it.
@@ -195,7 +202,8 @@ impl SimNetwork {
         StackCosts::charge(self.costs.connect);
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let capacity = options.capacity.unwrap_or(DEFAULT_PIPE_CAPACITY);
-        let (mut client, mut server) = pair(id, self.costs, Some(Arc::clone(&self.stats)), capacity);
+        let (mut client, mut server) =
+            pair(id, self.costs, Some(Arc::clone(&self.stats)), capacity);
         if let Some(bits) = options.link_bits_per_sec {
             client.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(bits, 64 * 1024)));
             server.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(bits, 64 * 1024)));
@@ -269,7 +277,9 @@ mod tests {
     fn accept_timeout_expires() {
         let net = SimNetwork::new(StackModel::Free);
         let listener = net.listen(85).unwrap();
-        let err = listener.accept_timeout(Duration::from_millis(10)).unwrap_err();
+        let err = listener
+            .accept_timeout(Duration::from_millis(10))
+            .unwrap_err();
         assert_eq!(err, NetError::TimedOut);
     }
 
@@ -286,7 +296,12 @@ mod tests {
         let client = handle.join().unwrap();
         client.write(b"x").unwrap();
         let mut buf = [0u8; 1];
-        assert_eq!(server.read_timeout(&mut buf, Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(
+            server
+                .read_timeout(&mut buf, Duration::from_secs(1))
+                .unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -294,7 +309,10 @@ mod tests {
         let net = SimNetwork::new(StackModel::Free);
         let listener = net.listen(87).unwrap();
         // 8 Mbit/s with small burst: pushing 256 kB should take > 100 ms.
-        let options = ConnectOptions { link_bits_per_sec: Some(8_000_000), capacity: Some(1 << 20) };
+        let options = ConnectOptions {
+            link_bits_per_sec: Some(8_000_000),
+            capacity: Some(1 << 20),
+        };
         let client = net.connect_with(87, &options).unwrap();
         let _server = listener.accept().unwrap();
         let start = Instant::now();

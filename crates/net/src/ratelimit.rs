@@ -29,7 +29,10 @@ impl TokenBucket {
     pub fn new_bits_per_sec(bits_per_sec: u64, burst_bytes: usize) -> Self {
         let bytes_per_sec = bits_per_sec as f64 / 8.0;
         TokenBucket {
-            state: Mutex::new(BucketState { tokens: burst_bytes as f64, last_refill: Instant::now() }),
+            state: Mutex::new(BucketState {
+                tokens: burst_bytes as f64,
+                last_refill: Instant::now(),
+            }),
             bytes_per_sec,
             burst: burst_bytes as f64,
         }

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn megabit_conversion() {
-        let snap = StatsSnapshot { bytes_received: 1_000_000, ..Default::default() };
+        let snap = StatsSnapshot {
+            bytes_received: 1_000_000,
+            ..Default::default()
+        };
         assert!((snap.received_megabits() - 8.0).abs() < 1e-9);
     }
 }

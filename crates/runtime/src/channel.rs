@@ -42,7 +42,10 @@ impl TaskChannel {
             consumer,
         });
         (
-            ChannelProducer { inner: Arc::clone(&inner), handle_closed: AtomicBool::new(false) },
+            ChannelProducer {
+                inner: Arc::clone(&inner),
+                handle_closed: AtomicBool::new(false),
+            },
             ChannelConsumer { inner },
         )
     }
@@ -62,14 +65,19 @@ pub struct ChannelProducer {
 
 impl std::fmt::Debug for ChannelProducer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChannelProducer").field("consumer", &self.inner.consumer).finish()
+        f.debug_struct("ChannelProducer")
+            .field("consumer", &self.inner.consumer)
+            .finish()
     }
 }
 
 impl Clone for ChannelProducer {
     fn clone(&self) -> Self {
         self.inner.producers.fetch_add(1, Ordering::AcqRel);
-        ChannelProducer { inner: Arc::clone(&self.inner), handle_closed: AtomicBool::new(false) }
+        ChannelProducer {
+            inner: Arc::clone(&self.inner),
+            handle_closed: AtomicBool::new(false),
+        }
     }
 }
 
@@ -98,7 +106,8 @@ impl ChannelProducer {
 
     /// Returns `true` if a push would currently succeed.
     pub fn has_space(&self) -> bool {
-        !self.inner.closed.load(Ordering::Acquire) && self.inner.queue.lock().len() < self.inner.capacity
+        !self.inner.closed.load(Ordering::Acquire)
+            && self.inner.queue.lock().len() < self.inner.capacity
     }
 
     /// Marks this producer as finished. When the last producer closes, the

@@ -143,7 +143,10 @@ pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
             // aggregator still has output to flush), but bound how long a
             // graph may linger. Closing the remaining watched connections
             // makes the graph's own input tasks observe EOF and finish.
-            let all_done = graph.task_ids.iter().all(|task| !scheduler.is_registered(*task));
+            let all_done = graph
+                .task_ids
+                .iter()
+                .all(|task| !scheduler.is_registered(*task));
             if graph.draining_until.is_none() {
                 for (_task, endpoint) in &graph.watchers {
                     endpoint.close();
@@ -208,7 +211,14 @@ impl DeployedService {
         globals: SharedDict,
         shared: Arc<DispatcherShared>,
     ) -> Self {
-        DeployedService { name, port, stop, handle: Some(handle), globals, shared }
+        DeployedService {
+            name,
+            port,
+            stop,
+            handle: Some(handle),
+            globals,
+            shared,
+        }
     }
 
     /// The service name.
@@ -257,7 +267,7 @@ mod tests {
     use crate::error::RuntimeError;
     use crate::graph::GraphBuilder;
     use crate::platform::{BuiltGraph, Platform, PlatformConfig, ServiceSpec};
-    use crate::tasks::{ComputeLogic, ComputeTask, InputTask, Outputs, OutputTask};
+    use crate::tasks::{ComputeLogic, ComputeTask, InputTask, OutputTask, Outputs};
     use crate::value::Value;
     use flick_grammar::http::{self, HttpCodec};
 
@@ -268,7 +278,12 @@ mod tests {
 
     struct RespondLogic;
     impl ComputeLogic for RespondLogic {
-        fn on_value(&mut self, _input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        fn on_value(
+            &mut self,
+            _input: usize,
+            value: Value,
+            out: &mut Outputs<'_>,
+        ) -> Result<(), RuntimeError> {
             if value.as_msg().is_some() {
                 out.emit(0, Value::Msg(http::response(200, b"hello from flick")));
             }
@@ -277,7 +292,11 @@ mod tests {
     }
 
     impl GraphFactory for StaticServerFactory {
-        fn build(&self, mut clients: Vec<Endpoint>, env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
+        fn build(
+            &self,
+            mut clients: Vec<Endpoint>,
+            env: &ServiceEnv,
+        ) -> Result<BuiltGraph, RuntimeError> {
             let client = clients.pop().expect("one client connection");
             let codec = Arc::new(HttpCodec::new());
             let mut builder = GraphBuilder::new("static-web", &env.allocator)
@@ -289,11 +308,22 @@ mod tests {
             let (resp_tx, resp_rx) = builder.channel(output_node);
             builder.install(
                 input_node,
-                Box::new(InputTask::new("http-in", client.clone(), codec.clone(), None, req_tx)),
+                Box::new(InputTask::new(
+                    "http-in",
+                    client.clone(),
+                    codec.clone(),
+                    None,
+                    req_tx,
+                )),
             );
             builder.install(
                 compute_node,
-                Box::new(ComputeTask::new("respond", vec![req_rx], vec![resp_tx], Box::new(RespondLogic))),
+                Box::new(ComputeTask::new(
+                    "respond",
+                    vec![req_rx],
+                    vec![resp_tx],
+                    Box::new(RespondLogic),
+                )),
             );
             builder.install(
                 output_node,
@@ -310,7 +340,10 @@ mod tests {
 
     #[test]
     fn end_to_end_static_web_server() {
-        let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            ..Default::default()
+        });
         let service = platform
             .deploy(ServiceSpec::new("web", 8080, Arc::new(StaticServerFactory)))
             .unwrap();
@@ -319,7 +352,9 @@ mod tests {
         // Issue three requests over one persistent connection.
         let client = net.connect(8080).unwrap();
         for i in 0..3 {
-            client.write_all(format!("GET /{i} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+            client
+                .write_all(format!("GET /{i} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+                .unwrap();
             let mut response = Vec::new();
             let mut buf = [0u8; 1024];
             loop {
@@ -345,19 +380,27 @@ mod tests {
         while service.live_graphs() > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert_eq!(service.live_graphs(), 0, "graph should be destroyed after the client closes");
+        assert_eq!(
+            service.live_graphs(),
+            0,
+            "graph should be destroyed after the client closes"
+        );
     }
 
     #[test]
     fn multiple_concurrent_connections_get_their_own_graphs() {
-        let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+        let platform = Platform::new(PlatformConfig {
+            workers: 4,
+            ..Default::default()
+        });
         let service = platform
             .deploy(ServiceSpec::new("web", 8081, Arc::new(StaticServerFactory)))
             .unwrap();
         let net = platform.net();
         let clients: Vec<_> = (0..8).map(|_| net.connect(8081).unwrap()).collect();
         for (i, c) in clients.iter().enumerate() {
-            c.write_all(format!("GET /{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).unwrap();
+            c.write_all(format!("GET /{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
         }
         for c in &clients {
             let mut buf = [0u8; 1024];

@@ -63,6 +63,8 @@ mod tests {
         assert!(e.to_string().contains("refused"));
         let g: RuntimeError = GrammarError::malformed("cmd", "bad").into();
         assert!(g.to_string().contains("malformed"));
-        assert!(RuntimeError::Config("no backends".into()).to_string().contains("no backends"));
+        assert!(RuntimeError::Config("no backends".into())
+            .to_string()
+            .contains("no backends"));
     }
 }

@@ -21,7 +21,9 @@ pub struct TaskIdAllocator {
 impl TaskIdAllocator {
     /// Creates an allocator starting at id 1.
     pub fn new() -> Self {
-        TaskIdAllocator { next: AtomicU64::new(1) }
+        TaskIdAllocator {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Allocates a fresh task id.
@@ -98,7 +100,11 @@ impl<'a> GraphBuilder<'a> {
     /// Panics if the node was not declared by this builder or was already
     /// installed — both are programming errors in graph-factory code.
     pub fn install(&mut self, node: NodeId, task: Box<dyn Task>) {
-        assert!(self.declared.contains(&node), "node {:?} was not declared by this builder", node);
+        assert!(
+            self.declared.contains(&node),
+            "node {:?} was not declared by this builder",
+            node
+        );
         let previous = self.tasks.insert(node.task_id(), task);
         assert!(previous.is_none(), "node {:?} was installed twice", node);
     }

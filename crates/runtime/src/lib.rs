@@ -45,5 +45,5 @@ pub use metrics::RuntimeMetrics;
 pub use platform::{GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec};
 pub use scheduler::Scheduler;
 pub use task::{SchedulingPolicy, Task, TaskContext, TaskId, TaskStatus};
-pub use tasks::{ComputeLogic, ComputeTask, InputTask, Outputs, OutputTask, SourceTask};
+pub use tasks::{ComputeLogic, ComputeTask, InputTask, OutputTask, Outputs, SourceTask};
 pub use value::{SharedDict, Value};

@@ -53,7 +53,11 @@ impl Default for PlatformConfig {
 impl PlatformConfig {
     /// Convenience constructor used by the benchmark harness.
     pub fn new(workers: usize, stack: StackModel) -> Self {
-        PlatformConfig { workers, stack, ..Default::default() }
+        PlatformConfig {
+            workers,
+            stack,
+            ..Default::default()
+        }
     }
 }
 
@@ -126,7 +130,12 @@ impl std::fmt::Debug for ServiceSpec {
 impl ServiceSpec {
     /// Creates a spec with no back-ends.
     pub fn new(name: impl Into<String>, port: u16, factory: Arc<dyn GraphFactory>) -> Self {
-        ServiceSpec { name: name.into(), port, backends: Vec::new(), factory }
+        ServiceSpec {
+            name: name.into(),
+            port,
+            backends: Vec::new(),
+            factory,
+        }
     }
 
     /// Sets the back-end ports.
@@ -146,7 +155,9 @@ pub struct Platform {
 
 impl std::fmt::Debug for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Platform").field("config", &self.config).finish()
+        f.debug_struct("Platform")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -162,7 +173,12 @@ impl Platform {
     pub fn with_network(config: PlatformConfig, net: Arc<SimNetwork>) -> Self {
         let metrics = RuntimeMetrics::new_shared();
         let scheduler = Arc::new(Scheduler::start(config.workers, config.policy, metrics));
-        Platform { net, scheduler, allocator: Arc::new(TaskIdAllocator::new()), config }
+        Platform {
+            net,
+            scheduler,
+            allocator: Arc::new(TaskIdAllocator::new()),
+            config,
+        }
     }
 
     /// The simulated network this platform is attached to.
@@ -221,7 +237,9 @@ impl Platform {
             .name(format!("flick-dispatch-{}", spec.name))
             .spawn(move || run_dispatcher(thread_shared, thread_stop))
             .map_err(|e| RuntimeError::Config(format!("could not spawn dispatcher: {e}")))?;
-        Ok(DeployedService::new(spec.name, spec.port, stop, handle, globals, shared))
+        Ok(DeployedService::new(
+            spec.name, spec.port, stop, handle, globals, shared,
+        ))
     }
 }
 
@@ -246,7 +264,11 @@ mod tests {
 
         struct NeverFactory;
         impl GraphFactory for NeverFactory {
-            fn build(&self, _clients: Vec<Endpoint>, _env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
+            fn build(
+                &self,
+                _clients: Vec<Endpoint>,
+                _env: &ServiceEnv,
+            ) -> Result<BuiltGraph, RuntimeError> {
                 Err(RuntimeError::Config("not used in this test".into()))
             }
         }

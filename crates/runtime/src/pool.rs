@@ -28,8 +28,14 @@ impl BufferPool {
     /// Creates a pool that pre-allocates `count` buffers of `buffer_capacity`
     /// bytes and keeps at most `count` buffers around.
     pub fn new(count: usize, buffer_capacity: usize) -> Arc<Self> {
-        let buffers = (0..count).map(|_| Vec::with_capacity(buffer_capacity)).collect();
-        Arc::new(BufferPool { buffers: Mutex::new(buffers), buffer_capacity, max_pooled: count })
+        let buffers = (0..count)
+            .map(|_| Vec::with_capacity(buffer_capacity))
+            .collect();
+        Arc::new(BufferPool {
+            buffers: Mutex::new(buffers),
+            buffer_capacity,
+            max_pooled: count,
+        })
     }
 
     /// Takes a buffer from the pool (or allocates one if the pool is empty).
@@ -82,7 +88,12 @@ impl BackendPool {
     /// Creates a backend pool over the given ports.
     pub fn new(net: Arc<SimNetwork>, ports: Vec<u16>, pooling_enabled: bool) -> Arc<Self> {
         let pooled = ports.iter().map(|_| Mutex::new(VecDeque::new())).collect();
-        Arc::new(BackendPool { net, ports, pooled, pooling_enabled })
+        Arc::new(BackendPool {
+            net,
+            ports,
+            pooled,
+            pooling_enabled,
+        })
     }
 
     /// Number of configured back-ends.

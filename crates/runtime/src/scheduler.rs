@@ -148,7 +148,10 @@ impl Scheduler {
         let workers = workers.max(1);
         let inner = Arc::new(SchedulerInner {
             queues: (0..workers)
-                .map(|_| WorkerQueue { queue: Mutex::new(VecDeque::new()), cond: Condvar::new() })
+                .map(|_| WorkerQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    cond: Condvar::new(),
+                })
                 .collect(),
             tasks: RwLock::new(HashMap::new()),
             policy,
@@ -164,7 +167,10 @@ impl Scheduler {
                     .expect("spawning a worker thread")
             })
             .collect();
-        Scheduler { inner, workers: handles }
+        Scheduler {
+            inner,
+            workers: handles,
+        }
     }
 
     /// The scheduling policy in force.
@@ -179,7 +185,10 @@ impl Scheduler {
 
     /// Registers a task without scheduling it.
     pub fn register(&self, id: TaskId, task: Box<dyn Task>) {
-        let slot = Arc::new(TaskSlot { task: Mutex::new(Some(task)), queued: AtomicBool::new(false) });
+        let slot = Arc::new(TaskSlot {
+            task: Mutex::new(Some(task)),
+            queued: AtomicBool::new(false),
+        });
         self.inner.tasks.write().insert(id, slot);
     }
 
@@ -282,7 +291,12 @@ mod tests {
         seen: Arc<AtomicUsize>,
     }
     impl ComputeLogic for Counter {
-        fn on_value(&mut self, _input: usize, _value: Value, _out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        fn on_value(
+            &mut self,
+            _input: usize,
+            _value: Value,
+            _out: &mut Outputs<'_>,
+        ) -> Result<(), RuntimeError> {
             self.seen.fetch_add(1, Ordering::Relaxed);
             Ok(())
         }
@@ -301,12 +315,22 @@ mod tests {
         builder.install(source_node, Box::new(SourceTask::new("src", 500, 64, tx)));
         builder.install(
             compute_node,
-            Box::new(ComputeTask::new("count", vec![rx], vec![], Box::new(Counter { seen: Arc::clone(&seen) }))),
+            Box::new(ComputeTask::new(
+                "count",
+                vec![rx],
+                vec![],
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            )),
         );
         let graph = builder.build();
         let initial = vec![source_node.task_id()];
         scheduler.register_graph(graph, &initial);
-        assert!(scheduler.wait_idle(Duration::from_secs(10)), "graph should drain");
+        assert!(
+            scheduler.wait_idle(Duration::from_secs(10)),
+            "graph should drain"
+        );
         assert_eq!(seen.load(Ordering::Relaxed), 500);
         assert_eq!(RuntimeMetrics::get(&metrics.graphs_created), 1);
     }
@@ -314,7 +338,9 @@ mod tests {
     #[test]
     fn many_tasks_complete_under_all_policies() {
         for policy in [
-            SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) },
+            SchedulingPolicy::Cooperative {
+                timeslice: Duration::from_micros(50),
+            },
             SchedulingPolicy::NonCooperative,
             SchedulingPolicy::RoundRobin,
         ] {
@@ -337,21 +363,27 @@ mod tests {
                 );
                 scheduler.schedule(id);
             }
-            assert!(scheduler.wait_idle(Duration::from_secs(10)), "policy {:?} stalled", policy);
+            assert!(
+                scheduler.wait_idle(Duration::from_secs(10)),
+                "policy {:?} stalled",
+                policy
+            );
             assert_eq!(completed.load(Ordering::SeqCst), 40, "policy {policy:?}");
         }
     }
 
     #[test]
     fn scheduling_unknown_task_is_harmless() {
-        let scheduler = Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let scheduler =
+            Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
         scheduler.schedule(TaskId(999));
         assert!(!scheduler.is_registered(TaskId(999)));
     }
 
     #[test]
     fn remove_discards_a_registered_task() {
-        let scheduler = Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let scheduler =
+            Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
         scheduler.register(TaskId(7), Box::new(SyntheticWorkTask::new("t", 1, 1, None)));
         assert!(scheduler.is_registered(TaskId(7)));
         scheduler.remove(TaskId(7));
@@ -360,7 +392,8 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_and_joins_workers() {
-        let mut scheduler = Scheduler::start(3, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let mut scheduler =
+            Scheduler::start(3, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
         scheduler.shutdown();
         scheduler.shutdown();
         assert_eq!(scheduler.task_count(), 0);

@@ -219,10 +219,19 @@ impl<'a> Outputs<'a> {
 /// User-supplied (or compiler-generated) processing logic for a compute task.
 pub trait ComputeLogic: Send {
     /// Called for every value arriving on input channel `input`.
-    fn on_value(&mut self, input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError>;
+    fn on_value(
+        &mut self,
+        input: usize,
+        value: Value,
+        out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError>;
 
     /// Called once when input channel `input` will deliver no further values.
-    fn on_input_finished(&mut self, _input: usize, _out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_input_finished(
+        &mut self,
+        _input: usize,
+        _out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         Ok(())
     }
 }
@@ -433,7 +442,10 @@ impl Task for OutputTask {
             match self.input.pop() {
                 Some(value) => {
                     let result = match &value {
-                        Value::Msg(msg) => self.codec.serialize(msg, &mut self.outbuf).map_err(RuntimeError::from),
+                        Value::Msg(msg) => self
+                            .codec
+                            .serialize(msg, &mut self.outbuf)
+                            .map_err(RuntimeError::from),
                         Value::Bytes(bytes) => {
                             self.outbuf.extend_from_slice(bytes);
                             Ok(())
@@ -483,8 +495,18 @@ pub struct SourceTask {
 
 impl SourceTask {
     /// Creates a source emitting `count` byte values of `item_size` bytes.
-    pub fn new(label: impl Into<String>, count: usize, item_size: usize, output: ChannelProducer) -> Self {
-        SourceTask { label: label.into(), remaining: count, item_size, output }
+    pub fn new(
+        label: impl Into<String>,
+        count: usize,
+        item_size: usize,
+        output: ChannelProducer,
+    ) -> Self {
+        SourceTask {
+            label: label.into(),
+            remaining: count,
+            item_size,
+            output,
+        }
     }
 }
 
@@ -504,7 +526,11 @@ impl Task for SourceTask {
                 Err(_) => return TaskStatus::Runnable,
             }
             if !ctx.can_continue() {
-                return if self.remaining == 0 { self.finish() } else { TaskStatus::Runnable };
+                return if self.remaining == 0 {
+                    self.finish()
+                } else {
+                    TaskStatus::Runnable
+                };
             }
         }
         self.finish()
@@ -541,7 +567,13 @@ impl SyntheticWorkTask {
         item_size: usize,
         on_complete: Option<Box<dyn FnOnce() + Send>>,
     ) -> Self {
-        SyntheticWorkTask { label: label.into(), remaining: items, item_size, accumulator: 0, on_complete }
+        SyntheticWorkTask {
+            label: label.into(),
+            remaining: items,
+            item_size,
+            accumulator: 0,
+            on_complete,
+        }
     }
 
     /// The running checksum (prevents the work from being optimised away).
@@ -593,13 +625,21 @@ mod tests {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     fn ctx() -> TaskContext {
-        TaskContext::new(SchedulingPolicy::NonCooperative, RuntimeMetrics::new_shared())
+        TaskContext::new(
+            SchedulingPolicy::NonCooperative,
+            RuntimeMetrics::new_shared(),
+        )
     }
 
     /// Logic that forwards every value to output 0, uppercasing strings.
     struct Passthrough;
     impl ComputeLogic for Passthrough {
-        fn on_value(&mut self, _input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+        fn on_value(
+            &mut self,
+            _input: usize,
+            value: Value,
+            out: &mut Outputs<'_>,
+        ) -> Result<(), RuntimeError> {
             out.emit(0, value);
             Ok(())
         }
@@ -611,7 +651,9 @@ mod tests {
         let listener = net.listen(80).unwrap();
         let client = net.connect(80).unwrap();
         let server = listener.accept().unwrap();
-        client.write(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        client
+            .write(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
 
         let (tx, rx) = TaskChannel::bounded(16, TaskId(1));
         let mut task = InputTask::new("in", server, Arc::new(HttpCodec::new()), None, tx);
@@ -661,7 +703,8 @@ mod tests {
     fn compute_task_passthrough_and_finish() {
         let (in_tx, in_rx) = TaskChannel::bounded(16, TaskId(2));
         let (out_tx, out_rx) = TaskChannel::bounded(16, TaskId(3));
-        let mut task = ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
+        let mut task =
+            ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
         in_tx.push(Value::Int(1)).unwrap();
         in_tx.push(Value::Int(2)).unwrap();
         assert_eq!(task.run(&mut ctx()), TaskStatus::Idle);
@@ -676,12 +719,17 @@ mod tests {
         let (in_tx, in_rx) = TaskChannel::bounded(16, TaskId(2));
         // Output capacity 1 forces overflow.
         let (out_tx, out_rx) = TaskChannel::bounded(1, TaskId(3));
-        let mut task = ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
+        let mut task =
+            ComputeTask::new("compute", vec![in_rx], vec![out_tx], Box::new(Passthrough));
         in_tx.push(Value::Int(1)).unwrap();
         in_tx.push(Value::Int(2)).unwrap();
         in_tx.push(Value::Int(3)).unwrap();
         let status = task.run(&mut ctx());
-        assert_eq!(status, TaskStatus::Runnable, "overflowed values keep the task runnable");
+        assert_eq!(
+            status,
+            TaskStatus::Runnable,
+            "overflowed values keep the task runnable"
+        );
         assert_eq!(out_rx.pop(), Some(Value::Int(1)));
         // Draining the output lets the retry succeed.
         let status = task.run(&mut ctx());

@@ -93,9 +93,9 @@ impl Value {
             Value::Int(_) => 8,
             Value::Str(s) => s.len(),
             Value::Bytes(b) => b.len(),
-            Value::Msg(m) => m.wire_len().unwrap_or_else(|| {
-                m.iter().map(|(_, v)| v.byte_len().max(8)).sum()
-            }),
+            Value::Msg(m) => m
+                .wire_len()
+                .unwrap_or_else(|| m.iter().map(|(_, v)| v.byte_len().max(8)).sum()),
             Value::List(l) => l.iter().map(Value::approx_size).sum(),
         }
     }
@@ -219,7 +219,10 @@ mod tests {
 
     #[test]
     fn approx_size_scales_with_payload() {
-        assert_eq!(Value::Bytes(Bytes::from(vec![0u8; 1024])).approx_size(), 1024);
+        assert_eq!(
+            Value::Bytes(Bytes::from(vec![0u8; 1024])).approx_size(),
+            1024
+        );
         let mut m = Message::new("cmd");
         m.set("value", MsgValue::Bytes(Bytes::from(vec![0u8; 100])));
         assert!(Value::Msg(m).approx_size() >= 100);

@@ -49,7 +49,9 @@ pub struct BaselineHandle {
 
 impl std::fmt::Debug for BaselineHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BaselineHandle").field("name", &self.name).finish()
+        f.debug_struct("BaselineHandle")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -167,7 +169,8 @@ fn start_threaded_http_proxy(
         while !accept_stop.load(Ordering::Acquire) {
             match listener.accept_timeout(Duration::from_millis(10)) {
                 Ok(client) => {
-                    let idx = next_backend.fetch_add(1, Ordering::Relaxed) as usize % backend_ports.len().max(1);
+                    let idx = next_backend.fetch_add(1, Ordering::Relaxed) as usize
+                        % backend_ports.len().max(1);
                     let backend_port = backend_ports[idx];
                     let Ok(backend) = net.connect(backend_port) else {
                         client.close();
@@ -188,7 +191,12 @@ fn start_threaded_http_proxy(
             let _ = w.join();
         }
     });
-    BaselineHandle { stop, threads: vec![acceptor], requests, name }
+    BaselineHandle {
+        stop,
+        threads: vec![acceptor],
+        requests,
+        name,
+    }
 }
 
 /// The Moxi-like baseline Memcached proxy.
@@ -235,7 +243,12 @@ impl MoxiLikeProxy {
                 let _ = w.join();
             }
         });
-        BaselineHandle { stop, threads: vec![acceptor], requests, name: "moxi" }
+        BaselineHandle {
+            stop,
+            threads: vec![acceptor],
+            requests,
+            name: "moxi",
+        }
     }
 }
 
@@ -332,7 +345,12 @@ mod tests {
         let proxy = ApacheLikeProxy::start(&net, 12000, vec![12001, 12002]);
         let stats = run_http_load(
             &net,
-            &HttpLoadConfig { port: 12000, concurrency: 4, duration: Duration::from_millis(200), ..Default::default() },
+            &HttpLoadConfig {
+                port: 12000,
+                concurrency: 4,
+                duration: Duration::from_millis(200),
+                ..Default::default()
+            },
         );
         assert!(stats.completed > 5, "{stats:?}");
         assert!(proxy.requests_proxied() > 0);
@@ -345,7 +363,12 @@ mod tests {
         let _proxy = NginxLikeProxy::start(&net, 12100, vec![12101]);
         let stats = run_http_load(
             &net,
-            &HttpLoadConfig { port: 12100, concurrency: 4, duration: Duration::from_millis(200), ..Default::default() },
+            &HttpLoadConfig {
+                port: 12100,
+                concurrency: 4,
+                duration: Duration::from_millis(200),
+                ..Default::default()
+            },
         );
         assert!(stats.completed > 5, "{stats:?}");
     }

@@ -56,9 +56,17 @@ mod tests {
     fn aggregator_combines_wordcounts_before_the_reducer() {
         let net = SimNetwork::new(StackModel::Free);
         let (_reducer, reducer_bytes) = start_sink_backend(&net, 9701);
-        let platform = Platform::with_network(PlatformConfig { workers: 4, ..Default::default() }, Arc::clone(&net));
+        let platform = Platform::with_network(
+            PlatformConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            Arc::clone(&net),
+        );
         let _svc = platform
-            .deploy(ServiceSpec::new("hadoop", 9700, hadoop_aggregator(2)).with_backends(vec![9701]))
+            .deploy(
+                ServiceSpec::new("hadoop", 9700, hadoop_aggregator(2)).with_backends(vec![9701]),
+            )
             .unwrap();
 
         let config = HadoopLoadConfig {
@@ -72,7 +80,10 @@ mod tests {
         let stats = run_hadoop_mappers(&net, &config);
         assert_eq!(stats.failed, 0);
         let forwarded = wait_for_quiescence(&reducer_bytes, Duration::from_secs(10));
-        assert!(forwarded > 0, "the reducer must receive the aggregated stream");
+        assert!(
+            forwarded > 0,
+            "the reducer must receive the aggregated stream"
+        );
         // The workload has a high reduction ratio (32 distinct words), so the
         // aggregated stream must be much smaller than the mapper volume.
         assert!(

@@ -12,7 +12,8 @@ use flick_net::Endpoint;
 use flick_runtime::platform::BuiltGraph;
 use flick_runtime::tasks::{InputTask, OutputTask};
 use flick_runtime::{
-    ComputeLogic, ComputeTask, GraphBuilder, GraphFactory, Outputs, RuntimeError, ServiceEnv, TaskId, Value,
+    ComputeLogic, ComputeTask, GraphBuilder, GraphFactory, Outputs, RuntimeError, ServiceEnv,
+    TaskId, Value,
 };
 use std::sync::Arc;
 
@@ -51,7 +52,12 @@ struct RespondLogic {
 }
 
 impl ComputeLogic for RespondLogic {
-    fn on_value(&mut self, _input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_value(
+        &mut self,
+        _input: usize,
+        value: Value,
+        out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         if value.as_msg().is_some() {
             out.emit(0, Value::Msg(http::response(200, &self.body)));
         }
@@ -60,11 +66,17 @@ impl ComputeLogic for RespondLogic {
 }
 
 impl GraphFactory for StaticWebServerFactory {
-    fn build(&self, mut clients: Vec<Endpoint>, env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
-        let client = clients.pop().ok_or_else(|| RuntimeError::Config("no client connection".into()))?;
+    fn build(
+        &self,
+        mut clients: Vec<Endpoint>,
+        env: &ServiceEnv,
+    ) -> Result<BuiltGraph, RuntimeError> {
+        let client = clients
+            .pop()
+            .ok_or_else(|| RuntimeError::Config("no client connection".into()))?;
         let codec: Arc<HttpCodec> = Arc::new(HttpCodec::new());
-        let mut builder =
-            GraphBuilder::new("static-web", &env.allocator).with_channel_capacity(env.channel_capacity);
+        let mut builder = GraphBuilder::new("static-web", &env.allocator)
+            .with_channel_capacity(env.channel_capacity);
         let input_node = builder.declare_node();
         let compute_node = builder.declare_node();
         let output_node = builder.declare_node();
@@ -86,10 +98,15 @@ impl GraphFactory for StaticWebServerFactory {
                 "respond",
                 vec![req_rx],
                 vec![resp_tx],
-                Box::new(RespondLogic { body: self.body.clone() }),
+                Box::new(RespondLogic {
+                    body: self.body.clone(),
+                }),
             )),
         );
-        builder.install(output_node, Box::new(OutputTask::new("http-out", client.clone(), codec, resp_rx)));
+        builder.install(
+            output_node,
+            Box::new(OutputTask::new("http-out", client.clone(), codec, resp_rx)),
+        );
         Ok(BuiltGraph {
             graph: builder.build(),
             watchers: vec![(input_node.task_id(), client)],
@@ -126,7 +143,12 @@ impl Default for HttpLoadBalancerFactory {
 struct ForwardLogic;
 
 impl ComputeLogic for ForwardLogic {
-    fn on_value(&mut self, input: usize, value: Value, out: &mut Outputs<'_>) -> Result<(), RuntimeError> {
+    fn on_value(
+        &mut self,
+        input: usize,
+        value: Value,
+        out: &mut Outputs<'_>,
+    ) -> Result<(), RuntimeError> {
         match input {
             // Input 0: requests from the client → output 0 (backend).
             0 => out.emit(0, value),
@@ -138,10 +160,18 @@ impl ComputeLogic for ForwardLogic {
 }
 
 impl GraphFactory for HttpLoadBalancerFactory {
-    fn build(&self, mut clients: Vec<Endpoint>, env: &ServiceEnv) -> Result<BuiltGraph, RuntimeError> {
-        let client = clients.pop().ok_or_else(|| RuntimeError::Config("no client connection".into()))?;
+    fn build(
+        &self,
+        mut clients: Vec<Endpoint>,
+        env: &ServiceEnv,
+    ) -> Result<BuiltGraph, RuntimeError> {
+        let client = clients
+            .pop()
+            .ok_or_else(|| RuntimeError::Config("no client connection".into()))?;
         if env.backends.is_empty() {
-            return Err(RuntimeError::Config("the HTTP load balancer needs at least one backend".into()));
+            return Err(RuntimeError::Config(
+                "the HTTP load balancer needs at least one backend".into(),
+            ));
         }
         // Naive hash of the connection identity picks the backend for this
         // connection; all requests on the connection stick to it.
@@ -149,8 +179,8 @@ impl GraphFactory for HttpLoadBalancerFactory {
         let backend = env.backends.checkout(backend_idx)?;
 
         let codec: Arc<HttpCodec> = Arc::new(HttpCodec::new());
-        let mut builder =
-            GraphBuilder::new("http-lb", &env.allocator).with_channel_capacity(env.channel_capacity);
+        let mut builder = GraphBuilder::new("http-lb", &env.allocator)
+            .with_channel_capacity(env.channel_capacity);
         let client_in = builder.declare_node();
         let backend_in = builder.declare_node();
         let compute_node = builder.declare_node();
@@ -194,12 +224,26 @@ impl GraphFactory for HttpLoadBalancerFactory {
                 Box::new(ForwardLogic),
             )),
         );
-        builder.install(backend_out, Box::new(OutputTask::new("backend-out", backend.clone(), codec.clone(), fwd_rx)));
-        builder.install(client_out, Box::new(OutputTask::new("client-out", client.clone(), codec, ret_rx)));
+        builder.install(
+            backend_out,
+            Box::new(OutputTask::new(
+                "backend-out",
+                backend.clone(),
+                codec.clone(),
+                fwd_rx,
+            )),
+        );
+        builder.install(
+            client_out,
+            Box::new(OutputTask::new("client-out", client.clone(), codec, ret_rx)),
+        );
 
         Ok(BuiltGraph {
             graph: builder.build(),
-            watchers: vec![(client_in.task_id(), client.clone()), (backend_in.task_id(), backend)],
+            watchers: vec![
+                (client_in.task_id(), client.clone()),
+                (backend_in.task_id(), backend),
+            ],
             initial: vec![],
             client_tasks: vec![client_in.task_id()],
         })
@@ -222,13 +266,25 @@ mod tests {
 
     #[test]
     fn static_web_server_answers_requests() {
-        let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            ..Default::default()
+        });
         let _svc = platform
-            .deploy(ServiceSpec::new("web", 8090, StaticWebServerFactory::new(&b"hello"[..])))
+            .deploy(ServiceSpec::new(
+                "web",
+                8090,
+                StaticWebServerFactory::new(&b"hello"[..]),
+            ))
             .unwrap();
         let stats = run_http_load(
             &platform.net(),
-            &HttpLoadConfig { port: 8090, concurrency: 4, duration: Duration::from_millis(200), ..Default::default() },
+            &HttpLoadConfig {
+                port: 8090,
+                concurrency: 4,
+                duration: Duration::from_millis(200),
+                ..Default::default()
+            },
         );
         assert!(stats.completed > 10, "{stats:?}");
         assert_eq!(stats.failed, 0);
@@ -242,7 +298,13 @@ mod tests {
             .iter()
             .map(|p| start_http_backend(&net, *p, b"from-backend"))
             .collect();
-        let platform = Platform::with_network(PlatformConfig { workers: 2, ..Default::default() }, Arc::clone(&net));
+        let platform = Platform::with_network(
+            PlatformConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::clone(&net),
+        );
         let _svc = platform
             .deploy(
                 ServiceSpec::new("lb", 8190, HttpLoadBalancerFactory::new())
@@ -250,11 +312,15 @@ mod tests {
             )
             .unwrap();
         let client = net.connect(8190).unwrap();
-        client.write_all(b"GET /a HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        client
+            .write_all(b"GET /a HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
         let mut buf = [0u8; 1024];
         let mut collected = Vec::new();
         loop {
-            let n = client.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+            let n = client
+                .read_timeout(&mut buf, Duration::from_secs(5))
+                .unwrap();
             collected.extend_from_slice(&buf[..n]);
             if collected.windows(12).any(|w| w == b"from-backend") {
                 break;
@@ -272,7 +338,13 @@ mod tests {
             .iter()
             .map(|p| start_http_backend(&net, *p, b"ok"))
             .collect();
-        let platform = Platform::with_network(PlatformConfig { workers: 2, ..Default::default() }, Arc::clone(&net));
+        let platform = Platform::with_network(
+            PlatformConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::clone(&net),
+        );
         let _svc = platform
             .deploy(
                 ServiceSpec::new("lb", 8290, HttpLoadBalancerFactory::new())
@@ -281,11 +353,19 @@ mod tests {
             .unwrap();
         let stats = run_http_load(
             &net,
-            &HttpLoadConfig { port: 8290, concurrency: 8, duration: Duration::from_millis(250), ..Default::default() },
+            &HttpLoadConfig {
+                port: 8290,
+                concurrency: 8,
+                duration: Duration::from_millis(250),
+                ..Default::default()
+            },
         );
         assert!(stats.completed > 10, "{stats:?}");
         let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
-        assert!(served.iter().filter(|s| **s > 0).count() >= 2, "requests should hit both backends: {served:?}");
+        assert!(
+            served.iter().filter(|s| **s > 0).count() >= 2,
+            "requests should hit both backends: {served:?}"
+        );
     }
 
     #[test]
@@ -306,8 +386,12 @@ mod tests {
     fn flick_source_for_the_lb_compiles() {
         let typed = flick_lang::compile_to_ast(HTTP_LB_FLICK_SOURCE).unwrap();
         assert!(typed.process("HttpBalancer").is_some());
-        let service =
-            flick_compiler::compile(&typed, "HttpBalancer", &flick_compiler::CompileOptions::default()).unwrap();
+        let service = flick_compiler::compile(
+            &typed,
+            "HttpBalancer",
+            &flick_compiler::CompileOptions::default(),
+        )
+        .unwrap();
         assert_eq!(service.process_name(), "HttpBalancer");
     }
 }

@@ -50,14 +50,22 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, re
 
 /// Compiles the Memcached proxy service (Listing 1).
 pub fn memcached_proxy() -> Arc<CompiledService> {
-    compile_source(MEMCACHED_PROXY_FLICK_SOURCE, "Memcached", &CompileOptions::default())
-        .expect("the embedded Listing 1 program compiles")
+    compile_source(
+        MEMCACHED_PROXY_FLICK_SOURCE,
+        "Memcached",
+        &CompileOptions::default(),
+    )
+    .expect("the embedded Listing 1 program compiles")
 }
 
 /// Compiles the Memcached cache-router service.
 pub fn memcached_router() -> Arc<CompiledService> {
-    compile_source(MEMCACHED_ROUTER_FLICK_SOURCE, "MemcachedRouter", &CompileOptions::default())
-        .expect("the embedded cache-router program compiles")
+    compile_source(
+        MEMCACHED_ROUTER_FLICK_SOURCE,
+        "MemcachedRouter",
+        &CompileOptions::default(),
+    )
+    .expect("the embedded cache-router program compiles")
 }
 
 #[cfg(test)]
@@ -90,17 +98,29 @@ mod tests {
         flick_runtime::dispatcher::DeployedService,
     ) {
         let net = SimNetwork::new(StackModel::Free);
-        let backends: Vec<_> = backend_ports.iter().map(|p| start_memcached_backend(&net, *p)).collect();
-        let platform = Platform::with_network(PlatformConfig { workers: 2, ..Default::default() }, Arc::clone(&net));
+        let backends: Vec<_> = backend_ports
+            .iter()
+            .map(|p| start_memcached_backend(&net, *p))
+            .collect();
+        let platform = Platform::with_network(
+            PlatformConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::clone(&net),
+        );
         let svc = platform
-            .deploy(ServiceSpec::new("memcached", port, service).with_backends(backend_ports.to_vec()))
+            .deploy(
+                ServiceSpec::new("memcached", port, service).with_backends(backend_ports.to_vec()),
+            )
             .unwrap();
         (net, platform, backends, svc)
     }
 
     #[test]
     fn proxy_round_trips_requests_through_backends() {
-        let (net, _platform, backends, _svc) = deploy_proxy(memcached_proxy(), 11300, &[11301, 11302]);
+        let (net, _platform, backends, _svc) =
+            deploy_proxy(memcached_proxy(), 11300, &[11301, 11302]);
         let stats = run_memcached_load(
             &net,
             &MemcachedLoadConfig {
@@ -125,12 +145,19 @@ mod tests {
         let client = net.connect(11400).unwrap();
         let ask = |key: &str| {
             let mut out = Vec::new();
-            codec.serialize(&wire::request(wire::opcode::GETK, key.as_bytes(), b"", b""), &mut out).unwrap();
+            codec
+                .serialize(
+                    &wire::request(wire::opcode::GETK, key.as_bytes(), b"", b""),
+                    &mut out,
+                )
+                .unwrap();
             client.write_all(&out).unwrap();
             let mut collected = Vec::new();
             let mut buf = [0u8; 4096];
             loop {
-                let n = client.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+                let n = client
+                    .read_timeout(&mut buf, Duration::from_secs(5))
+                    .unwrap();
                 collected.extend_from_slice(&buf[..n]);
                 if let Ok(ParseOutcome::Complete { message, .. }) = codec.parse(&collected, None) {
                     return message;
@@ -146,6 +173,10 @@ mod tests {
         let second = ask("popular");
         assert_eq!(second.str_field("key"), Some("popular"));
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(backends[0].requests_served(), after_first, "cache hit must not reach the backend");
+        assert_eq!(
+            backends[0].requests_served(),
+            after_first,
+            "cache hit must not reach the backend"
+        );
     }
 }

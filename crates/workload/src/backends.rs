@@ -27,7 +27,9 @@ pub struct BackendHandle {
 
 impl std::fmt::Debug for BackendHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BackendHandle").field("port", &self.port).finish()
+        f.debug_struct("BackendHandle")
+            .field("port", &self.port)
+            .finish()
     }
 }
 
@@ -134,7 +136,12 @@ pub fn start_http_backend(net: &Arc<SimNetwork>, port: u16, body: &[u8]) -> Back
             }
         }
     });
-    BackendHandle { stop, threads, requests, port }
+    BackendHandle {
+        stop,
+        threads,
+        requests,
+        port,
+    }
 }
 
 /// Starts an in-memory Memcached back-end speaking the binary protocol.
@@ -185,7 +192,9 @@ pub fn start_memcached_backend(net: &Arc<SimNetwork>, port: u16) -> BackendHandl
                             memcached::response(opcode, 0, key.as_bytes(), &value)
                         };
                         let mut out = Vec::new();
-                        codec.serialize(&response, &mut out).expect("response serialises");
+                        codec
+                            .serialize(&response, &mut out)
+                            .expect("response serialises");
                         if conn.write_all(&out).is_err() {
                             conn.close();
                             return;
@@ -200,7 +209,12 @@ pub fn start_memcached_backend(net: &Arc<SimNetwork>, port: u16) -> BackendHandl
             }
         }
     });
-    BackendHandle { stop, threads, requests, port }
+    BackendHandle {
+        stop,
+        threads,
+        requests,
+        port,
+    }
 }
 
 /// Starts a byte-sink back-end (the Hadoop reducer): it drains everything it
@@ -233,7 +247,15 @@ pub fn start_sink_backend(net: &Arc<SimNetwork>, port: u16) -> (BackendHandle, A
             }
         }
     });
-    (BackendHandle { stop, threads, requests, port }, bytes)
+    (
+        BackendHandle {
+            stop,
+            threads,
+            requests,
+            port,
+        },
+        bytes,
+    )
 }
 
 #[cfg(test)]
@@ -246,7 +268,8 @@ mod tests {
         let net = SimNetwork::new(StackModel::Free);
         let backend = start_http_backend(&net, 9301, b"payload-137-bytes");
         let conn = net.connect(9301).unwrap();
-        conn.write_all(b"GET /x HTTP/1.1\r\nHost: b\r\n\r\n").unwrap();
+        conn.write_all(b"GET /x HTTP/1.1\r\nHost: b\r\n\r\n")
+            .unwrap();
         let mut buf = [0u8; 512];
         let n = conn.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
         let text = String::from_utf8_lossy(&buf[..n]);
@@ -263,13 +286,23 @@ mod tests {
         let conn = net.connect(9302).unwrap();
 
         let mut wire = Vec::new();
-        codec.serialize(&memcached::request(memcached::opcode::SET, b"k1", b"", b"v1"), &mut wire).unwrap();
+        codec
+            .serialize(
+                &memcached::request(memcached::opcode::SET, b"k1", b"", b"v1"),
+                &mut wire,
+            )
+            .unwrap();
         conn.write_all(&wire).unwrap();
         let mut buf = vec![0u8; 1024];
         let _ = conn.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
 
         let mut wire = Vec::new();
-        codec.serialize(&memcached::request(memcached::opcode::GETK, b"k1", b"", b""), &mut wire).unwrap();
+        codec
+            .serialize(
+                &memcached::request(memcached::opcode::GETK, b"k1", b"", b""),
+                &mut wire,
+            )
+            .unwrap();
         conn.write_all(&wire).unwrap();
         let mut collected = Vec::new();
         let response = loop {

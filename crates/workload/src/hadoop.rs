@@ -160,7 +160,11 @@ mod tests {
         let words = word_dictionary(12, 10);
         assert_eq!(words.len(), 10);
         assert!(words.iter().all(|w| w.len() == 12));
-        assert_eq!(words, word_dictionary(12, 10), "dictionary must be deterministic");
+        assert_eq!(
+            words,
+            word_dictionary(12, 10),
+            "dictionary must be deterministic"
+        );
     }
 
     #[test]
@@ -179,7 +183,11 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert!(stats.bytes >= 2 * 64 * 1024 - 1024, "sent {}", stats.bytes);
         let received = wait_for_quiescence(&bytes, Duration::from_secs(5));
-        assert!(received >= stats.bytes, "sink received {received} of {}", stats.bytes);
+        assert!(
+            received >= stats.bytes,
+            "sink received {received} of {}",
+            stats.bytes
+        );
     }
 
     #[test]
@@ -198,6 +206,10 @@ mod tests {
         let start = Instant::now();
         let stats = run_hadoop_mappers(&net, &config);
         assert_eq!(stats.failed, 0);
-        assert!(start.elapsed() > Duration::from_millis(80), "took {:?}", start.elapsed());
+        assert!(
+            start.elapsed() > Duration::from_millis(80),
+            "took {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -73,7 +73,11 @@ pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats
                 request_id += 1;
                 let request = format!(
                     "GET /c{client_id}/r{request_id} HTTP/1.1\r\nHost: bench\r\n{}\r\n",
-                    if config.persistent { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" }
+                    if config.persistent {
+                        "Connection: keep-alive\r\n"
+                    } else {
+                        "Connection: close\r\n"
+                    }
                 );
                 let started = Instant::now();
                 if conn.write_all(request.as_bytes()).is_err() {
@@ -151,7 +155,10 @@ mod tests {
             timeout: Duration::from_secs(2),
         };
         let stats = run_http_load(&net, &config);
-        assert!(stats.completed > 10, "expected some completed requests, got {stats:?}");
+        assert!(
+            stats.completed > 10,
+            "expected some completed requests, got {stats:?}"
+        );
         assert!(stats.requests_per_sec() > 0.0);
         assert!(stats.latency.mean > Duration::ZERO);
     }
@@ -171,6 +178,10 @@ mod tests {
         assert!(stats.completed > 5);
         let opened = net.stats().snapshot().connections_opened;
         // Roughly one connection per completed request (plus the warm-up).
-        assert!(opened as u64 >= stats.completed, "opened {opened}, completed {}", stats.completed);
+        assert!(
+            opened >= stats.completed,
+            "opened {opened}, completed {}",
+            stats.completed
+        );
     }
 }

@@ -74,7 +74,9 @@ pub fn run_memcached_load(net: &Arc<SimNetwork>, config: &MemcachedLoadConfig) -
                 };
                 let request = memcached::request(opcode, key.as_bytes(), b"", b"");
                 let mut wire = Vec::new();
-                codec.serialize(&request, &mut wire).expect("request serialises");
+                codec
+                    .serialize(&request, &mut wire)
+                    .expect("request serialises");
                 let started = Instant::now();
                 if conn.write_all(&wire).is_err() {
                     failed.fetch_add(1, Ordering::Relaxed);

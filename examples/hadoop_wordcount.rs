@@ -13,11 +13,16 @@ use std::time::Duration;
 
 fn main() {
     let mappers = 4;
-    let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 4,
+        ..Default::default()
+    });
     let net = platform.net();
     let (_reducer, reducer_bytes) = start_sink_backend(&net, 9701);
     let _service = platform
-        .deploy(ServiceSpec::new("hadoop", 9700, hadoop_aggregator(mappers)).with_backends(vec![9701]))
+        .deploy(
+            ServiceSpec::new("hadoop", 9700, hadoop_aggregator(mappers)).with_backends(vec![9701]),
+        )
         .expect("deploy");
 
     let config = HadoopLoadConfig {
@@ -35,6 +40,6 @@ fn main() {
         stats.completed,
         stats.bytes / 1024,
         forwarded / 1024,
-        if forwarded > 0 { stats.bytes / forwarded } else { 0 }
+        stats.bytes.checked_div(forwarded).unwrap_or(0)
     );
 }

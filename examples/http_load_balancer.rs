@@ -10,7 +10,10 @@ use flick_workload::http::{run_http_load, HttpLoadConfig};
 use std::time::Duration;
 
 fn main() {
-    let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 4,
+        ..Default::default()
+    });
     let net = platform.net();
     let backend_ports: Vec<u16> = (0..10).map(|i| 8100 + i as u16).collect();
     let backends: Vec<_> = backend_ports

@@ -11,7 +11,10 @@ use flick_workload::backends::start_memcached_backend;
 use std::time::Duration;
 
 fn main() {
-    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
     let net = platform.net();
     let backend = start_memcached_backend(&net, 11301);
     let _service = platform
@@ -23,13 +26,18 @@ fn main() {
     for round in 0..3 {
         let mut wire = Vec::new();
         codec
-            .serialize(&memcached::request(memcached::opcode::GETK, b"popular-key", b"", b""), &mut wire)
+            .serialize(
+                &memcached::request(memcached::opcode::GETK, b"popular-key", b"", b""),
+                &mut wire,
+            )
             .unwrap();
         client.write_all(&wire).unwrap();
         let mut collected = Vec::new();
         let mut buf = [0u8; 4096];
         let response = loop {
-            let n = client.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+            let n = client
+                .read_timeout(&mut buf, Duration::from_secs(5))
+                .unwrap();
             collected.extend_from_slice(&buf[..n]);
             if let Ok(ParseOutcome::Complete { message, .. }) = codec.parse(&collected, None) {
                 break message;

@@ -21,14 +21,22 @@ proc Echo: (pkt/pkt client)
 
 fn main() {
     let flick = Flick::new(Default::default());
-    let _service = flick.run_program(PROGRAM, "Echo", 9000, &[]).expect("deploy");
+    let _service = flick
+        .run_program(PROGRAM, "Echo", 9000, &[])
+        .expect("deploy");
     println!("deployed the Echo service on simulated port 9000");
 
     let client = flick.net().connect(9000).expect("connect");
     let request = [42u8, 0, 5, b'h', b'e', b'l', b'l', b'o'];
     client.write_all(&request).expect("send");
     let mut reply = [0u8; 8];
-    client.read_exact_timeout(&mut reply, Duration::from_secs(5)).expect("receive");
+    client
+        .read_exact_timeout(&mut reply, Duration::from_secs(5))
+        .expect("receive");
     assert_eq!(reply, request);
-    println!("round-tripped {} bytes through the FLICK task graph: {:?}", reply.len(), &reply);
+    println!(
+        "round-tripped {} bytes through the FLICK task graph: {:?}",
+        reply.len(),
+        &reply
+    );
 }

@@ -44,7 +44,12 @@ fn run(policy: SchedulingPolicy) -> (Duration, Duration) {
 
 fn main() {
     for (label, policy) in [
-        ("cooperative", SchedulingPolicy::Cooperative { timeslice: Duration::from_micros(50) }),
+        (
+            "cooperative",
+            SchedulingPolicy::Cooperative {
+                timeslice: Duration::from_micros(50),
+            },
+        ),
         ("non-cooperative", SchedulingPolicy::NonCooperative),
         ("round-robin", SchedulingPolicy::RoundRobin),
     ] {

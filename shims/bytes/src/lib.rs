@@ -1,0 +1,263 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: a cheaply cloneable, immutable, contiguous byte
+//! buffer — the subset of the `bytes` 1.x API that FLICK uses. Cloning is
+//! O(1) (an `Arc` bump or a static pointer copy), and [`Bytes::slice`]
+//! shares the parent allocation. See `DESIGN.md` §7 for the shim policy.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared {
+        data: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Creates a `Bytes` from a static slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Creates a `Bytes` by copying the given slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Returns a sub-slice sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds (len {len})"
+        );
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[begin..end]),
+            },
+            Repr::Shared { data, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    start: start + begin,
+                    end: start + end,
+                },
+            },
+        }
+    }
+
+    /// Copies the buffer into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared { data, start, end } => &data[*start..*end],
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared {
+                start: 0,
+                end: v.len(),
+                data: Arc::from(v),
+            },
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b == b'"' {
+                write!(f, "\\\"")?;
+            } else if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eq() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let c = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(&a[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = a.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        let ss = s.slice(1..);
+        assert_eq!(&ss[..], &[2, 3]);
+        assert_eq!(a.slice(..).len(), 5);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let d = format!("{:?}", Bytes::from_static(b"hi\x00"));
+        assert_eq!(d, "b\"hi\\x00\"");
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the criterion 0.5 API the FLICK benches use. It is a plain
+//! wall-clock harness: per benchmark it warms up for `warm_up_time`, then
+//! measures for `measurement_time`, and prints the mean time per iteration.
+//! No statistical analysis, outlier rejection, plots or HTML reports — for
+//! publication-grade numbers swap the real criterion back in (the API
+//! surface used here is compatible). See `DESIGN.md` §7 for the shim policy.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the target number of samples (a lower bound on iterations here).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets how long to measure each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Sets how long to warm up each benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks. Config overrides made on
+    /// the group end with it, as in real criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.config,
+            name: name.into(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&self.config, id, &mut f);
+        self
+    }
+
+    /// Runs a single ungrouped benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.config, &id.0, &mut |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks. Starts from the parent configuration; any
+/// override applies to this group only.
+pub struct BenchmarkGroup<'a> {
+    config: Config,
+    name: String,
+    // Holds the parent borrow so groups can't outlive or interleave with
+    // their Criterion, mirroring real criterion's signature.
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&self.config, &id, &mut f);
+        self
+    }
+
+    /// Runs a benchmark in this group, passing `input` to the closure.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&self.config, &id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<Sample>,
+}
+
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+/// How many iterations run between deadline checks: keeps the clock-read
+/// overhead out of the mean for nanosecond-scale bodies.
+const DEADLINE_STRIDE: u64 = 32;
+
+impl Bencher<'_> {
+    /// Times `f`: warm up for `warm_up_time`, then measure for
+    /// `measurement_time`. Slow bodies run as often as the time budget
+    /// allows (minimum one iteration); the deadline is only checked every
+    /// [`DEADLINE_STRIDE`] iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        'warmup: loop {
+            for _ in 0..DEADLINE_STRIDE {
+                black_box(f());
+            }
+            if Instant::now() >= warm_deadline {
+                break 'warmup;
+            }
+        }
+        let mut iters = 0u64;
+        let iter_cap = self.config.sample_size as u64 * 1000;
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        'measure: loop {
+            for _ in 0..DEADLINE_STRIDE {
+                black_box(f());
+            }
+            iters += DEADLINE_STRIDE;
+            if Instant::now() >= deadline || iters >= iter_cap {
+                break 'measure;
+            }
+        }
+        self.result = Some(Sample {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+fn run_one(config: &Config, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(Sample { total, iters }) => {
+            let per_iter = total.as_nanos() / u128::from(iters.max(1));
+            println!("bench: {id:<50} {per_iter:>12} ns/iter ({iters} iterations)");
+        }
+        None => println!("bench: {id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &v| {
+            b.iter(|| {
+                ran += v;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_overrides_do_not_leak_to_parent() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+        group.finish();
+        assert_eq!(c.config.sample_size, 10);
+        assert_eq!(c.config.measurement_time, Duration::from_millis(5));
+    }
+}

@@ -13,10 +13,16 @@ use std::time::Duration;
 
 #[test]
 fn listing1_memcached_proxy_end_to_end() {
-    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
     let net = platform.net();
     let backend_ports = vec![11501u16, 11502, 11503];
-    let backends: Vec<_> = backend_ports.iter().map(|p| start_memcached_backend(&net, *p)).collect();
+    let backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_memcached_backend(&net, *p))
+        .collect();
     let _svc = platform
         .deploy(ServiceSpec::new("proxy", 11500, memcached_proxy()).with_backends(backend_ports))
         .unwrap();
@@ -38,7 +44,10 @@ fn listing1_memcached_proxy_end_to_end() {
 
 #[test]
 fn cache_router_reduces_backend_load() {
-    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
     let net = platform.net();
     let backend = start_memcached_backend(&net, 11601);
     let _svc = platform
@@ -65,20 +74,38 @@ fn cache_router_reduces_backend_load() {
 
 #[test]
 fn http_lb_and_static_server_serve_traffic() {
-    let platform = Platform::new(PlatformConfig { workers: 2, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
     let net = platform.net();
     let backend_ports = vec![8601u16, 8602];
-    let _backends: Vec<_> = backend_ports.iter().map(|p| start_http_backend(&net, *p, b"w")).collect();
+    let _backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_http_backend(&net, *p, b"w"))
+        .collect();
     let _lb = platform
-        .deploy(ServiceSpec::new("lb", 8600, HttpLoadBalancerFactory::new()).with_backends(backend_ports))
+        .deploy(
+            ServiceSpec::new("lb", 8600, HttpLoadBalancerFactory::new())
+                .with_backends(backend_ports),
+        )
         .unwrap();
     let _web = platform
-        .deploy(ServiceSpec::new("web", 8610, StaticWebServerFactory::new(&b"static"[..])))
+        .deploy(ServiceSpec::new(
+            "web",
+            8610,
+            StaticWebServerFactory::new(&b"static"[..]),
+        ))
         .unwrap();
     for port in [8600u16, 8610] {
         let stats = run_http_load(
             &net,
-            &HttpLoadConfig { port, concurrency: 4, duration: Duration::from_millis(300), ..Default::default() },
+            &HttpLoadConfig {
+                port,
+                concurrency: 4,
+                duration: Duration::from_millis(300),
+                ..Default::default()
+            },
         );
         assert!(stats.completed > 10, "port {port}: {stats:?}");
         assert_eq!(stats.failed, 0, "port {port}");
@@ -87,7 +114,10 @@ fn http_lb_and_static_server_serve_traffic() {
 
 #[test]
 fn listing3_hadoop_aggregation_reduces_traffic() {
-    let platform = Platform::new(PlatformConfig { workers: 4, ..Default::default() });
+    let platform = Platform::new(PlatformConfig {
+        workers: 4,
+        ..Default::default()
+    });
     let net = platform.net();
     let (_reducer, reducer_bytes) = start_sink_backend(&net, 9901);
     let _svc = platform
@@ -107,12 +137,19 @@ fn listing3_hadoop_aggregation_reduces_traffic() {
     assert_eq!(stats.failed, 0);
     let forwarded = wait_for_quiescence(&reducer_bytes, Duration::from_secs(10));
     assert!(forwarded > 0);
-    assert!(forwarded < stats.bytes / 2, "aggregation must reduce traffic: {} -> {forwarded}", stats.bytes);
+    assert!(
+        forwarded < stats.bytes / 2,
+        "aggregation must reduce traffic: {} -> {forwarded}",
+        stats.bytes
+    );
 }
 
 #[test]
 fn facade_compiles_and_runs_custom_program() {
-    let flick = Flick::new(PlatformConfig { workers: 2, ..Default::default() });
+    let flick = Flick::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
     let program = r#"
 type frame: record
   kind : integer {signed=false, size=1}
@@ -126,6 +163,8 @@ proc Mirror: (frame/frame client)
     let client = flick.net().connect(9950).unwrap();
     client.write_all(&[3u8, 0, 2, b'o', b'k']).unwrap();
     let mut buf = [0u8; 5];
-    client.read_exact_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+    client
+        .read_exact_timeout(&mut buf, Duration::from_secs(5))
+        .unwrap();
     assert_eq!(&buf, &[3u8, 0, 2, b'o', b'k']);
 }
