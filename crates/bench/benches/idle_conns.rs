@@ -1,0 +1,95 @@
+//! Dispatcher-backend ablation: request latency through a FLICK static web
+//! service while 255 other connections sit idle.
+//!
+//! The poll dispatcher re-scans all 256 watched endpoints every
+//! `poll_interval` and adds up to one tick of latency per request hop; the
+//! event dispatcher blocks in `Poller::wait` and reacts immediately, so it
+//! must be at least as fast — that is the acceptance bar of the readiness
+//! layer (ISSUE 2), re-checked in CI by the `bench_guard` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flick_net::{Endpoint, SimNetwork, StackModel};
+use flick_runtime::{DeployedService, DispatcherBackend, Platform, PlatformConfig, ServiceSpec};
+use flick_services::http::StaticWebServerFactory;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONNECTIONS: usize = 256;
+
+struct Setup {
+    // Holds the platform, service and idle connections alive for the
+    // duration of the measurement.
+    _platform: Platform,
+    _service: DeployedService,
+    _idle: Vec<Endpoint>,
+    active: Endpoint,
+}
+
+fn setup(backend: DispatcherBackend) -> Setup {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: 4,
+            stack: StackModel::Kernel,
+            dispatcher: backend,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    let service = platform
+        .deploy(ServiceSpec::new(
+            "idle-web",
+            8080,
+            StaticWebServerFactory::new(&[b'x'; 137][..]),
+        ))
+        .expect("deploy static web service");
+    let idle: Vec<Endpoint> = (1..CONNECTIONS)
+        .map(|_| net.connect(8080).expect("idle client connects"))
+        .collect();
+    let active = net.connect(8080).expect("active client connects");
+    // Let the dispatcher instantiate every graph before measuring.
+    std::thread::sleep(Duration::from_millis(100));
+    Setup {
+        _platform: platform,
+        _service: service,
+        _idle: idle,
+        active,
+    }
+}
+
+fn one_request(conn: &Endpoint) {
+    conn.write_all(b"GET /bench HTTP/1.1\r\nHost: b\r\n\r\n")
+        .expect("request written");
+    let mut response = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = conn
+            .read_timeout(&mut chunk, Duration::from_secs(5))
+            .expect("response arrives");
+        response.extend_from_slice(&chunk[..n]);
+        // The static body is the terminator: one full response received.
+        if response.windows(4).any(|w| w == b"xxxx") {
+            break;
+        }
+    }
+}
+
+fn bench_idle_connections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatcher_backend_idle256");
+    for backend in DispatcherBackend::all() {
+        let setup = setup(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.label()),
+            &setup,
+            |b, setup| b.iter(|| one_request(&setup.active)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_idle_connections
+}
+criterion_main!(benches);

@@ -13,6 +13,7 @@ fn bench_memcached(c: &mut Criterion) {
                 clients: 16,
                 backends: 2,
                 duration: Duration::from_millis(200),
+                ..Default::default()
             };
             let id = format!("{}-{}cores", system.label(), cores);
             group.bench_with_input(BenchmarkId::from_parameter(id), &system, |b, system| {

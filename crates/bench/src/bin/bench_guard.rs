@@ -1,0 +1,99 @@
+//! CI bench-regression guard for the dispatcher-backend ablation.
+//!
+//! Runs the mostly-idle-connections ablation (poll vs. event dispatcher at
+//! 256 connections) and compares the measured throughput against the
+//! checked-in baseline `crates/bench/benches/baseline.json`:
+//!
+//! * `cargo run --release -p flick_bench --bin bench_guard` — compare;
+//!   exits non-zero if any `req/s` series regressed more than 30% below
+//!   its baseline (CI machines are noisy, hence the generous margin).
+//! * `... --bin bench_guard -- --record` — overwrite the baseline with
+//!   this machine's numbers (how the file was seeded, and how to re-seed
+//!   after an intentional perf change).
+
+use flick_bench::report::{print_table, rows_from_json, rows_to_json};
+use flick_bench::run_dispatcher_backend_ablation;
+use std::time::Duration;
+
+/// Fraction of the baseline a throughput series may drop to before the
+/// guard fails (1.0 - 0.30).
+const REGRESSION_FLOOR: f64 = 0.70;
+
+fn baseline_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/benches/baseline.json")
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let rows = run_dispatcher_backend_ablation(&[256], Duration::from_millis(400));
+    print_table("Dispatcher backend ablation (current run)", &rows);
+
+    if record {
+        // Only throughput series are guarded; scan-rate rows are recorded
+        // for context but never gate (they measure the *poll* backend's
+        // busy-work, which is the thing the event backend deletes).
+        std::fs::write(baseline_path(), rows_to_json(&rows) + "\n").expect("write baseline.json");
+        println!("recorded baseline to {}", baseline_path());
+        return;
+    }
+
+    let baseline_json = std::fs::read_to_string(baseline_path())
+        .unwrap_or_else(|e| panic!("read {}: {e} (seed it with --record)", baseline_path()));
+    let baseline = rows_from_json(&baseline_json).expect("parse baseline.json");
+
+    let mut failures = Vec::new();
+
+    // Machine-independent gate first: within this run, the event backend
+    // must not lose to the poll backend it replaced (the acceptance bar of
+    // the readiness layer). Ratios survive slow or noisy CI hosts that the
+    // absolute baseline comparison below cannot account for.
+    let series = |name: &str| {
+        rows.iter()
+            .find(|row| row.series == name && row.unit == "req/s")
+            .map(|row| row.value)
+    };
+    match (series("event"), series("poll")) {
+        (Some(event), Some(poll)) => {
+            if event < poll {
+                failures.push(format!(
+                    "event backend lost to poll within this run: {event:.0} < {poll:.0} req/s"
+                ));
+            } else {
+                println!("ok: event/poll ratio {:.2}x (must be >= 1)", event / poll);
+            }
+        }
+        _ => failures.push("ablation run missing event/poll req/s series".to_string()),
+    }
+    for expected in baseline.iter().filter(|row| row.unit == "req/s") {
+        let Some(current) = rows
+            .iter()
+            .find(|row| row.x == expected.x && row.series == expected.series)
+        else {
+            failures.push(format!(
+                "series {:?} at x={} missing from current run",
+                expected.series, expected.x
+            ));
+            continue;
+        };
+        let floor = expected.value * REGRESSION_FLOOR;
+        if current.value < floor {
+            failures.push(format!(
+                "{} @ {} conns regressed: {:.0} req/s < 70% of baseline {:.0} req/s",
+                expected.series, expected.x, current.value, expected.value
+            ));
+        } else {
+            println!(
+                "ok: {} @ {} conns: {:.0} req/s (baseline {:.0}, floor {:.0})",
+                expected.series, expected.x, current.value, expected.value, floor
+            );
+        }
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("REGRESSION: {failure}");
+        }
+        std::process::exit(1);
+    }
+    let checked = baseline.iter().filter(|row| row.unit == "req/s").count();
+    println!("bench guard passed ({checked} series checked)");
+}

@@ -5,13 +5,32 @@
 //! Paper shape: FLICK kernel peaks around 126 krps at 8 cores, FLICK mTCP
 //! around 198 krps at 16 cores, Moxi peaks around 82 krps at 4 cores and
 //! stops scaling (shared-state contention).
+//!
+//! Flags:
+//!
+//! * `--backend=poll|event` — dispatcher backend for the FLICK systems
+//!   (default: event). Run once with each to ablate the dispatcher.
+//! * `--no-ablation` — skip the dispatcher-backend idle-connection
+//!   ablation table printed after the main figure.
 
 use flick_bench::{
-    print_table, run_memcached_experiment, MemcachedExperiment, MemcachedSystem, Row,
+    print_table, run_dispatcher_backend_ablation, run_memcached_experiment, MemcachedExperiment,
+    MemcachedSystem, Row,
 };
+use flick_runtime::DispatcherBackend;
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--backend="))
+        .map(|value| match value {
+            "poll" => DispatcherBackend::Poll,
+            "event" => DispatcherBackend::Event,
+            other => panic!("unknown dispatcher backend {other:?} (poll|event)"),
+        })
+        .unwrap_or_default();
     let cores = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
     for &c in &cores {
@@ -21,6 +40,7 @@ fn main() {
                 clients: 48,
                 backends: 4,
                 duration: Duration::from_millis(700),
+                dispatcher: backend,
             };
             let stats = run_memcached_experiment(system, &params);
             rows.push(Row::new(
@@ -37,5 +57,19 @@ fn main() {
             ));
         }
     }
-    print_table("Memcached proxy vs CPU cores — Figure 5a/5b", &rows);
+    print_table(
+        &format!(
+            "Memcached proxy vs CPU cores — Figure 5a/5b ({} dispatcher)",
+            backend.label()
+        ),
+        &rows,
+    );
+
+    if !args.iter().any(|a| a == "--no-ablation") {
+        let rows = run_dispatcher_backend_ablation(&[64, 256], Duration::from_millis(400));
+        print_table(
+            "Dispatcher backend ablation — mostly-idle connections",
+            &rows,
+        );
+    }
 }

@@ -5,7 +5,7 @@ use flick_runtime::scheduler::Scheduler;
 use flick_runtime::task::TaskId;
 use flick_runtime::tasks::SyntheticWorkTask;
 use flick_runtime::RuntimeMetrics;
-use flick_runtime::{Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
+use flick_runtime::{DispatcherBackend, Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
 use flick_services::baselines::{ApacheLikeProxy, MoxiLikeProxy, NginxLikeProxy};
 use flick_services::hadoop::hadoop_aggregator;
 use flick_services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
@@ -195,6 +195,9 @@ pub struct MemcachedExperiment {
     pub backends: usize,
     /// Measurement duration.
     pub duration: Duration,
+    /// Dispatcher backend for the FLICK systems (the poll-vs-event
+    /// ablation knob; ignored by the Moxi baseline).
+    pub dispatcher: DispatcherBackend,
 }
 
 impl Default for MemcachedExperiment {
@@ -204,6 +207,7 @@ impl Default for MemcachedExperiment {
             clients: 32,
             backends: 4,
             duration: Duration::from_millis(800),
+            dispatcher: DispatcherBackend::default(),
         }
     }
 }
@@ -231,6 +235,7 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
                 PlatformConfig {
                     workers: params.cores,
                     stack,
+                    dispatcher: params.dispatcher,
                     ..Default::default()
                 },
                 Arc::clone(&net),
@@ -327,6 +332,133 @@ pub fn run_hadoop_experiment(params: &HadoopExperiment) -> f64 {
     let _ = wait_for_quiescence(&reducer_bytes, Duration::from_secs(30));
     let elapsed = start.elapsed().as_secs_f64();
     stats.bytes as f64 * 8.0 / 1_000_000.0 / elapsed.max(1e-9)
+}
+
+/// Parameters of the dispatcher-backend ablation: a static web service
+/// with many connected-but-mostly-idle clients. The poll dispatcher pays
+/// O(connections) endpoint scans per `poll_interval` tick regardless of
+/// activity; the event dispatcher pays only for the active few — the
+/// regime that dominates real middlebox deployments (fig5-style scaling
+/// past the paper's core counts).
+#[derive(Debug, Clone)]
+pub struct IdleConnExperiment {
+    /// Total connected clients (idle ones just hold their connection).
+    pub connections: usize,
+    /// How many of them actively issue requests (closed loop).
+    pub active: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+    /// Which dispatcher implementation to measure.
+    pub backend: DispatcherBackend,
+}
+
+impl Default for IdleConnExperiment {
+    fn default() -> Self {
+        IdleConnExperiment {
+            connections: 256,
+            active: 8,
+            duration: Duration::from_millis(400),
+            workers: 4,
+            backend: DispatcherBackend::default(),
+        }
+    }
+}
+
+/// The outcome of one dispatcher-backend ablation point.
+#[derive(Debug, Clone)]
+pub struct IdleConnResult {
+    /// Request statistics of the active clients.
+    pub stats: RunStats,
+    /// `Endpoint::readable` scans the middlebox issued during the run
+    /// (zero for the event backend, O(connections / poll_interval) for the
+    /// poll backend).
+    pub readable_polls: u64,
+}
+
+/// Runs one dispatcher-backend ablation point: `connections` clients
+/// connect to a FLICK static web server, the first `active` of them issue
+/// closed-loop requests, the rest sit idle for the whole run.
+pub fn run_idle_connections_experiment(params: &IdleConnExperiment) -> IdleConnResult {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let service_port = 8080u16;
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: params.workers,
+            stack: StackModel::Kernel,
+            dispatcher: params.backend,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    let _service = platform
+        .deploy(ServiceSpec::new(
+            "idle-web",
+            service_port,
+            StaticWebServerFactory::new(&[b'x'; 137][..]),
+        ))
+        .expect("deploy static web service");
+
+    // Establish the idle population first so every request of the active
+    // clients is dispatched while the watcher set is at full size.
+    let idle: Vec<_> = (params.active..params.connections)
+        .map(|_| net.connect(service_port).expect("idle client connects"))
+        .collect();
+    // Give the dispatcher a moment to instantiate all idle graphs.
+    std::thread::sleep(Duration::from_millis(50));
+    let polls_before = net.stats().snapshot().readable_polls;
+
+    let config = HttpLoadConfig {
+        port: service_port,
+        concurrency: params.active,
+        duration: params.duration,
+        persistent: true,
+        timeout: Duration::from_secs(5),
+    };
+    let stats = run_http_load(&net, &config);
+    let polls_after = net.stats().snapshot().readable_polls;
+    for conn in &idle {
+        conn.close();
+    }
+    IdleConnResult {
+        stats,
+        readable_polls: polls_after.saturating_sub(polls_before),
+    }
+}
+
+/// Runs the poll-vs-event dispatcher ablation at the given connection
+/// counts and returns figure rows (req/s plus endpoint scans per second),
+/// ready for [`crate::print_table`] or the CI baseline file.
+pub fn run_dispatcher_backend_ablation(
+    connection_counts: &[usize],
+    duration: Duration,
+) -> Vec<crate::report::Row> {
+    let mut rows = Vec::new();
+    for &connections in connection_counts {
+        for backend in DispatcherBackend::all() {
+            let params = IdleConnExperiment {
+                connections,
+                backend,
+                duration,
+                ..Default::default()
+            };
+            let result = run_idle_connections_experiment(&params);
+            rows.push(crate::report::Row::new(
+                connections,
+                backend.label(),
+                result.stats.requests_per_sec(),
+                "req/s",
+            ));
+            rows.push(crate::report::Row::new(
+                connections,
+                format!("{} scans", backend.label()),
+                result.readable_polls as f64 / duration.as_secs_f64(),
+                "polls/s",
+            ));
+        }
+    }
+    rows
 }
 
 /// The result of the §6.4 resource-sharing micro-benchmark (Figure 7).
@@ -453,9 +585,45 @@ mod tests {
             clients: 4,
             backends: 2,
             duration: Duration::from_millis(150),
+            ..Default::default()
         };
         let stats = run_memcached_experiment(MemcachedSystem::FlickKernel, &params);
         assert!(stats.completed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn idle_connections_experiment_smoke() {
+        for backend in DispatcherBackend::all() {
+            let params = IdleConnExperiment {
+                connections: 16,
+                active: 2,
+                duration: Duration::from_millis(150),
+                workers: 2,
+                backend,
+            };
+            let result = run_idle_connections_experiment(&params);
+            assert!(
+                result.stats.completed > 0,
+                "{backend:?}: {:?}",
+                result.stats
+            );
+        }
+    }
+
+    #[test]
+    fn event_backend_never_scans_endpoints() {
+        let params = IdleConnExperiment {
+            connections: 16,
+            active: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            backend: DispatcherBackend::Event,
+        };
+        let result = run_idle_connections_experiment(&params);
+        assert_eq!(
+            result.readable_polls, 0,
+            "event dispatcher must not poll endpoints"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::costs::StackCosts;
 use crate::error::NetError;
+use crate::poller::{Interest, Poller, Readiness, Token, WakerSlot};
 use crate::ratelimit::TokenBucket;
 use crate::stats::NetStats;
 use parking_lot::{Condvar, Mutex};
@@ -32,6 +33,26 @@ struct PipeState {
     buf: VecDeque<u8>,
     writer_closed: bool,
     reader_closed: bool,
+    /// Registered by the pipe's *reader*; woken when bytes arrive or the
+    /// writer closes (EOF becomes observable).
+    read_waker: Option<WakerSlot>,
+    /// Registered by the pipe's *writer*; woken when the reader drains
+    /// bytes (space frees up) or closes (writes fail fast).
+    write_waker: Option<WakerSlot>,
+}
+
+impl PipeState {
+    fn wake_reader(&self, readiness: Readiness) {
+        if let Some(waker) = &self.read_waker {
+            waker.wake(readiness);
+        }
+    }
+
+    fn wake_writer(&self, readiness: Readiness) {
+        if let Some(waker) = &self.write_waker {
+            waker.wake(readiness);
+        }
+    }
 }
 
 impl Pipe {
@@ -41,6 +62,8 @@ impl Pipe {
                 buf: VecDeque::with_capacity(capacity.min(16 * 1024)),
                 writer_closed: false,
                 reader_closed: false,
+                read_waker: None,
+                write_waker: None,
             }),
             cond: Condvar::new(),
             capacity,
@@ -159,17 +182,14 @@ impl Endpoint {
     /// Returns the number of bytes accepted, [`NetError::WouldBlock`] if the
     /// peer's buffer (or this link's rate budget) is currently full, or
     /// [`NetError::Closed`] if the peer has closed the connection.
+    ///
+    /// The stack cost is charged only for the bytes actually moved, so a
+    /// full (or rate-limited) connection does not pay per-attempt stack
+    /// cost — matching the read side, where a polled-but-empty connection
+    /// pays nothing.
     pub fn write(&self, data: &[u8]) -> Result<usize, NetError> {
-        StackCosts::charge(self.costs.io_cost(true, data.len()));
         if data.is_empty() {
             return Ok(0);
-        }
-        let allowed = match &self.rate {
-            Some(bucket) => bucket.try_acquire(data.len()),
-            None => data.len(),
-        };
-        if allowed == 0 {
-            return Err(NetError::WouldBlock);
         }
         let pipe = self.out_pipe();
         let mut state = pipe.state.lock();
@@ -180,21 +200,36 @@ impl Endpoint {
         if space == 0 {
             return Err(NetError::WouldBlock);
         }
-        let n = allowed.min(space);
+        // Acquire link budget only for bytes that can actually be buffered,
+        // so a full pipe or short write never leaks tokens.
+        let wanted = data.len().min(space);
+        let n = match &self.rate {
+            Some(bucket) => bucket.try_acquire(wanted),
+            None => wanted,
+        };
+        if n == 0 {
+            return Err(NetError::WouldBlock);
+        }
         state.buf.extend(&data[..n]);
+        state.wake_reader(Readiness::readable());
         pipe.cond.notify_all();
         drop(state);
+        StackCosts::charge(self.costs.io_cost(true, n));
         if let Some(stats) = &self.stats {
             stats.record_write(n);
         }
         Ok(n)
     }
 
-    /// Writes all of `data`, blocking (with short sleeps) until the peer has
-    /// buffer space and the link budget allows it.
+    /// Writes all of `data`, blocking until the peer has buffer space and
+    /// the link budget allows it.
     ///
     /// Used by client workloads; the middlebox runtime only uses the
-    /// non-blocking [`Endpoint::write`].
+    /// non-blocking [`Endpoint::write`]. Buffer-full waits block on the
+    /// pipe's wakeup (the reader notifies on every drain), and rate-limited
+    /// waits sleep for the token bucket's actual refill interval
+    /// ([`TokenBucket::next_available`]) — there are no fixed backoff
+    /// sleeps on this path.
     pub fn write_all(&self, mut data: &[u8]) -> Result<(), NetError> {
         while !data.is_empty() {
             match self.write(data) {
@@ -206,12 +241,18 @@ impl Endpoint {
                         return Err(NetError::Closed);
                     }
                     if pipe.capacity.saturating_sub(state.buf.len()) == 0 {
-                        // Wait for the reader to drain some bytes.
-                        pipe.cond.wait_for(&mut state, Duration::from_millis(1));
-                    } else {
-                        // Rate limited: back off briefly.
+                        // Wait for the reader to drain some bytes. The
+                        // timeout is only a defensive heartbeat; the
+                        // reader's notify is what normally ends the wait.
+                        pipe.cond.wait_for(&mut state, Duration::from_millis(100));
+                    } else if let Some(bucket) = &self.rate {
+                        // Rate limited: sleep until the bucket has refilled
+                        // enough tokens for (a chunk of) the remaining data.
                         drop(state);
-                        std::thread::sleep(Duration::from_micros(50));
+                        let wait = bucket.next_available(data.len());
+                        if !wait.is_zero() {
+                            std::thread::sleep(wait.min(Duration::from_millis(5)));
+                        }
                     }
                 }
                 Err(e) => return Err(e),
@@ -225,8 +266,11 @@ impl Endpoint {
     /// Returns the number of bytes read, [`NetError::WouldBlock`] when no
     /// data is buffered, or [`NetError::Closed`] once the peer has closed and
     /// all data has been drained (EOF).
+    ///
+    /// The stack cost is charged only for bytes actually moved: a
+    /// polled-but-empty connection pays nothing, so idle connections do not
+    /// distort the Kernel/Mtcp cost model.
     pub fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
-        StackCosts::charge(self.costs.io_cost(false, buf.len().min(1024)));
         let pipe = self.in_pipe();
         let mut state = pipe.state.lock();
         if state.buf.is_empty() {
@@ -240,8 +284,10 @@ impl Endpoint {
         for (i, b) in state.buf.drain(..n).enumerate() {
             buf[i] = b;
         }
+        state.wake_writer(Readiness::writable());
         pipe.cond.notify_all();
         drop(state);
+        StackCosts::charge(self.costs.io_cost(false, n));
         if let Some(stats) = &self.stats {
             stats.record_read(n);
         }
@@ -290,9 +336,74 @@ impl Endpoint {
 
     /// Returns `true` if a read would make progress (data buffered or EOF
     /// observable).
+    ///
+    /// Each call is counted in [`NetStats::readable_polls`]: the counter is
+    /// how tests prove the event-driven dispatcher performs zero endpoint
+    /// scans while a service is idle.
     pub fn readable(&self) -> bool {
+        if let Some(stats) = &self.stats {
+            stats.record_readable_poll();
+        }
         let state = self.in_pipe().state.lock();
         !state.buf.is_empty() || state.writer_closed
+    }
+
+    /// Registers this endpoint with `poller`: state transitions matching
+    /// `interest` will enqueue `token` until [`Endpoint::deregister`].
+    ///
+    /// Registration is level-triggered at the moment of the call (if the
+    /// endpoint is already readable/writable an event is queued
+    /// immediately) and edge-triggered afterwards, so a consumer that
+    /// drains to `WouldBlock` after each event never misses a wakeup.
+    ///
+    /// Each direction holds one waker slot per pipe end: registering again
+    /// (from any clone of this endpoint) replaces the previous
+    /// registration.
+    pub fn register(&self, poller: &Poller, token: Token, interest: Interest) {
+        if interest.is_readable() {
+            let pipe = self.in_pipe();
+            let mut state = pipe.state.lock();
+            state.read_waker = Some(poller.slot(token));
+            if !state.buf.is_empty() || state.writer_closed {
+                let mut readiness = Readiness::readable();
+                readiness.closed = state.writer_closed;
+                state.wake_reader(readiness);
+            }
+        }
+        if interest.is_writable() {
+            let pipe = self.out_pipe();
+            let mut state = pipe.state.lock();
+            state.write_waker = Some(poller.slot(token));
+            if pipe.capacity > state.buf.len() || state.reader_closed {
+                let mut readiness = Readiness::writable();
+                readiness.closed = state.reader_closed;
+                state.wake_writer(readiness);
+            }
+        }
+    }
+
+    /// Removes any registration this endpoint holds in `poller` (both
+    /// directions). Registrations in other pollers are left in place;
+    /// already-queued events are not retracted (consumers must tolerate
+    /// events for deregistered tokens).
+    pub fn deregister(&self, poller: &Poller) {
+        let mut state = self.in_pipe().state.lock();
+        if state
+            .read_waker
+            .as_ref()
+            .is_some_and(|w| w.belongs_to(poller))
+        {
+            state.read_waker = None;
+        }
+        drop(state);
+        let mut state = self.out_pipe().state.lock();
+        if state
+            .write_waker
+            .as_ref()
+            .is_some_and(|w| w.belongs_to(poller))
+        {
+            state.write_waker = None;
+        }
     }
 
     /// Number of bytes currently buffered for reading.
@@ -322,12 +433,16 @@ impl Endpoint {
             let pipe = self.out_pipe();
             let mut state = pipe.state.lock();
             state.writer_closed = true;
+            // The peer's reader can now observe EOF (after draining).
+            state.wake_reader(Readiness::readable().with_closed());
             pipe.cond.notify_all();
         }
         {
             let pipe = self.in_pipe();
             let mut state = pipe.state.lock();
             state.reader_closed = true;
+            // The peer's writer will fail fast from now on.
+            state.wake_writer(Readiness::writable().with_closed());
             pipe.cond.notify_all();
         }
         if let Some(stats) = &self.stats {
@@ -473,5 +588,105 @@ mod tests {
         client.close();
         client.close();
         assert!(client.is_closed());
+    }
+
+    mod readiness {
+        use super::*;
+        use crate::poller::{Interest, Poller, Token};
+
+        #[test]
+        fn write_after_register_queues_a_readable_event() {
+            let (client, server) = test_pair();
+            let poller = Poller::new();
+            server.register(&poller, Token(1), Interest::READABLE);
+            assert!(poller.wait(Duration::from_millis(5)).is_empty());
+            client.write(b"data").unwrap();
+            let events = poller.wait(Duration::from_secs(1));
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, Token(1));
+            assert!(events[0].readiness.readable);
+        }
+
+        #[test]
+        fn register_is_level_triggered_for_buffered_data() {
+            let (client, server) = test_pair();
+            client.write(b"early").unwrap();
+            let poller = Poller::new();
+            server.register(&poller, Token(2), Interest::READABLE);
+            let events = poller.wait(Duration::from_millis(50));
+            assert_eq!(events.len(), 1, "pre-buffered data must queue an event");
+            assert!(events[0].readiness.readable);
+        }
+
+        #[test]
+        fn register_after_close_still_reports_eof() {
+            let (client, server) = test_pair();
+            client.close();
+            let poller = Poller::new();
+            server.register(&poller, Token(3), Interest::READABLE);
+            let events = poller.wait(Duration::from_millis(50));
+            assert_eq!(events.len(), 1);
+            assert!(events[0].readiness.readable);
+            assert!(events[0].readiness.closed);
+        }
+
+        #[test]
+        fn close_wakes_a_registered_reader() {
+            let (client, server) = test_pair();
+            let poller = Poller::new();
+            server.register(&poller, Token(4), Interest::READABLE);
+            client.close();
+            let events = poller.wait(Duration::from_secs(1));
+            assert_eq!(events.len(), 1);
+            assert!(events[0].readiness.closed);
+        }
+
+        #[test]
+        fn deregister_stops_future_events() {
+            let (client, server) = test_pair();
+            let poller = Poller::new();
+            server.register(&poller, Token(5), Interest::READABLE);
+            server.deregister(&poller);
+            client.write(b"unseen").unwrap();
+            assert!(poller.wait(Duration::from_millis(20)).is_empty());
+        }
+
+        #[test]
+        fn deregister_only_clears_the_matching_poller() {
+            let (client, server) = test_pair();
+            let kept = Poller::new();
+            let other = Poller::new();
+            server.register(&kept, Token(6), Interest::READABLE);
+            // Deregistering a poller the endpoint is not registered with
+            // must leave the live registration alone.
+            server.deregister(&other);
+            client.write(b"still seen").unwrap();
+            assert_eq!(kept.wait(Duration::from_secs(1)).len(), 1);
+        }
+
+        #[test]
+        fn writable_interest_wakes_on_drain() {
+            let (client, server) = pair(10, StackCosts::free(), None, 8);
+            // Fill the pipe completely.
+            assert_eq!(client.write(b"01234567").unwrap(), 8);
+            let poller = Poller::new();
+            client.register(&poller, Token(7), Interest::WRITABLE);
+            // Full pipe: no writable event at registration time.
+            assert!(poller.wait(Duration::from_millis(5)).is_empty());
+            let mut buf = [0u8; 4];
+            server.read(&mut buf).unwrap();
+            let events = poller.wait(Duration::from_secs(1));
+            assert_eq!(events.len(), 1);
+            assert!(events[0].readiness.writable);
+        }
+
+        #[test]
+        fn readable_polls_are_counted() {
+            let stats = NetStats::new_shared();
+            let (_client, server) = pair(11, StackCosts::free(), Some(Arc::clone(&stats)), 64);
+            assert!(!server.readable());
+            assert!(!server.readable());
+            assert_eq!(stats.snapshot().readable_polls, 2);
+        }
     }
 }

@@ -15,7 +15,10 @@
 //! * links can be rate-limited ([`ratelimit::TokenBucket`]) to model the
 //!   1 Gbps client/back-end NICs of the testbed;
 //! * [`SimNetwork`] plays the role of the switch fabric: listeners bind to
-//!   ports and connects are routed to them.
+//!   ports and connects are routed to them;
+//! * [`poller::Poller`] is the epoll stand-in: endpoints and listeners
+//!   register wakeup slots so consumers block on readiness events instead
+//!   of re-scanning idle connections.
 //!
 //! Compute inside the middlebox is real Rust running on real threads; only
 //! the wire is synthetic.
@@ -40,6 +43,7 @@ pub mod conn;
 pub mod costs;
 pub mod error;
 pub mod listener;
+pub mod poller;
 pub mod ratelimit;
 pub mod stats;
 
@@ -47,6 +51,7 @@ pub use conn::Endpoint;
 pub use costs::{StackCosts, StackModel};
 pub use error::NetError;
 pub use listener::{SimListener, SimNetwork};
+pub use poller::{Event, Interest, Poller, Readiness, Token};
 pub use ratelimit::TokenBucket;
 pub use stats::NetStats;
 

@@ -9,6 +9,7 @@
 use crate::conn::{pair, Endpoint, DEFAULT_PIPE_CAPACITY};
 use crate::costs::{StackCosts, StackModel};
 use crate::error::NetError;
+use crate::poller::{Poller, Readiness, Token, WakerSlot};
 use crate::ratelimit::TokenBucket;
 use crate::stats::NetStats;
 use parking_lot::{Condvar, Mutex};
@@ -22,6 +23,17 @@ struct ListenerInner {
     cond: Condvar,
     closed: AtomicBool,
     port: u16,
+    /// Registered by the accepting dispatcher; woken on every new pending
+    /// connection and on close.
+    waker: Mutex<Option<WakerSlot>>,
+}
+
+impl ListenerInner {
+    fn wake(&self, readiness: Readiness) {
+        if let Some(waker) = self.waker.lock().as_ref() {
+            waker.wake(readiness);
+        }
+    }
 }
 
 /// A listening socket bound to a port of the simulated network.
@@ -93,10 +105,37 @@ impl SimListener {
         self.inner.pending.lock().len()
     }
 
+    /// Registers this listener with `poller`: every new pending connection
+    /// (and the close of the listener) enqueues `token` as a readable
+    /// event. Level-triggered at the moment of the call — an already
+    /// non-empty backlog queues an event immediately. Registering again
+    /// replaces the previous registration.
+    pub fn register(&self, poller: &Poller, token: Token) {
+        // Take the backlog lock around the slot install + level check so a
+        // concurrent connect cannot slip between them unnoticed.
+        let pending = self.inner.pending.lock();
+        *self.inner.waker.lock() = Some(poller.slot(token));
+        let closed = self.inner.closed.load(Ordering::Acquire);
+        if !pending.is_empty() || closed {
+            let mut readiness = Readiness::readable();
+            readiness.closed = closed;
+            poller.post(token, readiness);
+        }
+    }
+
+    /// Removes this listener's registration in `poller`, if any.
+    pub fn deregister(&self, poller: &Poller) {
+        let mut waker = self.inner.waker.lock();
+        if waker.as_ref().is_some_and(|w| w.belongs_to(poller)) {
+            *waker = None;
+        }
+    }
+
     /// Closes the listener; pending and future accepts fail.
     pub fn close(&self) {
         self.inner.closed.store(true, Ordering::Release);
         self.inner.cond.notify_all();
+        self.inner.wake(Readiness::readable().with_closed());
     }
 
     /// Returns `true` after the listener was closed.
@@ -166,6 +205,7 @@ impl SimNetwork {
             cond: Condvar::new(),
             closed: AtomicBool::new(false),
             port,
+            waker: Mutex::new(None),
         });
         listeners.insert(port, Arc::clone(&inner));
         Ok(SimListener {
@@ -179,6 +219,7 @@ impl SimNetwork {
         if let Some(inner) = self.listeners.lock().remove(&port) {
             inner.closed.store(true, Ordering::Release);
             inner.cond.notify_all();
+            inner.wake(Readiness::readable().with_closed());
         }
     }
 
@@ -213,6 +254,7 @@ impl SimNetwork {
             let mut queue = listener.pending.lock();
             queue.push_back(server);
             listener.cond.notify_one();
+            listener.wake(Readiness::readable());
         }
         Ok(client)
     }
@@ -318,6 +360,54 @@ mod tests {
         let start = Instant::now();
         client.write_all(&vec![0u8; 256 * 1024]).unwrap();
         assert!(start.elapsed() > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn registered_listener_gets_accept_events() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(88).unwrap();
+        let poller = Poller::new();
+        listener.register(&poller, Token(1));
+        assert!(poller.wait(Duration::from_millis(5)).is_empty());
+        let _client = net.connect(88).unwrap();
+        let events = poller.wait(Duration::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(1));
+        assert!(events[0].readiness.readable);
+        assert!(listener.try_accept().is_ok());
+    }
+
+    #[test]
+    fn register_with_existing_backlog_is_level_triggered() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(89).unwrap();
+        let _client = net.connect(89).unwrap();
+        let poller = Poller::new();
+        listener.register(&poller, Token(2));
+        assert_eq!(poller.wait(Duration::from_millis(50)).len(), 1);
+    }
+
+    #[test]
+    fn close_and_unlisten_wake_the_registration() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(90).unwrap();
+        let poller = Poller::new();
+        listener.register(&poller, Token(3));
+        net.unlisten(90);
+        let events = poller.wait(Duration::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readiness.closed);
+    }
+
+    #[test]
+    fn deregistered_listener_stays_silent() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(91).unwrap();
+        let poller = Poller::new();
+        listener.register(&poller, Token(4));
+        listener.deregister(&poller);
+        let _client = net.connect(91).unwrap();
+        assert!(poller.wait(Duration::from_millis(20)).is_empty());
     }
 
     #[test]

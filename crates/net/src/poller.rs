@@ -1,0 +1,430 @@
+//! Readiness notification: the substrate's stand-in for epoll.
+//!
+//! The paper's platform multiplexes thousands of connections through one
+//! dispatcher thread blocked in epoll. This module provides the equivalent
+//! for the simulated substrate (DESIGN.md §3, readiness model): a
+//! [`Poller`] owns a queue of ready [`Token`]s fed by *wakers* that the
+//! event sources ([`crate::Endpoint`] pipes, [`crate::SimListener`] accept
+//! queues) invoke on every state transition — bytes arriving, buffer space
+//! freed, EOF, a new pending accept. Consumers block in [`Poller::wait`]
+//! instead of re-scanning idle connections.
+//!
+//! Invariants:
+//!
+//! * **No lost wakeups.** Every state transition that could unblock a
+//!   registered consumer enqueues that registration's token, and
+//!   registration itself enqueues the token if the source is *already*
+//!   ready (level-triggered at registration, edge-triggered afterwards).
+//!   A consumer that drains its source to `WouldBlock` after each event is
+//!   therefore guaranteed to observe all data and the final EOF.
+//! * **Spurious wakeups allowed.** An event only means "worth checking":
+//!   the consumer must be prepared for the source to yield `WouldBlock`.
+//! * **Coalescing.** A token is queued at most once until delivered; the
+//!   readiness flags of coalesced events are OR-ed together.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_net::{Interest, Poller, SimNetwork, StackModel, Token};
+//! use std::time::Duration;
+//!
+//! let net = SimNetwork::new(StackModel::Free);
+//! let listener = net.listen(7000).unwrap();
+//! let client = net.connect(7000).unwrap();
+//! let server = listener.accept().unwrap();
+//!
+//! let poller = Poller::new();
+//! server.register(&poller, Token(1), Interest::READABLE);
+//!
+//! client.write(b"ping").unwrap();
+//! let events = poller.wait(Duration::from_secs(1));
+//! assert_eq!(events[0].token, Token(1));
+//! assert!(events[0].readiness.readable);
+//! ```
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies one registered event source within a [`Poller`].
+///
+/// Tokens are chosen by the consumer (the dispatcher uses them as keys into
+/// its watcher map); the poller never interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// Which transitions a registration wants to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Wake when data (or EOF) becomes available to read.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Wake when buffer space frees up (or the peer closes).
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Does this interest include readability?
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Does this interest include writability?
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// The readiness flags carried by one [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readiness {
+    /// A read would make progress (data buffered or EOF observable).
+    pub readable: bool,
+    /// A write would make progress (space available or the write would
+    /// fail fast because the peer closed).
+    pub writable: bool,
+    /// The transition involved a close (EOF, peer gone, listener closed).
+    pub closed: bool,
+}
+
+impl Readiness {
+    /// Readiness with only the `readable` flag set.
+    pub fn readable() -> Self {
+        Readiness {
+            readable: true,
+            ..Default::default()
+        }
+    }
+
+    /// Readiness with only the `writable` flag set.
+    pub fn writable() -> Self {
+        Readiness {
+            writable: true,
+            ..Default::default()
+        }
+    }
+
+    /// Marks the readiness as involving a close.
+    pub fn with_closed(mut self) -> Self {
+        self.closed = true;
+        self
+    }
+
+    fn merge(&mut self, other: Readiness) {
+        self.readable |= other.readable;
+        self.writable |= other.writable;
+        self.closed |= other.closed;
+    }
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the source was registered with.
+    pub token: Token,
+    /// OR of the readiness flags of all coalesced transitions.
+    pub readiness: Readiness,
+}
+
+struct PollState {
+    /// Delivery order of ready tokens.
+    queue: VecDeque<Token>,
+    /// Coalesced readiness per queued token; a token appears in `queue`
+    /// exactly when it has an entry here.
+    pending: HashMap<Token, Readiness>,
+    /// Manual [`Poller::wake`] calls not yet consumed by a `wait`.
+    wakeups: u64,
+}
+
+pub(crate) struct PollerInner {
+    state: Mutex<PollState>,
+    cond: Condvar,
+}
+
+impl PollerInner {
+    pub(crate) fn post(&self, token: Token, readiness: Readiness) {
+        let mut state = self.state.lock();
+        if let Some(existing) = state.pending.get_mut(&token) {
+            existing.merge(readiness);
+        } else {
+            state.pending.insert(token, readiness);
+            state.queue.push_back(token);
+        }
+        self.cond.notify_one();
+    }
+}
+
+/// A waker handle an event source holds for one registration.
+///
+/// Invoking [`WakerSlot::wake`] enqueues the registration's token; it is
+/// safe to call while holding the source's own lock (the poller uses its
+/// own, and lock ordering is always source → poller).
+#[derive(Clone)]
+pub(crate) struct WakerSlot {
+    inner: Arc<PollerInner>,
+    token: Token,
+}
+
+impl WakerSlot {
+    pub(crate) fn wake(&self, readiness: Readiness) {
+        self.inner.post(self.token, readiness);
+    }
+
+    /// `true` if this slot posts into `poller` (used by deregistration).
+    pub(crate) fn belongs_to(&self, poller: &Poller) -> bool {
+        Arc::ptr_eq(&self.inner, &poller.inner)
+    }
+}
+
+/// The readiness queue consumers block on.
+///
+/// Cheap to clone; clones share the same queue (the dispatcher thread
+/// waits, service handles clone it to [`Poller::wake`] on shutdown).
+#[derive(Clone)]
+pub struct Poller {
+    inner: Arc<PollerInner>,
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Poller::new()
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Poller")
+            .field("queued", &state.queue.len())
+            .finish()
+    }
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    pub fn new() -> Self {
+        Poller {
+            inner: Arc::new(PollerInner {
+                state: Mutex::new(PollState {
+                    queue: VecDeque::new(),
+                    pending: HashMap::new(),
+                    wakeups: 0,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Blocks until at least one event (or a manual [`Poller::wake`])
+    /// arrives, or `timeout` elapses. Returns every queued event, oldest
+    /// first; an empty vector means the wait timed out or was woken.
+    pub fn wait(&self, timeout: Duration) -> Vec<Event> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if !state.queue.is_empty() || state.wakeups > 0 {
+                state.wakeups = 0;
+                let tokens: Vec<Token> = state.queue.drain(..).collect();
+                return tokens
+                    .into_iter()
+                    .map(|token| Event {
+                        token,
+                        readiness: state.pending.remove(&token).unwrap_or_default(),
+                    })
+                    .collect();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            self.inner.cond.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Enqueues a user-generated event (the dispatcher uses this for
+    /// task-exit notifications that do not originate in the substrate).
+    pub fn post(&self, token: Token, readiness: Readiness) {
+        self.inner.post(token, readiness);
+    }
+
+    /// Unblocks a concurrent (or the next) [`Poller::wait`] without
+    /// delivering an event. Used to make shutdown prompt.
+    pub fn wake(&self) {
+        let mut state = self.inner.state.lock();
+        state.wakeups += 1;
+        self.inner.cond.notify_all();
+    }
+
+    /// Number of events currently queued (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    pub(crate) fn slot(&self, token: Token) -> WakerSlot {
+        WakerSlot {
+            inner: Arc::clone(&self.inner),
+            token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::pair;
+    use crate::costs::StackCosts;
+    use crate::error::NetError;
+
+    #[test]
+    fn post_then_wait_delivers_in_order() {
+        let poller = Poller::new();
+        poller.post(Token(1), Readiness::readable());
+        poller.post(Token(2), Readiness::writable());
+        let events = poller.wait(Duration::from_millis(10));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].token, Token(1));
+        assert!(events[0].readiness.readable && !events[0].readiness.writable);
+        assert_eq!(events[1].token, Token(2));
+        assert!(events[1].readiness.writable);
+    }
+
+    #[test]
+    fn events_for_one_token_coalesce() {
+        let poller = Poller::new();
+        poller.post(Token(7), Readiness::readable());
+        poller.post(Token(7), Readiness::writable().with_closed());
+        let events = poller.wait(Duration::from_millis(10));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readiness.readable);
+        assert!(events[0].readiness.writable);
+        assert!(events[0].readiness.closed);
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let poller = Poller::new();
+        let start = Instant::now();
+        let events = poller.wait(Duration::from_millis(20));
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wake_unblocks_wait_without_events() {
+        let poller = Poller::new();
+        let waker = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            waker.wake();
+        });
+        let start = Instant::now();
+        let events = poller.wait(Duration::from_secs(5));
+        assert!(events.is_empty());
+        assert!(start.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wake_before_wait_is_not_lost() {
+        let poller = Poller::new();
+        poller.wake();
+        let start = Instant::now();
+        assert!(poller.wait(Duration::from_secs(5)).is_empty());
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cross_thread_post_wakes_waiter() {
+        let poller = Poller::new();
+        let producer = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            producer.post(Token(3), Readiness::readable());
+        });
+        let events = poller.wait(Duration::from_secs(5));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(3));
+        handle.join().unwrap();
+    }
+
+    /// The lost-wakeup stress test of the readiness layer: N writer threads
+    /// (each racing a closer) against one `Poller::wait` consumer. Every
+    /// byte and every EOF must eventually be observed; a lost wakeup shows
+    /// up as the consumer timing out with connections still open.
+    #[test]
+    fn stress_no_lost_wakeups() {
+        const WRITERS: usize = 8;
+        const BYTES_PER_WRITER: usize = 64 * 1024;
+
+        let poller = Poller::new();
+        let mut readers = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..WRITERS {
+            let (client, server) = pair(
+                i as u64,
+                StackCosts::free(),
+                None,
+                // Small pipes force many buffer-full / buffer-drained
+                // transitions per connection.
+                4 * 1024,
+            );
+            server.register(&poller, Token(i as u64), Interest::READABLE);
+            readers.push(server);
+            handles.push(std::thread::spawn(move || {
+                let chunk = [0x5au8; 997];
+                let mut sent = 0usize;
+                while sent < BYTES_PER_WRITER {
+                    let n = (BYTES_PER_WRITER - sent).min(chunk.len());
+                    client.write_all(&chunk[..n]).expect("peer stays open");
+                    sent += n;
+                }
+                // The closer races the consumer's final reads.
+                client.close();
+            }));
+        }
+
+        let mut received = vec![0usize; WRITERS];
+        let mut eof = vec![false; WRITERS];
+        let mut buf = [0u8; 2048];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while eof.iter().any(|done| !done) {
+            assert!(
+                Instant::now() < deadline,
+                "lost wakeup: received {received:?}, eof {eof:?}"
+            );
+            for event in poller.wait(Duration::from_millis(100)) {
+                let idx = event.token.0 as usize;
+                loop {
+                    match readers[idx].read(&mut buf) {
+                        Ok(n) => received[idx] += n,
+                        Err(NetError::WouldBlock) => break,
+                        Err(NetError::Closed) => {
+                            eof[idx] = true;
+                            break;
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            handle.join().unwrap();
+            assert_eq!(received[i], BYTES_PER_WRITER, "writer {i}");
+        }
+    }
+}

@@ -67,6 +67,30 @@ impl TokenBucket {
         granted as usize
     }
 
+    /// How long until `wanted` bytes (capped at the burst size) could be
+    /// acquired at the sustained rate; [`Duration::ZERO`] if at least that
+    /// many tokens are available now.
+    ///
+    /// Rate-limited writers use this as their backoff hint: sleeping for
+    /// the actual refill interval instead of a fixed quantum means they
+    /// wake exactly when the budget exists, neither spinning nor
+    /// oversleeping.
+    pub fn next_available(&self, wanted: usize) -> Duration {
+        let mut state = self.state.lock();
+        self.refill(&mut state);
+        let target = (wanted as f64).min(self.burst).max(1.0);
+        let deficit = target - state.tokens;
+        if deficit <= 0.0 {
+            return Duration::ZERO;
+        }
+        if self.bytes_per_sec <= 0.0 {
+            // A zero-rate bucket never refills; report a bounded wait so
+            // callers stay responsive to shutdown.
+            return Duration::from_millis(5);
+        }
+        Duration::from_secs_f64(deficit / self.bytes_per_sec)
+    }
+
     /// Acquires exactly `wanted` bytes, sleeping until the budget is
     /// available. Used by (client-side) blocking writers.
     pub fn acquire_blocking(&self, wanted: usize) {
@@ -75,10 +99,12 @@ impl TokenBucket {
             let granted = self.try_acquire(remaining);
             remaining -= granted;
             if remaining > 0 {
-                // Sleep for the time it takes the bucket to refill what we need,
-                // capped so that shutdown remains responsive.
-                let wait = (remaining as f64 / self.bytes_per_sec).min(0.005);
-                std::thread::sleep(Duration::from_secs_f64(wait.max(0.00005)));
+                // Sleep for the actual refill interval, capped so that
+                // shutdown remains responsive.
+                let wait = self
+                    .next_available(remaining)
+                    .clamp(Duration::from_micros(50), Duration::from_millis(5));
+                std::thread::sleep(wait);
             }
         }
     }
@@ -122,6 +148,29 @@ mod tests {
         // 100 kB at 10 MB/s is about 10 ms.
         bucket.acquire_blocking(100 * 1024);
         assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn next_available_reports_the_refill_interval() {
+        // 1 MB/s, burst exhausted: 1000 bytes should be ~1 ms away.
+        let bucket = TokenBucket::new_bits_per_sec(8_000_000, 1000);
+        assert_eq!(bucket.try_acquire(1000), 1000);
+        let wait = bucket.next_available(1000);
+        assert!(wait > Duration::from_micros(500), "{wait:?}");
+        assert!(wait < Duration::from_millis(5), "{wait:?}");
+        // With tokens in hand the wait is zero.
+        std::thread::sleep(wait);
+        assert_eq!(bucket.next_available(500), Duration::ZERO);
+    }
+
+    #[test]
+    fn next_available_caps_the_target_at_the_burst() {
+        let bucket = TokenBucket::new_bits_per_sec(8_000, 100);
+        assert_eq!(bucket.try_acquire(100), 100);
+        // Asking for far more than the burst must not report an unbounded
+        // wait: the bucket can never hold more than `burst` tokens.
+        let wait = bucket.next_available(1_000_000);
+        assert!(wait <= Duration::from_secs_f64(100.0 / 1000.0) + Duration::from_millis(1));
     }
 
     #[test]

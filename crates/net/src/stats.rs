@@ -22,6 +22,10 @@ pub struct NetStats {
     pub read_calls: AtomicU64,
     /// Write calls issued.
     pub write_calls: AtomicU64,
+    /// `Endpoint::readable` checks issued. The poll-mode dispatcher pays
+    /// one per watched connection per tick; the event-driven dispatcher
+    /// pays none, which is what the idle-service tests assert.
+    pub readable_polls: AtomicU64,
 }
 
 impl NetStats {
@@ -52,6 +56,11 @@ impl NetStats {
         self.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    /// Records one `Endpoint::readable` poll.
+    pub fn record_readable_poll(&self) {
+        self.readable_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -61,6 +70,7 @@ impl NetStats {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             read_calls: self.read_calls.load(Ordering::Relaxed),
             write_calls: self.write_calls.load(Ordering::Relaxed),
+            readable_polls: self.readable_polls.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +90,8 @@ pub struct StatsSnapshot {
     pub read_calls: u64,
     /// Write calls issued.
     pub write_calls: u64,
+    /// `Endpoint::readable` checks issued.
+    pub readable_polls: u64,
 }
 
 impl StatsSnapshot {

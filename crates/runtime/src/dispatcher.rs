@@ -5,19 +5,66 @@
 //! indicates connection closes; the *graph dispatcher* assigns connections
 //! to task graphs, instantiating a new one when needed. Both run on one
 //! dispatcher thread per deployed service. The dispatcher also plays the
-//! role of the epoll loop: it polls the connections bound to input tasks and
-//! wakes those tasks when data (or EOF) is available.
+//! role of the epoll loop: it blocks on a [`Poller`] and wakes input tasks
+//! when their connection signals data (or EOF).
+//!
+//! Two implementations exist, selected by [`DispatcherBackend`]:
+//!
+//! * [`DispatcherBackend::Event`] (default) — a wakeup-based reactor.
+//!   Accepts, task wakeups and graph teardown are all event handlers keyed
+//!   by a [`Token`] → watcher map; between events the thread blocks in
+//!   [`Poller::wait`] and performs **zero** endpoint scans, so thousands of
+//!   idle connections cost nothing.
+//! * [`DispatcherBackend::Poll`] — the historical sleep-poll loop, kept as
+//!   the ablation baseline (`flick_bench`'s `dispatcher_backend` ablation):
+//!   sleep `poll_interval`, then linearly re-scan every watched endpoint.
 
 use crate::metrics::RuntimeMetrics;
 use crate::platform::{GraphFactory, ServiceEnv};
 use crate::scheduler::Scheduler;
 use crate::task::TaskId;
 use crate::value::SharedDict;
-use flick_net::{Endpoint, NetError, SimListener};
+use flick_net::{Endpoint, Interest, NetError, Poller, SimListener, Token};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which dispatcher implementation a platform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatcherBackend {
+    /// Wakeup-based reactor: the dispatcher blocks on readiness events and
+    /// never scans idle connections. The default.
+    #[default]
+    Event,
+    /// Sleep `poll_interval`, then re-scan every watched endpoint. Kept as
+    /// the ablation baseline for the event backend.
+    Poll,
+}
+
+impl DispatcherBackend {
+    /// Short label used in benchmark output ("event", "poll").
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatcherBackend::Event => "event",
+            DispatcherBackend::Poll => "poll",
+        }
+    }
+
+    /// Both backends, poll first (the ablation's baseline ordering).
+    pub fn all() -> [DispatcherBackend; 2] {
+        [DispatcherBackend::Poll, DispatcherBackend::Event]
+    }
+}
+
+/// How long a non-quiescent draining graph may linger before it is torn
+/// down forcibly.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// The token the service listener is registered under; watcher and graph
+/// tokens are allocated from `1` upwards.
+const LISTENER_TOKEN: Token = Token(0);
 
 /// State shared between the platform, the dispatcher thread and the service
 /// handle.
@@ -27,7 +74,14 @@ pub struct DispatcherShared {
     factory: Arc<dyn GraphFactory>,
     env: ServiceEnv,
     scheduler: Arc<Scheduler>,
+    backend: DispatcherBackend,
+    /// For the poll backend: the sleep between endpoint re-scans. For the
+    /// event backend: only a lower bound on the drain/teardown heartbeat —
+    /// the reactor blocks on events, it does not tick at this rate.
     poll_interval: Duration,
+    /// The event queue the dispatcher thread blocks on (event backend).
+    /// Also used to wake the thread promptly on `stop`.
+    poller: Poller,
     /// Connections accepted so far.
     pub connections_accepted: AtomicU64,
     /// Graph instances currently alive.
@@ -47,6 +101,7 @@ impl DispatcherShared {
         factory: Arc<dyn GraphFactory>,
         env: ServiceEnv,
         scheduler: Arc<Scheduler>,
+        backend: DispatcherBackend,
         poll_interval: Duration,
     ) -> Self {
         DispatcherShared {
@@ -55,7 +110,9 @@ impl DispatcherShared {
             factory,
             env,
             scheduler,
+            backend,
             poll_interval,
+            poller: Poller::new(),
             connections_accepted: AtomicU64::new(0),
             live_graphs: AtomicU64::new(0),
         }
@@ -69,59 +126,78 @@ struct LiveGraph {
     /// Set once every client task has finished: the graph is draining. The
     /// deadline bounds how long a non-quiescent graph may linger before it
     /// is torn down forcibly.
-    draining_until: Option<std::time::Instant>,
+    draining_until: Option<Instant>,
+}
+
+/// Accepts everything currently pending on the service listener.
+fn accept_pending(shared: &DispatcherShared, pending_clients: &mut Vec<Endpoint>) {
+    loop {
+        match shared.listener.try_accept() {
+            Ok(client) => {
+                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                pending_clients.push(client);
+            }
+            Err(NetError::WouldBlock) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Graph dispatcher: builds one graph instance over `clients`, registers
+/// its tasks with the scheduler and gives input tasks a first chance to run
+/// (data may already be waiting on the connection). Returns `None` on
+/// factory failure (the client connections are dropped, and closed by the
+/// Drop impls of whatever tasks did get built).
+fn build_graph(shared: &DispatcherShared, clients: Vec<Endpoint>) -> Option<LiveGraph> {
+    match shared.factory.build(clients, &shared.env) {
+        Ok(built) => {
+            let task_ids = built.graph.task_ids().to_vec();
+            shared.scheduler.register_graph(built.graph, &built.initial);
+            for (task, _) in &built.watchers {
+                shared.scheduler.schedule(*task);
+            }
+            shared.live_graphs.fetch_add(1, Ordering::Relaxed);
+            Some(LiveGraph {
+                task_ids,
+                client_tasks: built.client_tasks,
+                watchers: built.watchers,
+                draining_until: None,
+            })
+        }
+        Err(_) => None,
+    }
 }
 
 /// The dispatcher loop; runs on its own thread until `stop` is set.
 pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
+    match shared.backend {
+        DispatcherBackend::Event => run_event_dispatcher(shared, stop),
+        DispatcherBackend::Poll => run_poll_dispatcher(shared, stop),
+    }
+}
+
+/// The sleep-poll dispatcher: the ablation baseline. Every iteration
+/// re-scans all watched endpoints (`Endpoint::readable`) and all live
+/// graphs, then sleeps `poll_interval`.
+fn run_poll_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
     let mut pending_clients: Vec<Endpoint> = Vec::new();
     let mut graphs: Vec<LiveGraph> = Vec::new();
     let per_graph = shared.factory.connections_per_graph().max(1);
 
     while !stop.load(Ordering::Acquire) {
         // 1. Application dispatcher: accept new connections.
-        loop {
-            match shared.listener.try_accept() {
-                Ok(client) => {
-                    shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                    pending_clients.push(client);
-                }
-                Err(NetError::WouldBlock) => break,
-                Err(_) => break,
-            }
-        }
+        accept_pending(&shared, &mut pending_clients);
         // 2. Graph dispatcher: instantiate a graph once enough connections
         //    have arrived for one instance.
         while pending_clients.len() >= per_graph {
             let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
-            match shared.factory.build(clients, &shared.env) {
-                Ok(built) => {
-                    let task_ids = built.graph.task_ids().to_vec();
-                    shared.scheduler.register_graph(built.graph, &built.initial);
-                    // Give freshly created input tasks a first chance to run:
-                    // data may already be waiting on the connection.
-                    for (task, _) in &built.watchers {
-                        shared.scheduler.schedule(*task);
-                    }
-                    graphs.push(LiveGraph {
-                        task_ids,
-                        client_tasks: built.client_tasks,
-                        watchers: built.watchers,
-                        draining_until: None,
-                    });
-                    shared.live_graphs.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    // Factory failure: the client connections are dropped
-                    // (and closed by their Drop impls in the tasks that did
-                    // get built, if any).
-                }
+            if let Some(graph) = build_graph(&shared, clients) {
+                graphs.push(graph);
             }
         }
         // 3. Poll connections and wake input tasks; tear down graphs whose
         //    client connections have all finished.
         let scheduler = &shared.scheduler;
-        let metrics = scheduler.metrics();
         graphs.retain_mut(|graph| {
             graph.watchers.retain(|(task, endpoint)| {
                 if !scheduler.is_registered(*task) {
@@ -132,44 +208,7 @@ pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
                 }
                 true
             });
-            let clients_done = graph
-                .client_tasks
-                .iter()
-                .all(|task| !scheduler.is_registered(*task));
-            if !clients_done {
-                return true;
-            }
-            // The client side is gone: let the remaining tasks drain (the
-            // aggregator still has output to flush), but bound how long a
-            // graph may linger. Closing the remaining watched connections
-            // makes the graph's own input tasks observe EOF and finish.
-            let all_done = graph
-                .task_ids
-                .iter()
-                .all(|task| !scheduler.is_registered(*task));
-            if graph.draining_until.is_none() {
-                for (_task, endpoint) in &graph.watchers {
-                    endpoint.close();
-                }
-                for task in &graph.task_ids {
-                    scheduler.schedule(*task);
-                }
-                graph.draining_until = Some(std::time::Instant::now() + Duration::from_secs(2));
-            }
-            let expired = graph
-                .draining_until
-                .map(|d| std::time::Instant::now() >= d)
-                .unwrap_or(false);
-            if all_done || expired {
-                for task in &graph.task_ids {
-                    scheduler.remove(*task);
-                }
-                RuntimeMetrics::add(&metrics.graphs_destroyed, 1);
-                shared.live_graphs.fetch_sub(1, Ordering::Relaxed);
-                false
-            } else {
-                true
-            }
+            !advance_graph_lifecycle(&shared, graph)
         });
         std::thread::sleep(shared.poll_interval);
     }
@@ -178,6 +217,236 @@ pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
     for graph in graphs {
         for task in graph.task_ids {
             shared.scheduler.remove(task);
+        }
+    }
+}
+
+/// Advances one graph's drain/teardown lifecycle; shared by both
+/// dispatcher backends so the ablation compares dispatch mechanisms, not
+/// divergent drain semantics. Once every *client* task has finished the
+/// graph starts draining: the remaining watched connections are closed
+/// (their input tasks observe EOF), every task gets a final chance to
+/// flush, and a grace deadline bounds a non-quiescent graph. Returns
+/// `true` once the graph was torn down (all tasks gone, or the grace
+/// expired).
+fn advance_graph_lifecycle(shared: &DispatcherShared, graph: &mut LiveGraph) -> bool {
+    let scheduler = &shared.scheduler;
+    let clients_done = graph
+        .client_tasks
+        .iter()
+        .all(|task| !scheduler.is_registered(*task));
+    if !clients_done {
+        return false;
+    }
+    if graph.draining_until.is_none() {
+        for (_task, endpoint) in &graph.watchers {
+            endpoint.close();
+        }
+        for task in &graph.task_ids {
+            scheduler.schedule(*task);
+        }
+        graph.draining_until = Some(Instant::now() + DRAIN_GRACE);
+    }
+    let all_done = graph
+        .task_ids
+        .iter()
+        .all(|task| !scheduler.is_registered(*task));
+    let expired = graph
+        .draining_until
+        .map(|deadline| Instant::now() >= deadline)
+        .unwrap_or(false);
+    if all_done || expired {
+        for task in &graph.task_ids {
+            scheduler.remove(*task);
+        }
+        RuntimeMetrics::add(&scheduler.metrics().graphs_destroyed, 1);
+        shared.live_graphs.fetch_sub(1, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+/// Per-graph bookkeeping of the event dispatcher.
+struct EventGraph {
+    graph: LiveGraph,
+    /// The tokens this graph's watched endpoints are registered under.
+    watch_tokens: Vec<Token>,
+}
+
+/// One entry of the event dispatcher's `Token` → watcher map.
+struct Watcher {
+    graph_id: u64,
+    task: TaskId,
+    endpoint: Endpoint,
+}
+
+/// The wakeup-based reactor. The thread blocks in [`Poller::wait`]; every
+/// state transition anywhere in the service — a new pending accept, bytes
+/// arriving on a watched connection, EOF, a task exiting the scheduler —
+/// arrives as an [`flick_net::Event`] and is handled by token. An idle
+/// service performs zero endpoint scans between events.
+fn run_event_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
+    let poller = shared.poller.clone();
+    let scheduler = Arc::clone(&shared.scheduler);
+    let mut pending_clients: Vec<Endpoint> = Vec::new();
+    // Graphs are keyed by the token value their exit events post under;
+    // watcher tokens share the same allocator so the namespaces never
+    // collide.
+    let mut graphs: HashMap<u64, EventGraph> = HashMap::new();
+    let mut watch_map: HashMap<Token, Watcher> = HashMap::new();
+    // Side index of graphs currently draining (id → deadline): only these
+    // can expire, so the heartbeat never has to scan the full graph map.
+    let mut draining: HashMap<u64, Instant> = HashMap::new();
+    let mut next_token: u64 = LISTENER_TOKEN.0 + 1;
+    let per_graph = shared.factory.connections_per_graph().max(1);
+    // Accepts that raced the dispatcher start are caught by the
+    // level-triggered registration.
+    shared.listener.register(&poller, LISTENER_TOKEN);
+
+    while !stop.load(Ordering::Acquire) {
+        // Block until something happens. `poll_interval` survives only as a
+        // lower bound on the drain/teardown heartbeat: with no graph
+        // draining the reactor sleeps in long beats (woken early by any
+        // event), and with one draining it wakes at the drain deadline.
+        let now = Instant::now();
+        let timeout = draining
+            .values()
+            .min()
+            .map(|deadline| deadline.saturating_duration_since(now))
+            .unwrap_or_else(|| shared.poll_interval.max(Duration::from_millis(50)));
+        let events = poller.wait(timeout);
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+
+        let mut dirty_graphs: Vec<u64> = Vec::new();
+        for event in events {
+            if event.token == LISTENER_TOKEN {
+                accept_pending(&shared, &mut pending_clients);
+            } else if let Some(watcher) = watch_map.get(&event.token) {
+                if scheduler.is_registered(watcher.task) {
+                    scheduler.schedule(watcher.task);
+                } else {
+                    // The input task already exited; stop watching. Graph
+                    // teardown itself is driven by the task-exit events.
+                    let watcher = watch_map.remove(&event.token).expect("present");
+                    watcher.endpoint.deregister(&poller);
+                }
+            } else if graphs.contains_key(&event.token.0) {
+                // A task-exit event: re-evaluate this graph's lifecycle.
+                dirty_graphs.push(event.token.0);
+            }
+        }
+
+        // Graph dispatcher: instantiate once enough connections arrived.
+        while pending_clients.len() >= per_graph {
+            let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
+            let Some(graph) = build_graph(&shared, clients) else {
+                continue;
+            };
+            let graph_id = next_token;
+            next_token += 1;
+            let mut watch_tokens = Vec::with_capacity(graph.watchers.len());
+            for (task, endpoint) in &graph.watchers {
+                let token = Token(next_token);
+                next_token += 1;
+                // Level-triggered: data already buffered on the fresh
+                // connection posts an event immediately.
+                endpoint.register(&poller, token, Interest::READABLE);
+                watch_map.insert(
+                    token,
+                    Watcher {
+                        graph_id,
+                        task: *task,
+                        endpoint: endpoint.clone(),
+                    },
+                );
+                watch_tokens.push(token);
+            }
+            // Every task exit posts the graph's token, so client-side
+            // completion (begin draining) and full quiescence (teardown)
+            // are events, not scans.
+            for task in &graph.task_ids {
+                let exit_poller = poller.clone();
+                scheduler.watch_exit(
+                    *task,
+                    Box::new(move |_| exit_poller.post(Token(graph_id), Default::default())),
+                );
+            }
+            graphs.insert(
+                graph_id,
+                EventGraph {
+                    graph,
+                    watch_tokens,
+                },
+            );
+        }
+
+        // Re-evaluate graphs whose tasks exited, plus any whose drain
+        // deadline has passed (the heartbeat case).
+        let now = Instant::now();
+        for (id, deadline) in &draining {
+            if now >= *deadline && !dirty_graphs.contains(id) {
+                dirty_graphs.push(*id);
+            }
+        }
+        for graph_id in dirty_graphs {
+            evaluate_graph(
+                &shared,
+                &poller,
+                &mut graphs,
+                &mut watch_map,
+                &mut draining,
+                graph_id,
+            );
+        }
+    }
+
+    shared.listener.deregister(&poller);
+    shared.listener.close();
+    // Tear everything down on shutdown.
+    for (_, entry) in graphs {
+        for (_, endpoint) in &entry.graph.watchers {
+            endpoint.deregister(&poller);
+        }
+        for task in entry.graph.task_ids {
+            shared.scheduler.remove(task);
+        }
+    }
+}
+
+/// Lifecycle check for one graph of the event dispatcher, run only when a
+/// task-exit event (or the drain heartbeat) says something changed: the
+/// shared [`advance_graph_lifecycle`] decides, and this function keeps the
+/// event dispatcher's token and draining indexes consistent with it.
+fn evaluate_graph(
+    shared: &DispatcherShared,
+    poller: &Poller,
+    graphs: &mut HashMap<u64, EventGraph>,
+    watch_map: &mut HashMap<Token, Watcher>,
+    draining: &mut HashMap<u64, Instant>,
+    graph_id: u64,
+) {
+    let Some(entry) = graphs.get_mut(&graph_id) else {
+        draining.remove(&graph_id);
+        return;
+    };
+    let torn_down = advance_graph_lifecycle(shared, &mut entry.graph);
+    if !torn_down {
+        if let Some(deadline) = entry.graph.draining_until {
+            draining.insert(graph_id, deadline);
+        }
+        return;
+    }
+    // Torn down (tasks removed and counters updated by the lifecycle
+    // helper): drop the event dispatcher's own bookkeeping.
+    let entry = graphs.remove(&graph_id).expect("checked above");
+    draining.remove(&graph_id);
+    for token in &entry.watch_tokens {
+        if let Some(watcher) = watch_map.remove(token) {
+            debug_assert_eq!(watcher.graph_id, graph_id);
+            watcher.endpoint.deregister(poller);
         }
     }
 }
@@ -249,6 +518,8 @@ impl DeployedService {
     /// Stops the dispatcher and waits for its thread to exit.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // Unblock an event dispatcher parked in `Poller::wait`.
+        self.shared.poller.wake();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -428,5 +699,90 @@ mod tests {
         service.stop();
         // After stop, new connections are refused because the listener closed.
         assert!(platform.net().connect(8082).is_err());
+    }
+
+    /// The headline property of the event backend: an idle deployed service
+    /// performs zero endpoint scans between events. The dispatcher blocks
+    /// in `Poller::wait` while a connected-but-silent client sits for
+    /// 100 ms, so neither `Endpoint::readable` nor `Endpoint::read` fires.
+    #[test]
+    fn idle_service_performs_no_endpoint_scans() {
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            dispatcher: DispatcherBackend::Event,
+            ..Default::default()
+        });
+        let _service = platform
+            .deploy(ServiceSpec::new("web", 8083, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        let client = net.connect(8083).unwrap();
+        // One request/response round-trip so the graph is fully
+        // instantiated and its input task has drained to WouldBlock.
+        client
+            .write_all(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 1024];
+        client
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        // Let in-flight wakeups settle before measuring.
+        std::thread::sleep(Duration::from_millis(20));
+        let before = net.stats().snapshot();
+        std::thread::sleep(Duration::from_millis(100));
+        let after = net.stats().snapshot();
+        assert_eq!(
+            after.readable_polls, before.readable_polls,
+            "idle event dispatcher must not call Endpoint::readable"
+        );
+        assert_eq!(
+            after.read_calls, before.read_calls,
+            "idle event dispatcher must not issue reads"
+        );
+    }
+
+    /// The poll backend is kept for the dispatcher_backend ablation; it
+    /// must still serve traffic and, unlike the event backend, it *does*
+    /// scan endpoints while idle.
+    #[test]
+    fn poll_backend_still_serves_and_scans() {
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            dispatcher: DispatcherBackend::Poll,
+            ..Default::default()
+        });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8084, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        let client = net.connect(8084).unwrap();
+        client
+            .write_all(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 1024];
+        let n = client
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        assert!(n > 0);
+        let before = net.stats().snapshot();
+        std::thread::sleep(Duration::from_millis(20));
+        let after = net.stats().snapshot();
+        assert!(
+            after.readable_polls > before.readable_polls,
+            "poll dispatcher re-scans idle endpoints"
+        );
+        client.close();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.live_graphs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.live_graphs(), 0);
+    }
+
+    #[test]
+    fn backend_labels_are_stable() {
+        assert_eq!(DispatcherBackend::Event.label(), "event");
+        assert_eq!(DispatcherBackend::Poll.label(), "poll");
+        assert_eq!(DispatcherBackend::default(), DispatcherBackend::Event);
     }
 }

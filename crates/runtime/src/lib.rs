@@ -39,6 +39,7 @@ pub mod tasks;
 pub mod value;
 
 pub use channel::{ChannelConsumer, ChannelProducer, TaskChannel};
+pub use dispatcher::{DeployedService, DispatcherBackend};
 pub use error::RuntimeError;
 pub use graph::{GraphBuilder, GraphInstance, NodeId};
 pub use metrics::RuntimeMetrics;

@@ -7,7 +7,7 @@
 //! graph (one connection for the HTTP and Memcached services, all the mapper
 //! connections for the Hadoop aggregator).
 
-use crate::dispatcher::{run_dispatcher, DeployedService, DispatcherShared};
+use crate::dispatcher::{run_dispatcher, DeployedService, DispatcherBackend, DispatcherShared};
 use crate::error::RuntimeError;
 use crate::graph::{GraphInstance, TaskIdAllocator};
 use crate::metrics::RuntimeMetrics;
@@ -29,7 +29,14 @@ pub struct PlatformConfig {
     pub policy: SchedulingPolicy,
     /// Transport-stack cost model for every connection.
     pub stack: StackModel,
-    /// How often the dispatcher polls connections for readability.
+    /// Which dispatcher implementation services run (wakeup-based reactor
+    /// by default; the sleep-poll loop remains available for ablations).
+    pub dispatcher: DispatcherBackend,
+    /// For [`DispatcherBackend::Poll`]: how often the dispatcher re-scans
+    /// connections for readability. For [`DispatcherBackend::Event`] this
+    /// is demoted to a lower bound on the drain/teardown heartbeat — the
+    /// reactor blocks on events and never scans. Kept as a field so
+    /// existing call sites compile unchanged.
     pub poll_interval: Duration,
     /// Capacity of task channels created by graph factories.
     pub channel_capacity: usize,
@@ -43,6 +50,7 @@ impl Default for PlatformConfig {
             workers: 4,
             policy: SchedulingPolicy::default(),
             stack: StackModel::Free,
+            dispatcher: DispatcherBackend::default(),
             poll_interval: Duration::from_micros(50),
             channel_capacity: 1024,
             backend_pooling: false,
@@ -228,6 +236,7 @@ impl Platform {
             spec.factory,
             env,
             Arc::clone(&self.scheduler),
+            self.config.dispatcher,
             self.config.poll_interval,
         ));
         let stop = Arc::new(AtomicBool::new(false));

@@ -27,12 +27,17 @@ struct TaskSlot {
     queued: AtomicBool,
 }
 
+/// Callback invoked (once) when a task exits the scheduler — it finished,
+/// or was removed during graph teardown.
+pub type ExitWatcher = Box<dyn Fn(TaskId) + Send + Sync>;
+
 struct SchedulerInner {
     queues: Vec<WorkerQueue>,
     tasks: RwLock<HashMap<TaskId, Arc<TaskSlot>>>,
     policy: SchedulingPolicy,
     metrics: Arc<RuntimeMetrics>,
     shutdown: AtomicBool,
+    exit_watchers: Mutex<HashMap<TaskId, Vec<ExitWatcher>>>,
 }
 
 impl SchedulerInner {
@@ -100,6 +105,17 @@ impl SchedulerInner {
             TaskStatus::Idle => {}
             TaskStatus::Finished => {
                 self.tasks.write().remove(&id);
+                self.notify_exit(id);
+            }
+        }
+    }
+
+    /// Fires (and removes) the exit watchers of `id`, if any.
+    fn notify_exit(&self, id: TaskId) {
+        let watchers = self.exit_watchers.lock().remove(&id);
+        if let Some(watchers) = watchers {
+            for watcher in watchers {
+                watcher(id);
             }
         }
     }
@@ -157,6 +173,7 @@ impl Scheduler {
             policy,
             metrics,
             shutdown: AtomicBool::new(false),
+            exit_watchers: Mutex::new(HashMap::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -222,6 +239,30 @@ impl Scheduler {
     /// connection vanished).
     pub fn remove(&self, id: TaskId) {
         self.inner.tasks.write().remove(&id);
+        self.inner.notify_exit(id);
+    }
+
+    /// Registers `watcher` to run once when task `id` exits the scheduler
+    /// (finishes or is removed). If the task is already gone the watcher
+    /// fires immediately on this thread.
+    ///
+    /// This is the event-driven dispatcher's replacement for polling
+    /// [`Scheduler::is_registered`] every tick: graph teardown becomes an
+    /// event (the watcher posts to the dispatcher's poller) instead of a
+    /// scan.
+    pub fn watch_exit(&self, id: TaskId, watcher: ExitWatcher) {
+        self.inner
+            .exit_watchers
+            .lock()
+            .entry(id)
+            .or_default()
+            .push(watcher);
+        // Re-check after installing: if the task exited between the
+        // caller's decision and the insert, fire now (`notify_exit` removes
+        // the entry, so a concurrent exit cannot double-fire it).
+        if !self.is_registered(id) {
+            self.inner.notify_exit(id);
+        }
     }
 
     /// Blocks until every registered task has finished or the timeout
@@ -388,6 +429,57 @@ mod tests {
         assert!(scheduler.is_registered(TaskId(7)));
         scheduler.remove(TaskId(7));
         assert!(!scheduler.is_registered(TaskId(7)));
+    }
+
+    #[test]
+    fn watch_exit_fires_when_a_task_finishes() {
+        let scheduler =
+            Scheduler::start(2, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired2 = Arc::clone(&fired);
+        let id = TaskId(11);
+        scheduler.register(id, Box::new(SyntheticWorkTask::new("t", 10, 64, None)));
+        scheduler.watch_exit(
+            id,
+            Box::new(move |exited| {
+                assert_eq!(exited, TaskId(11));
+                fired2.store(true, Ordering::SeqCst);
+            }),
+        );
+        scheduler.schedule(id);
+        assert!(scheduler.wait_idle(Duration::from_secs(5)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while !fired.load(Ordering::SeqCst) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn watch_exit_on_unknown_task_fires_immediately() {
+        let scheduler =
+            Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired2 = Arc::clone(&fired);
+        scheduler.watch_exit(
+            TaskId(404),
+            Box::new(move |_| fired2.store(true, Ordering::SeqCst)),
+        );
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn watch_exit_fires_on_remove() {
+        let scheduler =
+            Scheduler::start(1, SchedulingPolicy::default(), RuntimeMetrics::new_shared());
+        let id = TaskId(21);
+        scheduler.register(id, Box::new(SyntheticWorkTask::new("t", 1, 1, None)));
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired2 = Arc::clone(&fired);
+        scheduler.watch_exit(id, Box::new(move |_| fired2.store(true, Ordering::SeqCst)));
+        assert!(!fired.load(Ordering::SeqCst));
+        scheduler.remove(id);
+        assert!(fired.load(Ordering::SeqCst));
     }
 
     #[test]
