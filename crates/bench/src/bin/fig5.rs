@@ -8,14 +8,24 @@
 //!
 //! Flags:
 //!
+//! * `--shards=N` — shard count for the FLICK systems (default 1, the
+//!   pre-sharding single-reactor runtime). With `N > 1` the platform runs
+//!   one scheduler pool + dispatcher + poller per shard, places graphs
+//!   round-robin and steals across shards.
 //! * `--backend=poll|event` — dispatcher backend for the FLICK systems
 //!   (default: event). Run once with each to ablate the dispatcher.
 //! * `--no-ablation` — skip the dispatcher-backend idle-connection
-//!   ablation table printed after the main figure.
+//!   ablation and the sharding-on/off ablation tables printed after the
+//!   main figure.
+//!
+//! The sharding ablation reports **per-shard** utilization (each shard's
+//! share of task executions) rather than a single aggregate, so placement
+//! imbalance — and the steal traffic correcting it — is visible directly
+//! in the table.
 
 use flick_bench::{
-    print_table, run_dispatcher_backend_ablation, run_memcached_experiment, MemcachedExperiment,
-    MemcachedSystem, Row,
+    print_table, run_dispatcher_backend_ablation, run_memcached_experiment, run_sharding_ablation,
+    MemcachedExperiment, MemcachedSystem, Row,
 };
 use flick_runtime::DispatcherBackend;
 use std::time::Duration;
@@ -31,12 +41,18 @@ fn main() {
             other => panic!("unknown dispatcher backend {other:?} (poll|event)"),
         })
         .unwrap_or_default();
+    let shards: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--shards="))
+        .map(|value| value.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1);
     let cores = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
     for &c in &cores {
         for system in MemcachedSystem::all() {
             let params = MemcachedExperiment {
                 cores: c,
+                shards,
                 clients: 48,
                 backends: 4,
                 duration: Duration::from_millis(700),
@@ -59,8 +75,10 @@ fn main() {
     }
     print_table(
         &format!(
-            "Memcached proxy vs CPU cores — Figure 5a/5b ({} dispatcher)",
-            backend.label()
+            "Memcached proxy vs CPU cores — Figure 5a/5b ({} dispatcher, {} shard{})",
+            backend.label(),
+            shards,
+            if shards == 1 { "" } else { "s" }
         ),
         &rows,
     );
@@ -69,6 +87,11 @@ fn main() {
         let rows = run_dispatcher_backend_ablation(&[64, 256], Duration::from_millis(400));
         print_table(
             "Dispatcher backend ablation — mostly-idle connections",
+            &rows,
+        );
+        let rows = run_sharding_ablation(&[1, 2, 4], Duration::from_millis(400));
+        print_table(
+            "Sharding ablation — aggregate req/s + per-shard utilization",
             &rows,
         );
     }

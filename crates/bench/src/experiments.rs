@@ -5,7 +5,9 @@ use flick_runtime::scheduler::Scheduler;
 use flick_runtime::task::TaskId;
 use flick_runtime::tasks::SyntheticWorkTask;
 use flick_runtime::RuntimeMetrics;
-use flick_runtime::{DispatcherBackend, Platform, PlatformConfig, SchedulingPolicy, ServiceSpec};
+use flick_runtime::{
+    DispatcherBackend, Platform, PlatformConfig, SchedulingPolicy, ServiceSpec, ShardStatus,
+};
 use flick_services::baselines::{ApacheLikeProxy, MoxiLikeProxy, NginxLikeProxy};
 use flick_services::hadoop::hadoop_aggregator;
 use flick_services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
@@ -189,6 +191,9 @@ impl MemcachedSystem {
 pub struct MemcachedExperiment {
     /// CPU cores (worker threads) given to the proxy.
     pub cores: usize,
+    /// Shards of the FLICK platform (1 = the pre-sharding single-reactor
+    /// runtime; ignored by the Moxi baseline).
+    pub shards: usize,
     /// Concurrent clients (128 in the paper).
     pub clients: usize,
     /// Number of Memcached back-ends (10 in the paper).
@@ -204,6 +209,7 @@ impl Default for MemcachedExperiment {
     fn default() -> Self {
         MemcachedExperiment {
             cores: 4,
+            shards: 1,
             clients: 32,
             backends: 4,
             duration: Duration::from_millis(800),
@@ -214,6 +220,17 @@ impl Default for MemcachedExperiment {
 
 /// Runs one Memcached proxy experiment point.
 pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExperiment) -> RunStats {
+    run_memcached_experiment_sharded(system, params).0
+}
+
+/// Runs one Memcached proxy experiment point and also returns the
+/// platform's per-shard status after the run (empty for the Moxi
+/// baseline, which has no shards). The status feeds the fig5 per-shard
+/// utilization table.
+pub fn run_memcached_experiment_sharded(
+    system: MemcachedSystem,
+    params: &MemcachedExperiment,
+) -> (RunStats, Vec<ShardStatus>) {
     let stack = match system {
         MemcachedSystem::FlickMtcp => StackModel::Mtcp,
         _ => StackModel::Kernel,
@@ -234,6 +251,7 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
             let platform = Platform::with_network(
                 PlatformConfig {
                     workers: params.cores,
+                    shards: params.shards.max(1),
                     stack,
                     dispatcher: params.dispatcher,
                     ..Default::default()
@@ -267,7 +285,57 @@ pub fn run_memcached_experiment(system: MemcachedSystem, params: &MemcachedExper
         getk_fraction: 1.0,
         timeout: Duration::from_secs(5),
     };
-    run_memcached_load(&net, &config)
+    let stats = run_memcached_load(&net, &config);
+    let status = _platform
+        .as_ref()
+        .map(|p| p.shard_status())
+        .unwrap_or_default();
+    (stats, status)
+}
+
+/// Runs the sharding-on/off ablation: the same Memcached workload against
+/// a single-shard platform and against each of `shard_counts`, reporting
+/// aggregate throughput plus **per-shard** utilization (each shard's share
+/// of task executions) and cross-shard steal counts — the per-shard rows
+/// make placement imbalance visible instead of hiding it in an aggregate.
+pub fn run_sharding_ablation(
+    shard_counts: &[usize],
+    duration: Duration,
+) -> Vec<crate::report::Row> {
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let params = MemcachedExperiment {
+            shards,
+            clients: 48,
+            duration,
+            ..Default::default()
+        };
+        let (stats, status) =
+            run_memcached_experiment_sharded(MemcachedSystem::FlickKernel, &params);
+        rows.push(crate::report::Row::new(
+            shards,
+            "sharded",
+            stats.requests_per_sec(),
+            "req/s",
+        ));
+        let total_runs: u64 = status.iter().map(|s| s.load.runs).sum();
+        for shard in &status {
+            rows.push(crate::report::Row::new(
+                shards,
+                format!("shard{} util", shard.shard),
+                100.0 * shard.load.runs as f64 / (total_runs.max(1)) as f64,
+                "%",
+            ));
+        }
+        let stolen: u64 = status.iter().map(|s| s.load.stolen_in).sum();
+        rows.push(crate::report::Row::new(
+            shards,
+            "steals",
+            stolen as f64,
+            "tasks",
+        ));
+    }
+    rows
 }
 
 /// Parameters of one Hadoop aggregation experiment point (Figure 6).

@@ -664,6 +664,72 @@ mod tests {
             assert_eq!(kept.wait(Duration::from_secs(1)).len(), 1);
         }
 
+        /// Registration handoff between pollers (the sharded dispatcher's
+        /// accept → place → register path, and any future graph
+        /// migration): while a writer races at full speed, the consumer
+        /// repeatedly re-registers the endpoint with a *fresh* poller and
+        /// drains through it. Because `register` installs the new waker
+        /// and performs the level-triggered check under the pipe lock, no
+        /// byte and no EOF can fall between the old and the new
+        /// registration — the stress fails by timing out if one does.
+        #[test]
+        fn handoff_between_pollers_loses_no_wakeups() {
+            const TOTAL: usize = 256 * 1024;
+            // A small pipe forces many buffer-full / drained transitions,
+            // maximising the chance of a transition racing the handoff.
+            let (client, server) = pair(77, StackCosts::free(), None, 2 * 1024);
+            let writer = std::thread::spawn(move || {
+                let chunk = [0xa5u8; 613];
+                let mut sent = 0usize;
+                while sent < TOTAL {
+                    let n = (TOTAL - sent).min(chunk.len());
+                    client.write_all(&chunk[..n]).expect("peer stays open");
+                    sent += n;
+                }
+                client.close();
+            });
+
+            let mut received = 0usize;
+            let mut eof = false;
+            let mut buf = [0u8; 1500];
+            let mut handoffs = 0u32;
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !eof {
+                assert!(
+                    Instant::now() < deadline,
+                    "lost wakeup across poller handoff: {received} of {TOTAL} \
+                     bytes after {handoffs} handoffs"
+                );
+                // Hand the registration to a brand-new poller mid-stream.
+                let poller = Poller::new();
+                server.register(&poller, Token(u64::from(handoffs)), Interest::READABLE);
+                handoffs += 1;
+                // Consume a few events through this poller, then hand off
+                // again while the writer keeps racing.
+                for _ in 0..4 {
+                    if eof {
+                        break;
+                    }
+                    for _event in poller.wait(Duration::from_millis(100)) {
+                        loop {
+                            match server.read(&mut buf) {
+                                Ok(n) => received += n,
+                                Err(NetError::WouldBlock) => break,
+                                Err(NetError::Closed) => {
+                                    eof = true;
+                                    break;
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+            writer.join().unwrap();
+            assert_eq!(received, TOTAL);
+            assert!(handoffs >= 2, "the stream must survive several handoffs");
+        }
+
         #[test]
         fn writable_interest_wakes_on_drain() {
             let (client, server) = pair(10, StackCosts::free(), None, 8);

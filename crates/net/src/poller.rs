@@ -21,6 +21,17 @@
 //!   the consumer must be prepared for the source to yield `WouldBlock`.
 //! * **Coalescing.** A token is queued at most once until delivered; the
 //!   readiness flags of coalesced events are OR-ed together.
+//! * **Handoff safety.** Re-registering a source with a different poller
+//!   (the sharded runtime's accept → place → register path) installs the
+//!   new waker and re-runs the level-triggered readiness check under the
+//!   *source's* lock, so a transition racing the handoff lands in the old
+//!   poller or the new one — never in neither. A consumer that drains to
+//!   `WouldBlock` after taking over a registration therefore observes
+//!   every byte and the final EOF, no matter how often the registration
+//!   moves (see `handoff_between_pollers_loses_no_wakeups` in the conn
+//!   tests). Events already queued in the old poller are not retracted;
+//!   stale consumers must tolerate spurious events, per the second
+//!   invariant.
 //!
 //! # Examples
 //!

@@ -1,34 +1,44 @@
-//! The application and graph dispatchers.
+//! The per-shard application and graph dispatchers.
 //!
 //! §5 of the paper: the *application dispatcher* owns the listening socket
 //! of a service, maps new connections to the service's program instance and
 //! indicates connection closes; the *graph dispatcher* assigns connections
-//! to task graphs, instantiating a new one when needed. Both run on one
-//! dispatcher thread per deployed service. The dispatcher also plays the
-//! role of the epoll loop: it blocks on a [`Poller`] and wakes input tasks
-//! when their connection signals data (or EOF).
+//! to task graphs, instantiating a new one when needed. Since the sharding
+//! refactor both run on **one dispatcher thread per shard** (not per
+//! service): a shard's dispatcher multiplexes every service homed on it
+//! plus every graph placed on it, and blocks on the shard's
+//! [`Poller`] — one reactor per shard.
+//!
+//! Graphs are *placed*: when a service's home shard has accepted enough
+//! connections for a graph instance, the platform's
+//! [`crate::shard::PlacementPolicy`] picks the shard the graph runs on.
+//! A graph placed on a remote shard is handed off through that shard's
+//! inbox ([`ShardCommand::BuildGraph`]); the client endpoints are only
+//! ever registered with the *owning* shard's poller, and registration is
+//! level-triggered, so bytes arriving during the handoff cannot be lost.
 //!
 //! Two implementations exist, selected by [`DispatcherBackend`]:
 //!
 //! * [`DispatcherBackend::Event`] (default) — a wakeup-based reactor.
-//!   Accepts, task wakeups and graph teardown are all event handlers keyed
-//!   by a [`Token`] → watcher map; between events the thread blocks in
-//!   [`Poller::wait`] and performs **zero** endpoint scans, so thousands of
-//!   idle connections cost nothing.
+//!   Accepts, task wakeups, cross-shard handoffs and graph teardown are
+//!   all event handlers keyed by a [`Token`] → watcher map; between events
+//!   the thread blocks in [`Poller::wait`] and performs **zero** endpoint
+//!   scans, so thousands of idle connections cost nothing.
 //! * [`DispatcherBackend::Poll`] — the historical sleep-poll loop, kept as
-//!   the ablation baseline (`flick_bench`'s `dispatcher_backend` ablation):
-//!   sleep `poll_interval`, then linearly re-scan every watched endpoint.
+//!   the ablation baseline (`flick_bench`'s `dispatcher_backend`
+//!   ablation): sleep `poll_interval`, then linearly re-scan every watched
+//!   endpoint.
 
 use crate::metrics::RuntimeMetrics;
 use crate::platform::{GraphFactory, ServiceEnv};
 use crate::scheduler::Scheduler;
+use crate::shard::{Shard, ShardCommand, ShardSet, CONTROL_TOKEN};
 use crate::task::TaskId;
 use crate::value::SharedDict;
 use flick_net::{Endpoint, Interest, NetError, Poller, SimListener, Token};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Which dispatcher implementation a platform runs.
@@ -62,64 +72,65 @@ impl DispatcherBackend {
 /// down forcibly.
 const DRAIN_GRACE: Duration = Duration::from_secs(2);
 
-/// The token the service listener is registered under; watcher and graph
-/// tokens are allocated from `1` upwards.
-const LISTENER_TOKEN: Token = Token(0);
-
-/// State shared between the platform, the dispatcher thread and the service
-/// handle.
-pub struct DispatcherShared {
+/// Per-service state shared between the platform, the shard dispatchers
+/// and the service handle.
+pub struct ServiceShared {
+    id: u64,
     name: String,
     listener: SimListener,
     factory: Arc<dyn GraphFactory>,
     env: ServiceEnv,
-    scheduler: Arc<Scheduler>,
-    backend: DispatcherBackend,
-    /// For the poll backend: the sleep between endpoint re-scans. For the
-    /// event backend: only a lower bound on the drain/teardown heartbeat —
-    /// the reactor blocks on events, it does not tick at this rate.
-    poll_interval: Duration,
-    /// The event queue the dispatcher thread blocks on (event backend).
-    /// Also used to wake the thread promptly on `stop`.
-    poller: Poller,
+    home_shard: usize,
+    /// Set by [`DeployedService::stop`]; every shard tears down this
+    /// service's graphs on its next control event.
+    stopped: AtomicBool,
     /// Connections accepted so far.
     pub connections_accepted: AtomicU64,
-    /// Graph instances currently alive.
+    /// Graph instances currently alive (across all shards).
     pub live_graphs: AtomicU64,
 }
 
-impl DispatcherShared {
+impl ServiceShared {
+    /// Creates the shared service state (platform-internal).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: u64,
+        name: String,
+        listener: SimListener,
+        factory: Arc<dyn GraphFactory>,
+        env: ServiceEnv,
+        home_shard: usize,
+    ) -> Self {
+        ServiceShared {
+            id,
+            name,
+            listener,
+            factory,
+            env,
+            home_shard,
+            stopped: AtomicBool::new(false),
+            connections_accepted: AtomicU64::new(0),
+            live_graphs: AtomicU64::new(0),
+        }
+    }
+
     /// The service name this dispatcher serves.
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// Creates the shared dispatcher state.
-    pub fn new(
-        name: String,
-        listener: SimListener,
-        factory: Arc<dyn GraphFactory>,
-        env: ServiceEnv,
-        scheduler: Arc<Scheduler>,
-        backend: DispatcherBackend,
-        poll_interval: Duration,
-    ) -> Self {
-        DispatcherShared {
-            name,
-            listener,
-            factory,
-            env,
-            scheduler,
-            backend,
-            poll_interval,
-            poller: Poller::new(),
-            connections_accepted: AtomicU64::new(0),
-            live_graphs: AtomicU64::new(0),
-        }
+    /// The shard the service's listener lives on.
+    pub fn home_shard(&self) -> usize {
+        self.home_shard
+    }
+
+    fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
     }
 }
 
 struct LiveGraph {
+    service: Arc<ServiceShared>,
     task_ids: Vec<TaskId>,
     client_tasks: Vec<TaskId>,
     watchers: Vec<(TaskId, Endpoint)>,
@@ -130,11 +141,11 @@ struct LiveGraph {
 }
 
 /// Accepts everything currently pending on the service listener.
-fn accept_pending(shared: &DispatcherShared, pending_clients: &mut Vec<Endpoint>) {
+fn accept_pending(service: &ServiceShared, pending_clients: &mut Vec<Endpoint>) {
     loop {
-        match shared.listener.try_accept() {
+        match service.listener.try_accept() {
             Ok(client) => {
-                shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                service.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 pending_clients.push(client);
             }
             Err(NetError::WouldBlock) => break,
@@ -143,21 +154,28 @@ fn accept_pending(shared: &DispatcherShared, pending_clients: &mut Vec<Endpoint>
     }
 }
 
-/// Graph dispatcher: builds one graph instance over `clients`, registers
-/// its tasks with the scheduler and gives input tasks a first chance to run
-/// (data may already be waiting on the connection). Returns `None` on
-/// factory failure (the client connections are dropped, and closed by the
-/// Drop impls of whatever tasks did get built).
-fn build_graph(shared: &DispatcherShared, clients: Vec<Endpoint>) -> Option<LiveGraph> {
-    match shared.factory.build(clients, &shared.env) {
+/// Graph dispatcher: builds one graph instance over `clients` on `shard`,
+/// registers its tasks with the shard's scheduler and gives input tasks a
+/// first chance to run (data may already be waiting on the connection).
+/// Returns `None` on factory failure (the client connections are dropped,
+/// and closed by the Drop impls of whatever tasks did get built).
+fn build_graph(
+    shard: &Shard,
+    service: &Arc<ServiceShared>,
+    clients: Vec<Endpoint>,
+) -> Option<LiveGraph> {
+    let scheduler = shard.scheduler();
+    match service.factory.build(clients, &service.env) {
         Ok(built) => {
             let task_ids = built.graph.task_ids().to_vec();
-            shared.scheduler.register_graph(built.graph, &built.initial);
+            scheduler.register_graph(built.graph, &built.initial);
             for (task, _) in &built.watchers {
-                shared.scheduler.schedule(*task);
+                scheduler.schedule(*task);
             }
-            shared.live_graphs.fetch_add(1, Ordering::Relaxed);
+            service.live_graphs.fetch_add(1, Ordering::Relaxed);
+            shard.note_graph_built();
             Some(LiveGraph {
+                service: Arc::clone(service),
                 task_ids,
                 client_tasks: built.client_tasks,
                 watchers: built.watchers,
@@ -168,36 +186,127 @@ fn build_graph(shared: &DispatcherShared, clients: Vec<Endpoint>) -> Option<Live
     }
 }
 
-/// The dispatcher loop; runs on its own thread until `stop` is set.
-pub fn run_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
-    match shared.backend {
-        DispatcherBackend::Event => run_event_dispatcher(shared, stop),
-        DispatcherBackend::Poll => run_poll_dispatcher(shared, stop),
+/// The dispatcher loop of one shard; runs on its own thread until the
+/// platform requests a stop.
+pub(crate) fn run_shard_dispatcher(
+    set: Arc<ShardSet>,
+    shard: Arc<Shard>,
+    backend: DispatcherBackend,
+    poll_interval: Duration,
+) {
+    match backend {
+        DispatcherBackend::Event => run_event_dispatcher(set, shard, poll_interval),
+        DispatcherBackend::Poll => run_poll_dispatcher(set, shard, poll_interval),
+    }
+}
+
+/// A service homed on this shard: its listener is registered with (or, for
+/// the poll backend, scanned by) this shard's dispatcher.
+struct HomedService {
+    shared: Arc<ServiceShared>,
+    /// Connections accepted but not yet grouped into a graph instance.
+    pending_clients: Vec<Endpoint>,
+}
+
+/// Groups `pending_clients` into graph instances and places each group:
+/// built locally if the policy picks this shard, handed off through the
+/// target shard's inbox otherwise.
+#[allow(clippy::too_many_arguments)]
+fn place_pending_graphs(
+    set: &ShardSet,
+    shard: &Arc<Shard>,
+    service: &Arc<ServiceShared>,
+    pending_clients: &mut Vec<Endpoint>,
+    mut build_local: impl FnMut(&Arc<ServiceShared>, Vec<Endpoint>),
+) {
+    let per_graph = service.factory.connections_per_graph().max(1);
+    while pending_clients.len() >= per_graph {
+        let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
+        let target = set.place();
+        if target == shard.id() {
+            build_local(service, clients);
+        } else {
+            set.send(
+                target,
+                ShardCommand::BuildGraph {
+                    service: Arc::clone(service),
+                    clients,
+                },
+            );
+        }
     }
 }
 
 /// The sleep-poll dispatcher: the ablation baseline. Every iteration
-/// re-scans all watched endpoints (`Endpoint::readable`) and all live
-/// graphs, then sleeps `poll_interval`.
-fn run_poll_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
-    let mut pending_clients: Vec<Endpoint> = Vec::new();
+/// drains the shard inbox, re-scans all watched endpoints
+/// (`Endpoint::readable`) and all live graphs, then sleeps
+/// `poll_interval`.
+fn run_poll_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Duration) {
+    let mut services: HashMap<u64, HomedService> = HashMap::new();
     let mut graphs: Vec<LiveGraph> = Vec::new();
-    let per_graph = shared.factory.connections_per_graph().max(1);
 
-    while !stop.load(Ordering::Acquire) {
-        // 1. Application dispatcher: accept new connections.
-        accept_pending(&shared, &mut pending_clients);
-        // 2. Graph dispatcher: instantiate a graph once enough connections
-        //    have arrived for one instance.
-        while pending_clients.len() >= per_graph {
-            let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
-            if let Some(graph) = build_graph(&shared, clients) {
-                graphs.push(graph);
+    while !set.stopping() {
+        // 0. Shard inbox: new services homed here, graphs handed off here.
+        for command in shard.drain_inbox() {
+            match command {
+                ShardCommand::AddService(shared) => {
+                    services.insert(
+                        shared.id,
+                        HomedService {
+                            shared,
+                            pending_clients: Vec::new(),
+                        },
+                    );
+                }
+                ShardCommand::BuildGraph { service, clients } => {
+                    if !service.stopped() {
+                        if let Some(graph) = build_graph(&shard, &service, clients) {
+                            graphs.push(graph);
+                        }
+                    }
+                }
             }
         }
+        // 1. Application dispatcher: accept new connections, then place
+        //    complete connection groups onto shards.
+        for entry in services.values_mut() {
+            if entry.shared.stopped() {
+                continue;
+            }
+            accept_pending(&entry.shared, &mut entry.pending_clients);
+            place_pending_graphs(
+                &set,
+                &shard,
+                &entry.shared,
+                &mut entry.pending_clients,
+                |service, clients| {
+                    if let Some(graph) = build_graph(&shard, service, clients) {
+                        graphs.push(graph);
+                    }
+                },
+            );
+        }
+        // 2. Stopped services: close their listeners and forcibly tear
+        //    down their graphs on this shard.
+        services.retain(|_, entry| {
+            if entry.shared.stopped() {
+                entry.shared.listener.close();
+                false
+            } else {
+                true
+            }
+        });
+        graphs.retain_mut(|graph| {
+            if graph.service.stopped() {
+                teardown_graph(shard.scheduler(), graph);
+                false
+            } else {
+                true
+            }
+        });
         // 3. Poll connections and wake input tasks; tear down graphs whose
         //    client connections have all finished.
-        let scheduler = &shared.scheduler;
+        let scheduler = shard.scheduler();
         graphs.retain_mut(|graph| {
             graph.watchers.retain(|(task, endpoint)| {
                 if !scheduler.is_registered(*task) {
@@ -208,17 +317,27 @@ fn run_poll_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
                 }
                 true
             });
-            !advance_graph_lifecycle(&shared, graph)
+            !advance_graph_lifecycle(scheduler, graph)
         });
-        std::thread::sleep(shared.poll_interval);
+        std::thread::sleep(poll_interval);
     }
-    shared.listener.close();
     // Tear everything down on shutdown.
-    for graph in graphs {
-        for task in graph.task_ids {
-            shared.scheduler.remove(task);
-        }
+    for entry in services.values() {
+        entry.shared.listener.close();
     }
+    for mut graph in graphs {
+        teardown_graph(shard.scheduler(), &mut graph);
+    }
+}
+
+/// Forcibly removes a graph's tasks (service stop or shard shutdown) and
+/// settles its counters.
+fn teardown_graph(scheduler: &Scheduler, graph: &mut LiveGraph) {
+    for task in &graph.task_ids {
+        scheduler.remove(*task);
+    }
+    RuntimeMetrics::add(&scheduler.metrics().graphs_destroyed, 1);
+    graph.service.live_graphs.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Advances one graph's drain/teardown lifecycle; shared by both
@@ -229,8 +348,7 @@ fn run_poll_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
 /// flush, and a grace deadline bounds a non-quiescent graph. Returns
 /// `true` once the graph was torn down (all tasks gone, or the grace
 /// expired).
-fn advance_graph_lifecycle(shared: &DispatcherShared, graph: &mut LiveGraph) -> bool {
-    let scheduler = &shared.scheduler;
+fn advance_graph_lifecycle(scheduler: &Scheduler, graph: &mut LiveGraph) -> bool {
     let clients_done = graph
         .client_tasks
         .iter()
@@ -260,7 +378,7 @@ fn advance_graph_lifecycle(shared: &DispatcherShared, graph: &mut LiveGraph) -> 
             scheduler.remove(*task);
         }
         RuntimeMetrics::add(&scheduler.metrics().graphs_destroyed, 1);
-        shared.live_graphs.fetch_sub(1, Ordering::Relaxed);
+        graph.service.live_graphs.fetch_sub(1, Ordering::Relaxed);
         true
     } else {
         false
@@ -281,138 +399,240 @@ struct Watcher {
     endpoint: Endpoint,
 }
 
-/// The wakeup-based reactor. The thread blocks in [`Poller::wait`]; every
-/// state transition anywhere in the service — a new pending accept, bytes
-/// arriving on a watched connection, EOF, a task exiting the scheduler —
-/// arrives as an [`flick_net::Event`] and is handled by token. An idle
-/// service performs zero endpoint scans between events.
-fn run_event_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
-    let poller = shared.poller.clone();
-    let scheduler = Arc::clone(&shared.scheduler);
-    let mut pending_clients: Vec<Endpoint> = Vec::new();
-    // Graphs are keyed by the token value their exit events post under;
-    // watcher tokens share the same allocator so the namespaces never
-    // collide.
-    let mut graphs: HashMap<u64, EventGraph> = HashMap::new();
-    let mut watch_map: HashMap<Token, Watcher> = HashMap::new();
-    // Side index of graphs currently draining (id → deadline): only these
-    // can expire, so the heartbeat never has to scan the full graph map.
-    let mut draining: HashMap<u64, Instant> = HashMap::new();
-    let mut next_token: u64 = LISTENER_TOKEN.0 + 1;
-    let per_graph = shared.factory.connections_per_graph().max(1);
-    // Accepts that raced the dispatcher start are caught by the
-    // level-triggered registration.
-    shared.listener.register(&poller, LISTENER_TOKEN);
+/// The mutable state of one shard's event reactor.
+struct EventState {
+    /// Services homed on this shard, keyed by listener token.
+    services: HashMap<Token, HomedService>,
+    /// Graphs owned by this shard, keyed by the token value their exit
+    /// events post under; watcher tokens share the same allocator so the
+    /// namespaces never collide.
+    graphs: HashMap<u64, EventGraph>,
+    watch_map: HashMap<Token, Watcher>,
+    /// Side index of graphs currently draining (id → deadline): only these
+    /// can expire, so the heartbeat never has to scan the full graph map.
+    draining: HashMap<u64, Instant>,
+    next_token: u64,
+}
 
-    while !stop.load(Ordering::Acquire) {
+impl EventState {
+    fn alloc_token(&mut self) -> Token {
+        let token = Token(self.next_token);
+        self.next_token += 1;
+        token
+    }
+}
+
+/// Builds a graph on this shard and wires it into the reactor: watched
+/// endpoints are registered with this shard's poller (level-triggered, so
+/// data buffered during a cross-shard handoff posts an event immediately)
+/// and every task exit posts the graph's token.
+fn build_and_track_graph(
+    shard: &Arc<Shard>,
+    poller: &Poller,
+    state: &mut EventState,
+    service: &Arc<ServiceShared>,
+    clients: Vec<Endpoint>,
+) {
+    let Some(graph) = build_graph(shard, service, clients) else {
+        return;
+    };
+    let scheduler = shard.scheduler();
+    let graph_id = state.alloc_token().0;
+    let mut watch_tokens = Vec::with_capacity(graph.watchers.len());
+    for (task, endpoint) in &graph.watchers {
+        let token = state.alloc_token();
+        endpoint.register(poller, token, Interest::READABLE);
+        state.watch_map.insert(
+            token,
+            Watcher {
+                graph_id,
+                task: *task,
+                endpoint: endpoint.clone(),
+            },
+        );
+        watch_tokens.push(token);
+    }
+    // Every task exit posts the graph's token, so client-side completion
+    // (begin draining) and full quiescence (teardown) are events, not
+    // scans.
+    for task in &graph.task_ids {
+        let exit_poller = poller.clone();
+        scheduler.watch_exit(
+            *task,
+            Box::new(move |_| exit_poller.post(Token(graph_id), Default::default())),
+        );
+    }
+    state.graphs.insert(
+        graph_id,
+        EventGraph {
+            graph,
+            watch_tokens,
+        },
+    );
+}
+
+/// The wakeup-based reactor of one shard. The thread blocks in
+/// [`Poller::wait`]; every state transition anywhere on the shard — a new
+/// pending accept, bytes arriving on a watched connection, EOF, a task
+/// exiting the scheduler, a command from another shard — arrives as an
+/// [`flick_net::Event`] and is handled by token. An idle shard performs
+/// zero endpoint scans between events.
+fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Duration) {
+    let poller = shard.poller().clone();
+    let scheduler = Arc::clone(shard.scheduler());
+    let mut state = EventState {
+        services: HashMap::new(),
+        graphs: HashMap::new(),
+        watch_map: HashMap::new(),
+        draining: HashMap::new(),
+        next_token: CONTROL_TOKEN.0 + 1,
+    };
+
+    while !set.stopping() {
         // Block until something happens. `poll_interval` survives only as a
         // lower bound on the drain/teardown heartbeat: with no graph
         // draining the reactor sleeps in long beats (woken early by any
         // event), and with one draining it wakes at the drain deadline.
         let now = Instant::now();
-        let timeout = draining
+        let timeout = state
+            .draining
             .values()
             .min()
             .map(|deadline| deadline.saturating_duration_since(now))
-            .unwrap_or_else(|| shared.poll_interval.max(Duration::from_millis(50)));
+            .unwrap_or_else(|| poll_interval.max(Duration::from_millis(50)));
         let events = poller.wait(timeout);
-        if stop.load(Ordering::Acquire) {
+        if set.stopping() {
             break;
         }
 
+        // Shard inbox first: a BuildGraph handoff may concern endpoints
+        // whose readiness events are already queued behind it.
+        let mut sweep = false;
+        for command in shard.drain_inbox() {
+            match command {
+                ShardCommand::AddService(shared) => {
+                    let token = state.alloc_token();
+                    // Level-triggered: accepts that raced the deploy are
+                    // caught by the registration itself.
+                    shared.listener.register(&poller, token);
+                    state.services.insert(
+                        token,
+                        HomedService {
+                            shared,
+                            pending_clients: Vec::new(),
+                        },
+                    );
+                }
+                ShardCommand::BuildGraph { service, clients } => {
+                    if !service.stopped() {
+                        build_and_track_graph(&shard, &poller, &mut state, &service, clients);
+                    }
+                }
+            }
+        }
+
         let mut dirty_graphs: Vec<u64> = Vec::new();
+        let mut accepted_any = false;
         for event in events {
-            if event.token == LISTENER_TOKEN {
-                accept_pending(&shared, &mut pending_clients);
-            } else if let Some(watcher) = watch_map.get(&event.token) {
+            if event.token == CONTROL_TOKEN {
+                // Inbox already drained above; a control event may also
+                // announce a service stop.
+                sweep = true;
+            } else if let Some(entry) = state.services.get_mut(&event.token) {
+                accept_pending(&entry.shared, &mut entry.pending_clients);
+                accepted_any = true;
+                if event.readiness.closed || entry.shared.stopped() {
+                    sweep = true;
+                }
+            } else if let Some(watcher) = state.watch_map.get(&event.token) {
                 if scheduler.is_registered(watcher.task) {
                     scheduler.schedule(watcher.task);
                 } else {
                     // The input task already exited; stop watching. Graph
                     // teardown itself is driven by the task-exit events.
-                    let watcher = watch_map.remove(&event.token).expect("present");
+                    let watcher = state.watch_map.remove(&event.token).expect("present");
                     watcher.endpoint.deregister(&poller);
                 }
-            } else if graphs.contains_key(&event.token.0) {
+            } else if state.graphs.contains_key(&event.token.0) {
                 // A task-exit event: re-evaluate this graph's lifecycle.
                 dirty_graphs.push(event.token.0);
             }
         }
 
-        // Graph dispatcher: instantiate once enough connections arrived.
-        while pending_clients.len() >= per_graph {
-            let clients: Vec<Endpoint> = pending_clients.drain(..per_graph).collect();
-            let Some(graph) = build_graph(&shared, clients) else {
-                continue;
-            };
-            let graph_id = next_token;
-            next_token += 1;
-            let mut watch_tokens = Vec::with_capacity(graph.watchers.len());
-            for (task, endpoint) in &graph.watchers {
-                let token = Token(next_token);
-                next_token += 1;
-                // Level-triggered: data already buffered on the fresh
-                // connection posts an event immediately.
-                endpoint.register(&poller, token, Interest::READABLE);
-                watch_map.insert(
-                    token,
-                    Watcher {
-                        graph_id,
-                        task: *task,
-                        endpoint: endpoint.clone(),
-                    },
-                );
-                watch_tokens.push(token);
+        // Graph dispatcher: place complete connection groups.
+        if accepted_any {
+            let tokens: Vec<Token> = state.services.keys().copied().collect();
+            for token in tokens {
+                let entry = state.services.get_mut(&token).expect("present");
+                if entry.shared.stopped() || entry.pending_clients.is_empty() {
+                    continue;
+                }
+                let shared = Arc::clone(&entry.shared);
+                let mut pending = std::mem::take(&mut entry.pending_clients);
+                place_pending_graphs(&set, &shard, &shared, &mut pending, |service, clients| {
+                    build_and_track_graph(&shard, &poller, &mut state, service, clients);
+                });
+                state
+                    .services
+                    .get_mut(&token)
+                    .expect("present")
+                    .pending_clients = pending;
             }
-            // Every task exit posts the graph's token, so client-side
-            // completion (begin draining) and full quiescence (teardown)
-            // are events, not scans.
-            for task in &graph.task_ids {
-                let exit_poller = poller.clone();
-                scheduler.watch_exit(
-                    *task,
-                    Box::new(move |_| exit_poller.post(Token(graph_id), Default::default())),
-                );
+        }
+
+        // Service stop sweep: drop stopped services homed here and tear
+        // down their graphs owned here.
+        if sweep {
+            state.services.retain(|_, entry| {
+                if entry.shared.stopped() {
+                    entry.shared.listener.deregister(&poller);
+                    entry.shared.listener.close();
+                    false
+                } else {
+                    true
+                }
+            });
+            let stopped: Vec<u64> = state
+                .graphs
+                .iter()
+                .filter(|(_, entry)| entry.graph.service.stopped())
+                .map(|(id, _)| *id)
+                .collect();
+            for graph_id in stopped {
+                let mut entry = state.graphs.remove(&graph_id).expect("collected above");
+                state.draining.remove(&graph_id);
+                for token in &entry.watch_tokens {
+                    if let Some(watcher) = state.watch_map.remove(token) {
+                        watcher.endpoint.deregister(&poller);
+                    }
+                }
+                teardown_graph(&scheduler, &mut entry.graph);
             }
-            graphs.insert(
-                graph_id,
-                EventGraph {
-                    graph,
-                    watch_tokens,
-                },
-            );
         }
 
         // Re-evaluate graphs whose tasks exited, plus any whose drain
         // deadline has passed (the heartbeat case).
         let now = Instant::now();
-        for (id, deadline) in &draining {
+        for (id, deadline) in &state.draining {
             if now >= *deadline && !dirty_graphs.contains(id) {
                 dirty_graphs.push(*id);
             }
         }
         for graph_id in dirty_graphs {
-            evaluate_graph(
-                &shared,
-                &poller,
-                &mut graphs,
-                &mut watch_map,
-                &mut draining,
-                graph_id,
-            );
+            evaluate_graph(&scheduler, &poller, &mut state, graph_id);
         }
     }
 
-    shared.listener.deregister(&poller);
-    shared.listener.close();
     // Tear everything down on shutdown.
-    for (_, entry) in graphs {
+    for entry in state.services.values() {
+        entry.shared.listener.deregister(&poller);
+        entry.shared.listener.close();
+    }
+    for (_, mut entry) in state.graphs {
         for (_, endpoint) in &entry.graph.watchers {
             endpoint.deregister(&poller);
         }
-        for task in entry.graph.task_ids {
-            shared.scheduler.remove(task);
-        }
+        teardown_graph(&scheduler, &mut entry.graph);
     }
 }
 
@@ -420,84 +640,78 @@ fn run_event_dispatcher(shared: Arc<DispatcherShared>, stop: Arc<AtomicBool>) {
 /// task-exit event (or the drain heartbeat) says something changed: the
 /// shared [`advance_graph_lifecycle`] decides, and this function keeps the
 /// event dispatcher's token and draining indexes consistent with it.
-fn evaluate_graph(
-    shared: &DispatcherShared,
-    poller: &Poller,
-    graphs: &mut HashMap<u64, EventGraph>,
-    watch_map: &mut HashMap<Token, Watcher>,
-    draining: &mut HashMap<u64, Instant>,
-    graph_id: u64,
-) {
-    let Some(entry) = graphs.get_mut(&graph_id) else {
-        draining.remove(&graph_id);
+fn evaluate_graph(scheduler: &Scheduler, poller: &Poller, state: &mut EventState, graph_id: u64) {
+    let Some(entry) = state.graphs.get_mut(&graph_id) else {
+        state.draining.remove(&graph_id);
         return;
     };
-    let torn_down = advance_graph_lifecycle(shared, &mut entry.graph);
+    let torn_down = advance_graph_lifecycle(scheduler, &mut entry.graph);
     if !torn_down {
         if let Some(deadline) = entry.graph.draining_until {
-            draining.insert(graph_id, deadline);
+            state.draining.insert(graph_id, deadline);
         }
         return;
     }
     // Torn down (tasks removed and counters updated by the lifecycle
     // helper): drop the event dispatcher's own bookkeeping.
-    let entry = graphs.remove(&graph_id).expect("checked above");
-    draining.remove(&graph_id);
+    let entry = state.graphs.remove(&graph_id).expect("checked above");
+    state.draining.remove(&graph_id);
     for token in &entry.watch_tokens {
-        if let Some(watcher) = watch_map.remove(token) {
+        if let Some(watcher) = state.watch_map.remove(token) {
             debug_assert_eq!(watcher.graph_id, graph_id);
             watcher.endpoint.deregister(poller);
         }
     }
 }
 
-/// Handle to a deployed service; stopping it terminates its dispatcher.
+/// Handle to a deployed service; stopping it tears the service down on
+/// every shard.
 pub struct DeployedService {
-    name: String,
     port: u16,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
     globals: SharedDict,
-    shared: Arc<DispatcherShared>,
+    shared: Arc<ServiceShared>,
+    set: Arc<ShardSet>,
 }
 
 impl std::fmt::Debug for DeployedService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DeployedService")
-            .field("name", &self.name)
+            .field("name", &self.shared.name)
             .field("port", &self.port)
+            .field("home_shard", &self.shared.home_shard)
             .finish()
     }
 }
 
 impl DeployedService {
     /// Creates the handle (platform-internal).
-    pub fn new(
-        name: String,
+    pub(crate) fn new(
         port: u16,
-        stop: Arc<AtomicBool>,
-        handle: JoinHandle<()>,
         globals: SharedDict,
-        shared: Arc<DispatcherShared>,
+        shared: Arc<ServiceShared>,
+        set: Arc<ShardSet>,
     ) -> Self {
         DeployedService {
-            name,
             port,
-            stop,
-            handle: Some(handle),
             globals,
             shared,
+            set,
         }
     }
 
     /// The service name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.shared.name
     }
 
     /// The port the service listens on.
     pub fn port(&self) -> u16 {
         self.port
+    }
+
+    /// The shard the service's listener is homed on.
+    pub fn home_shard(&self) -> usize {
+        self.shared.home_shard
     }
 
     /// The FLICK `global` shared dictionary of this service.
@@ -510,19 +724,18 @@ impl DeployedService {
         self.shared.connections_accepted.load(Ordering::Relaxed)
     }
 
-    /// Number of task-graph instances currently alive.
+    /// Number of task-graph instances currently alive (across all shards).
     pub fn live_graphs(&self) -> u64 {
         self.shared.live_graphs.load(Ordering::Relaxed)
     }
 
-    /// Stops the dispatcher and waits for its thread to exit.
+    /// Stops the service: closes its listener immediately (new connections
+    /// are refused from this call on) and asks every shard to tear down
+    /// the service's graphs on its next control event.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Unblock an event dispatcher parked in `Poller::wait`.
-        self.shared.poller.wake();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.shared.stopped.store(true, Ordering::Release);
+        self.shared.listener.close();
+        self.set.post_control_all();
     }
 }
 
@@ -690,6 +903,48 @@ mod tests {
         assert_eq!(service.live_graphs(), 0);
     }
 
+    /// The same connection fan as above, but over many shards: graphs are
+    /// placed round-robin, served correctly, and torn down no matter which
+    /// shard owns them.
+    #[test]
+    fn connections_are_served_across_shards() {
+        let platform = Platform::new(PlatformConfig {
+            workers: 4,
+            shards: 4,
+            ..Default::default()
+        });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8085, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        let clients: Vec<_> = (0..8).map(|_| net.connect(8085).unwrap()).collect();
+        for (i, c) in clients.iter().enumerate() {
+            c.write_all(format!("GET /{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+        }
+        for c in &clients {
+            let mut buf = [0u8; 1024];
+            let n = c.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+            assert!(n > 0);
+        }
+        // With 8 graphs over 4 round-robin shards, every shard built some.
+        let status = platform.shard_status();
+        assert_eq!(status.len(), 4);
+        assert!(
+            status.iter().all(|s| s.graphs_built >= 1),
+            "round-robin placement must reach every shard: {status:?}"
+        );
+        for c in &clients {
+            c.close();
+        }
+        drop(clients);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.live_graphs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.live_graphs(), 0);
+    }
+
     #[test]
     fn stop_terminates_the_dispatcher_and_unbinds_nothing_else() {
         let platform = Platform::new(PlatformConfig::default());
@@ -777,6 +1032,30 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(service.live_graphs(), 0);
+    }
+
+    #[test]
+    fn poll_backend_serves_across_shards() {
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            shards: 2,
+            dispatcher: DispatcherBackend::Poll,
+            ..Default::default()
+        });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8086, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        let clients: Vec<_> = (0..4).map(|_| net.connect(8086).unwrap()).collect();
+        for c in &clients {
+            c.write_all(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut buf = [0u8; 1024];
+            let n = c.read_timeout(&mut buf, Duration::from_secs(5)).unwrap();
+            assert!(n > 0);
+        }
+        assert_eq!(service.connections_accepted(), 4);
+        let status = platform.shard_status();
+        assert!(status.iter().all(|s| s.graphs_built >= 1), "{status:?}");
     }
 
     #[test]

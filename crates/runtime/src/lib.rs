@@ -15,11 +15,15 @@
 //!   output (serialise), and a synthetic source used by micro-benchmarks;
 //! * [`graph`] — task-graph assembly and instances;
 //! * [`scheduler`] — the worker-thread pool with per-worker FIFO queues,
-//!   work scavenging and the timeslice discipline;
-//! * [`dispatcher`] — the application dispatcher (connection → program
-//!   instance) and graph dispatcher (connection → task graph);
+//!   work scavenging, the timeslice discipline, and the cross-shard
+//!   [`scheduler::steal`] path;
+//! * [`shard`] — per-core shards (scheduler pool + dispatcher + poller)
+//!   and the pluggable [`shard::PlacementPolicy`] that distributes task
+//!   graphs over them;
+//! * [`dispatcher`] — the per-shard application dispatcher (connection →
+//!   program instance) and graph dispatcher (connection → task graph);
 //! * [`platform`] — the top-level [`platform::Platform`] that ties the
-//!   scheduler, the network substrate and deployed services together;
+//!   shards, the network substrate and deployed services together;
 //! * [`pool`] — pre-allocated backend-connection and buffer pools.
 //!
 //! Services are described by implementing [`platform::GraphFactory`] (done
@@ -34,6 +38,7 @@ pub mod metrics;
 pub mod platform;
 pub mod pool;
 pub mod scheduler;
+pub mod shard;
 pub mod task;
 pub mod tasks;
 pub mod value;
@@ -43,8 +48,13 @@ pub use dispatcher::{DeployedService, DispatcherBackend};
 pub use error::RuntimeError;
 pub use graph::{GraphBuilder, GraphInstance, NodeId};
 pub use metrics::RuntimeMetrics;
-pub use platform::{GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec};
-pub use scheduler::Scheduler;
+pub use platform::{
+    default_shard_count, GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec,
+};
+pub use scheduler::{Scheduler, ShardLoad, StealGroup};
+pub use shard::{
+    LeastLoadedPlacement, Placement, PlacementPolicy, RoundRobinPlacement, Shard, ShardStatus,
+};
 pub use task::{SchedulingPolicy, Task, TaskContext, TaskId, TaskStatus};
 pub use tasks::{ComputeLogic, ComputeTask, InputTask, OutputTask, Outputs, SourceTask};
 pub use value::{SharedDict, Value};

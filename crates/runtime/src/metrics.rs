@@ -25,6 +25,9 @@ pub struct RuntimeMetrics {
     pub graphs_destroyed: AtomicU64,
     /// Tasks stolen from another worker's queue ("scavenged").
     pub tasks_scavenged: AtomicU64,
+    /// Tasks stolen *across shard boundaries*: an idle shard's worker
+    /// executed a runnable task belonging to a sibling shard's scheduler.
+    pub tasks_stolen: AtomicU64,
 }
 
 impl RuntimeMetrics {
@@ -54,6 +57,7 @@ impl RuntimeMetrics {
             graphs_created: Self::get(&self.graphs_created),
             graphs_destroyed: Self::get(&self.graphs_destroyed),
             tasks_scavenged: Self::get(&self.tasks_scavenged),
+            tasks_stolen: Self::get(&self.tasks_stolen),
         }
     }
 }
@@ -77,6 +81,8 @@ pub struct MetricsSnapshot {
     pub graphs_destroyed: u64,
     /// Tasks scavenged from other workers.
     pub tasks_scavenged: u64,
+    /// Tasks stolen across shard boundaries.
+    pub tasks_stolen: u64,
 }
 
 #[cfg(test)]

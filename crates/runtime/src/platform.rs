@@ -1,35 +1,60 @@
-//! The FLICK platform: scheduler + substrate + deployed services.
+//! The FLICK platform: sharded schedulers + substrate + deployed services.
 //!
-//! A [`Platform`] owns the worker-thread [`Scheduler`], the simulated
-//! network, and the global task-id allocator. Services are deployed from a
-//! [`ServiceSpec`]; the spec's [`GraphFactory`] is invoked by the dispatcher
-//! whenever enough client connections have arrived to instantiate a new task
-//! graph (one connection for the HTTP and Memcached services, all the mapper
-//! connections for the Hadoop aggregator).
+//! A [`Platform`] owns one [`crate::shard::Shard`] per configured core —
+//! each with its own scheduler pool, dispatcher thread and poller — the
+//! simulated network, and the global task-id allocator. Services are
+//! deployed from a [`ServiceSpec`]; the spec's [`GraphFactory`] is invoked
+//! by a shard dispatcher whenever enough client connections have arrived
+//! to instantiate a new task graph (one connection for the HTTP and
+//! Memcached services, all the mapper connections for the Hadoop
+//! aggregator). Which shard a graph lands on is decided by the configured
+//! [`Placement`] policy; idle shards additionally steal runnable tasks
+//! from loaded ones through the scheduler's
+//! [`steal`](crate::scheduler::steal) path.
 
-use crate::dispatcher::{run_dispatcher, DeployedService, DispatcherBackend, DispatcherShared};
+use crate::dispatcher::{run_shard_dispatcher, DeployedService, DispatcherBackend, ServiceShared};
 use crate::error::RuntimeError;
 use crate::graph::{GraphInstance, TaskIdAllocator};
 use crate::metrics::RuntimeMetrics;
 use crate::pool::BackendPool;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, StealGroup};
+use crate::shard::{Placement, Shard, ShardCommand, ShardSet, ShardStatus};
 use crate::task::{SchedulingPolicy, TaskId};
 use crate::value::SharedDict;
 use flick_net::{Endpoint, SimNetwork, StackModel};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The default shard count: one per available core, as the paper sizes its
+/// runtime ("the number of worker threads matches the number of cores").
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Configuration of a [`Platform`].
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
-    /// Number of worker threads (the paper uses one per CPU core).
+    /// Total worker threads, split across the shards (each shard keeps at
+    /// least one; when the shard count divides into `workers` the split is
+    /// exact, so the cores axis of the figure experiments stays honest).
     pub workers: usize,
+    /// Number of shards (per-core scheduler + dispatcher + poller units).
+    /// `0` (the default) means *auto*: one shard per available core, but
+    /// never more shards than `workers` — a platform asked for 2 workers
+    /// on a 16-core host runs 2 shards of 1 worker, not 16. See
+    /// [`PlatformConfig::resolved_shards`].
+    pub shards: usize,
+    /// How new task graphs are placed onto shards.
+    pub placement: Placement,
     /// Scheduling policy (cooperative with a 10–100 µs timeslice by default).
     pub policy: SchedulingPolicy,
     /// Transport-stack cost model for every connection.
     pub stack: StackModel,
-    /// Which dispatcher implementation services run (wakeup-based reactor
+    /// Which dispatcher implementation shards run (wakeup-based reactor
     /// by default; the sleep-poll loop remains available for ablations).
     pub dispatcher: DispatcherBackend,
     /// For [`DispatcherBackend::Poll`]: how often the dispatcher re-scans
@@ -48,6 +73,8 @@ impl Default for PlatformConfig {
     fn default() -> Self {
         PlatformConfig {
             workers: 4,
+            shards: 0,
+            placement: Placement::default(),
             policy: SchedulingPolicy::default(),
             stack: StackModel::Free,
             dispatcher: DispatcherBackend::default(),
@@ -66,6 +93,29 @@ impl PlatformConfig {
             stack,
             ..Default::default()
         }
+    }
+
+    /// The shard count this configuration resolves to: the explicit value
+    /// if non-zero, otherwise one shard per available core capped at the
+    /// worker count (so the configured `workers` total is always honoured
+    /// exactly under the auto default).
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            default_shard_count().min(self.workers.max(1))
+        } else {
+            self.shards
+        }
+    }
+
+    /// Worker threads of shard `shard` under this configuration: `workers`
+    /// split across the shards with the remainder going to the lowest
+    /// shards, floor one per shard. The per-shard counts sum to `workers`
+    /// whenever the resolved shard count does not exceed it.
+    pub fn workers_for_shard(&self, shard: usize) -> usize {
+        let shards = self.resolved_shards();
+        let base = self.workers / shards;
+        let extra = usize::from(shard < self.workers % shards);
+        (base + extra).max(1)
     }
 }
 
@@ -156,8 +206,11 @@ impl ServiceSpec {
 /// The running FLICK platform.
 pub struct Platform {
     net: Arc<SimNetwork>,
-    scheduler: Arc<Scheduler>,
     allocator: Arc<TaskIdAllocator>,
+    metrics: Arc<RuntimeMetrics>,
+    set: Arc<ShardSet>,
+    dispatchers: Vec<JoinHandle<()>>,
+    next_service: AtomicU64,
     config: PlatformConfig,
 }
 
@@ -165,6 +218,7 @@ impl std::fmt::Debug for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Platform")
             .field("config", &self.config)
+            .field("shards", &self.set.len())
             .finish()
     }
 }
@@ -180,11 +234,42 @@ impl Platform {
     /// generators and back-end servers share the same fabric).
     pub fn with_network(config: PlatformConfig, net: Arc<SimNetwork>) -> Self {
         let metrics = RuntimeMetrics::new_shared();
-        let scheduler = Arc::new(Scheduler::start(config.workers, config.policy, metrics));
+        let shard_count = config.resolved_shards();
+        let group = StealGroup::new();
+        let shards: Vec<Arc<Shard>> = (0..shard_count)
+            .map(|id| {
+                let scheduler = Arc::new(Scheduler::start_sharded(
+                    config.workers_for_shard(id),
+                    config.policy,
+                    Arc::clone(&metrics),
+                    &group,
+                    id,
+                ));
+                Arc::new(Shard::new(id, scheduler))
+            })
+            .collect();
+        let set = ShardSet::new(shards, config.placement.build());
+        let dispatchers = set
+            .shards()
+            .iter()
+            .map(|shard| {
+                let set = Arc::clone(&set);
+                let shard = Arc::clone(shard);
+                let backend = config.dispatcher;
+                let poll_interval = config.poll_interval;
+                std::thread::Builder::new()
+                    .name(format!("flick-dispatch-{}", shard.id()))
+                    .spawn(move || run_shard_dispatcher(set, shard, backend, poll_interval))
+                    .expect("spawning a shard dispatcher thread")
+            })
+            .collect();
         Platform {
             net,
-            scheduler,
             allocator: Arc::new(TaskIdAllocator::new()),
+            metrics,
+            set,
+            dispatchers,
+            next_service: AtomicU64::new(0),
             config,
         }
     }
@@ -194,14 +279,15 @@ impl Platform {
         Arc::clone(&self.net)
     }
 
-    /// The task scheduler.
+    /// The scheduler of shard 0 (kept for single-shard callers and tests;
+    /// multi-shard introspection goes through [`Platform::shard_status`]).
     pub fn scheduler(&self) -> Arc<Scheduler> {
-        Arc::clone(&self.scheduler)
+        Arc::clone(self.set.shards()[0].scheduler())
     }
 
-    /// The runtime metrics.
+    /// The platform-wide runtime metrics (shared by every shard).
     pub fn metrics(&self) -> Arc<RuntimeMetrics> {
-        self.scheduler.metrics()
+        Arc::clone(&self.metrics)
     }
 
     /// The platform configuration.
@@ -209,12 +295,43 @@ impl Platform {
         &self.config
     }
 
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Per-shard status: graphs built, scheduler load and steal counters.
+    /// One entry per shard, in shard order — the source of the fig5
+    /// per-shard utilization table.
+    pub fn shard_status(&self) -> Vec<ShardStatus> {
+        self.set
+            .shards()
+            .iter()
+            .map(|shard| ShardStatus {
+                shard: shard.id(),
+                graphs_built: shard.graphs_built(),
+                load: shard.scheduler().load(),
+            })
+            .collect()
+    }
+
+    /// Total registered tasks across every shard.
+    pub fn task_count(&self) -> usize {
+        self.set
+            .shards()
+            .iter()
+            .map(|shard| shard.scheduler().task_count())
+            .sum()
+    }
+
     /// The global task-id allocator.
     pub fn allocator(&self) -> Arc<TaskIdAllocator> {
         Arc::clone(&self.allocator)
     }
 
-    /// Deploys a service: binds its port and starts its dispatcher thread.
+    /// Deploys a service: binds its port, homes its listener on a shard
+    /// and starts accepting. Task graphs instantiated for the service are
+    /// placed across shards by the configured [`Placement`] policy.
     pub fn deploy(&self, spec: ServiceSpec) -> Result<DeployedService, RuntimeError> {
         let listener = self.net.listen(spec.port)?;
         let globals = SharedDict::new();
@@ -230,25 +347,35 @@ impl Platform {
             allocator: Arc::clone(&self.allocator),
             channel_capacity: self.config.channel_capacity,
         };
-        let shared = Arc::new(DispatcherShared::new(
+        let id = self.next_service.fetch_add(1, Ordering::Relaxed);
+        // Listeners rotate over the shards so multiple services do not all
+        // funnel their accept paths through shard 0.
+        let home_shard = (id as usize) % self.set.len();
+        let shared = Arc::new(ServiceShared::new(
+            id,
             spec.name.clone(),
             listener,
             spec.factory,
             env,
-            Arc::clone(&self.scheduler),
-            self.config.dispatcher,
-            self.config.poll_interval,
+            home_shard,
         ));
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_shared = Arc::clone(&shared);
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name(format!("flick-dispatch-{}", spec.name))
-            .spawn(move || run_dispatcher(thread_shared, thread_stop))
-            .map_err(|e| RuntimeError::Config(format!("could not spawn dispatcher: {e}")))?;
+        self.set
+            .send(home_shard, ShardCommand::AddService(Arc::clone(&shared)));
         Ok(DeployedService::new(
-            spec.name, spec.port, stop, handle, globals, shared,
+            spec.port,
+            globals,
+            shared,
+            Arc::clone(&self.set),
         ))
+    }
+}
+
+impl Drop for Platform {
+    fn drop(&mut self) {
+        self.set.request_stop();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -262,6 +389,9 @@ mod tests {
         assert_eq!(platform.config().workers, 4);
         assert_eq!(platform.net().model(), StackModel::Free);
         assert_eq!(platform.scheduler().task_count(), 0);
+        assert_eq!(platform.task_count(), 0);
+        assert!(platform.shard_count() >= 1);
+        assert_eq!(platform.shard_status().len(), platform.shard_count());
         let id_a = platform.allocator().allocate();
         let id_b = platform.allocator().allocate();
         assert_ne!(id_a, id_b);
@@ -295,5 +425,81 @@ mod tests {
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.stack, StackModel::Mtcp);
         assert!(!cfg.backend_pooling);
+    }
+
+    #[test]
+    fn workers_split_across_shards_with_a_floor_of_one() {
+        let cfg = PlatformConfig {
+            workers: 8,
+            shards: 4,
+            ..Default::default()
+        };
+        assert_eq!(cfg.resolved_shards(), 4);
+        assert!((0..4).all(|i| cfg.workers_for_shard(i) == 2));
+        // Remainders go to the lowest shards; the total stays exact.
+        let cfg = PlatformConfig {
+            workers: 5,
+            shards: 4,
+            ..Default::default()
+        };
+        let split: Vec<usize> = (0..4).map(|i| cfg.workers_for_shard(i)).collect();
+        assert_eq!(split, vec![2, 1, 1, 1]);
+        // More shards than workers: floor of one worker per shard.
+        let cfg = PlatformConfig {
+            workers: 2,
+            shards: 8,
+            ..Default::default()
+        };
+        assert!((0..8).all(|i| cfg.workers_for_shard(i) == 1));
+    }
+
+    #[test]
+    fn auto_sharding_never_exceeds_the_worker_budget() {
+        // The auto default (shards == 0) caps the shard count at the
+        // worker count, so the configured total worker threads is always
+        // honoured exactly — the cores axis of fig4/fig6 stays valid on
+        // any host.
+        for workers in 1..6 {
+            let cfg = PlatformConfig {
+                workers,
+                ..Default::default()
+            };
+            let shards = cfg.resolved_shards();
+            assert!(shards >= 1 && shards <= workers);
+            let total: usize = (0..shards).map(|i| cfg.workers_for_shard(i)).sum();
+            assert_eq!(total, workers, "auto split must preserve the budget");
+        }
+    }
+
+    #[test]
+    fn services_home_shards_rotate() {
+        let platform = Platform::new(PlatformConfig {
+            shards: 2,
+            ..Default::default()
+        });
+
+        struct NeverFactory;
+        impl GraphFactory for NeverFactory {
+            fn build(
+                &self,
+                _clients: Vec<Endpoint>,
+                _env: &ServiceEnv,
+            ) -> Result<BuiltGraph, RuntimeError> {
+                Err(RuntimeError::Config("not used in this test".into()))
+            }
+        }
+
+        let a = platform
+            .deploy(ServiceSpec::new("a", 4301, Arc::new(NeverFactory)))
+            .unwrap();
+        let b = platform
+            .deploy(ServiceSpec::new("b", 4302, Arc::new(NeverFactory)))
+            .unwrap();
+        let c = platform
+            .deploy(ServiceSpec::new("c", 4303, Arc::new(NeverFactory)))
+            .unwrap();
+        assert_eq!(a.home_shard(), 0);
+        assert_eq!(b.home_shard(), 1);
+        assert_eq!(c.home_shard(), 0);
     }
 }

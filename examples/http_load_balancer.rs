@@ -1,8 +1,14 @@
 //! The HTTP load balancer use case: ten backend web servers behind the FLICK
 //! middlebox, driven by a closed-loop client fleet.
 //!
+//! The platform runs sharded: one scheduler pool + dispatcher + poller per
+//! shard, connection graphs placed round-robin, idle shards stealing
+//! runnable tasks across shard boundaries. The run report prints the
+//! per-shard utilization and steal counters next to the throughput.
+//!
 //! Run with: `cargo run --example http_load_balancer`
 
+use flick::runtime_crate::Placement;
 use flick::services::http::HttpLoadBalancerFactory;
 use flick::{Platform, PlatformConfig, ServiceSpec};
 use flick_workload::backends::start_http_backend;
@@ -12,6 +18,8 @@ use std::time::Duration;
 fn main() {
     let platform = Platform::new(PlatformConfig {
         workers: 4,
+        shards: 2,
+        placement: Placement::RoundRobin,
         ..Default::default()
     });
     let net = platform.net();
@@ -46,4 +54,14 @@ fn main() {
     );
     let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
     println!("per-backend request counts (hash distribution): {served:?}");
+    for status in platform.shard_status() {
+        println!(
+            "shard {}: {} graphs, {} task runs, stolen in/out {}/{}",
+            status.shard,
+            status.graphs_built,
+            status.load.runs,
+            status.load.stolen_in,
+            status.load.stolen_out
+        );
+    }
 }

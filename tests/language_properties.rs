@@ -1,7 +1,53 @@
 //! Property-based tests over the FLICK front end and the grammar engine.
 
 use flick::grammar::{hadoop, memcached, ParseOutcome, WireCodec};
+use flick::lang::ast::{Block, Stmt};
+use flick::lang::types::Type;
 use proptest::prelude::*;
+
+/// Counts statements of one construct kind anywhere in a block.
+fn count_stmts(block: &Block, pred: &dyn Fn(&Stmt) -> bool) -> usize {
+    let mut count = 0;
+    for stmt in &block.stmts {
+        if pred(stmt) {
+            count += 1;
+        }
+        match stmt {
+            Stmt::If { then, els, .. } => {
+                count += count_stmts(then, pred);
+                if let Some(els) = els {
+                    count += count_stmts(els, pred);
+                }
+            }
+            Stmt::For { body, .. } => {
+                count += count_stmts(body, pred);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Renders a chain of `depth` nested `if`/`else` statements, each arm one
+/// indentation level deeper (the FLICK lexer is indentation-aware, so this
+/// also exercises deep indent tracking).
+fn nested_if_source(depth: usize) -> String {
+    let mut src = String::from("fun f: (x: integer) -> (integer)\n");
+    for level in 0..depth {
+        let ind = "  ".repeat(level + 1);
+        src.push_str(&format!("{ind}if x > {level}:\n"));
+        if level + 1 == depth {
+            src.push_str(&format!("{ind}  x + {depth}\n"));
+        }
+    }
+    // Close every level with an else arm, innermost first.
+    for level in (0..depth).rev() {
+        let ind = "  ".repeat(level + 1);
+        src.push_str(&format!("{ind}else:\n"));
+        src.push_str(&format!("{ind}  x - {level}\n"));
+    }
+    src
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -65,6 +111,43 @@ proptest! {
     #[test]
     fn parser_never_panics(src in "[ -~\n]{0,200}") {
         let _ = flick::lang::parse(&src);
+    }
+
+    /// Construct coverage: `if`/`else` (Stmt::If). Arbitrarily deep
+    /// nested conditionals parse, preserve their nesting depth in the
+    /// AST, and type-check to the integer every arm produces.
+    #[test]
+    fn nested_if_else_typechecks_at_any_depth(depth in 1usize..9) {
+        let src = nested_if_source(depth);
+        let parsed = flick::lang::parse(&src).expect("nested if parses");
+        let ifs = count_stmts(
+            &parsed.functions[0].body,
+            &|stmt| matches!(stmt, Stmt::If { .. }),
+        );
+        prop_assert_eq!(ifs, depth, "source:\n{}", src);
+        let typed = flick::lang::compile_to_ast(&src).expect("nested if type-checks");
+        prop_assert_eq!(&typed.function("f").unwrap().ret, &Type::Int);
+    }
+
+    /// Construct coverage: `for` loops (Stmt::For). A function with any
+    /// number of bounded loops over a list parameter parses with the
+    /// right loop count and type-checks (the loop variable is bound to
+    /// the element type, the final `len` call returns an integer).
+    #[test]
+    fn for_loops_over_lists_typecheck(loops in 1usize..7) {
+        let mut src = String::from("fun f: (xs: [integer]) -> (integer)\n");
+        for i in 0..loops {
+            src.push_str(&format!("  for x{i} in xs:\n    let y{i} = x{i} + 1\n"));
+        }
+        src.push_str("  len(xs)\n");
+        let parsed = flick::lang::parse(&src).expect("for loops parse");
+        let fors = count_stmts(
+            &parsed.functions[0].body,
+            &|stmt| matches!(stmt, Stmt::For { .. }),
+        );
+        prop_assert_eq!(fors, loops, "source:\n{}", src);
+        let typed = flick::lang::compile_to_ast(&src).expect("for loops type-check");
+        prop_assert_eq!(&typed.function("f").unwrap().ret, &Type::Int);
     }
 
     /// Valid programs with a varying number of fields type-check, and the
