@@ -8,17 +8,22 @@
 //! * the sharding ablation (fig5 with `--shards 1` vs `--shards 2`) — the
 //!   sharded-runtime acceptance gate;
 //! * the fig4 runner (FLICK HTTP load balancer, kernel stack) and the
-//!   fig6 runner (Hadoop aggregation throughput), at reduced scale.
+//!   fig6 runner (Hadoop aggregation throughput), at reduced scale;
+//! * the e2e loopback TCP point (static web service on a real OS socket,
+//!   driven by the blocking loopback client pool) — the OS-transport
+//!   acceptance gate.
 //!
 //! Two kinds of checks:
 //!
 //! * **Machine-independent ratios**, computed within this run: the event
-//!   backend must not lose to the poll backend, and the sharded runtime
-//!   must not lose to the single-shard runtime (small tolerance for
+//!   backend must not lose to the poll backend, the sharded runtime must
+//!   not lose to the single-shard runtime (small tolerance for
 //!   single-core hosts, where sharding has no parallel headroom to
-//!   exploit and the expected ratio is ~1.0 rather than >1). The sharded
-//!   run must also show balanced per-shard utilization and live steal
-//!   traffic — the structural claims of the sharding PR.
+//!   exploit and the expected ratio is ~1.0 rather than >1), and the
+//!   real-socket service must stay within a bounded overhead of its
+//!   simulated twin (the tcp/sim ratio). The sharded run must also show
+//!   balanced per-shard utilization and live steal traffic — the
+//!   structural claims of the sharding PR.
 //! * **Absolute baselines** with a generous 30% floor (CI machines are
 //!   noisy): any `req/s` or `Mbps` series dropping below 70% of its
 //!   recorded baseline fails.
@@ -34,7 +39,8 @@
 use flick_bench::report::{print_table, rows_from_json, rows_to_json, Row};
 use flick_bench::{
     run_dispatcher_backend_ablation, run_hadoop_experiment, run_http_experiment,
-    run_sharding_ablation, HadoopExperiment, HttpExperiment, HttpSystem,
+    run_sharding_ablation, run_tcp_loopback_experiment, HadoopExperiment, HttpExperiment,
+    HttpSystem, TcpLoopbackExperiment, TcpLoopbackResult,
 };
 use std::time::Duration;
 
@@ -47,6 +53,14 @@ const REGRESSION_FLOOR: f64 = 0.70;
 /// parallel headroom and the requirement degrades to "sharding must not
 /// cost throughput" with a small noise allowance.
 const SHARDING_RATIO_FLOOR: f64 = 0.95;
+
+/// The tcp-vs-sim ratio floor: the service on a real kernel socket must
+/// not fall below this fraction of its simulated twin (kernel cost model)
+/// within the same run. Loopback measurements put the ratio around
+/// 0.8–0.9; the floor leaves generous headroom for loaded CI hosts while
+/// still catching a broken OS transport (a lost-wakeup stall or an
+/// accidental poll regression collapses the ratio to near zero).
+const TCP_SIM_RATIO_FLOOR: f64 = 0.25;
 
 fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/benches/baseline.json")
@@ -94,6 +108,35 @@ fn main() {
     rows.extend(sharding.iter().cloned());
     rows.push(run_fig4_point());
     rows.push(run_fig6_point());
+    // The e2e loopback TCP point: two passes, best-of-two everywhere
+    // (real sockets on a loaded CI host are noisier than the simulated
+    // substrate — both the ratio gate and the absolute baseline rows use
+    // the better pass so a single noisy interval cannot fail CI).
+    let tcp_params = TcpLoopbackExperiment {
+        concurrency: 16,
+        duration: Duration::from_millis(400),
+        workers: 4,
+    };
+    let tcp_first = run_tcp_loopback_experiment(&tcp_params);
+    let tcp_second = run_tcp_loopback_experiment(&tcp_params);
+    rows.push(Row::new(
+        tcp_params.concurrency,
+        "tcp loopback",
+        tcp_first
+            .tcp
+            .requests_per_sec()
+            .max(tcp_second.tcp.requests_per_sec()),
+        "req/s",
+    ));
+    rows.push(Row::new(
+        tcp_params.concurrency,
+        "tcp sim twin",
+        tcp_first
+            .sim
+            .requests_per_sec()
+            .max(tcp_second.sim.requests_per_sec()),
+        "req/s",
+    ));
     print_table("Bench guard (current run)", &rows);
 
     if record {
@@ -202,6 +245,29 @@ fn main() {
         Err(failure) => failures.push(failure),
     }
 
+    // Machine-independent gate 3: the OS transport vs its simulated twin,
+    // same platform, same workload shape, within this run (best-of-two).
+    let tcp_best = [&tcp_first, &tcp_second]
+        .into_iter()
+        .max_by(|a, b| {
+            let ratio = |r: &TcpLoopbackResult| {
+                r.tcp.requests_per_sec() / r.sim.requests_per_sec().max(1e-9)
+            };
+            ratio(a).total_cmp(&ratio(b))
+        })
+        .expect("two passes");
+    let tcp_ratio = tcp_best.tcp.requests_per_sec() / tcp_best.sim.requests_per_sec().max(1e-9);
+    if tcp_ratio < TCP_SIM_RATIO_FLOOR {
+        failures.push(format!(
+            "real-socket service lost to its simulated twin: ratio {tcp_ratio:.2} \
+             (floor {TCP_SIM_RATIO_FLOOR}; tcp {:.0} vs sim {:.0} req/s)",
+            tcp_best.tcp.requests_per_sec(),
+            tcp_best.sim.requests_per_sec()
+        ));
+    } else {
+        println!("ok: tcp/sim loopback ratio {tcp_ratio:.2} (floor {TCP_SIM_RATIO_FLOOR})");
+    }
+
     // Absolute baselines, 30% floor, for every throughput series.
     for expected in baseline
         .iter()
@@ -245,5 +311,5 @@ fn main() {
         .iter()
         .filter(|row| row.unit == "req/s" || row.unit == "Mbps")
         .count();
-    println!("bench guard passed ({checked} absolute series + 2 ratio gates checked)");
+    println!("bench guard passed ({checked} absolute series + 3 ratio gates checked)");
 }

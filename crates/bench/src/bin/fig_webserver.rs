@@ -6,12 +6,65 @@
 //! Paper reference points (16-core testbed): peak ~306 krps (FLICK kernel),
 //! ~380 krps (FLICK mTCP), ~159 krps (Apache), ~217 krps (Nginx) with
 //! persistent connections; ~45/193/35/44 krps non-persistent.
+//!
+//! `--tcp` switches to the OS transport: the same static web service is
+//! deployed on a real loopback socket (`Platform::deploy_tcp`) next to its
+//! simulated twin, driven by the blocking real-socket client pool, and the
+//! table reports both series plus the tcp/sim ratio per concurrency.
 
 use flick_bench::{print_table, Row};
-use flick_bench::{run_http_experiment, HttpExperiment, HttpSystem};
+use flick_bench::{
+    run_http_experiment, run_tcp_loopback_experiment, HttpExperiment, HttpSystem,
+    TcpLoopbackExperiment,
+};
 use std::time::Duration;
 
+/// The `--tcp` mode: real kernel sockets versus the simulated kernel cost
+/// model, same platform, increasing client fleets.
+fn run_tcp_mode() {
+    let mut rows = Vec::new();
+    for concurrency in [4usize, 16, 32] {
+        let result = run_tcp_loopback_experiment(&TcpLoopbackExperiment {
+            concurrency,
+            duration: Duration::from_millis(500),
+            workers: 4,
+        });
+        rows.push(Row::new(
+            concurrency,
+            "FLICK tcp",
+            result.tcp.requests_per_sec(),
+            "req/s",
+        ));
+        rows.push(Row::new(
+            concurrency,
+            "FLICK tcp latency",
+            result.tcp.latency.mean.as_secs_f64() * 1000.0,
+            "ms",
+        ));
+        rows.push(Row::new(
+            concurrency,
+            "FLICK sim",
+            result.sim.requests_per_sec(),
+            "req/s",
+        ));
+        rows.push(Row::new(
+            concurrency,
+            "tcp/sim ratio",
+            result.tcp.requests_per_sec() / result.sim.requests_per_sec().max(1e-9),
+            "x",
+        ));
+    }
+    print_table(
+        "Static web server over real loopback TCP vs the simulated substrate",
+        &rows,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--tcp") {
+        run_tcp_mode();
+        return;
+    }
     let concurrencies = [16usize, 32, 64, 128];
     for persistent in [true, false] {
         let mut rows = Vec::new();

@@ -16,6 +16,7 @@ use flick_workload::backends::{start_http_backend, start_memcached_backend, star
 use flick_workload::hadoop::{run_hadoop_mappers, wait_for_quiescence, HadoopLoadConfig};
 use flick_workload::http::{run_http_load, HttpLoadConfig};
 use flick_workload::memcached::{run_memcached_load, MemcachedLoadConfig};
+use flick_workload::tcp::{run_tcp_http_load, TcpHttpLoadConfig};
 use flick_workload::RunStats;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -529,6 +530,92 @@ pub fn run_dispatcher_backend_ablation(
     rows
 }
 
+/// Parameters of the e2e loopback TCP experiment: the same static web
+/// service deployed twice on one platform — once on a real OS socket
+/// (`deploy_tcp`, driven by the blocking loopback client pool) and once on
+/// the simulated substrate with the calibrated kernel cost model (driven
+/// by the in-process fleet). The pair yields a machine-independent
+/// tcp-vs-sim ratio: real kernel sockets against the modelled kernel
+/// stack, same dispatcher, same graphs, same worker budget.
+#[derive(Debug, Clone)]
+pub struct TcpLoopbackExperiment {
+    /// Concurrent client connections per run.
+    pub concurrency: usize,
+    /// Measurement duration per run.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+}
+
+impl Default for TcpLoopbackExperiment {
+    fn default() -> Self {
+        TcpLoopbackExperiment {
+            concurrency: 16,
+            duration: Duration::from_millis(400),
+            workers: 4,
+        }
+    }
+}
+
+/// The outcome of one e2e loopback experiment.
+#[derive(Debug, Clone)]
+pub struct TcpLoopbackResult {
+    /// Stats of the real-socket run.
+    pub tcp: RunStats,
+    /// Stats of the simulated-substrate run (kernel cost model).
+    pub sim: RunStats,
+}
+
+/// Runs the e2e loopback TCP point: request → kernel socket → event
+/// dispatcher → parse → task graph → reply, plus the simulated twin for
+/// the within-run ratio gate in `bench_guard`.
+pub fn run_tcp_loopback_experiment(params: &TcpLoopbackExperiment) -> TcpLoopbackResult {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: params.workers,
+            stack: StackModel::Kernel,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    let body = &[b'x'; 137][..];
+    let tcp_service = platform
+        .deploy_tcp(
+            ServiceSpec::new("tcp-web", 0, StaticWebServerFactory::new(body)),
+            "127.0.0.1:0",
+        )
+        .expect("deploy loopback TCP service");
+    let _sim_service = platform
+        .deploy(ServiceSpec::new(
+            "sim-web",
+            8080,
+            StaticWebServerFactory::new(body),
+        ))
+        .expect("deploy simulated twin");
+
+    let tcp = run_tcp_http_load(
+        &format!("127.0.0.1:{}", tcp_service.port()),
+        &TcpHttpLoadConfig {
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    let sim = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: 8080,
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    TcpLoopbackResult { tcp, sim }
+}
+
 /// The result of the §6.4 resource-sharing micro-benchmark (Figure 7).
 #[derive(Debug, Clone, Copy)]
 pub struct SharingResult {
@@ -692,6 +779,18 @@ mod tests {
             result.readable_polls, 0,
             "event dispatcher must not poll endpoints"
         );
+    }
+
+    #[test]
+    fn tcp_loopback_experiment_smoke() {
+        let params = TcpLoopbackExperiment {
+            concurrency: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+        };
+        let result = run_tcp_loopback_experiment(&params);
+        assert!(result.tcp.completed > 0, "tcp: {:?}", result.tcp);
+        assert!(result.sim.completed > 0, "sim: {:?}", result.sim);
     }
 
     #[test]

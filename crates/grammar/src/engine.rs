@@ -4,9 +4,22 @@
 //! messages of any binary format expressible in the grammar model. It is the
 //! reproduction of the code the FLICK compiler generates from Spicy-style
 //! grammars: incremental (a partial buffer yields
-//! [`ParseOutcome::Incomplete`]), allocation-light (bytes are sliced from the
-//! input via [`bytes::Bytes`], not copied), and projection-aware (fields the
-//! program never accesses are skipped).
+//! [`ParseOutcome::Incomplete`]), allocation-light, and projection-aware
+//! (fields the program never accesses are skipped).
+//!
+//! Parsing runs in two phases. A **scan** walks the grammar computing field
+//! offsets and integer values only — an incomplete buffer returns without a
+//! single byte copied. **Materialisation** then binds the message to the
+//! wire bytes exactly once: through [`GrammarCodec::parse_bytes`] the raw
+//! bytes are a zero-copy [`Bytes`] slice of the caller's buffer, and
+//! through the borrowed-slice [`WireCodec::parse`] they are copied once.
+//! Required byte fields are `Bytes` slices *of that raw buffer* (no second
+//! copy); string fields are UTF-8 validated and copied (a `String` must own
+//! its bytes); and fields outside the projection are never copied into the
+//! message at all — they exist only as a sub-range of the shared raw
+//! buffer, which pass-through serialisation emits verbatim. This is what
+//! makes projection pay off at multi-KB body sizes (see the
+//! `projection_multikb` bench group).
 
 use crate::error::GrammarError;
 use crate::message::{Message, MsgValue};
@@ -65,21 +78,20 @@ impl GrammarCodec {
             }
         }
     }
-}
 
-impl WireCodec for GrammarCodec {
-    fn name(&self) -> &str {
-        &self.grammar.name
-    }
-
-    fn parse(
-        &self,
+    /// Phase 1: walks the grammar over `buf`, evaluating variables and
+    /// integer fields (cheap, and length expressions may depend on them)
+    /// and recording the byte range of every *required* byte/string field.
+    /// No payload byte is copied; an incomplete buffer costs only the walk.
+    fn scan<'g>(
+        &'g self,
         buf: &[u8],
         projection: Option<&Projection>,
-    ) -> Result<ParseOutcome, GrammarError> {
+    ) -> Result<Scan<'g>, GrammarError> {
         let unit = &self.grammar.name;
         let mut env: HashMap<String, u64> = HashMap::new();
         let mut message = Message::with_capacity(unit.clone(), self.grammar.items.len());
+        let mut spans: Vec<FieldSpan<'g>> = Vec::new();
         let mut offset = 0usize;
         for item in &self.grammar.items {
             match item {
@@ -97,7 +109,7 @@ impl WireCodec for GrammarCodec {
                         FieldKind::UInt { width } | FieldKind::Int { width } => {
                             let width = *width as usize;
                             if buf.len() < offset + width {
-                                return Ok(ParseOutcome::Incomplete {
+                                return Ok(Scan::Incomplete {
                                     needed: offset + width - buf.len(),
                                 });
                             }
@@ -122,21 +134,17 @@ impl WireCodec for GrammarCodec {
                         FieldKind::Bytes { length } | FieldKind::Str { length } => {
                             let len = length.eval(&env, unit)? as usize;
                             if buf.len() < offset + len {
-                                return Ok(ParseOutcome::Incomplete {
+                                return Ok(Scan::Incomplete {
                                     needed: offset + len - buf.len(),
                                 });
                             }
                             if required {
-                                let slice = &buf[offset..offset + len];
-                                let value = if matches!(kind, FieldKind::Str { .. }) {
-                                    match std::str::from_utf8(slice) {
-                                        Ok(s) => MsgValue::Str(s.to_string()),
-                                        Err(_) => MsgValue::Bytes(Bytes::copy_from_slice(slice)),
-                                    }
-                                } else {
-                                    MsgValue::Bytes(Bytes::copy_from_slice(slice))
-                                };
-                                message.set_parsed(name.clone(), value);
+                                spans.push(FieldSpan {
+                                    name,
+                                    start: offset,
+                                    end: offset + len,
+                                    text: matches!(kind, FieldKind::Str { .. }),
+                                });
                             }
                             if !name.is_empty() {
                                 env.insert(format!("len({name})"), len as u64);
@@ -147,11 +155,120 @@ impl WireCodec for GrammarCodec {
                 }
             }
         }
-        message.set_raw(Bytes::copy_from_slice(&buf[..offset]));
-        Ok(ParseOutcome::Complete {
+        Ok(Scan::Complete {
             message,
+            spans,
             consumed: offset,
         })
+    }
+
+    /// Phase 2: binds the scanned message to its wire bytes. `raw` must be
+    /// the first `consumed` bytes of the scanned buffer; required byte
+    /// fields become zero-copy slices of it, string fields are UTF-8
+    /// validated and copied into owned `String`s.
+    fn materialize(mut message: Message, spans: Vec<FieldSpan<'_>>, raw: Bytes) -> Message {
+        for span in spans {
+            let slice = raw.slice(span.start..span.end);
+            let value = if span.text {
+                match std::str::from_utf8(&slice) {
+                    Ok(s) => MsgValue::Str(s.to_string()),
+                    Err(_) => MsgValue::Bytes(slice),
+                }
+            } else {
+                MsgValue::Bytes(slice)
+            };
+            message.set_parsed(span.name.to_string(), value);
+        }
+        message.set_raw(raw);
+        message
+    }
+
+    /// Parses one message from the front of a shared buffer, zero-copy:
+    /// the message's raw bytes — and every required byte field — are
+    /// slices of `buf`'s allocation. Fields outside `projection` are never
+    /// copied anywhere. [`WireCodec::parse`] is the borrowed-slice
+    /// fallback, which pays one copy of the consumed range — the path the
+    /// runtime's input tasks still use today (moving their accumulator
+    /// onto this entry point is a ROADMAP item); benches and the codec
+    /// wrappers' `parse_bytes` call this directly.
+    pub fn parse_shared(
+        &self,
+        buf: &Bytes,
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        match self.scan(buf, projection)? {
+            Scan::Incomplete { needed } => Ok(ParseOutcome::Incomplete { needed }),
+            Scan::Complete {
+                message,
+                spans,
+                consumed,
+            } => Ok(ParseOutcome::Complete {
+                message: Self::materialize(message, spans, buf.slice(..consumed)),
+                consumed,
+            }),
+        }
+    }
+}
+
+/// The byte range of one required variable-length field, recorded by the
+/// scan phase and bound to the raw buffer during materialisation.
+struct FieldSpan<'g> {
+    name: &'g str,
+    start: usize,
+    end: usize,
+    /// `true` for [`FieldKind::Str`] fields (UTF-8 validation applies).
+    text: bool,
+}
+
+/// Outcome of the scan phase.
+enum Scan<'g> {
+    Incomplete {
+        needed: usize,
+    },
+    Complete {
+        /// Variables and integer fields, already materialised (they cost
+        /// nothing to copy).
+        message: Message,
+        /// Required byte/string fields, not yet bound to the wire bytes.
+        spans: Vec<FieldSpan<'g>>,
+        consumed: usize,
+    },
+}
+
+impl WireCodec for GrammarCodec {
+    fn name(&self) -> &str {
+        &self.grammar.name
+    }
+
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        match self.scan(buf, projection)? {
+            Scan::Incomplete { needed } => Ok(ParseOutcome::Incomplete { needed }),
+            Scan::Complete {
+                message,
+                spans,
+                consumed,
+            } => {
+                // A borrowed slice cannot be shared, so the consumed range
+                // is copied once; field values then slice that copy.
+                let raw = Bytes::copy_from_slice(&buf[..consumed]);
+                Ok(ParseOutcome::Complete {
+                    message: Self::materialize(message, spans, raw),
+                    consumed,
+                })
+            }
+        }
+    }
+
+    fn parse_bytes(
+        &self,
+        buf: &Bytes,
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        self.parse_shared(buf, projection)
     }
 
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
@@ -467,6 +584,81 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// `parse_shared` binds the message to the caller's allocation: the
+    /// raw bytes and every required byte field are views of the input
+    /// buffer, not copies.
+    #[test]
+    fn shared_parse_is_zero_copy() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec
+            .serialize(&demo_message(7, b"shared-body"), &mut wire)
+            .unwrap();
+        let wire = Bytes::from(wire);
+        let wire_ptr = wire.as_ref().as_ptr();
+        match codec.parse_shared(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, consumed } => {
+                assert_eq!(consumed, wire.len());
+                // The raw buffer is a slice of the input allocation...
+                assert_eq!(message.raw().unwrap().as_ref().as_ptr(), wire_ptr);
+                // ...and the body field is a slice of the same allocation
+                // (offset 3: len u16 + tag u8), not a copy.
+                let body = message.bytes_field("body").unwrap();
+                assert_eq!(body, b"shared-body");
+                assert_eq!(body.as_ptr(), unsafe { wire_ptr.add(3) });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The borrowed-slice path copies the consumed range exactly once:
+    /// byte-field values are slices of that single raw copy.
+    #[test]
+    fn slice_parse_slices_fields_from_the_single_raw_copy() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec
+            .serialize(&demo_message(7, b"one-copy"), &mut wire)
+            .unwrap();
+        match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                let raw_ptr = message.raw().unwrap().as_ref().as_ptr();
+                let body = message.bytes_field("body").unwrap();
+                assert_ne!(raw_ptr, wire.as_ptr(), "raw must be an owned copy");
+                assert_eq!(body.as_ptr(), unsafe { raw_ptr.add(3) });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A projected shared parse of a message with a large skipped body
+    /// materialises nothing but the projected fields, yet pass-through
+    /// serialisation still reproduces the full wire bytes.
+    #[test]
+    fn projected_shared_parse_skips_without_copying_and_passes_through() {
+        let codec = demo_codec();
+        let mut wire = Vec::new();
+        codec
+            .serialize(&demo_message(3, &vec![b'p'; 16 * 1024]), &mut wire)
+            .unwrap();
+        let wire = Bytes::from(wire);
+        let projection = Projection::of(["tag"]);
+        let message = match codec.parse_shared(&wire, Some(&projection)).unwrap() {
+            ParseOutcome::Complete { message, .. } => message,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(message.uint_field("tag"), Some(3));
+        assert!(message.get("body").is_none(), "body must not materialise");
+        assert_eq!(
+            message.raw().unwrap().as_ref().as_ptr(),
+            wire.as_ref().as_ptr(),
+            "the skipped body exists only as the shared raw view"
+        );
+        let mut rewire = Vec::new();
+        codec.serialize(&message, &mut rewire).unwrap();
+        assert_eq!(&rewire[..], &wire[..]);
     }
 
     #[test]

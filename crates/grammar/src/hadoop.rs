@@ -78,6 +78,14 @@ impl WireCodec for HadoopKvCodec {
         self.inner.parse(buf, projection)
     }
 
+    fn parse_bytes(
+        &self,
+        buf: &bytes::Bytes,
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        self.inner.parse_shared(buf, projection)
+    }
+
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
         self.inner.serialize(msg, out)
     }

@@ -85,6 +85,23 @@ pub trait WireCodec: Send + Sync {
         projection: Option<&Projection>,
     ) -> Result<ParseOutcome, GrammarError>;
 
+    /// Attempts to parse one message from the front of a *shared* buffer.
+    ///
+    /// Like [`WireCodec::parse`], but the input is a refcounted
+    /// [`bytes::Bytes`], so codecs can bind the message (its raw
+    /// pass-through bytes and its byte-field values) to the caller's
+    /// allocation without copying — fields outside the projection are then
+    /// never copied at all. The default implementation falls back to the
+    /// borrowed-slice path; [`engine::GrammarCodec`] overrides it
+    /// zero-copy, and wrapper codecs forward it.
+    fn parse_bytes(
+        &self,
+        buf: &bytes::Bytes,
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        self.parse(buf, projection)
+    }
+
     /// Serialises `msg` to `out`, appending to it.
     ///
     /// If the message still carries its raw wire bytes and no field has been

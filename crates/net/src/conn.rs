@@ -1,11 +1,19 @@
-//! In-memory full-duplex connections.
+//! Connection endpoints: the in-memory pipes and the transport-neutral
+//! [`Endpoint`] wrapper.
 //!
-//! An [`Endpoint`] is one end of a simulated TCP connection: a pair of
+//! A [`SimEndpoint`] is one end of a simulated TCP connection: a pair of
 //! bounded byte pipes with socket-like semantics (non-blocking reads and
 //! writes returning [`NetError::WouldBlock`], EOF after the peer closes,
 //! blocking variants for client workloads). Every call is charged the cost
 //! of the configured [`StackCosts`] so that middlebox throughput reacts to
 //! the transport stack exactly as in the paper's evaluation.
+//!
+//! [`Endpoint`] is what the rest of the workspace sees: one connection end
+//! that is either a simulated pipe pair or a real OS socket
+//! ([`crate::tcp::TcpConn`]), with identical non-blocking and readiness
+//! semantics. Dispatchers, task graphs and services never know which
+//! transport they are on — the tentpole property of the OS transport
+//! subsystem (DESIGN.md §10).
 
 use crate::costs::StackCosts;
 use crate::error::NetError;
@@ -94,7 +102,7 @@ pub enum Side {
 /// Endpoints are cheap to clone; clones share the same underlying pipes (as
 /// file descriptors shared between threads would).
 #[derive(Clone)]
-pub struct Endpoint {
+pub struct SimEndpoint {
     shared: Arc<Shared>,
     side: Side,
     costs: StackCosts,
@@ -103,9 +111,9 @@ pub struct Endpoint {
     closed: Arc<AtomicBool>,
 }
 
-impl std::fmt::Debug for Endpoint {
+impl std::fmt::Debug for SimEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Endpoint")
+        f.debug_struct("SimEndpoint")
             .field("id", &self.shared.id)
             .field("side", &self.side)
             .finish()
@@ -127,7 +135,7 @@ pub fn pair(
         b_to_a: Pipe::new(capacity),
         id,
     });
-    let client = Endpoint {
+    let client = SimEndpoint {
         shared: Arc::clone(&shared),
         side: Side::Client,
         costs,
@@ -135,7 +143,7 @@ pub fn pair(
         rate: None,
         closed: Arc::new(AtomicBool::new(false)),
     };
-    let server = Endpoint {
+    let server = SimEndpoint {
         shared,
         side: Side::Server,
         costs,
@@ -143,10 +151,10 @@ pub fn pair(
         rate: None,
         closed: Arc::new(AtomicBool::new(false)),
     };
-    (client, server)
+    (Endpoint::from_sim(client), Endpoint::from_sim(server))
 }
 
-impl Endpoint {
+impl SimEndpoint {
     /// The connection identifier (shared by both endpoints).
     pub fn id(&self) -> u64 {
         self.shared.id
@@ -319,21 +327,6 @@ impl Endpoint {
         }
     }
 
-    /// Reads exactly `buf.len()` bytes, blocking up to `timeout` overall.
-    pub fn read_exact_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<(), NetError> {
-        let deadline = Instant::now() + timeout;
-        let mut filled = 0usize;
-        while filled < buf.len() {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(NetError::TimedOut);
-            }
-            let n = self.read_timeout(&mut buf[filled..], deadline - now)?;
-            filled += n;
-        }
-        Ok(())
-    }
-
     /// Returns `true` if a read would make progress (data buffered or EOF
     /// observable).
     ///
@@ -448,6 +441,179 @@ impl Endpoint {
         if let Some(stats) = &self.stats {
             stats.record_close();
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The transport-neutral endpoint
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum EndpointKind {
+    Sim(SimEndpoint),
+    Tcp(crate::tcp::TcpConn),
+}
+
+/// One end of a connection, over either transport.
+///
+/// This is the only connection type the runtime, services and workloads
+/// handle: a simulated in-memory pipe pair ([`SimEndpoint`]) or a real OS
+/// socket ([`crate::tcp::TcpConn`]) behind one non-blocking API with
+/// identical readiness semantics ([`Endpoint::register`] feeds the same
+/// [`Poller`]s). Cheap to clone; clones share the underlying connection.
+#[derive(Clone)]
+pub struct Endpoint {
+    kind: EndpointKind,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            EndpointKind::Sim(sim) => sim.fmt(f),
+            EndpointKind::Tcp(tcp) => tcp.fmt(f),
+        }
+    }
+}
+
+/// Delegates one wrapper method to whichever transport is inside: shared
+/// by [`Endpoint`] (over `EndpointKind`) and [`crate::Listener`] (over its
+/// listener kind enum). Both wrapper structs keep the enum in a `kind`
+/// field.
+macro_rules! dispatch {
+    ($kind:ident, $self:expr, $inner:ident => $body:expr) => {
+        match &$self.kind {
+            $kind::Sim($inner) => $body,
+            $kind::Tcp($inner) => $body,
+        }
+    };
+}
+pub(crate) use dispatch;
+
+impl Endpoint {
+    pub(crate) fn from_sim(sim: SimEndpoint) -> Self {
+        Endpoint {
+            kind: EndpointKind::Sim(sim),
+        }
+    }
+
+    pub(crate) fn from_tcp(tcp: crate::tcp::TcpConn) -> Self {
+        Endpoint {
+            kind: EndpointKind::Tcp(tcp),
+        }
+    }
+
+    /// `true` when this endpoint is a real OS socket.
+    pub fn is_os(&self) -> bool {
+        matches!(self.kind, EndpointKind::Tcp(_))
+    }
+
+    /// A short transport label for diagnostics and bench output.
+    pub fn transport(&self) -> &'static str {
+        match self.kind {
+            EndpointKind::Sim(_) => "sim",
+            EndpointKind::Tcp(_) => "tcp",
+        }
+    }
+
+    /// The connection identifier (shared by both simulated endpoints;
+    /// unique per socket for the OS transport).
+    pub fn id(&self) -> u64 {
+        dispatch!(EndpointKind, self, ep => ep.id())
+    }
+
+    /// Which side of the connection this endpoint is.
+    pub fn side(&self) -> Side {
+        dispatch!(EndpointKind, self, ep => ep.side())
+    }
+
+    /// Attaches a token-bucket rate limit to this endpoint's writes,
+    /// modelling the bandwidth of the link behind it.
+    pub fn set_write_rate(&mut self, bucket: Arc<TokenBucket>) {
+        match &mut self.kind {
+            EndpointKind::Sim(sim) => sim.set_write_rate(bucket),
+            EndpointKind::Tcp(tcp) => tcp.set_write_rate(bucket),
+        }
+    }
+
+    /// Writes as much of `data` as fits, without blocking. See
+    /// [`SimEndpoint::write`] for the error contract (identical on both
+    /// transports).
+    pub fn write(&self, data: &[u8]) -> Result<usize, NetError> {
+        dispatch!(EndpointKind, self, ep => ep.write(data))
+    }
+
+    /// Writes all of `data`, blocking until buffer space and link budget
+    /// allow. Client-workload helper; the middlebox runtime only uses the
+    /// non-blocking [`Endpoint::write`].
+    pub fn write_all(&self, data: &[u8]) -> Result<(), NetError> {
+        dispatch!(EndpointKind, self, ep => ep.write_all(data))
+    }
+
+    /// Reads available bytes into `buf` without blocking. See
+    /// [`SimEndpoint::read`] for the error contract.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        dispatch!(EndpointKind, self, ep => ep.read(buf))
+    }
+
+    /// Reads at least one byte, blocking up to `timeout`.
+    pub fn read_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
+        dispatch!(EndpointKind, self, ep => ep.read_timeout(buf, timeout))
+    }
+
+    /// Reads exactly `buf.len()` bytes, blocking up to `timeout` overall.
+    pub fn read_exact_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            let n = self.read_timeout(&mut buf[filled..], deadline - now)?;
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if a read would make progress (data buffered or EOF
+    /// observable). Counted in [`NetStats::readable_polls`] on both
+    /// transports — the counter behind the idle-scan assertions.
+    pub fn readable(&self) -> bool {
+        dispatch!(EndpointKind, self, ep => ep.readable())
+    }
+
+    /// Registers this endpoint with `poller`: transitions matching
+    /// `interest` enqueue `token` until [`Endpoint::deregister`].
+    /// Level-triggered at the moment of the call, edge-triggered
+    /// afterwards, on both transports.
+    pub fn register(&self, poller: &Poller, token: Token, interest: Interest) {
+        dispatch!(EndpointKind, self, ep => ep.register(poller, token, interest))
+    }
+
+    /// Removes any registration this endpoint holds in `poller`.
+    pub fn deregister(&self, poller: &Poller) {
+        dispatch!(EndpointKind, self, ep => ep.deregister(poller))
+    }
+
+    /// Number of bytes currently buffered for reading.
+    pub fn pending(&self) -> usize {
+        dispatch!(EndpointKind, self, ep => ep.pending())
+    }
+
+    /// Returns `true` if the peer has closed its sending side.
+    pub fn peer_closed(&self) -> bool {
+        dispatch!(EndpointKind, self, ep => ep.peer_closed())
+    }
+
+    /// Returns `true` if this endpoint has been closed locally.
+    pub fn is_closed(&self) -> bool {
+        dispatch!(EndpointKind, self, ep => ep.is_closed())
+    }
+
+    /// Closes this endpoint: the peer will observe EOF after draining.
+    /// Idempotent on both transports.
+    pub fn close(&self) {
+        dispatch!(EndpointKind, self, ep => ep.close())
     }
 }
 

@@ -19,6 +19,10 @@ pub enum NetError {
     ListenerClosed,
     /// A blocking operation timed out.
     TimedOut,
+    /// An OS-level I/O error from the real-socket transport that has no
+    /// simulated counterpart (the common socket failures — would-block,
+    /// resets, refusals — are mapped onto the variants above).
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for NetError {
@@ -30,6 +34,7 @@ impl fmt::Display for NetError {
             NetError::AddrInUse => "address already in use",
             NetError::ListenerClosed => "listener closed",
             NetError::TimedOut => "operation timed out",
+            NetError::Io(kind) => return write!(f, "os io error: {kind}"),
         };
         f.write_str(s)
     }

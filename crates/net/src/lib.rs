@@ -23,6 +23,12 @@
 //! Compute inside the middlebox is real Rust running on real threads; only
 //! the wire is synthetic.
 //!
+//! Since the OS transport landed the wire can also be real: [`tcp`]
+//! provides kernel TCP sockets ([`TcpStack`], [`TcpListener`],
+//! [`TcpConn`]) behind the *same* [`Endpoint`]/[`Listener`]/[`Poller`]
+//! contract, driven by a process-wide epoll reactor (DESIGN.md §10).
+//! Everything above the substrate is transport-blind.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,14 +52,17 @@ pub mod listener;
 pub mod poller;
 pub mod ratelimit;
 pub mod stats;
+mod sys;
+pub mod tcp;
 
-pub use conn::Endpoint;
+pub use conn::{Endpoint, SimEndpoint};
 pub use costs::{StackCosts, StackModel};
 pub use error::NetError;
-pub use listener::{SimListener, SimNetwork};
+pub use listener::{Listener, SimListener, SimNetwork};
 pub use poller::{Event, Interest, Poller, Readiness, Token};
 pub use ratelimit::TokenBucket;
 pub use stats::NetStats;
+pub use tcp::{TcpConn, TcpListener, TcpStack};
 
 #[cfg(test)]
 mod tests {

@@ -6,7 +6,7 @@
 //! connection is a pair of [`Endpoint`]s, with connection setup and accept
 //! charged according to the configured [`StackModel`].
 
-use crate::conn::{pair, Endpoint, DEFAULT_PIPE_CAPACITY};
+use crate::conn::{dispatch, pair, Endpoint, DEFAULT_PIPE_CAPACITY};
 use crate::costs::{StackCosts, StackModel};
 use crate::error::NetError;
 use crate::poller::{Poller, Readiness, Token, WakerSlot};
@@ -262,6 +262,98 @@ impl SimNetwork {
     /// Number of listeners currently bound.
     pub fn listener_count(&self) -> usize {
         self.listeners.lock().len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The transport-neutral listener
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum ListenerKind {
+    Sim(SimListener),
+    Tcp(crate::tcp::TcpListener),
+}
+
+/// A listening socket over either transport.
+///
+/// The application dispatcher holds one of these per service; whether the
+/// backlog is fed by [`SimNetwork::connect`] or by the OS kernel is
+/// invisible above the substrate. Registration posts readable events into
+/// the same per-shard [`Poller`]s as every other source.
+#[derive(Clone)]
+pub struct Listener {
+    kind: ListenerKind,
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ListenerKind::Sim(sim) => sim.fmt(f),
+            ListenerKind::Tcp(tcp) => tcp.fmt(f),
+        }
+    }
+}
+
+impl From<SimListener> for Listener {
+    fn from(sim: SimListener) -> Self {
+        Listener {
+            kind: ListenerKind::Sim(sim),
+        }
+    }
+}
+
+impl From<crate::tcp::TcpListener> for Listener {
+    fn from(tcp: crate::tcp::TcpListener) -> Self {
+        Listener {
+            kind: ListenerKind::Tcp(tcp),
+        }
+    }
+}
+
+impl Listener {
+    /// The port this listener is bound to (for the OS transport, the
+    /// resolved port — meaningful after a `:0` bind).
+    pub fn port(&self) -> u16 {
+        dispatch!(ListenerKind, self, l => l.port())
+    }
+
+    /// `true` when this listener is a real OS socket.
+    pub fn is_os(&self) -> bool {
+        matches!(self.kind, ListenerKind::Tcp(_))
+    }
+
+    /// Accepts a pending connection without blocking.
+    pub fn try_accept(&self) -> Result<Endpoint, NetError> {
+        dispatch!(ListenerKind, self, l => l.try_accept())
+    }
+
+    /// Accepts a pending connection, blocking up to `timeout`.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Endpoint, NetError> {
+        dispatch!(ListenerKind, self, l => l.accept_timeout(timeout))
+    }
+
+    /// Registers this listener with `poller`: new pending connections (and
+    /// the close of the listener) enqueue `token` as readable events,
+    /// level-triggered at the moment of the call.
+    pub fn register(&self, poller: &Poller, token: Token) {
+        dispatch!(ListenerKind, self, l => l.register(poller, token))
+    }
+
+    /// Removes this listener's registration in `poller`, if any.
+    pub fn deregister(&self, poller: &Poller) {
+        dispatch!(ListenerKind, self, l => l.deregister(poller))
+    }
+
+    /// Closes the listener; pending and future accepts fail, and for the
+    /// OS transport the port is released.
+    pub fn close(&self) {
+        dispatch!(ListenerKind, self, l => l.close())
+    }
+
+    /// Returns `true` after the listener was closed.
+    pub fn is_closed(&self) -> bool {
+        dispatch!(ListenerKind, self, l => l.is_closed())
     }
 }
 

@@ -67,6 +67,19 @@ impl TokenBucket {
         granted as usize
     }
 
+    /// Returns `unused` bytes of previously acquired budget to the bucket
+    /// (capped at the burst size, like any refill).
+    ///
+    /// The OS transport needs this: unlike the simulated pipes, the number
+    /// of bytes the kernel will accept is unknowable before the `write`
+    /// call, so a writer acquires for the attempt and refunds what the
+    /// socket did not take — otherwise a full send buffer would silently
+    /// burn link budget.
+    pub fn refund(&self, unused: usize) {
+        let mut state = self.state.lock();
+        state.tokens = (state.tokens + unused as f64).min(self.burst);
+    }
+
     /// How long until `wanted` bytes (capped at the burst size) could be
     /// acquired at the sustained rate; [`Duration::ZERO`] if at least that
     /// many tokens are available now.
@@ -171,6 +184,17 @@ mod tests {
         // wait: the bucket can never hold more than `burst` tokens.
         let wait = bucket.next_available(1_000_000);
         assert!(wait <= Duration::from_secs_f64(100.0 / 1000.0) + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn refund_returns_budget_up_to_the_burst() {
+        let bucket = TokenBucket::new_bits_per_sec(8_000, 1000);
+        assert_eq!(bucket.try_acquire(1000), 1000);
+        bucket.refund(400);
+        assert_eq!(bucket.try_acquire(1000), 400);
+        // Refunds never overfill past the burst allowance.
+        bucket.refund(5000);
+        assert_eq!(bucket.try_acquire(2000), 1000);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Direct `extern "C"` bindings to the handful of Linux syscalls the OS
+//! transport needs.
+//!
+//! The container builds offline, so the usual `libc` crate is unavailable;
+//! consistent with the shim policy (DESIGN.md §7) the [`crate::tcp`] module
+//! links the few functions it needs straight out of the C library that std
+//! already links. Everything here is `pub(crate)`: the rest of the crate
+//! (and the workspace) only ever sees the safe [`crate::tcp`] wrappers.
+//!
+//! Scope: epoll (the [`crate::tcp::OsReactor`] event source), `poll` (the
+//! blocking client helpers), `recv` with `MSG_PEEK` (socket-state probes
+//! behind [`crate::Endpoint::readable`]) and `ioctl(FIONREAD)`.
+
+#![allow(non_camel_case_types)]
+
+use std::os::unix::io::RawFd;
+
+pub(crate) type c_int = i32;
+
+/// One epoll registration/report record.
+///
+/// The kernel ABI packs this struct on x86_64 (and only there); mirroring
+/// the `cfg_attr` keeps the binding correct on other Linux targets too.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub(crate) struct epoll_event {
+    pub events: u32,
+    /// User data; the reactor stores the registered file descriptor.
+    pub u64: u64,
+}
+
+/// One `poll(2)` entry.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct pollfd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery; consumers must drain to `WouldBlock`, exactly
+/// the contract `crate::poller` already imposes on the simulated sources.
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+pub(crate) const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+
+pub(crate) const MSG_PEEK: c_int = 0x02;
+pub(crate) const MSG_DONTWAIT: c_int = 0x40;
+
+pub(crate) const FIONREAD: u64 = 0x541B;
+
+pub(crate) const EINTR: c_int = 4;
+pub(crate) const EAGAIN: c_int = 11;
+
+extern "C" {
+    pub(crate) fn epoll_create1(flags: c_int) -> c_int;
+    pub(crate) fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub(crate) fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub(crate) fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
+    pub(crate) fn recv(fd: c_int, buf: *mut u8, len: usize, flags: c_int) -> isize;
+    pub(crate) fn ioctl(fd: c_int, request: u64, arg: *mut c_int) -> c_int;
+}
+
+/// The current thread's `errno` value (via std, so no binding to the
+/// libc-internal TLS symbol is needed).
+pub(crate) fn errno() -> c_int {
+    std::io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// Blocks until `fd` reports any of `events` (or an error/hangup), up to
+/// `timeout`. Returns `true` if the descriptor is ready, `false` on
+/// timeout. Used by the blocking client helpers, never by dispatchers.
+pub(crate) fn wait_ready(fd: RawFd, events: i16, timeout: std::time::Duration) -> bool {
+    let mut entry = pollfd {
+        fd,
+        events,
+        revents: 0,
+    };
+    let millis = timeout.as_millis().min(c_int::MAX as u128) as c_int;
+    loop {
+        let rc = unsafe { poll(&mut entry, 1, millis) };
+        if rc > 0 {
+            return true;
+        }
+        if rc == 0 {
+            return false;
+        }
+        if errno() != EINTR {
+            return true; // Let the caller's read/write surface the error.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_instance_can_be_created_and_driven() {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        assert!(epfd >= 0, "epoll_create1 failed: errno {}", errno());
+        // An empty instance times out promptly.
+        let mut events = [epoll_event { events: 0, u64: 0 }; 4];
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), 4, 10) };
+        assert_eq!(n, 0);
+        use std::os::fd::{FromRawFd, OwnedFd};
+        drop(unsafe { OwnedFd::from_raw_fd(epfd) });
+    }
+
+    #[test]
+    fn wait_ready_times_out_on_a_silent_socket() {
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let started = std::time::Instant::now();
+        assert!(!wait_ready(
+            stream.as_raw_fd(),
+            POLLIN,
+            std::time::Duration::from_millis(30)
+        ));
+        assert!(started.elapsed() >= std::time::Duration::from_millis(25));
+    }
+}

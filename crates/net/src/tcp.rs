@@ -1,0 +1,841 @@
+//! The OS socket transport: real TCP behind the readiness layer.
+//!
+//! Everything above the substrate — dispatchers, task graphs, placement —
+//! speaks [`crate::Endpoint`] + [`crate::Poller`]. This module provides the
+//! second implementation of that contract (DESIGN.md §10): nonblocking
+//! `std::net` sockets whose kernel readiness transitions are translated
+//! into [`Poller::post`] calls by a process-wide [`OsReactor`] thread
+//! blocked in `epoll_wait` (bound via the direct syscall bindings in
+//! `crate::sys`; no new crates, per the offline shim policy of §7).
+//!
+//! The readiness contract matches the simulated sources exactly:
+//!
+//! * **Edge-triggered afterwards.** Sockets are registered `EPOLLET`; the
+//!   kernel reports transitions, and consumers drain to
+//!   [`NetError::WouldBlock`] — the invariant `crate::poller` already
+//!   imposes.
+//! * **Level-triggered at registration.** [`TcpConn::register`] and
+//!   [`TcpListener::register`] post a synthetic event for the current
+//!   state, so data (or a backlog) that arrived before the registration —
+//!   including during a cross-shard handoff that moves the registration to
+//!   a different poller — is never missed. Spurious events are allowed by
+//!   the poller contract, so the synthetic post is unconditional.
+//! * **One registration per socket.** Registering again (from any clone)
+//!   replaces the previous registration, as with [`crate::Endpoint`] pipes.
+//!
+//! Cost and stats accounting mirrors the simulated substrate: every
+//! operation is charged its [`StackCosts`] entry and recorded in the
+//! stack's [`NetStats`] (a real-socket platform normally runs
+//! [`StackModel::Free`], because the real kernel already charges real
+//! costs — the model hook exists for calibration experiments).
+
+use crate::costs::{StackCosts, StackModel};
+use crate::error::NetError;
+use crate::poller::{Interest, Poller, Readiness, Token, WakerSlot};
+use crate::ratelimit::TokenBucket;
+use crate::stats::NetStats;
+use crate::sys;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maps an `std::io` error onto the substrate error vocabulary.
+fn map_io(err: std::io::Error) -> NetError {
+    use std::io::ErrorKind;
+    match err.kind() {
+        ErrorKind::WouldBlock => NetError::WouldBlock,
+        ErrorKind::BrokenPipe
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::NotConnected
+        | ErrorKind::UnexpectedEof => NetError::Closed,
+        ErrorKind::ConnectionRefused => NetError::ConnectionRefused,
+        ErrorKind::AddrInUse => NetError::AddrInUse,
+        ErrorKind::TimedOut => NetError::TimedOut,
+        kind => NetError::Io(kind),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OsReactor
+// ---------------------------------------------------------------------------
+
+/// The process-wide epoll reactor.
+///
+/// One detached thread blocks in `epoll_wait` for every OS socket in the
+/// process; each registration carries the destination poller, so events
+/// fan out to whichever shard owns the socket — the per-shard reactors
+/// multiplex simulated and OS sources without knowing the difference.
+/// `epoll_ctl` is safe to call concurrently with `epoll_wait`, so
+/// registration changes take effect immediately without waking the thread.
+pub(crate) struct OsReactor {
+    epfd: RawFd,
+    registrations: Mutex<HashMap<RawFd, WakerSlot>>,
+}
+
+impl OsReactor {
+    /// The singleton reactor, spawned on first use.
+    pub(crate) fn global() -> &'static OsReactor {
+        static REACTOR: OnceLock<OsReactor> = OnceLock::new();
+        REACTOR.get_or_init(|| {
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            assert!(epfd >= 0, "epoll_create1 failed: errno {}", sys::errno());
+            let reactor = OsReactor {
+                epfd,
+                registrations: Mutex::new(HashMap::new()),
+            };
+            std::thread::Builder::new()
+                .name("flick-os-reactor".into())
+                .spawn(move || OsReactor::global().run())
+                .expect("spawning the OS reactor thread");
+            reactor
+        })
+    }
+
+    /// Translates kernel events into `Poller::post` calls, forever.
+    fn run(&self) {
+        const MAX_EVENTS: usize = 256;
+        let mut events = [sys::epoll_event { events: 0, u64: 0 }; MAX_EVENTS];
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(self.epfd, events.as_mut_ptr(), MAX_EVENTS as sys::c_int, -1)
+            };
+            if n < 0 {
+                if sys::errno() == sys::EINTR {
+                    continue;
+                }
+                // The epoll fd itself failed; nothing sensible to do but
+                // stop translating (the process is likely tearing down).
+                return;
+            }
+            // Resolve slots under the registration lock, but wake outside
+            // it: posting into per-shard pollers (lock + condvar notify)
+            // while holding the process-wide map would serialize every
+            // concurrent register/deregister behind event fan-out.
+            let mut wakes: Vec<(WakerSlot, Readiness)> = Vec::with_capacity(n as usize);
+            {
+                let registrations = self.registrations.lock();
+                for event in events.iter().take(n as usize) {
+                    let fd = event.u64 as RawFd;
+                    let Some(slot) = registrations.get(&fd) else {
+                        continue; // Deregistered while the event was in flight.
+                    };
+                    let bits = event.events;
+                    let mut readiness = Readiness::default();
+                    if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0
+                    {
+                        readiness.readable = true;
+                    }
+                    if bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                        readiness.writable = true;
+                    }
+                    if bits & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                        readiness.closed = true;
+                    }
+                    wakes.push((slot.clone(), readiness));
+                }
+            }
+            for (slot, readiness) in wakes {
+                slot.wake(readiness);
+            }
+        }
+    }
+
+    /// Installs (or replaces) the registration for `fd`. Events matching
+    /// `interest` will post `token` into `poller` until [`OsReactor::forget`].
+    fn register(&self, fd: RawFd, poller: &Poller, token: Token, interest: Interest) {
+        let mut bits = sys::EPOLLET | sys::EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        let mut event = sys::epoll_event {
+            events: bits,
+            u64: fd as u64,
+        };
+        let mut registrations = self.registrations.lock();
+        let op = if registrations.contains_key(&fd) {
+            sys::EPOLL_CTL_MOD
+        } else {
+            sys::EPOLL_CTL_ADD
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) };
+        // A failed registration (max_user_watches exhausted, ENOMEM) must
+        // be loud: recording it anyway would deliver the synthetic
+        // level-trigger event and then stall the connection forever — a
+        // silent lost wakeup, the one failure mode this layer exists to
+        // rule out.
+        assert!(
+            rc == 0,
+            "epoll_ctl({op}) for fd {fd} failed: errno {}",
+            sys::errno()
+        );
+        registrations.insert(fd, poller.slot(token));
+    }
+
+    /// Removes the registration for `fd` if it posts into `poller`.
+    fn deregister(&self, fd: RawFd, poller: &Poller) {
+        let mut registrations = self.registrations.lock();
+        if registrations
+            .get(&fd)
+            .is_some_and(|slot| slot.belongs_to(poller))
+        {
+            registrations.remove(&fd);
+            let mut event = sys::epoll_event { events: 0, u64: 0 };
+            unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut event) };
+        }
+    }
+
+    /// Removes any registration for `fd` (socket teardown). The kernel
+    /// drops the epoll entry itself when the descriptor closes; this keeps
+    /// the slot table from retaining a stale waker into a dead poller.
+    fn forget(&self, fd: RawFd) {
+        if self.registrations.lock().remove(&fd).is_some() {
+            let mut event = sys::epoll_event { events: 0, u64: 0 };
+            unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut event) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpStack
+// ---------------------------------------------------------------------------
+
+/// The OS-socket counterpart of [`crate::SimNetwork`]: owns the stats
+/// block and the cost model shared by every socket it opens.
+pub struct TcpStack {
+    model: StackModel,
+    costs: StackCosts,
+    stats: Arc<NetStats>,
+    next_conn_id: AtomicU64,
+}
+
+impl std::fmt::Debug for TcpStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpStack")
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl TcpStack {
+    /// Creates a stack whose sockets are charged according to `model`.
+    ///
+    /// Real sockets already pay the real kernel's costs, so platforms
+    /// normally pass [`StackModel::Free`]; the other models exist to
+    /// layer the calibrated busy-wait on top for calibration runs.
+    pub fn new(model: StackModel) -> Arc<Self> {
+        Arc::new(TcpStack {
+            model,
+            costs: model.costs(),
+            stats: NetStats::new_shared(),
+            next_conn_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The stack model sockets of this stack are charged with.
+    pub fn model(&self) -> StackModel {
+        self.model
+    }
+
+    /// The stack-wide statistics counters (same vocabulary as
+    /// [`crate::SimNetwork::stats`], so idle-scan assertions carry over).
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Binds a listening socket. `addr` is a standard socket address;
+    /// `127.0.0.1:0` asks the OS for an ephemeral port (read it back with
+    /// [`TcpListener::port`]).
+    pub fn listen(self: &Arc<Self>, addr: &str) -> Result<TcpListener, NetError> {
+        let listener = std::net::TcpListener::bind(addr).map_err(map_io)?;
+        listener.set_nonblocking(true).map_err(map_io)?;
+        let local_addr = listener.local_addr().map_err(map_io)?;
+        Ok(TcpListener {
+            inner: Arc::new(TcpListenerInner {
+                socket: Mutex::new(Some(listener)),
+                local_addr,
+                closed: AtomicBool::new(false),
+                stack: Arc::clone(self),
+            }),
+        })
+    }
+
+    /// Establishes a connection to `addr` and returns the client endpoint.
+    pub fn connect(self: &Arc<Self>, addr: &str) -> Result<crate::Endpoint, NetError> {
+        let addr: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(map_io)?
+            .next()
+            .ok_or(NetError::ConnectionRefused)?;
+        let stream = TcpStream::connect(addr).map_err(map_io)?;
+        StackCosts::charge(self.costs.connect);
+        self.stats.record_open();
+        Ok(crate::Endpoint::from_tcp(
+            self.wrap(stream, crate::conn::Side::Client)?,
+        ))
+    }
+
+    /// Wraps an accepted/connected stream into a [`TcpConn`].
+    fn wrap(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        side: crate::conn::Side,
+    ) -> Result<TcpConn, NetError> {
+        stream.set_nonblocking(true).map_err(map_io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TcpConn {
+            inner: Arc::new(TcpConnInner {
+                stream,
+                id: self.next_conn_id.fetch_add(1, Ordering::Relaxed),
+                side,
+                costs: self.costs,
+                stats: Arc::clone(&self.stats),
+                closed: AtomicBool::new(false),
+            }),
+            rate: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+struct TcpListenerInner {
+    /// `None` after [`TcpListener::close`]; dropping the socket releases
+    /// the port and makes the kernel refuse new connections.
+    socket: Mutex<Option<std::net::TcpListener>>,
+    local_addr: SocketAddr,
+    closed: AtomicBool,
+    stack: Arc<TcpStack>,
+}
+
+/// A listening OS socket, API-compatible with [`crate::SimListener`].
+#[derive(Clone)]
+pub struct TcpListener {
+    inner: Arc<TcpListenerInner>,
+}
+
+impl std::fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpListener")
+            .field("addr", &self.inner.local_addr)
+            .finish()
+    }
+}
+
+impl TcpListener {
+    /// The port the listener is bound to (resolved, so a `:0` bind reports
+    /// the ephemeral port the OS picked).
+    pub fn port(&self) -> u16 {
+        self.inner.local_addr.port()
+    }
+
+    /// The full local socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    fn raw_fd(&self) -> Option<RawFd> {
+        self.inner.socket.lock().as_ref().map(|s| s.as_raw_fd())
+    }
+
+    /// Accepts a pending connection without blocking.
+    pub fn try_accept(&self) -> Result<crate::Endpoint, NetError> {
+        let socket = self.inner.socket.lock();
+        let Some(listener) = socket.as_ref() else {
+            return Err(NetError::ListenerClosed);
+        };
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                drop(socket);
+                StackCosts::charge(self.inner.stack.costs.accept);
+                self.inner.stack.stats.record_open();
+                let conn = self.inner.stack.wrap(stream, crate::conn::Side::Server)?;
+                Ok(crate::Endpoint::from_tcp(conn))
+            }
+            Err(e) => Err(map_io(e)),
+        }
+    }
+
+    /// Accepts a pending connection, blocking up to `timeout` (client/test
+    /// helper; dispatchers always use [`TcpListener::try_accept`]).
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<crate::Endpoint, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_accept() {
+                Err(NetError::WouldBlock) => {
+                    let Some(fd) = self.raw_fd() else {
+                        return Err(NetError::ListenerClosed);
+                    };
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    sys::wait_ready(fd, sys::POLLIN, deadline - now);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Registers this listener with `poller`: every new pending connection
+    /// enqueues `token` as a readable event. Level-triggered at the moment
+    /// of the call via a synthetic post (spurious events are allowed).
+    pub fn register(&self, poller: &Poller, token: Token) {
+        if let Some(fd) = self.raw_fd() {
+            OsReactor::global().register(fd, poller, token, Interest::READABLE);
+            poller.post(token, Readiness::readable());
+        } else {
+            poller.post(token, Readiness::readable().with_closed());
+        }
+    }
+
+    /// Removes this listener's registration in `poller`, if any.
+    pub fn deregister(&self, poller: &Poller) {
+        if let Some(fd) = self.raw_fd() {
+            OsReactor::global().deregister(fd, poller);
+        }
+    }
+
+    /// Closes the listener: the port is released and pending/future
+    /// accepts fail with [`NetError::ListenerClosed`].
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        let socket = self.inner.socket.lock().take();
+        if let Some(socket) = socket {
+            OsReactor::global().forget(socket.as_raw_fd());
+        }
+    }
+
+    /// Returns `true` after the listener was closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for TcpListenerInner {
+    fn drop(&mut self) {
+        if let Some(socket) = self.socket.get_mut().take() {
+            OsReactor::global().forget(socket.as_raw_fd());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpConn
+// ---------------------------------------------------------------------------
+
+struct TcpConnInner {
+    stream: TcpStream,
+    id: u64,
+    side: crate::conn::Side,
+    costs: StackCosts,
+    stats: Arc<NetStats>,
+    closed: AtomicBool,
+}
+
+impl Drop for TcpConnInner {
+    fn drop(&mut self) {
+        OsReactor::global().forget(self.stream.as_raw_fd());
+    }
+}
+
+/// One end of an OS TCP connection, implementing the same non-blocking +
+/// readiness contract as the simulated [`crate::Endpoint`] pipes. Cheap to
+/// clone; clones share the socket, as duplicated fd handles would.
+#[derive(Clone)]
+pub struct TcpConn {
+    inner: Arc<TcpConnInner>,
+    rate: Option<Arc<TokenBucket>>,
+}
+
+impl std::fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpConn")
+            .field("id", &self.inner.id)
+            .field("side", &self.inner.side)
+            .finish()
+    }
+}
+
+impl TcpConn {
+    fn fd(&self) -> RawFd {
+        self.inner.stream.as_raw_fd()
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    pub(crate) fn side(&self) -> crate::conn::Side {
+        self.inner.side
+    }
+
+    pub(crate) fn set_write_rate(&mut self, bucket: Arc<TokenBucket>) {
+        self.rate = Some(bucket);
+    }
+
+    pub(crate) fn write(&self, data: &[u8]) -> Result<usize, NetError> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        // The kernel's appetite is unknowable up front (unlike the sim
+        // pipes, which check free space under the pipe lock), so acquire
+        // link budget for the attempt and refund whatever the socket does
+        // not take — a full send buffer must not burn tokens.
+        let wanted = match &self.rate {
+            Some(bucket) => bucket.try_acquire(data.len()),
+            None => data.len(),
+        };
+        if wanted == 0 {
+            return Err(NetError::WouldBlock);
+        }
+        let refund = |sent: usize| {
+            if let Some(bucket) = &self.rate {
+                if sent < wanted {
+                    bucket.refund(wanted - sent);
+                }
+            }
+        };
+        loop {
+            match (&self.inner.stream).write(&data[..wanted]) {
+                Ok(0) => {
+                    refund(0);
+                    return Err(NetError::Closed);
+                }
+                Ok(n) => {
+                    refund(n);
+                    StackCosts::charge(self.inner.costs.io_cost(true, n));
+                    self.inner.stats.record_write(n);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    refund(0);
+                    return Err(map_io(e));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn write_all(&self, mut data: &[u8]) -> Result<(), NetError> {
+        while !data.is_empty() {
+            match self.write(data) {
+                Ok(n) => data = &data[n..],
+                Err(NetError::WouldBlock) => {
+                    // Two distinct reasons to be blocked: an empty token
+                    // bucket (sleep out the refill interval) or a full
+                    // kernel send buffer (poll for POLLOUT). A rate-limited
+                    // endpoint can hit the latter with a full bucket —
+                    // `write` refunds tokens on EAGAIN — so a zero refill
+                    // wait must still fall through to the POLLOUT wait, or
+                    // this loop would spin hot until the peer drains.
+                    let refill = self
+                        .rate
+                        .as_ref()
+                        .map(|bucket| bucket.next_available(data.len()))
+                        .unwrap_or(Duration::ZERO);
+                    if refill.is_zero() {
+                        sys::wait_ready(self.fd(), sys::POLLOUT, Duration::from_millis(100));
+                    } else {
+                        std::thread::sleep(refill.min(Duration::from_millis(5)));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read(&self, buf: &mut [u8]) -> Result<usize, NetError> {
+        loop {
+            match (&self.inner.stream).read(buf) {
+                Ok(0) if !buf.is_empty() => return Err(NetError::Closed),
+                Ok(n) => {
+                    StackCosts::charge(self.inner.costs.io_cost(false, n));
+                    self.inner.stats.record_read(n);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(map_io(e)),
+            }
+        }
+    }
+
+    pub(crate) fn read_timeout(
+        &self,
+        buf: &mut [u8],
+        timeout: Duration,
+    ) -> Result<usize, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read(buf) {
+                Err(NetError::WouldBlock) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    sys::wait_ready(self.fd(), sys::POLLIN, deadline - now);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Probes the socket without consuming data: `recv(MSG_PEEK)`.
+    /// Returns `(readable, eof)`.
+    fn peek(&self) -> (bool, bool) {
+        let mut probe = 0u8;
+        let rc = unsafe { sys::recv(self.fd(), &mut probe, 1, sys::MSG_PEEK | sys::MSG_DONTWAIT) };
+        match rc {
+            0 => (true, true), // EOF is observable: a read makes progress.
+            n if n > 0 => (true, false),
+            _ => {
+                // A hard error (e.g. ECONNRESET) makes a read "progress"
+                // (it fails fast) and means the peer is gone — matching
+                // the sim transport, where a dead peer reports
+                // `peer_closed`. Only EAGAIN means "nothing yet".
+                let gone = sys::errno() != sys::EAGAIN;
+                (gone, gone)
+            }
+        }
+    }
+
+    pub(crate) fn readable(&self) -> bool {
+        self.inner.stats.record_readable_poll();
+        self.peek().0
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        let mut available: sys::c_int = 0;
+        let rc = unsafe { sys::ioctl(self.fd(), sys::FIONREAD, &mut available) };
+        if rc == 0 {
+            available.max(0) as usize
+        } else {
+            0
+        }
+    }
+
+    pub(crate) fn peer_closed(&self) -> bool {
+        self.peek().1
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn register(&self, poller: &Poller, token: Token, interest: Interest) {
+        OsReactor::global().register(self.fd(), poller, token, interest);
+        // Level-triggered at registration: post the current state so bytes
+        // that arrived before (or during) the registration — e.g. across a
+        // cross-shard handoff — are observed. Writable interest is posted
+        // unconditionally (a fresh socket is almost always writable, and
+        // spurious events are allowed).
+        let mut readiness = Readiness::default();
+        if interest.is_readable() {
+            readiness.readable = true;
+        }
+        if interest.is_writable() {
+            readiness.writable = true;
+        }
+        poller.post(token, readiness);
+    }
+
+    pub(crate) fn deregister(&self, poller: &Poller) {
+        OsReactor::global().deregister(self.fd(), poller);
+    }
+
+    pub(crate) fn close(&self) {
+        if self.inner.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        StackCosts::charge(self.inner.costs.teardown);
+        OsReactor::global().forget(self.fd());
+        let _ = self.inner.stream.shutdown(std::net::Shutdown::Both);
+        self.inner.stats.record_close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Endpoint;
+
+    fn stack() -> Arc<TcpStack> {
+        TcpStack::new(StackModel::Free)
+    }
+
+    fn local(port: u16) -> String {
+        format!("127.0.0.1:{port}")
+    }
+
+    fn pair(stack: &Arc<TcpStack>) -> (TcpListener, Endpoint, Endpoint) {
+        let listener = stack.listen("127.0.0.1:0").unwrap();
+        let client = stack.connect(&local(listener.port())).unwrap();
+        let server = listener.accept_timeout(Duration::from_secs(5)).unwrap();
+        (listener, client, server)
+    }
+
+    #[test]
+    fn connect_accept_roundtrip() {
+        let stack = stack();
+        let (_listener, client, server) = pair(&stack);
+        client.write_all(b"over the wire").unwrap();
+        let mut buf = [0u8; 32];
+        let n = server
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&buf[..n], b"over the wire");
+        assert_eq!(stack.stats().snapshot().connections_opened, 2);
+    }
+
+    #[test]
+    fn empty_read_would_block_and_close_gives_eof() {
+        let stack = stack();
+        let (_listener, client, server) = pair(&stack);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf), Err(NetError::WouldBlock));
+        client.write(b"bye").unwrap();
+        client.close();
+        let mut seen = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match server.read(&mut buf) {
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                Err(NetError::WouldBlock) => {
+                    assert!(Instant::now() < deadline, "EOF never arrived");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(NetError::Closed) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(seen, b"bye");
+    }
+
+    #[test]
+    fn registered_conn_gets_readable_events() {
+        let stack = stack();
+        let (_listener, client, server) = pair(&stack);
+        let poller = Poller::new();
+        server.register(&poller, Token(1), Interest::READABLE);
+        // Drain the synthetic level-trigger event first.
+        let _ = poller.wait(Duration::from_millis(50));
+        client.write_all(b"ping").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let events = poller.wait(Duration::from_millis(100));
+            if events
+                .iter()
+                .any(|e| e.token == Token(1) && e.readiness.readable)
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no readable event for real bytes"
+            );
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn listener_registration_posts_accept_events() {
+        let stack = stack();
+        let listener = stack.listen("127.0.0.1:0").unwrap();
+        let poller = Poller::new();
+        listener.register(&poller, Token(9));
+        let _ = poller.wait(Duration::from_millis(50)); // synthetic level-trigger
+        let _client = stack.connect(&local(listener.port())).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let events = poller.wait(Duration::from_millis(100));
+            if events.iter().any(|e| e.token == Token(9)) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no accept event");
+        }
+        assert!(listener.try_accept().is_ok());
+    }
+
+    #[test]
+    fn closed_listener_refuses_and_releases_the_port() {
+        let stack = stack();
+        let listener = stack.listen("127.0.0.1:0").unwrap();
+        let port = listener.port();
+        listener.close();
+        assert!(listener.is_closed());
+        assert_eq!(
+            listener.try_accept().map(|_| ()),
+            Err(NetError::ListenerClosed)
+        );
+        // The port can be bound again.
+        let _second = stack.listen(&local(port)).unwrap();
+    }
+
+    #[test]
+    fn readable_polls_are_counted_for_os_sockets() {
+        let stack = stack();
+        let (_listener, _client, server) = pair(&stack);
+        assert!(!server.readable());
+        assert!(!server.readable());
+        assert_eq!(stack.stats().snapshot().readable_polls, 2);
+    }
+
+    /// A rate-limited endpoint whose kernel send buffer fills must block
+    /// in the POLLOUT wait (not spin on acquire/EAGAIN/refund) and still
+    /// deliver every byte once the reader drains.
+    #[test]
+    fn rate_limited_write_all_survives_a_full_send_buffer() {
+        const TOTAL: usize = 4 * 1024 * 1024;
+        let stack = stack();
+        let (_listener, mut client, server) = pair(&stack);
+        // Generous rate and burst: the bottleneck is the stalled reader,
+        // not the bucket — the regression this test pins down.
+        client.set_write_rate(Arc::new(TokenBucket::new_bits_per_sec(
+            10_000_000_000,
+            1 << 20,
+        )));
+        let reader = std::thread::spawn(move || {
+            // Let the writer slam into a full send buffer first.
+            std::thread::sleep(Duration::from_millis(50));
+            let mut buf = [0u8; 64 * 1024];
+            let mut total = 0usize;
+            while total < TOTAL {
+                match server.read_timeout(&mut buf, Duration::from_secs(10)) {
+                    Ok(n) => total += n,
+                    Err(e) => panic!("reader failed after {total} bytes: {e}"),
+                }
+            }
+            total
+        });
+        client.write_all(&vec![0x42u8; TOTAL]).unwrap();
+        assert_eq!(reader.join().unwrap(), TOTAL);
+    }
+
+    #[test]
+    fn pending_reports_buffered_bytes() {
+        let stack = stack();
+        let (_listener, client, server) = pair(&stack);
+        client.write_all(b"12345").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.pending() < 5 {
+            assert!(Instant::now() < deadline, "bytes never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(server.readable());
+    }
+}

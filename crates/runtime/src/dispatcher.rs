@@ -35,7 +35,7 @@ use crate::scheduler::Scheduler;
 use crate::shard::{Shard, ShardCommand, ShardSet, CONTROL_TOKEN};
 use crate::task::TaskId;
 use crate::value::SharedDict;
-use flick_net::{Endpoint, Interest, NetError, Poller, SimListener, Token};
+use flick_net::{Endpoint, Interest, Listener, NetError, Poller, Token};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,7 +77,7 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 pub struct ServiceShared {
     id: u64,
     name: String,
-    listener: SimListener,
+    listener: Listener,
     factory: Arc<dyn GraphFactory>,
     env: ServiceEnv,
     home_shard: usize,
@@ -96,7 +96,7 @@ impl ServiceShared {
     pub(crate) fn new(
         id: u64,
         name: String,
-        listener: SimListener,
+        listener: Listener,
         factory: Arc<dyn GraphFactory>,
         env: ServiceEnv,
         home_shard: usize,
@@ -141,6 +141,15 @@ struct LiveGraph {
 }
 
 /// Accepts everything currently pending on the service listener.
+///
+/// Draining to `WouldBlock` is load-bearing for the OS transport: the
+/// listener is registered edge-triggered, so a connection left in the
+/// kernel backlog here produces no further event until a *new* connection
+/// arrives. A per-connection failure (e.g. the client reset before the
+/// accept — `ECONNABORTED`, surfaced as `Closed`) consumes that backlog
+/// entry and must not end the drain; only "nothing pending", "listener
+/// gone" and resource-level errors (which do not consume an entry, so
+/// retrying would spin) stop the loop.
 fn accept_pending(service: &ServiceShared, pending_clients: &mut Vec<Endpoint>) {
     loop {
         match service.listener.try_accept() {
@@ -148,7 +157,7 @@ fn accept_pending(service: &ServiceShared, pending_clients: &mut Vec<Endpoint>) 
                 service.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 pending_clients.push(client);
             }
-            Err(NetError::WouldBlock) => break,
+            Err(NetError::Closed) => continue,
             Err(_) => break,
         }
     }

@@ -21,9 +21,9 @@ use crate::scheduler::{Scheduler, StealGroup};
 use crate::shard::{Placement, Shard, ShardCommand, ShardSet, ShardStatus};
 use crate::task::{SchedulingPolicy, TaskId};
 use crate::value::SharedDict;
-use flick_net::{Endpoint, SimNetwork, StackModel};
+use flick_net::{Endpoint, Listener, SimNetwork, StackModel, TcpStack};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -206,6 +206,9 @@ impl ServiceSpec {
 /// The running FLICK platform.
 pub struct Platform {
     net: Arc<SimNetwork>,
+    /// The OS-socket stack, created on the first [`Platform::deploy_tcp`]
+    /// (or [`Platform::tcp_stack`]) call.
+    tcp: OnceLock<Arc<TcpStack>>,
     allocator: Arc<TaskIdAllocator>,
     metrics: Arc<RuntimeMetrics>,
     set: Arc<ShardSet>,
@@ -265,6 +268,7 @@ impl Platform {
             .collect();
         Platform {
             net,
+            tcp: OnceLock::new(),
             allocator: Arc::new(TaskIdAllocator::new()),
             metrics,
             set,
@@ -329,11 +333,52 @@ impl Platform {
         Arc::clone(&self.allocator)
     }
 
-    /// Deploys a service: binds its port, homes its listener on a shard
-    /// and starts accepting. Task graphs instantiated for the service are
-    /// placed across shards by the configured [`Placement`] policy.
+    /// The OS-socket stack of this platform, created on first use.
+    ///
+    /// Real sockets pay the real kernel's costs, so the stack runs the
+    /// free cost model regardless of the simulated [`PlatformConfig::stack`]
+    /// — layering the calibrated busy-wait on top of actual syscalls would
+    /// double-charge. Its [`flick_net::NetStats`] counters account OS
+    /// traffic with the same vocabulary as the simulated substrate.
+    pub fn tcp_stack(&self) -> Arc<TcpStack> {
+        Arc::clone(self.tcp.get_or_init(|| TcpStack::new(StackModel::Free)))
+    }
+
+    /// Deploys a service on a real OS socket: binds `addr` (use
+    /// `127.0.0.1:0` for an ephemeral port, then read it back from
+    /// [`DeployedService::port`]), homes the listener on a shard and starts
+    /// accepting kernel connections. Everything past the listener — graph
+    /// placement, readiness, teardown — is shared with [`Platform::deploy`];
+    /// OS and simulated sources multiplex on the same shard pollers, so a
+    /// single service may read from a TCP client while talking to
+    /// simulated back-ends.
+    pub fn deploy_tcp(
+        &self,
+        spec: ServiceSpec,
+        addr: &str,
+    ) -> Result<DeployedService, RuntimeError> {
+        let listener = self.tcp_stack().listen(addr)?;
+        let port = listener.port();
+        self.deploy_on_listener(spec, Listener::from(listener), port)
+    }
+
+    /// Deploys a service: binds its simulated port, homes its listener on
+    /// a shard and starts accepting. Task graphs instantiated for the
+    /// service are placed across shards by the configured [`Placement`]
+    /// policy.
     pub fn deploy(&self, spec: ServiceSpec) -> Result<DeployedService, RuntimeError> {
         let listener = self.net.listen(spec.port)?;
+        let port = spec.port;
+        self.deploy_on_listener(spec, Listener::from(listener), port)
+    }
+
+    /// The transport-independent tail of service deployment.
+    fn deploy_on_listener(
+        &self,
+        spec: ServiceSpec,
+        listener: Listener,
+        port: u16,
+    ) -> Result<DeployedService, RuntimeError> {
         let globals = SharedDict::new();
         let backends = BackendPool::new(
             Arc::clone(&self.net),
@@ -362,7 +407,7 @@ impl Platform {
         self.set
             .send(home_shard, ShardCommand::AddService(Arc::clone(&shared)));
         Ok(DeployedService::new(
-            spec.port,
+            port,
             globals,
             shared,
             Arc::clone(&self.set),

@@ -12,6 +12,8 @@
 //! * [`memcached`] — a closed-loop Memcached binary-protocol client fleet;
 //! * [`hadoop`] — mapper emitters producing wordcount key/value streams over
 //!   rate-limited (1 Gbps) links;
+//! * [`tcp`] — the same closed-loop HTTP fleet over **real** loopback
+//!   sockets, for services deployed on the OS transport;
 //! * [`metrics`] — throughput/latency recorders (mean, p50/p95/p99).
 
 pub mod backends;
@@ -19,5 +21,6 @@ pub mod hadoop;
 pub mod http;
 pub mod memcached;
 pub mod metrics;
+pub mod tcp;
 
 pub use metrics::{LatencyRecorder, LatencyStats, RunStats};

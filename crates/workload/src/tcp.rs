@@ -1,0 +1,235 @@
+//! Real-socket workload driver: a closed-loop HTTP client pool over
+//! loopback TCP.
+//!
+//! The OS-transport counterpart of [`crate::http::run_http_load`]: the same
+//! ApacheBench-style closed loop (each client keeps exactly one request
+//! outstanding) but over blocking `std::net::TcpStream`s against a real
+//! listening socket, with the same [`RunStats`] latency/throughput report.
+//! Used by `fig_webserver --tcp`, the e2e loopback bench point in
+//! `bench_guard`, and the `tcp_transport` integration suite.
+
+use crate::metrics::{LatencyRecorder, RunStats};
+use flick_grammar::http::HttpCodec;
+use flick_grammar::{ParseOutcome, WireCodec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one loopback HTTP load-generation run.
+#[derive(Debug, Clone)]
+pub struct TcpHttpLoadConfig {
+    /// Number of concurrent client connections (threads).
+    pub concurrency: usize,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// `true` for HTTP keep-alive; `false` opens a new connection per
+    /// request.
+    pub persistent: bool,
+    /// Per-request timeout before the request counts as failed.
+    pub timeout: Duration,
+}
+
+impl Default for TcpHttpLoadConfig {
+    fn default() -> Self {
+        TcpHttpLoadConfig {
+            concurrency: 16,
+            duration: Duration::from_millis(500),
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Issues one GET and returns the raw response bytes (headers + body) —
+/// the in-process equivalent of a `curl` smoke test.
+pub fn fetch_http(addr: &str, path: &str, timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let codec = HttpCodec::new();
+    let mut stream = connect(addr, timeout)?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let started = Instant::now();
+    while started.elapsed() < timeout {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                response.extend_from_slice(&chunk[..n]);
+                if matches!(
+                    codec.parse(&response, None),
+                    Ok(ParseOutcome::Complete { .. })
+                ) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(response)
+}
+
+/// Runs a closed-loop HTTP workload over real loopback sockets.
+pub fn run_tcp_http_load(addr: &str, config: &TcpHttpLoadConfig) -> RunStats {
+    let recorder = LatencyRecorder::new();
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let mut handles = Vec::new();
+    for client_id in 0..config.concurrency {
+        let addr = addr.to_string();
+        let config = config.clone();
+        let recorder = recorder.clone();
+        let completed = Arc::clone(&completed);
+        let failed = Arc::clone(&failed);
+        let bytes = Arc::clone(&bytes);
+        handles.push(std::thread::spawn(move || {
+            let codec = HttpCodec::new();
+            let mut connection: Option<TcpStream> = None;
+            let mut request_id = 0usize;
+            while Instant::now() < deadline {
+                if connection.is_none() {
+                    match connect(&addr, config.timeout) {
+                        Ok(stream) => connection = Some(stream),
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                    }
+                }
+                let conn = connection.as_mut().expect("connection established");
+                request_id += 1;
+                let request = format!(
+                    "GET /c{client_id}/r{request_id} HTTP/1.1\r\nHost: bench\r\n{}\r\n",
+                    if config.persistent {
+                        "Connection: keep-alive\r\n"
+                    } else {
+                        "Connection: close\r\n"
+                    }
+                );
+                let started = Instant::now();
+                if conn.write_all(request.as_bytes()).is_err() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    connection = None;
+                    continue;
+                }
+                // Read one full response.
+                let mut buf = Vec::with_capacity(512);
+                let mut chunk = [0u8; 4096];
+                let mut ok = false;
+                while started.elapsed() < config.timeout {
+                    match conn.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            match codec.parse(&buf, None) {
+                                Ok(ParseOutcome::Complete { consumed, .. }) => {
+                                    bytes.fetch_add(consumed as u64, Ordering::Relaxed);
+                                    ok = true;
+                                    break;
+                                }
+                                Ok(ParseOutcome::Incomplete { .. }) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+                if ok {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    recorder.record(started.elapsed());
+                } else {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    connection = None;
+                    continue;
+                }
+                if !config.persistent {
+                    connection = None; // Drop closes the socket.
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    RunStats {
+        completed: completed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        latency: recorder.stats(),
+        bytes: bytes.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A minimal blocking HTTP server thread: enough to validate the
+    /// driver without the FLICK platform (which has its own suite).
+    fn start_tiny_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_addr().unwrap().port());
+        let handle = std::thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for stream in listener.incoming().take(8) {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    let body = b"tiny";
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        let response =
+                            format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", body.len());
+                        if stream.write_all(response.as_bytes()).is_err()
+                            || stream.write_all(body).is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn driver_measures_a_tiny_server() {
+        let (addr, _handle) = start_tiny_server();
+        let stats = run_tcp_http_load(
+            &addr,
+            &TcpHttpLoadConfig {
+                concurrency: 2,
+                duration: Duration::from_millis(200),
+                persistent: true,
+                timeout: Duration::from_secs(2),
+            },
+        );
+        assert!(stats.completed > 5, "{stats:?}");
+        assert!(stats.requests_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fetch_smoke_returns_a_parsed_response() {
+        let (addr, _handle) = start_tiny_server();
+        let response = fetch_http(&addr, "/x", Duration::from_secs(2)).unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200 OK"));
+    }
+}

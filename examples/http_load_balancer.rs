@@ -7,15 +7,29 @@
 //! per-shard utilization and steal counters next to the throughput.
 //!
 //! Run with: `cargo run --example http_load_balancer`
+//!
+//! With `--tcp [addr]` (default `127.0.0.1:0`) the balancer's front door is
+//! a **real OS socket**: clients connect through the kernel while the ten
+//! back-ends stay on the simulated fabric — one task graph reads from a
+//! kernel TCP endpoint and writes to simulated endpoints, multiplexed by
+//! the same per-shard pollers. The run prints a curl-style smoke response
+//! before the load results.
 
 use flick::runtime_crate::Placement;
 use flick::services::http::HttpLoadBalancerFactory;
 use flick::{Platform, PlatformConfig, ServiceSpec};
 use flick_workload::backends::start_http_backend;
 use flick_workload::http::{run_http_load, HttpLoadConfig};
+use flick_workload::tcp::{fetch_http, run_tcp_http_load, TcpHttpLoadConfig};
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tcp_addr = args
+        .iter()
+        .position(|a| a == "--tcp")
+        .map(|i| args.get(i + 1).cloned().unwrap_or("127.0.0.1:0".into()));
+
     let platform = Platform::new(PlatformConfig {
         workers: 4,
         shards: 2,
@@ -28,23 +42,43 @@ fn main() {
         .iter()
         .map(|p| start_http_backend(&net, *p, &[b'x'; 137]))
         .collect();
-    let _service = platform
-        .deploy(
-            ServiceSpec::new("http-lb", 8080, HttpLoadBalancerFactory::new())
-                .with_backends(backend_ports.clone()),
-        )
-        .expect("deploy");
+    let spec = ServiceSpec::new("http-lb", 8080, HttpLoadBalancerFactory::new())
+        .with_backends(backend_ports.clone());
 
-    let stats = run_http_load(
-        &net,
-        &HttpLoadConfig {
-            port: 8080,
-            concurrency: 32,
-            duration: Duration::from_secs(1),
-            persistent: true,
-            timeout: Duration::from_secs(5),
-        },
-    );
+    let stats = match &tcp_addr {
+        Some(addr) => {
+            let service = platform.deploy_tcp(spec, addr).expect("deploy over TCP");
+            let addr = format!("127.0.0.1:{}", service.port());
+            println!("listening on a real socket: http://{addr}/");
+            // The curl-style smoke: one GET over the kernel's loopback.
+            let response =
+                fetch_http(&addr, "/smoke", Duration::from_secs(5)).expect("smoke request");
+            let head = String::from_utf8_lossy(&response);
+            println!("smoke: {}", head.lines().next().unwrap_or("<empty>"));
+            run_tcp_http_load(
+                &addr,
+                &TcpHttpLoadConfig {
+                    concurrency: 32,
+                    duration: Duration::from_secs(1),
+                    persistent: true,
+                    timeout: Duration::from_secs(5),
+                },
+            )
+        }
+        None => {
+            let _service = platform.deploy(spec).expect("deploy");
+            run_http_load(
+                &net,
+                &HttpLoadConfig {
+                    port: 8080,
+                    concurrency: 32,
+                    duration: Duration::from_secs(1),
+                    persistent: true,
+                    timeout: Duration::from_secs(5),
+                },
+            )
+        }
+    };
     println!(
         "completed {} requests in {:.2}s  ->  {:.0} req/s, mean latency {:.2} ms",
         stats.completed,
