@@ -39,8 +39,9 @@
 use flick_bench::report::{print_table, rows_from_json, rows_to_json, Row};
 use flick_bench::{
     run_dispatcher_backend_ablation, run_hadoop_experiment, run_http_experiment,
-    run_sharding_ablation, run_tcp_loopback_experiment, HadoopExperiment, HttpExperiment,
-    HttpSystem, TcpLoopbackExperiment, TcpLoopbackResult,
+    run_output_mode_ablation, run_sharding_ablation, run_tcp_lb_experiment,
+    run_tcp_loopback_experiment, HadoopExperiment, HttpExperiment, HttpSystem, TcpLbExperiment,
+    TcpLbResult, TcpLoopbackExperiment, TcpLoopbackResult,
 };
 use std::time::Duration;
 
@@ -61,6 +62,20 @@ const SHARDING_RATIO_FLOOR: f64 = 0.95;
 /// still catching a broken OS transport (a lost-wakeup stall or an
 /// accidental poll regression collapses the ratio to near zero).
 const TCP_SIM_RATIO_FLOOR: f64 = 0.25;
+
+/// The all-TCP LB ratio floor: the `client → LB → backend` path crossing
+/// real kernel sockets on every hop must stay within this fraction of its
+/// simulated twin. Two socket hops per request make this noisier than the
+/// single-hop loopback point, so the floor is lower; a stalled backend
+/// pool or a lost writable wakeup still collapses it to near zero.
+const TCP_LB_RATIO_FLOOR: f64 = 0.15;
+
+/// The wakeup-vs-busy output ratio floor: with stalled peers pinned
+/// against full pipes, parking output tasks on writable readiness must not
+/// lose to busy retrying them (small noise allowance; on loaded hosts the
+/// wakeup mode typically wins outright because busy retries bleed worker
+/// time).
+const OUTPUT_MODE_RATIO_FLOOR: f64 = 0.95;
 
 fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/benches/baseline.json")
@@ -100,6 +115,27 @@ fn run_fig6_point() -> Row {
 fn main() {
     let record = std::env::args().any(|a| a == "--record");
     let mut rows = run_dispatcher_backend_ablation(&[256], Duration::from_millis(400));
+    // The writable-interest ablation (wakeup-driven vs busy-retry output
+    // under stalled peers); two passes. Like every other guarded series,
+    // the recorded/checked rows take the best of the two passes (max
+    // req/s, min retries) so a single noisy interval cannot fail CI —
+    // the busy series in particular measures throughput scraps under
+    // spinning peers and is inherently noisy.
+    let output_modes = run_output_mode_ablation(Duration::from_millis(400));
+    let output_modes_second = run_output_mode_ablation(Duration::from_millis(400));
+    rows.extend(output_modes.iter().map(|row| {
+        let second = output_modes_second
+            .iter()
+            .find(|other| other.series == row.series && other.x == row.x)
+            .map(|other| other.value)
+            .unwrap_or(row.value);
+        let best = if row.unit == "retries" {
+            row.value.min(second)
+        } else {
+            row.value.max(second)
+        };
+        Row::new(row.x.clone(), row.series.clone(), best, row.unit.clone())
+    }));
     // Two passes over the sharding ablation; the ratio gate uses the best
     // run per configuration so a single noisy interval on a loaded CI host
     // cannot fail the comparison. Baseline rows come from the first pass.
@@ -135,6 +171,34 @@ fn main() {
             .sim
             .requests_per_sec()
             .max(tcp_second.sim.requests_per_sec()),
+        "req/s",
+    ));
+    // The all-TCP LB point (kernel client → LB → kernel backend), same
+    // best-of-two treatment as the loopback point.
+    let lb_params = TcpLbExperiment {
+        concurrency: 16,
+        duration: Duration::from_millis(400),
+        workers: 4,
+        backends: 4,
+    };
+    let lb_first = run_tcp_lb_experiment(&lb_params);
+    let lb_second = run_tcp_lb_experiment(&lb_params);
+    rows.push(Row::new(
+        lb_params.concurrency,
+        "tcp lb e2e",
+        lb_first
+            .tcp
+            .requests_per_sec()
+            .max(lb_second.tcp.requests_per_sec()),
+        "req/s",
+    ));
+    rows.push(Row::new(
+        lb_params.concurrency,
+        "tcp lb sim twin",
+        lb_first
+            .sim
+            .requests_per_sec()
+            .max(lb_second.sim.requests_per_sec()),
         "req/s",
     ));
     print_table("Bench guard (current run)", &rows);
@@ -174,6 +238,61 @@ fn main() {
             }
         }
         _ => failures.push("ablation run missing event/poll req/s series".to_string()),
+    }
+
+    // Machine-independent gate 1b: with stalled peers, the wakeup-driven
+    // output path must not lose to the busy-retry loop it replaced, and it
+    // must not busy-retry at all (the structural claim: a stalled peer
+    // parks its writer). Best-of-two per mode for the ratio; the retry
+    // assertion accepts either pass being clean.
+    let output_series = |pass: &[Row], name: &str| {
+        pass.iter()
+            .find(|row| row.series == name)
+            .map(|row| row.value)
+    };
+    let best_output = |name: &str| {
+        [&output_modes, &output_modes_second]
+            .into_iter()
+            .filter_map(|pass| output_series(pass, name))
+            .fold(None, |best: Option<f64>, v| {
+                Some(best.map_or(v, |b| b.max(v)))
+            })
+    };
+    match (best_output("output wakeup"), best_output("output busy")) {
+        (Some(wakeup), Some(busy)) => {
+            let ratio = wakeup / busy.max(1e-9);
+            if ratio < OUTPUT_MODE_RATIO_FLOOR {
+                failures.push(format!(
+                    "wakeup-driven output lost to busy retry under stalled peers: \
+                     {wakeup:.0} vs {busy:.0} req/s (ratio {ratio:.2}, floor \
+                     {OUTPUT_MODE_RATIO_FLOOR})"
+                ));
+            } else {
+                println!(
+                    "ok: output wakeup/busy ratio {ratio:.2}x (floor {OUTPUT_MODE_RATIO_FLOOR})"
+                );
+            }
+        }
+        _ => failures.push("output-mode ablation missing req/s series".to_string()),
+    }
+    let wakeup_retries = [&output_modes, &output_modes_second]
+        .into_iter()
+        .filter_map(|pass| output_series(pass, "output wakeup retries"))
+        .fold(None, |best: Option<f64>, v| {
+            Some(best.map_or(v, |b| b.min(v)))
+        });
+    match wakeup_retries {
+        Some(retries) => {
+            if retries == 0.0 {
+                println!("ok: wakeup-driven output performed 0 busy retries under stalled peers");
+            } else {
+                failures.push(format!(
+                    "wakeup-driven output busy-retried {retries:.0} times under stalled peers \
+                     (writable parking is broken)"
+                ));
+            }
+        }
+        None => failures.push("output-mode ablation missing retries series".to_string()),
     }
 
     // Machine-independent gate 2: the sharded runtime vs the single-shard
@@ -268,10 +387,55 @@ fn main() {
         println!("ok: tcp/sim loopback ratio {tcp_ratio:.2} (floor {TCP_SIM_RATIO_FLOOR})");
     }
 
-    // Absolute baselines, 30% floor, for every throughput series.
+    // Machine-independent gate 4: the all-TCP LB path vs its simulated
+    // twin (best-of-two), plus the structural claim that the TCP backend
+    // pool actually spread requests over the kernel-socket back-ends.
+    let lb_best = [&lb_first, &lb_second]
+        .into_iter()
+        .max_by(|a, b| {
+            let ratio =
+                |r: &TcpLbResult| r.tcp.requests_per_sec() / r.sim.requests_per_sec().max(1e-9);
+            ratio(a).total_cmp(&ratio(b))
+        })
+        .expect("two passes");
+    let lb_ratio = lb_best.tcp.requests_per_sec() / lb_best.sim.requests_per_sec().max(1e-9);
+    if lb_ratio < TCP_LB_RATIO_FLOOR {
+        failures.push(format!(
+            "all-TCP LB lost to its simulated twin: ratio {lb_ratio:.2} \
+             (floor {TCP_LB_RATIO_FLOOR}; tcp {:.0} vs sim {:.0} req/s)",
+            lb_best.tcp.requests_per_sec(),
+            lb_best.sim.requests_per_sec()
+        ));
+    } else {
+        println!("ok: all-TCP lb/sim ratio {lb_ratio:.2} (floor {TCP_LB_RATIO_FLOOR})");
+    }
+    let lb_backends_hit = lb_best
+        .backend_requests
+        .iter()
+        .filter(|served| **served > 0)
+        .count();
+    if lb_backends_hit < 2 {
+        failures.push(format!(
+            "all-TCP LB reached only {lb_backends_hit} TCP back-end(s): {:?}",
+            lb_best.backend_requests
+        ));
+    } else {
+        println!(
+            "ok: all-TCP LB spread requests over {lb_backends_hit} kernel-socket back-ends \
+             ({:?})",
+            lb_best.backend_requests
+        );
+    }
+
+    // Absolute baselines, 30% floor, for every throughput series. The
+    // "output busy" series is exempt: it measures throughput scraps under
+    // deliberately spinning peers — inherently noisier than 30% headroom
+    // can absorb — and the property this PR defends is already gated
+    // twice (the wakeup/busy ratio and the retries==0 structural check);
+    // its row is recorded for context only.
     for expected in baseline
         .iter()
-        .filter(|row| row.unit == "req/s" || row.unit == "Mbps")
+        .filter(|row| (row.unit == "req/s" || row.unit == "Mbps") && row.series != "output busy")
     {
         let Some(current) = rows
             .iter()
@@ -309,7 +473,7 @@ fn main() {
     }
     let checked = baseline
         .iter()
-        .filter(|row| row.unit == "req/s" || row.unit == "Mbps")
+        .filter(|row| (row.unit == "req/s" || row.unit == "Mbps") && row.series != "output busy")
         .count();
-    println!("bench guard passed ({checked} absolute series + 3 ratio gates checked)");
+    println!("bench guard passed ({checked} absolute series + 5 ratio gates checked)");
 }

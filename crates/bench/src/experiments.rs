@@ -1,18 +1,22 @@
 //! Experiment runners, one per figure.
 
+use flick_net::listener::ConnectOptions;
 use flick_net::{SimNetwork, StackModel};
 use flick_runtime::scheduler::Scheduler;
 use flick_runtime::task::TaskId;
 use flick_runtime::tasks::SyntheticWorkTask;
 use flick_runtime::RuntimeMetrics;
 use flick_runtime::{
-    DispatcherBackend, Platform, PlatformConfig, SchedulingPolicy, ServiceSpec, ShardStatus,
+    DispatcherBackend, OutputMode, Platform, PlatformConfig, SchedulingPolicy, ServiceSpec,
+    ShardStatus,
 };
 use flick_services::baselines::{ApacheLikeProxy, MoxiLikeProxy, NginxLikeProxy};
 use flick_services::hadoop::hadoop_aggregator;
 use flick_services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
 use flick_services::memcached::memcached_proxy;
-use flick_workload::backends::{start_http_backend, start_memcached_backend, start_sink_backend};
+use flick_workload::backends::{
+    start_http_backend, start_memcached_backend, start_sink_backend, start_tcp_http_backend,
+};
 use flick_workload::hadoop::{run_hadoop_mappers, wait_for_quiescence, HadoopLoadConfig};
 use flick_workload::http::{run_http_load, HttpLoadConfig};
 use flick_workload::memcached::{run_memcached_load, MemcachedLoadConfig};
@@ -616,6 +620,255 @@ pub fn run_tcp_loopback_experiment(params: &TcpLoopbackExperiment) -> TcpLoopbac
     TcpLoopbackResult { tcp, sim }
 }
 
+/// Parameters of the all-TCP load-balancer experiment: kernel clients →
+/// TCP-fronted FLICK load balancer → kernel-socket back-ends. No byte of a
+/// request or response ever rides the simulated fabric; the simulated twin
+/// (same LB graph, simulated clients and back-ends on the kernel cost
+/// model) runs on the same platform for a within-run ratio gate.
+#[derive(Debug, Clone)]
+pub struct TcpLbExperiment {
+    /// Concurrent client connections per run.
+    pub concurrency: usize,
+    /// Measurement duration per run.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+    /// Number of back-end web servers.
+    pub backends: usize,
+}
+
+impl Default for TcpLbExperiment {
+    fn default() -> Self {
+        TcpLbExperiment {
+            concurrency: 16,
+            duration: Duration::from_millis(400),
+            workers: 4,
+            backends: 4,
+        }
+    }
+}
+
+/// The outcome of one all-TCP load-balancer experiment.
+#[derive(Debug, Clone)]
+pub struct TcpLbResult {
+    /// Stats of the all-TCP run (kernel client → LB → kernel backend).
+    pub tcp: RunStats,
+    /// Stats of the simulated twin.
+    pub sim: RunStats,
+    /// Requests each TCP back-end served (hash distribution sanity).
+    pub backend_requests: Vec<u64>,
+}
+
+/// Runs the all-TCP load-balancer point: every hop of
+/// `client → LB → backend` crosses a real kernel socket — the LB's front
+/// door is `Platform::deploy_tcp`, its [`flick_runtime::BackendPool`]
+/// holds TCP targets — plus the simulated twin for the within-run ratio
+/// gate in `bench_guard`.
+pub fn run_tcp_lb_experiment(params: &TcpLbExperiment) -> TcpLbResult {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: params.workers,
+            stack: StackModel::Kernel,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    let body = &[b'x'; 137][..];
+
+    // The all-TCP leg.
+    let tcp_backends: Vec<_> = (0..params.backends)
+        .map(|_| start_tcp_http_backend(body))
+        .collect();
+    let lb = platform
+        .deploy_tcp(
+            ServiceSpec::new("tcp-lb", 0, HttpLoadBalancerFactory::new())
+                .with_tcp_backends(tcp_backends.iter().map(|b| b.addr().to_string()).collect()),
+            "127.0.0.1:0",
+        )
+        .expect("deploy all-TCP load balancer");
+    let tcp = run_tcp_http_load(
+        &format!("127.0.0.1:{}", lb.port()),
+        &TcpHttpLoadConfig {
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    let backend_requests = tcp_backends.iter().map(|b| b.requests_served()).collect();
+
+    // The simulated twin: same graph, kernel cost model end to end.
+    let backend_ports: Vec<u16> = (0..params.backends).map(|i| 8200 + i as u16).collect();
+    let _sim_backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_http_backend(&net, *p, body))
+        .collect();
+    let _sim_lb = platform
+        .deploy(
+            ServiceSpec::new("sim-lb", 8080, HttpLoadBalancerFactory::new())
+                .with_backends(backend_ports),
+        )
+        .expect("deploy simulated twin");
+    let sim = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: 8080,
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    TcpLbResult {
+        tcp,
+        sim,
+        backend_requests,
+    }
+}
+
+/// Parameters of the writable-interest (output-mode) ablation: a static
+/// web service with large responses, a population of *stalled* clients
+/// that send pipelined requests over tiny pipes and never read a byte
+/// back, and a set of active closed-loop clients whose throughput is
+/// measured. Under [`OutputMode::BusyRetry`] every stalled connection's
+/// output task spins runnable against the full pipe and bleeds worker
+/// time; under the default [`OutputMode::Wakeup`] they park on writable
+/// readiness and cost nothing.
+#[derive(Debug, Clone)]
+pub struct OutputModeExperiment {
+    /// Connections whose clients never read (their output tasks block).
+    pub stalled: usize,
+    /// Active closed-loop clients (the measured population).
+    pub active: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+    /// Which output mode to measure.
+    pub mode: OutputMode,
+}
+
+impl Default for OutputModeExperiment {
+    fn default() -> Self {
+        OutputModeExperiment {
+            stalled: 8,
+            active: 4,
+            duration: Duration::from_millis(400),
+            workers: 4,
+            mode: OutputMode::default(),
+        }
+    }
+}
+
+/// The outcome of one output-mode ablation point.
+#[derive(Debug, Clone)]
+pub struct OutputModeResult {
+    /// Request statistics of the active clients.
+    pub stats: RunStats,
+    /// Busy retries output tasks performed during the run (0 for the
+    /// wakeup mode: stalled peers park their writers instead of spinning).
+    pub busy_retries: u64,
+}
+
+/// Runs one output-mode ablation point.
+pub fn run_output_mode_experiment(params: &OutputModeExperiment) -> OutputModeResult {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let service_port = 8080u16;
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: params.workers,
+            stack: StackModel::Kernel,
+            output_mode: params.mode,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    // 16 KB responses against 4 KB pipes: a stalled client's output task
+    // hits WouldBlock with most of the response still buffered.
+    let _service = platform
+        .deploy(ServiceSpec::new(
+            "stall-web",
+            service_port,
+            StaticWebServerFactory::new(vec![b'x'; 16 * 1024]),
+        ))
+        .expect("deploy static web service");
+
+    let stalled: Vec<_> = (0..params.stalled)
+        .map(|_| {
+            let conn = net
+                .connect_with(
+                    service_port,
+                    &ConnectOptions {
+                        capacity: Some(4 * 1024),
+                        ..Default::default()
+                    },
+                )
+                .expect("stalled client connects");
+            for _ in 0..4 {
+                conn.write_all(b"GET /stall HTTP/1.1\r\nHost: s\r\n\r\n")
+                    .expect("stalled request");
+            }
+            conn
+        })
+        .collect();
+    // Let every stalled graph instantiate and its output task hit the wall
+    // before measuring.
+    std::thread::sleep(Duration::from_millis(50));
+    let retries_before = platform.metrics().snapshot().output_busy_retries;
+
+    let stats = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: service_port,
+            concurrency: params.active,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    let busy_retries = platform
+        .metrics()
+        .snapshot()
+        .output_busy_retries
+        .saturating_sub(retries_before);
+    for conn in &stalled {
+        conn.close();
+    }
+    OutputModeResult {
+        stats,
+        busy_retries,
+    }
+}
+
+/// Runs the busy-vs-wakeup output ablation and returns figure rows
+/// (req/s of the active clients plus the busy-retry counter), ready for
+/// [`crate::print_table`] or the CI baseline file.
+pub fn run_output_mode_ablation(duration: Duration) -> Vec<crate::report::Row> {
+    let mut rows = Vec::new();
+    for mode in OutputMode::all() {
+        let params = OutputModeExperiment {
+            duration,
+            mode,
+            ..Default::default()
+        };
+        let result = run_output_mode_experiment(&params);
+        rows.push(crate::report::Row::new(
+            params.stalled,
+            format!("output {}", mode.label()),
+            result.stats.requests_per_sec(),
+            "req/s",
+        ));
+        rows.push(crate::report::Row::new(
+            params.stalled,
+            format!("output {} retries", mode.label()),
+            result.busy_retries as f64,
+            "retries",
+        ));
+    }
+    rows
+}
+
 /// The result of the §6.4 resource-sharing micro-benchmark (Figure 7).
 #[derive(Debug, Clone, Copy)]
 pub struct SharingResult {
@@ -791,6 +1044,45 @@ mod tests {
         let result = run_tcp_loopback_experiment(&params);
         assert!(result.tcp.completed > 0, "tcp: {:?}", result.tcp);
         assert!(result.sim.completed > 0, "sim: {:?}", result.sim);
+    }
+
+    #[test]
+    fn tcp_lb_experiment_smoke() {
+        let params = TcpLbExperiment {
+            concurrency: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            backends: 2,
+        };
+        let result = run_tcp_lb_experiment(&params);
+        assert!(result.tcp.completed > 0, "tcp: {:?}", result.tcp);
+        assert!(result.sim.completed > 0, "sim: {:?}", result.sim);
+        assert!(
+            result.backend_requests.iter().sum::<u64>() > 0,
+            "TCP back-ends never saw a request: {:?}",
+            result.backend_requests
+        );
+    }
+
+    #[test]
+    fn output_mode_experiment_smoke() {
+        for mode in OutputMode::all() {
+            let params = OutputModeExperiment {
+                stalled: 2,
+                active: 2,
+                duration: Duration::from_millis(150),
+                workers: 2,
+                mode,
+            };
+            let result = run_output_mode_experiment(&params);
+            assert!(result.stats.completed > 0, "{mode:?}: {:?}", result.stats);
+            if mode == OutputMode::Wakeup {
+                assert_eq!(
+                    result.busy_retries, 0,
+                    "wakeup mode must not busy-retry against stalled peers"
+                );
+            }
+        }
     }
 
     #[test]

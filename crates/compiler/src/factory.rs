@@ -28,7 +28,9 @@ use flick_lang::TypedProgram;
 use flick_net::Endpoint;
 use flick_runtime::platform::BuiltGraph;
 use flick_runtime::tasks::{InputTask, OutputTask};
-use flick_runtime::{ComputeTask, GraphBuilder, GraphFactory, RuntimeError, ServiceEnv, TaskId};
+use flick_runtime::{
+    ComputeTask, GraphBuilder, GraphFactory, RuntimeError, ServiceEnv, TaskId, Watch,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -186,7 +188,7 @@ impl GraphFactory for CompiledService {
         let mut compute_inputs = Vec::new();
         let mut compute_outputs = Vec::new();
         let mut installs: Vec<(flick_runtime::NodeId, Box<dyn flick_runtime::Task>)> = Vec::new();
-        let mut watchers: Vec<(TaskId, Endpoint)> = Vec::new();
+        let mut watchers: Vec<Watch> = Vec::new();
         let mut client_tasks: Vec<TaskId> = Vec::new();
 
         // Helper that wires one endpoint to the compute task according to the
@@ -202,7 +204,7 @@ impl GraphFactory for CompiledService {
              compute_inputs: &mut Vec<flick_runtime::ChannelConsumer>,
              compute_outputs: &mut Vec<flick_runtime::ChannelProducer>,
              installs: &mut Vec<(flick_runtime::NodeId, Box<dyn flick_runtime::Task>)>,
-             watchers: &mut Vec<(TaskId, Endpoint)>,
+             watchers: &mut Vec<Watch>,
              client_tasks: &mut Vec<TaskId>|
              -> (Option<usize>, Option<usize>) {
                 let mut input_idx = None;
@@ -220,7 +222,7 @@ impl GraphFactory for CompiledService {
                             tx,
                         )),
                     ));
-                    watchers.push((node.task_id(), endpoint.clone()));
+                    watchers.push(Watch::readable(node.task_id(), endpoint.clone()));
                     if is_client {
                         client_tasks.push(node.task_id());
                     }
@@ -230,15 +232,15 @@ impl GraphFactory for CompiledService {
                 if writable {
                     let node = builder.declare_node();
                     let (tx, rx) = builder.channel(node);
-                    installs.push((
-                        node,
-                        Box::new(OutputTask::new(
-                            format!("{label}-out"),
-                            endpoint.clone(),
-                            Arc::clone(&plan.codec),
-                            rx,
-                        )),
-                    ));
+                    let mut out_task = OutputTask::new(
+                        format!("{label}-out"),
+                        endpoint.clone(),
+                        Arc::clone(&plan.codec),
+                        rx,
+                    );
+                    out_task.set_mode(env.output_mode);
+                    installs.push((node, Box::new(out_task)));
+                    watchers.push(Watch::writable(node.task_id(), endpoint.clone()));
                     output_idx = Some(compute_outputs.len());
                     compute_outputs.push(tx);
                 }

@@ -71,15 +71,17 @@ fn parse_headers(
     Ok(content_length)
 }
 
-impl WireCodec for HttpCodec {
-    fn name(&self) -> &str {
-        "http"
-    }
-
-    fn parse(
+impl HttpCodec {
+    /// The parse engine shared by the borrowed-slice and shared-buffer
+    /// entry points: `bind` turns a byte range of `buf` into the [`Bytes`]
+    /// the message keeps (its raw wire bytes and its body field).
+    /// [`WireCodec::parse`] binds by copying, [`WireCodec::parse_bytes`]
+    /// binds by slicing the caller's refcounted allocation — zero-copy.
+    fn parse_with(
         &self,
         buf: &[u8],
         projection: Option<&Projection>,
+        bind: &dyn Fn(std::ops::Range<usize>) -> Bytes,
     ) -> Result<ParseOutcome, GrammarError> {
         let Some(head_len) = header_end(buf) else {
             return Ok(ParseOutcome::Incomplete { needed: 0 });
@@ -136,16 +138,40 @@ impl WireCodec for HttpCodec {
             });
         }
         if content_length > 0 && projection.map_or(true, |p| p.requires("body")) {
-            message.set_parsed(
-                "body",
-                MsgValue::Bytes(Bytes::copy_from_slice(&buf[head_len..total])),
-            );
+            message.set_parsed("body", MsgValue::Bytes(bind(head_len..total)));
         }
-        message.set_raw(Bytes::copy_from_slice(&buf[..total]));
+        message.set_raw(bind(0..total));
         Ok(ParseOutcome::Complete {
             message,
             consumed: total,
         })
+    }
+}
+
+impl WireCodec for HttpCodec {
+    fn name(&self) -> &str {
+        "http"
+    }
+
+    fn parse(
+        &self,
+        buf: &[u8],
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        // A borrowed slice cannot be shared, so bound ranges are copied.
+        self.parse_with(buf, projection, &|range| {
+            Bytes::copy_from_slice(&buf[range])
+        })
+    }
+
+    fn parse_bytes(
+        &self,
+        buf: &Bytes,
+        projection: Option<&Projection>,
+    ) -> Result<ParseOutcome, GrammarError> {
+        // Shared input: the message's raw bytes and its body become slices
+        // of the caller's allocation — no copy on the ingest path.
+        self.parse_with(buf, projection, &|range| buf.slice(range))
     }
 
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {

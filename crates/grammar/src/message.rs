@@ -168,6 +168,28 @@ impl Message {
         self.fields.iter().map(|(n, v)| (n.as_str(), v))
     }
 
+    /// Re-owns every shared byte region of the message: the raw wire
+    /// bytes and each byte field are copied into allocations of exactly
+    /// their own size.
+    ///
+    /// Messages parsed zero-copy (`parse_bytes`/`parse_shared`) slice the
+    /// input task's refcounted ingest chunk, which is the right shape for
+    /// a message that lives for one request — but *retaining* one pins
+    /// the whole chunk for its lifetime and forces the connection onto
+    /// fresh chunks. Call this before storing a message beyond the
+    /// request it arrived in (the runtime's shared dictionaries do it
+    /// automatically).
+    pub fn compact(&mut self) {
+        for (_, value) in &mut self.fields {
+            if let MsgValue::Bytes(bytes) = value {
+                *bytes = Bytes::copy_from_slice(bytes);
+            }
+        }
+        if let Some(raw) = &mut self.raw {
+            *raw = Bytes::copy_from_slice(raw);
+        }
+    }
+
     /// Attaches the raw wire bytes this message was parsed from.
     pub fn set_raw(&mut self, raw: Bytes) {
         self.raw = Some(raw);
@@ -237,6 +259,19 @@ mod tests {
         m.set_parsed("key", MsgValue::Str("k".into()));
         assert!(m.raw().is_some());
         assert_eq!(m.wire_len(), Some(8));
+    }
+
+    #[test]
+    fn compact_preserves_content_while_reowning_bytes() {
+        let shared = Bytes::from(b"GET /abcd".to_vec());
+        let mut m = Message::new("cmd");
+        m.set_raw(shared.slice(..9));
+        m.set_parsed("path", MsgValue::Bytes(shared.slice(4..9)));
+        let before = m.clone();
+        m.compact();
+        assert_eq!(m, before, "compaction must not change observable content");
+        assert_eq!(m.bytes_field("path"), Some(&b"/abcd"[..]));
+        assert_eq!(m.raw().map(|r| &r[..]), Some(&b"GET /abcd"[..]));
     }
 
     #[test]

@@ -288,11 +288,19 @@ impl SimEndpoint {
                 Err(NetError::WouldBlock)
             };
         }
+        let was_full = state.buf.len() >= pipe.capacity;
         let n = buf.len().min(state.buf.len());
         for (i, b) in state.buf.drain(..n).enumerate() {
             buf[i] = b;
         }
-        state.wake_writer(Readiness::writable());
+        // Edge-triggered writable wake: a registered writer is only ever
+        // blocked on a *full* pipe (anything less and its write would have
+        // made progress), so only the full→space transition posts an event
+        // — draining an uncontended pipe stays silent instead of waking the
+        // peer's output task on every read.
+        if was_full {
+            state.wake_writer(Readiness::writable());
+        }
         pipe.cond.notify_all();
         drop(state);
         StackCosts::charge(self.costs.io_cost(false, n));
@@ -341,6 +349,22 @@ impl SimEndpoint {
         !state.buf.is_empty() || state.writer_closed
     }
 
+    /// Returns `true` if a write could make progress (buffer space
+    /// available, or the write would fail fast because the peer closed).
+    ///
+    /// `true` while an endpoint's token bucket is empty: rate limiting is a
+    /// time-based stall, not a peer-readiness one, so a blocked writer uses
+    /// this to tell "retry on a clock" apart from "park until the peer
+    /// drains". Counted in [`NetStats::writable_polls`].
+    pub fn writable(&self) -> bool {
+        if let Some(stats) = &self.stats {
+            stats.record_writable_poll();
+        }
+        let pipe = self.out_pipe();
+        let state = pipe.state.lock();
+        state.reader_closed || state.buf.len() < pipe.capacity
+    }
+
     /// Registers this endpoint with `poller`: state transitions matching
     /// `interest` will enqueue `token` until [`Endpoint::deregister`].
     ///
@@ -380,22 +404,33 @@ impl SimEndpoint {
     /// already-queued events are not retracted (consumers must tolerate
     /// events for deregistered tokens).
     pub fn deregister(&self, poller: &Poller) {
-        let mut state = self.in_pipe().state.lock();
-        if state
-            .read_waker
-            .as_ref()
-            .is_some_and(|w| w.belongs_to(poller))
-        {
-            state.read_waker = None;
+        self.deregister_interest(poller, Interest::BOTH);
+    }
+
+    /// Removes only the `interest` direction(s) of this endpoint's
+    /// registration in `poller`. Used by dispatchers that register one
+    /// connection twice — readable for the input task, writable for the
+    /// output task — so retiring one watcher leaves the other live.
+    pub fn deregister_interest(&self, poller: &Poller, interest: Interest) {
+        if interest.is_readable() {
+            let mut state = self.in_pipe().state.lock();
+            if state
+                .read_waker
+                .as_ref()
+                .is_some_and(|w| w.belongs_to(poller))
+            {
+                state.read_waker = None;
+            }
         }
-        drop(state);
-        let mut state = self.out_pipe().state.lock();
-        if state
-            .write_waker
-            .as_ref()
-            .is_some_and(|w| w.belongs_to(poller))
-        {
-            state.write_waker = None;
+        if interest.is_writable() {
+            let mut state = self.out_pipe().state.lock();
+            if state
+                .write_waker
+                .as_ref()
+                .is_some_and(|w| w.belongs_to(poller))
+            {
+                state.write_waker = None;
+            }
         }
     }
 
@@ -555,6 +590,47 @@ impl Endpoint {
         dispatch!(EndpointKind, self, ep => ep.read(buf))
     }
 
+    /// Reads available bytes directly into a [`SharedBuf`] without
+    /// blocking — the zero-copy ingest entry point.
+    ///
+    /// The socket fills the buffer's writable tail in place; a parsed
+    /// message then binds to the buffer's allocation via
+    /// [`SharedBuf::view`] without any intermediate copy. If making room
+    /// required carrying live bytes to a new chunk (a partial message
+    /// pinned by earlier messages still alive downstream), the carry is
+    /// recorded in [`NetStats::ingest_copies`] — zero on the fast path.
+    ///
+    /// [`SharedBuf`]: crate::SharedBuf
+    /// [`SharedBuf::view`]: crate::SharedBuf::view
+    pub fn read_into(&self, buf: &mut crate::SharedBuf) -> Result<usize, NetError> {
+        let min = buf.read_size();
+        // When filling means switching chunks (views of the current chunk
+        // are still alive downstream, or the tail is out of space), probe
+        // the connection first: a read that would report `WouldBlock`
+        // anyway must not pay a chunk allocation — input tasks probe after
+        // every drained batch.
+        if !buf.can_fill_in_place(min) && self.pending() == 0 && !self.peer_closed() {
+            return Err(NetError::WouldBlock);
+        }
+        let (tail, carried) = buf.tail_mut(min);
+        if carried > 0 {
+            if let Some(stats) = self.stats() {
+                stats.record_ingest_copy(carried);
+            }
+        }
+        let n = self.read(tail)?;
+        buf.commit(n);
+        Ok(n)
+    }
+
+    /// The stats block this endpoint records into, if any.
+    fn stats(&self) -> Option<&Arc<NetStats>> {
+        match &self.kind {
+            EndpointKind::Sim(sim) => sim.stats.as_ref(),
+            EndpointKind::Tcp(tcp) => Some(tcp.stats()),
+        }
+    }
+
     /// Reads at least one byte, blocking up to `timeout`.
     pub fn read_timeout(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
         dispatch!(EndpointKind, self, ep => ep.read_timeout(buf, timeout))
@@ -582,6 +658,14 @@ impl Endpoint {
         dispatch!(EndpointKind, self, ep => ep.readable())
     }
 
+    /// Returns `true` if a write could make progress (buffer space, or a
+    /// fail-fast close). Still `true` while a rate limiter is the only
+    /// obstacle — see [`SimEndpoint::writable`]. Counted in
+    /// [`NetStats::writable_polls`] on both transports.
+    pub fn writable(&self) -> bool {
+        dispatch!(EndpointKind, self, ep => ep.writable())
+    }
+
     /// Registers this endpoint with `poller`: transitions matching
     /// `interest` enqueue `token` until [`Endpoint::deregister`].
     /// Level-triggered at the moment of the call, edge-triggered
@@ -593,6 +677,13 @@ impl Endpoint {
     /// Removes any registration this endpoint holds in `poller`.
     pub fn deregister(&self, poller: &Poller) {
         dispatch!(EndpointKind, self, ep => ep.deregister(poller))
+    }
+
+    /// Removes only the `interest` direction(s) of this endpoint's
+    /// registration in `poller`, leaving the other direction's watcher (a
+    /// different task on the same connection) in place.
+    pub fn deregister_interest(&self, poller: &Poller, interest: Interest) {
+        dispatch!(EndpointKind, self, ep => ep.deregister_interest(poller, interest))
     }
 
     /// Number of bytes currently buffered for reading.
@@ -910,6 +1001,50 @@ mod tests {
             let events = poller.wait(Duration::from_secs(1));
             assert_eq!(events.len(), 1);
             assert!(events[0].readiness.writable);
+        }
+
+        /// The edge-triggered half of the writable contract: draining a
+        /// pipe that was never full is not a transition, so a registered
+        /// writer is not woken — output tasks only pay wakeups when they
+        /// were actually blocked.
+        #[test]
+        fn drain_of_an_unfilled_pipe_stays_silent_for_writable_interest() {
+            let (client, server) = pair(12, StackCosts::free(), None, 64);
+            let poller = Poller::new();
+            client.register(&poller, Token(8), Interest::WRITABLE);
+            // Consume the level-triggered event from registration.
+            assert_eq!(poller.wait(Duration::from_millis(50)).len(), 1);
+            client.write(b"abc").unwrap();
+            let mut buf = [0u8; 8];
+            server.read(&mut buf).unwrap();
+            assert!(
+                poller.wait(Duration::from_millis(20)).is_empty(),
+                "draining a non-full pipe must not wake the writer"
+            );
+        }
+
+        /// `read_into` fills the shared buffer in place and never records
+        /// an ingest copy on the drain-between-fills path, even while a
+        /// parsed message pins the previous chunk.
+        #[test]
+        fn read_into_fills_the_shared_buffer_without_copies() {
+            let stats = NetStats::new_shared();
+            let (client, server) = pair(13, StackCosts::free(), Some(Arc::clone(&stats)), 1024);
+            let mut buf = crate::SharedBuf::new(64);
+            assert_eq!(server.read_into(&mut buf), Err(NetError::WouldBlock));
+            client.write(b"payload").unwrap();
+            assert_eq!(server.read_into(&mut buf).unwrap(), 7);
+            assert_eq!(&buf.view()[..], b"payload");
+            let pinned = buf.view();
+            buf.consume(7);
+            // A second roundtrip while a view pins the old chunk: the fill
+            // switches chunks, but carries zero live bytes — no copy.
+            client.write(b"more").unwrap();
+            assert_eq!(server.read_into(&mut buf).unwrap(), 4);
+            assert_eq!(&buf.view()[..], b"more");
+            assert_eq!(&pinned[..], b"payload");
+            let snap = stats.snapshot();
+            assert_eq!(snap.ingest_copies, 0, "no carries on this path");
         }
 
         #[test]

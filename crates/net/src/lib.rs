@@ -45,6 +45,7 @@
 //! assert_eq!(&buf[..n], b"ping");
 //! ```
 
+pub mod buf;
 pub mod conn;
 pub mod costs;
 pub mod error;
@@ -55,6 +56,7 @@ pub mod stats;
 mod sys;
 pub mod tcp;
 
+pub use buf::SharedBuf;
 pub use conn::{Endpoint, SimEndpoint};
 pub use costs::{StackCosts, StackModel};
 pub use error::NetError;

@@ -26,6 +26,17 @@ pub struct NetStats {
     /// one per watched connection per tick; the event-driven dispatcher
     /// pays none, which is what the idle-service tests assert.
     pub readable_polls: AtomicU64,
+    /// `Endpoint::writable` checks issued (the write-side counterpart of
+    /// `readable_polls`: the poll-mode dispatcher scans them, the event
+    /// backend relies on writable-interest registrations instead).
+    pub writable_polls: AtomicU64,
+    /// Ingest-buffer copy events: fills of a [`crate::SharedBuf`] that had
+    /// to carry live bytes to a new (or compacted) chunk. Zero on the
+    /// shared-buffer fast path — the regression assertion behind the
+    /// zero-copy data plane.
+    pub ingest_copies: AtomicU64,
+    /// Bytes moved by those ingest copy events.
+    pub ingest_copied_bytes: AtomicU64,
 }
 
 impl NetStats {
@@ -61,6 +72,18 @@ impl NetStats {
         self.readable_polls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one `Endpoint::writable` poll.
+    pub fn record_writable_poll(&self) {
+        self.writable_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one ingest-buffer carry of `n` live bytes.
+    pub fn record_ingest_copy(&self, n: usize) {
+        self.ingest_copies.fetch_add(1, Ordering::Relaxed);
+        self.ingest_copied_bytes
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -71,6 +94,9 @@ impl NetStats {
             read_calls: self.read_calls.load(Ordering::Relaxed),
             write_calls: self.write_calls.load(Ordering::Relaxed),
             readable_polls: self.readable_polls.load(Ordering::Relaxed),
+            writable_polls: self.writable_polls.load(Ordering::Relaxed),
+            ingest_copies: self.ingest_copies.load(Ordering::Relaxed),
+            ingest_copied_bytes: self.ingest_copied_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -92,6 +118,12 @@ pub struct StatsSnapshot {
     pub write_calls: u64,
     /// `Endpoint::readable` checks issued.
     pub readable_polls: u64,
+    /// `Endpoint::writable` checks issued.
+    pub writable_polls: u64,
+    /// Ingest-buffer carry events (see [`NetStats::ingest_copies`]).
+    pub ingest_copies: u64,
+    /// Bytes moved by ingest carries.
+    pub ingest_copied_bytes: u64,
 }
 
 impl StatsSnapshot {

@@ -65,17 +65,47 @@ fn map_io(err: std::io::Error) -> NetError {
 // OsReactor
 // ---------------------------------------------------------------------------
 
+/// The wakers one socket's epoll registration fans out to: one slot per
+/// direction, because a single connection may be watched by two different
+/// tasks — the input task (readable) and the output task (writable) — each
+/// under its own token, possibly in different pollers. Mirrors the
+/// simulated pipes, which hold a `read_waker` and a `write_waker` per
+/// direction.
+#[derive(Default)]
+struct FdSlots {
+    read: Option<WakerSlot>,
+    write: Option<WakerSlot>,
+}
+
+impl FdSlots {
+    /// The epoll event mask the current slots ask for.
+    fn epoll_bits(&self) -> u32 {
+        let mut bits = sys::EPOLLET | sys::EPOLLRDHUP;
+        if self.read.is_some() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.write.is_some() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn is_empty(&self) -> bool {
+        self.read.is_none() && self.write.is_none()
+    }
+}
+
 /// The process-wide epoll reactor.
 ///
 /// One detached thread blocks in `epoll_wait` for every OS socket in the
-/// process; each registration carries the destination poller, so events
+/// process; each registration carries the destination poller(s), so events
 /// fan out to whichever shard owns the socket — the per-shard reactors
 /// multiplex simulated and OS sources without knowing the difference.
 /// `epoll_ctl` is safe to call concurrently with `epoll_wait`, so
 /// registration changes take effect immediately without waking the thread.
 pub(crate) struct OsReactor {
     epfd: RawFd,
-    registrations: Mutex<HashMap<RawFd, WakerSlot>>,
+    registrations: Mutex<HashMap<RawFd, FdSlots>>,
 }
 
 impl OsReactor {
@@ -122,22 +152,29 @@ impl OsReactor {
                 let registrations = self.registrations.lock();
                 for event in events.iter().take(n as usize) {
                     let fd = event.u64 as RawFd;
-                    let Some(slot) = registrations.get(&fd) else {
+                    let Some(slots) = registrations.get(&fd) else {
                         continue; // Deregistered while the event was in flight.
                     };
                     let bits = event.events;
-                    let mut readiness = Readiness::default();
+                    let closed = bits & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0;
+                    // Fan out per direction: a close wakes both watchers (a
+                    // parked writer must fail fast, a reader must observe
+                    // EOF), ordinary transitions only their own side.
                     if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0
                     {
-                        readiness.readable = true;
+                        if let Some(slot) = &slots.read {
+                            let mut readiness = Readiness::readable();
+                            readiness.closed = closed;
+                            wakes.push((slot.clone(), readiness));
+                        }
                     }
                     if bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
-                        readiness.writable = true;
+                        if let Some(slot) = &slots.write {
+                            let mut readiness = Readiness::writable();
+                            readiness.closed = closed;
+                            wakes.push((slot.clone(), readiness));
+                        }
                     }
-                    if bits & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
-                        readiness.closed = true;
-                    }
-                    wakes.push((slot.clone(), readiness));
                 }
             }
             for (slot, readiness) in wakes {
@@ -146,25 +183,29 @@ impl OsReactor {
         }
     }
 
-    /// Installs (or replaces) the registration for `fd`. Events matching
-    /// `interest` will post `token` into `poller` until [`OsReactor::forget`].
+    /// Installs (or replaces) the registration for the direction(s) in
+    /// `interest` of `fd`. Matching events will post `token` into `poller`
+    /// until the direction is deregistered or [`OsReactor::forget`] runs.
+    /// Each direction holds one slot: registering a direction again (from
+    /// any clone) replaces it, while the other direction's slot — possibly
+    /// a different task's token — is left alone.
     fn register(&self, fd: RawFd, poller: &Poller, token: Token, interest: Interest) {
-        let mut bits = sys::EPOLLET | sys::EPOLLRDHUP;
-        if interest.is_readable() {
-            bits |= sys::EPOLLIN;
-        }
-        if interest.is_writable() {
-            bits |= sys::EPOLLOUT;
-        }
-        let mut event = sys::epoll_event {
-            events: bits,
-            u64: fd as u64,
-        };
         let mut registrations = self.registrations.lock();
         let op = if registrations.contains_key(&fd) {
             sys::EPOLL_CTL_MOD
         } else {
             sys::EPOLL_CTL_ADD
+        };
+        let slots = registrations.entry(fd).or_default();
+        if interest.is_readable() {
+            slots.read = Some(poller.slot(token));
+        }
+        if interest.is_writable() {
+            slots.write = Some(poller.slot(token));
+        }
+        let mut event = sys::epoll_event {
+            events: slots.epoll_bits(),
+            u64: fd as u64,
         };
         let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) };
         // A failed registration (max_user_watches exhausted, ENOMEM) must
@@ -177,19 +218,32 @@ impl OsReactor {
             "epoll_ctl({op}) for fd {fd} failed: errno {}",
             sys::errno()
         );
-        registrations.insert(fd, poller.slot(token));
     }
 
-    /// Removes the registration for `fd` if it posts into `poller`.
-    fn deregister(&self, fd: RawFd, poller: &Poller) {
+    /// Removes the direction(s) in `interest` of `fd`'s registration when
+    /// they post into `poller`; drops the epoll entry once no direction is
+    /// left.
+    fn deregister(&self, fd: RawFd, poller: &Poller, interest: Interest) {
         let mut registrations = self.registrations.lock();
-        if registrations
-            .get(&fd)
-            .is_some_and(|slot| slot.belongs_to(poller))
-        {
+        let Some(slots) = registrations.get_mut(&fd) else {
+            return;
+        };
+        if interest.is_readable() && slots.read.as_ref().is_some_and(|s| s.belongs_to(poller)) {
+            slots.read = None;
+        }
+        if interest.is_writable() && slots.write.as_ref().is_some_and(|s| s.belongs_to(poller)) {
+            slots.write = None;
+        }
+        if slots.is_empty() {
             registrations.remove(&fd);
             let mut event = sys::epoll_event { events: 0, u64: 0 };
             unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut event) };
+        } else {
+            let mut event = sys::epoll_event {
+                events: slots.epoll_bits(),
+                u64: fd as u64,
+            };
+            unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, &mut event) };
         }
     }
 
@@ -402,7 +456,7 @@ impl TcpListener {
     /// Removes this listener's registration in `poller`, if any.
     pub fn deregister(&self, poller: &Poller) {
         if let Some(fd) = self.raw_fd() {
-            OsReactor::global().deregister(fd, poller);
+            OsReactor::global().deregister(fd, poller, Interest::READABLE);
         }
     }
 
@@ -618,6 +672,22 @@ impl TcpConn {
         self.peek().0
     }
 
+    /// `true` if a write could make progress: kernel send-buffer space
+    /// (`POLLOUT` with a zero timeout) or a fail-fast close. Matches the
+    /// simulated pipes' contract — a rate limiter alone never makes this
+    /// `false`.
+    pub(crate) fn writable(&self) -> bool {
+        self.inner.stats.record_writable_poll();
+        if self.inner.closed.load(Ordering::Acquire) {
+            return true;
+        }
+        sys::wait_ready(self.fd(), sys::POLLOUT, Duration::ZERO)
+    }
+
+    pub(crate) fn stats(&self) -> &Arc<NetStats> {
+        &self.inner.stats
+    }
+
     pub(crate) fn pending(&self) -> usize {
         let mut available: sys::c_int = 0;
         let rc = unsafe { sys::ioctl(self.fd(), sys::FIONREAD, &mut available) };
@@ -654,7 +724,11 @@ impl TcpConn {
     }
 
     pub(crate) fn deregister(&self, poller: &Poller) {
-        OsReactor::global().deregister(self.fd(), poller);
+        self.deregister_interest(poller, Interest::BOTH);
+    }
+
+    pub(crate) fn deregister_interest(&self, poller: &Poller, interest: Interest) {
+        OsReactor::global().deregister(self.fd(), poller, interest);
     }
 
     pub(crate) fn close(&self) {

@@ -30,7 +30,7 @@
 //!   endpoint.
 
 use crate::metrics::RuntimeMetrics;
-use crate::platform::{GraphFactory, ServiceEnv};
+use crate::platform::{GraphFactory, ServiceEnv, Watch};
 use crate::scheduler::Scheduler;
 use crate::shard::{Shard, ShardCommand, ShardSet, CONTROL_TOKEN};
 use crate::task::TaskId;
@@ -133,7 +133,7 @@ struct LiveGraph {
     service: Arc<ServiceShared>,
     task_ids: Vec<TaskId>,
     client_tasks: Vec<TaskId>,
-    watchers: Vec<(TaskId, Endpoint)>,
+    watchers: Vec<Watch>,
     /// Set once every client task has finished: the graph is draining. The
     /// deadline bounds how long a non-quiescent graph may linger before it
     /// is torn down forcibly.
@@ -178,8 +178,8 @@ fn build_graph(
         Ok(built) => {
             let task_ids = built.graph.task_ids().to_vec();
             scheduler.register_graph(built.graph, &built.initial);
-            for (task, _) in &built.watchers {
-                scheduler.schedule(*task);
+            for watch in &built.watchers {
+                scheduler.schedule(watch.task);
             }
             service.live_graphs.fetch_add(1, Ordering::Relaxed);
             shard.note_graph_built();
@@ -317,12 +317,19 @@ fn run_poll_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Dur
         //    client connections have all finished.
         let scheduler = shard.scheduler();
         graphs.retain_mut(|graph| {
-            graph.watchers.retain(|(task, endpoint)| {
-                if !scheduler.is_registered(*task) {
+            graph.watchers.retain(|watch| {
+                if !scheduler.is_registered(watch.task) {
                     return false;
                 }
-                if endpoint.readable() {
-                    scheduler.schedule(*task);
+                // Only readable watches are scanned: under this backend
+                // output tasks run busy-retry (the platform forces
+                // `OutputMode::BusyRetry`, see `deploy_on_listener`), so a
+                // blocked writer re-schedules itself and a writable scan
+                // would only burn a per-connection no-op task run every
+                // tick. Writable watches stay in the list for the
+                // interest-aware drain close and teardown bookkeeping.
+                if watch.interest.is_readable() && watch.endpoint.readable() {
+                    scheduler.schedule(watch.task);
                 }
                 true
             });
@@ -366,8 +373,15 @@ fn advance_graph_lifecycle(scheduler: &Scheduler, graph: &mut LiveGraph) -> bool
         return false;
     }
     if graph.draining_until.is_none() {
-        for (_task, endpoint) in &graph.watchers {
-            endpoint.close();
+        // Close only the *read* side watches so the remaining input tasks
+        // observe EOF; output watches must stay open — their tasks may
+        // still be flushing (e.g. the aggregate a foldt service emits when
+        // its inputs finish), and each output task closes its own
+        // connection once drained.
+        for watch in &graph.watchers {
+            if watch.interest.is_readable() {
+                watch.endpoint.close();
+            }
         }
         for task in &graph.task_ids {
             scheduler.schedule(*task);
@@ -406,6 +420,10 @@ struct Watcher {
     graph_id: u64,
     task: TaskId,
     endpoint: Endpoint,
+    /// The direction this watcher registered; retiring it must only
+    /// deregister that direction (the same endpoint's other direction may
+    /// belong to a different task's watcher).
+    interest: Interest,
 }
 
 /// The mutable state of one shard's event reactor.
@@ -448,15 +466,16 @@ fn build_and_track_graph(
     let scheduler = shard.scheduler();
     let graph_id = state.alloc_token().0;
     let mut watch_tokens = Vec::with_capacity(graph.watchers.len());
-    for (task, endpoint) in &graph.watchers {
+    for watch in &graph.watchers {
         let token = state.alloc_token();
-        endpoint.register(poller, token, Interest::READABLE);
+        watch.endpoint.register(poller, token, watch.interest);
         state.watch_map.insert(
             token,
             Watcher {
                 graph_id,
-                task: *task,
-                endpoint: endpoint.clone(),
+                task: watch.task,
+                endpoint: watch.endpoint.clone(),
+                interest: watch.interest,
             },
         );
         watch_tokens.push(token);
@@ -557,10 +576,14 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
                 if scheduler.is_registered(watcher.task) {
                     scheduler.schedule(watcher.task);
                 } else {
-                    // The input task already exited; stop watching. Graph
-                    // teardown itself is driven by the task-exit events.
+                    // The watched task already exited; stop watching this
+                    // direction (the connection's other direction may still
+                    // have a live watcher). Graph teardown itself is driven
+                    // by the task-exit events.
                     let watcher = state.watch_map.remove(&event.token).expect("present");
-                    watcher.endpoint.deregister(&poller);
+                    watcher
+                        .endpoint
+                        .deregister_interest(&poller, watcher.interest);
                 }
             } else if state.graphs.contains_key(&event.token.0) {
                 // A task-exit event: re-evaluate this graph's lifecycle.
@@ -612,7 +635,9 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
                 state.draining.remove(&graph_id);
                 for token in &entry.watch_tokens {
                     if let Some(watcher) = state.watch_map.remove(token) {
-                        watcher.endpoint.deregister(&poller);
+                        watcher
+                            .endpoint
+                            .deregister_interest(&poller, watcher.interest);
                     }
                 }
                 teardown_graph(&scheduler, &mut entry.graph);
@@ -638,8 +663,8 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
         entry.shared.listener.close();
     }
     for (_, mut entry) in state.graphs {
-        for (_, endpoint) in &entry.graph.watchers {
-            endpoint.deregister(&poller);
+        for watch in &entry.graph.watchers {
+            watch.endpoint.deregister_interest(&poller, watch.interest);
         }
         teardown_graph(&scheduler, &mut entry.graph);
     }
@@ -668,7 +693,9 @@ fn evaluate_graph(scheduler: &Scheduler, poller: &Poller, state: &mut EventState
     for token in &entry.watch_tokens {
         if let Some(watcher) = state.watch_map.remove(token) {
             debug_assert_eq!(watcher.graph_id, graph_id);
-            watcher.endpoint.deregister(poller);
+            watcher
+                .endpoint
+                .deregister_interest(poller, watcher.interest);
         }
     }
 }
@@ -818,13 +845,15 @@ mod tests {
                     Box::new(RespondLogic),
                 )),
             );
-            builder.install(
-                output_node,
-                Box::new(OutputTask::new("http-out", client.clone(), codec, resp_rx)),
-            );
+            let mut out_task = OutputTask::new("http-out", client.clone(), codec, resp_rx);
+            out_task.set_mode(env.output_mode);
+            builder.install(output_node, Box::new(out_task));
             Ok(BuiltGraph {
                 graph: builder.build(),
-                watchers: vec![(input_node.task_id(), client)],
+                watchers: vec![
+                    Watch::readable(input_node.task_id(), client.clone()),
+                    Watch::writable(output_node.task_id(), client),
+                ],
                 initial: vec![],
                 client_tasks: vec![input_node.task_id()],
             })

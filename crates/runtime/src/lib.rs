@@ -49,12 +49,15 @@ pub use error::RuntimeError;
 pub use graph::{GraphBuilder, GraphInstance, NodeId};
 pub use metrics::RuntimeMetrics;
 pub use platform::{
-    default_shard_count, GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec,
+    default_shard_count, GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec, Watch,
 };
+pub use pool::{BackendPool, BackendTarget, BufferPool};
 pub use scheduler::{Scheduler, ShardLoad, StealGroup};
 pub use shard::{
     LeastLoadedPlacement, Placement, PlacementPolicy, RoundRobinPlacement, Shard, ShardStatus,
 };
 pub use task::{SchedulingPolicy, Task, TaskContext, TaskId, TaskStatus};
-pub use tasks::{ComputeLogic, ComputeTask, InputTask, OutputTask, Outputs, SourceTask};
+pub use tasks::{
+    ComputeLogic, ComputeTask, InputTask, OutputMode, OutputTask, Outputs, SourceTask,
+};
 pub use value::{SharedDict, Value};

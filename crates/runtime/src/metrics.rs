@@ -28,6 +28,11 @@ pub struct RuntimeMetrics {
     /// Tasks stolen *across shard boundaries*: an idle shard's worker
     /// executed a runnable task belonging to a sibling shard's scheduler.
     pub tasks_stolen: AtomicU64,
+    /// Output-task dispatches that ended in a busy retry: the write
+    /// blocked and the task asked to be re-run immediately instead of
+    /// parking on writable readiness. Zero under the wakeup-driven output
+    /// mode while a peer is stalled — the stress tests assert it.
+    pub output_busy_retries: AtomicU64,
 }
 
 impl RuntimeMetrics {
@@ -58,6 +63,7 @@ impl RuntimeMetrics {
             graphs_destroyed: Self::get(&self.graphs_destroyed),
             tasks_scavenged: Self::get(&self.tasks_scavenged),
             tasks_stolen: Self::get(&self.tasks_stolen),
+            output_busy_retries: Self::get(&self.output_busy_retries),
         }
     }
 }
@@ -83,6 +89,8 @@ pub struct MetricsSnapshot {
     pub tasks_scavenged: u64,
     /// Tasks stolen across shard boundaries.
     pub tasks_stolen: u64,
+    /// Output-task busy retries (blocked write + immediate re-run).
+    pub output_busy_retries: u64,
 }
 
 #[cfg(test)]

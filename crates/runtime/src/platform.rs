@@ -16,12 +16,13 @@ use crate::dispatcher::{run_shard_dispatcher, DeployedService, DispatcherBackend
 use crate::error::RuntimeError;
 use crate::graph::{GraphInstance, TaskIdAllocator};
 use crate::metrics::RuntimeMetrics;
-use crate::pool::BackendPool;
+use crate::pool::{BackendPool, BackendTarget};
 use crate::scheduler::{Scheduler, StealGroup};
 use crate::shard::{Placement, Shard, ShardCommand, ShardSet, ShardStatus};
 use crate::task::{SchedulingPolicy, TaskId};
+use crate::tasks::OutputMode;
 use crate::value::SharedDict;
-use flick_net::{Endpoint, Listener, SimNetwork, StackModel, TcpStack};
+use flick_net::{Endpoint, Interest, Listener, SimNetwork, StackModel, TcpStack};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -67,6 +68,9 @@ pub struct PlatformConfig {
     pub channel_capacity: usize,
     /// Whether backend connections are drawn from a pre-established pool.
     pub backend_pooling: bool,
+    /// How output tasks behave when a write blocks (wakeup-driven parking
+    /// by default; the busy-retry loop remains available for ablations).
+    pub output_mode: OutputMode,
 }
 
 impl Default for PlatformConfig {
@@ -81,6 +85,7 @@ impl Default for PlatformConfig {
             poll_interval: Duration::from_micros(50),
             channel_capacity: 1024,
             backend_pooling: false,
+            output_mode: OutputMode::default(),
         }
     }
 }
@@ -131,14 +136,55 @@ pub struct ServiceEnv {
     pub allocator: Arc<TaskIdAllocator>,
     /// Capacity to use for task channels.
     pub channel_capacity: usize,
+    /// Blocked-write behaviour factories should install on the output
+    /// tasks they build ([`crate::tasks::OutputTask::set_mode`]).
+    pub output_mode: OutputMode,
+}
+
+/// One readiness watch a graph asks its dispatcher to maintain: when
+/// `endpoint` transitions per `interest`, schedule `task`.
+///
+/// Input tasks watch readable transitions; output tasks watch writable
+/// ones, which is what lets a blocked writer park instead of busy-retrying
+/// — writable interest is a first-class dispatcher event on both
+/// transports.
+#[derive(Clone)]
+pub struct Watch {
+    /// The task to schedule.
+    pub task: TaskId,
+    /// The endpoint whose transitions are watched.
+    pub endpoint: Endpoint,
+    /// Which transitions matter.
+    pub interest: Interest,
+}
+
+impl Watch {
+    /// A readable watch (input tasks).
+    pub fn readable(task: TaskId, endpoint: Endpoint) -> Self {
+        Watch {
+            task,
+            endpoint,
+            interest: Interest::READABLE,
+        }
+    }
+
+    /// A writable watch (output tasks).
+    pub fn writable(task: TaskId, endpoint: Endpoint) -> Self {
+        Watch {
+            task,
+            endpoint,
+            interest: Interest::WRITABLE,
+        }
+    }
 }
 
 /// A graph produced by a factory, plus the bookkeeping the dispatcher needs.
 pub struct BuiltGraph {
     /// The assembled graph.
     pub graph: GraphInstance,
-    /// Input tasks to wake when their endpoint becomes readable.
-    pub watchers: Vec<(TaskId, Endpoint)>,
+    /// Tasks to wake on endpoint readiness transitions (readable for
+    /// input tasks, writable for output tasks).
+    pub watchers: Vec<Watch>,
     /// Tasks to schedule immediately after registration.
     pub initial: Vec<TaskId>,
     /// The input tasks bound to *client* connections; when all of them have
@@ -169,8 +215,12 @@ pub struct ServiceSpec {
     pub name: String,
     /// Port the application dispatcher listens on.
     pub port: u16,
-    /// Ports of the service's back-end servers.
+    /// Ports of the service's back-end servers on the simulated fabric.
     pub backends: Vec<u16>,
+    /// Socket addresses of real TCP back-end servers (reached through the
+    /// platform's OS stack). May be combined with `backends`; the pool
+    /// indexes simulated targets first, then TCP targets.
+    pub tcp_backends: Vec<String>,
     /// The graph factory.
     pub factory: Arc<dyn GraphFactory>,
 }
@@ -181,6 +231,7 @@ impl std::fmt::Debug for ServiceSpec {
             .field("name", &self.name)
             .field("port", &self.port)
             .field("backends", &self.backends)
+            .field("tcp_backends", &self.tcp_backends)
             .finish()
     }
 }
@@ -192,13 +243,22 @@ impl ServiceSpec {
             name: name.into(),
             port,
             backends: Vec::new(),
+            tcp_backends: Vec::new(),
             factory,
         }
     }
 
-    /// Sets the back-end ports.
+    /// Sets the back-end ports on the simulated fabric.
     pub fn with_backends(mut self, backends: Vec<u16>) -> Self {
         self.backends = backends;
+        self
+    }
+
+    /// Sets real TCP back-end addresses (e.g. `127.0.0.1:8100`). The
+    /// service's [`BackendPool`] connects to them through the platform's
+    /// kernel-socket stack — the all-TCP `client → LB → backend` path.
+    pub fn with_tcp_backends(mut self, addrs: Vec<String>) -> Self {
+        self.tcp_backends = addrs;
         self
     }
 }
@@ -380,17 +440,42 @@ impl Platform {
         port: u16,
     ) -> Result<DeployedService, RuntimeError> {
         let globals = SharedDict::new();
-        let backends = BackendPool::new(
-            Arc::clone(&self.net),
-            spec.backends.clone(),
-            self.config.backend_pooling,
-        );
+        // Simulated targets first, then TCP targets, so existing
+        // port-indexed services are unaffected and mixed-transport pools
+        // keep a stable order.
+        let mut targets: Vec<BackendTarget> = spec
+            .backends
+            .iter()
+            .map(|port| BackendTarget::Sim {
+                net: Arc::clone(&self.net),
+                port: *port,
+            })
+            .collect();
+        if !spec.tcp_backends.is_empty() {
+            let stack = self.tcp_stack();
+            targets.extend(spec.tcp_backends.iter().map(|addr| BackendTarget::Tcp {
+                stack: Arc::clone(&stack),
+                addr: addr.clone(),
+            }));
+        }
+        let backends = BackendPool::over(targets, self.config.backend_pooling);
+        // The poll backend has no writable-event path (it is the
+        // historical sleep-poll baseline), so its output tasks keep the
+        // historical busy-retry behaviour; parking them would strand a
+        // blocked writer until graph teardown. Wakeup-driven output is an
+        // event-dispatcher capability.
+        let output_mode = if self.config.dispatcher == DispatcherBackend::Poll {
+            OutputMode::BusyRetry
+        } else {
+            self.config.output_mode
+        };
         let env = ServiceEnv {
             net: Arc::clone(&self.net),
             globals: globals.clone(),
             backends,
             allocator: Arc::clone(&self.allocator),
             channel_capacity: self.config.channel_capacity,
+            output_mode,
         };
         let id = self.next_service.fetch_add(1, Ordering::Relaxed);
         // Listeners rotate over the shards so multiple services do not all

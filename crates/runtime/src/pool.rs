@@ -7,7 +7,7 @@
 //! (`benches/dispatch.rs`) measures their effect.
 
 use crate::error::RuntimeError;
-use flick_net::{Endpoint, SimNetwork};
+use flick_net::{Endpoint, SimNetwork, TcpStack};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -63,14 +63,55 @@ impl BufferPool {
     }
 }
 
-/// Access to a service's back-end servers.
+/// One back-end a [`BackendPool`] can connect to: a port on the simulated
+/// fabric or a socket address reached through an OS TCP stack. The pool —
+/// and everything above it — treats both identically; the returned
+/// [`Endpoint`] is the same transport-neutral handle either way.
+#[derive(Clone)]
+pub enum BackendTarget {
+    /// A listener on the simulated network.
+    Sim {
+        /// The fabric the backend lives on.
+        net: Arc<SimNetwork>,
+        /// The backend's port.
+        port: u16,
+    },
+    /// A real TCP server reached through the kernel.
+    Tcp {
+        /// The stack connections are opened on.
+        stack: Arc<TcpStack>,
+        /// The backend's socket address (e.g. `127.0.0.1:8100`).
+        addr: String,
+    },
+}
+
+impl BackendTarget {
+    /// A human-readable address label for diagnostics.
+    pub fn label(&self) -> String {
+        match self {
+            BackendTarget::Sim { port, .. } => format!("sim:{port}"),
+            BackendTarget::Tcp { addr, .. } => format!("tcp:{addr}"),
+        }
+    }
+
+    fn connect(&self) -> Result<Endpoint, RuntimeError> {
+        match self {
+            BackendTarget::Sim { net, port } => Ok(net.connect(*port)?),
+            BackendTarget::Tcp { stack, addr } => Ok(stack.connect(addr)?),
+        }
+    }
+}
+
+/// Access to a service's back-end servers, over either transport.
 ///
 /// `connect` always establishes a fresh connection (paying the stack's
 /// connect cost); `checkout`/`checkin` maintain a pool of pre-established
 /// connections per backend, which the dispatch ablation compares against.
+/// Targets may be simulated ports, real TCP addresses, or a mix — a
+/// TCP-fronted service can pool kernel-socket back-ends and complete the
+/// all-TCP `client → LB → backend` path.
 pub struct BackendPool {
-    net: Arc<SimNetwork>,
-    ports: Vec<u16>,
+    targets: Vec<BackendTarget>,
     pooled: Vec<Mutex<VecDeque<Endpoint>>>,
     pooling_enabled: bool,
 }
@@ -78,19 +119,49 @@ pub struct BackendPool {
 impl std::fmt::Debug for BackendPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BackendPool")
-            .field("ports", &self.ports)
+            .field(
+                "targets",
+                &self.targets.iter().map(|t| t.label()).collect::<Vec<_>>(),
+            )
             .field("pooling", &self.pooling_enabled)
             .finish()
     }
 }
 
 impl BackendPool {
-    /// Creates a backend pool over the given ports.
+    /// Creates a backend pool over ports of the simulated network.
     pub fn new(net: Arc<SimNetwork>, ports: Vec<u16>, pooling_enabled: bool) -> Arc<Self> {
-        let pooled = ports.iter().map(|_| Mutex::new(VecDeque::new())).collect();
+        let targets = ports
+            .into_iter()
+            .map(|port| BackendTarget::Sim {
+                net: Arc::clone(&net),
+                port,
+            })
+            .collect();
+        Self::over(targets, pooling_enabled)
+    }
+
+    /// Creates a backend pool over real TCP addresses.
+    pub fn new_tcp(stack: Arc<TcpStack>, addrs: Vec<String>, pooling_enabled: bool) -> Arc<Self> {
+        let targets = addrs
+            .into_iter()
+            .map(|addr| BackendTarget::Tcp {
+                stack: Arc::clone(&stack),
+                addr,
+            })
+            .collect();
+        Self::over(targets, pooling_enabled)
+    }
+
+    /// Creates a backend pool over an explicit (possibly mixed-transport)
+    /// target list.
+    pub fn over(targets: Vec<BackendTarget>, pooling_enabled: bool) -> Arc<Self> {
+        let pooled = targets
+            .iter()
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         Arc::new(BackendPool {
-            net,
-            ports,
+            targets,
             pooled,
             pooling_enabled,
         })
@@ -98,26 +169,25 @@ impl BackendPool {
 
     /// Number of configured back-ends.
     pub fn len(&self) -> usize {
-        self.ports.len()
+        self.targets.len()
     }
 
     /// Returns `true` if no back-ends are configured.
     pub fn is_empty(&self) -> bool {
-        self.ports.is_empty()
+        self.targets.is_empty()
     }
 
-    /// The configured backend ports.
-    pub fn ports(&self) -> &[u16] {
-        &self.ports
+    /// The configured backend targets.
+    pub fn targets(&self) -> &[BackendTarget] {
+        &self.targets
     }
 
     /// Establishes a fresh connection to backend `idx`.
     pub fn connect(&self, idx: usize) -> Result<Endpoint, RuntimeError> {
-        let port = *self
-            .ports
+        self.targets
             .get(idx)
-            .ok_or_else(|| RuntimeError::Config(format!("backend index {idx} out of range")))?;
-        Ok(self.net.connect(port)?)
+            .ok_or_else(|| RuntimeError::Config(format!("backend index {idx} out of range")))?
+            .connect()
     }
 
     /// Obtains a connection to backend `idx`, reusing a pooled one if

@@ -19,12 +19,17 @@ use crate::task::{Task, TaskContext, TaskStatus};
 use crate::value::Value;
 use bytes::Bytes;
 use flick_grammar::{ParseOutcome, Projection, WireCodec};
-use flick_net::{Endpoint, NetError};
+use flick_net::{Endpoint, NetError, SharedBuf};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// How many bytes an input task reads per socket call.
 pub const READ_CHUNK: usize = 16 * 1024;
+
+/// Capacity an output task retains for its serialisation buffer across
+/// responses; a one-off larger response shrinks back to this once flushed,
+/// so a single 16 KB body does not pin its capacity forever.
+pub const OUTBUF_RETAIN: usize = READ_CHUNK;
 
 // ---------------------------------------------------------------------------
 // Input task
@@ -32,12 +37,20 @@ pub const READ_CHUNK: usize = 16 * 1024;
 
 /// A task that reads bytes from one connection and deserialises them into
 /// application messages.
+///
+/// Ingest is zero-copy: the socket fills a refcounted [`SharedBuf`] in
+/// place ([`Endpoint::read_into`]) and messages are parsed straight out of
+/// it via [`WireCodec::parse_bytes`], so a complete message binds its raw
+/// wire bytes (and byte fields) to the ingest allocation instead of being
+/// copied into a private accumulator — and an incomplete message costs
+/// nothing at all. [`flick_net::NetStats::ingest_copies`] stays at zero on
+/// this path; the end-to-end suite asserts it.
 pub struct InputTask {
     label: String,
     endpoint: Endpoint,
     codec: Arc<dyn WireCodec>,
     projection: Option<Projection>,
-    buffer: Vec<u8>,
+    buf: SharedBuf,
     pending: Option<Value>,
     output: ChannelProducer,
     eof: bool,
@@ -58,7 +71,7 @@ impl InputTask {
             endpoint,
             codec,
             projection,
-            buffer: Vec::with_capacity(READ_CHUNK),
+            buf: SharedBuf::new(READ_CHUNK),
             pending: None,
             output,
             eof: false,
@@ -85,15 +98,18 @@ impl InputTask {
         }
     }
 
-    /// Parses as many complete messages as possible from the buffer.
+    /// Parses as many complete messages as possible from the shared
+    /// buffer. Each message is parsed zero-copy out of a [`SharedBuf::view`]
+    /// — consuming it is an index bump, not a drain-and-shift.
     fn drain_buffer(&mut self, ctx: &mut TaskContext) -> Result<bool, RuntimeError> {
         loop {
-            if self.buffer.is_empty() {
+            if self.buf.is_empty() {
                 return Ok(true);
             }
-            match self.codec.parse(&self.buffer, self.projection.as_ref())? {
+            let view = self.buf.view();
+            match self.codec.parse_bytes(&view, self.projection.as_ref())? {
                 ParseOutcome::Complete { message, consumed } => {
-                    self.buffer.drain(..consumed);
+                    self.buf.consume(consumed);
                     if !self.push_out(Value::Msg(message), ctx) {
                         return Ok(false);
                     }
@@ -140,12 +156,11 @@ impl Task for InputTask {
                 return TaskStatus::Finished;
             }
         }
-        // Then read more bytes from the connection.
-        let mut chunk = [0u8; READ_CHUNK];
+        // Then read more bytes from the connection, straight into the
+        // shared buffer — no intermediate stack chunk, no append copy.
         loop {
-            match self.endpoint.read(&mut chunk) {
-                Ok(n) => {
-                    self.buffer.extend_from_slice(&chunk[..n]);
+            match self.endpoint.read_into(&mut self.buf) {
+                Ok(_) => {
                     match self.drain_buffer(ctx) {
                         Ok(true) => {}
                         Ok(false) => return TaskStatus::Runnable,
@@ -362,7 +377,43 @@ impl Task for ComputeTask {
 // Output task
 // ---------------------------------------------------------------------------
 
+/// How an [`OutputTask`] behaves when its connection cannot take more
+/// bytes ([`NetError::WouldBlock`] with a full peer buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Park on writable readiness: the task returns [`TaskStatus::Idle`]
+    /// and the dispatcher's writable-interest watch re-schedules it when
+    /// the peer drains (or closes). The default.
+    #[default]
+    Wakeup,
+    /// Return [`TaskStatus::Runnable`] and retry immediately — the
+    /// historical busy loop, kept as the ablation baseline for the
+    /// writable-interest path (`flick_bench`'s output-mode ablation).
+    BusyRetry,
+}
+
+impl OutputMode {
+    /// Short label used in benchmark output ("wakeup", "busy").
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputMode::Wakeup => "wakeup",
+            OutputMode::BusyRetry => "busy",
+        }
+    }
+
+    /// Both modes, busy first (the ablation's baseline ordering).
+    pub fn all() -> [OutputMode; 2] {
+        [OutputMode::BusyRetry, OutputMode::Wakeup]
+    }
+}
+
 /// A task that serialises values and writes them to one connection.
+///
+/// A blocked write never spins: under the default [`OutputMode::Wakeup`]
+/// the task parks until the dispatcher delivers writable readiness for its
+/// endpoint. The only immediate retries left are rate-limiter stalls —
+/// time-based, so no peer transition will ever announce them — and those
+/// are counted in [`RuntimeMetrics::output_busy_retries`].
 pub struct OutputTask {
     label: String,
     endpoint: Endpoint,
@@ -370,6 +421,7 @@ pub struct OutputTask {
     input: ChannelConsumer,
     outbuf: Vec<u8>,
     close_on_finish: bool,
+    mode: OutputMode,
 }
 
 impl OutputTask {
@@ -387,6 +439,7 @@ impl OutputTask {
             input,
             outbuf: Vec::with_capacity(READ_CHUNK),
             close_on_finish: true,
+            mode: OutputMode::default(),
         }
     }
 
@@ -394,6 +447,11 @@ impl OutputTask {
     /// finishes (default `true`).
     pub fn set_close_on_finish(&mut self, close: bool) {
         self.close_on_finish = close;
+    }
+
+    /// Sets the blocked-write behaviour (default [`OutputMode::Wakeup`]).
+    pub fn set_mode(&mut self, mode: OutputMode) {
+        self.mode = mode;
     }
 
     /// The connection this task writes to.
@@ -411,7 +469,25 @@ impl OutputTask {
                 Err(e) => return Err(e.into()),
             }
         }
+        // Fully drained: a one-off large response must not pin its
+        // capacity forever.
+        if self.outbuf.capacity() > OUTBUF_RETAIN {
+            self.outbuf.shrink_to(OUTBUF_RETAIN);
+        }
         Ok(true)
+    }
+
+    /// Status for a blocked (`WouldBlock`) flush: park on writable
+    /// readiness unless busy retrying is the configured mode or the block
+    /// is a rate limiter (buffer space exists, so no peer transition will
+    /// ever wake us — the clock has to).
+    fn blocked(&self, ctx: &mut TaskContext) -> TaskStatus {
+        if self.mode == OutputMode::BusyRetry || self.endpoint.writable() {
+            RuntimeMetrics::add(&ctx.metrics().output_busy_retries, 1);
+            TaskStatus::Runnable
+        } else {
+            TaskStatus::Idle
+        }
     }
 }
 
@@ -432,7 +508,7 @@ impl Task for OutputTask {
         loop {
             match self.flush() {
                 Ok(true) => {}
-                Ok(false) => return TaskStatus::Runnable,
+                Ok(false) => return self.blocked(ctx),
                 Err(_) => {
                     // The peer is gone; drop remaining output.
                     self.endpoint.close();

@@ -58,6 +58,18 @@ impl Value {
         }
     }
 
+    /// Re-owns every shared byte region inside the value (see
+    /// [`Message::compact`]): byte values and message fields parsed
+    /// zero-copy stop pinning the connection's ingest chunk.
+    pub fn compact(&mut self) {
+        match self {
+            Value::Msg(msg) => msg.compact(),
+            Value::Bytes(bytes) => *bytes = Bytes::copy_from_slice(bytes),
+            Value::List(items) => items.iter_mut().for_each(Value::compact),
+            _ => {}
+        }
+    }
+
     /// Returns the string slice for string-like values.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -162,7 +174,15 @@ impl SharedDict {
     }
 
     /// Inserts or replaces a key.
+    ///
+    /// The stored value is compacted first ([`Value::compact`]): shared
+    /// dictionaries are long-lived retention (FLICK `global` state, e.g.
+    /// the memcached router's response cache), and a zero-copy parsed
+    /// message must not pin its connection's whole ingest chunk for the
+    /// lifetime of a cache entry.
     pub fn set(&self, key: impl Into<String>, value: Value) {
+        let mut value = value;
+        value.compact();
         self.inner.write().insert(key.into(), value);
     }
 
@@ -248,5 +268,44 @@ mod tests {
         d.set("b", Value::Int(2));
         d.clear();
         assert!(d.is_empty());
+    }
+
+    /// Retention must not pin the ingest chunk: storing a zero-copy
+    /// parsed message into a shared dictionary (the FLICK `global` cache
+    /// pattern) compacts it, releasing the connection's buffer for
+    /// in-place reuse.
+    #[test]
+    fn shared_dict_compacts_stored_messages_off_the_ingest_chunk() {
+        use flick_grammar::http::{self, HttpCodec};
+        use flick_grammar::{ParseOutcome, WireCodec};
+        use flick_net::SharedBuf;
+
+        let codec = HttpCodec::new();
+        let mut wire = Vec::new();
+        codec
+            .serialize(&http::response(200, b"cache me"), &mut wire)
+            .unwrap();
+        let mut buf = SharedBuf::new(64);
+        let (tail, _) = buf.tail_mut(wire.len());
+        tail[..wire.len()].copy_from_slice(&wire);
+        buf.commit(wire.len());
+        let view = buf.view();
+        let ParseOutcome::Complete { message, consumed } = codec.parse_bytes(&view, None).unwrap()
+        else {
+            panic!("complete response expected");
+        };
+        drop(view);
+        buf.consume(consumed);
+        assert!(buf.is_shared(), "the parsed message pins the chunk");
+
+        let dict = SharedDict::new();
+        dict.set("entry", Value::Msg(message));
+        assert!(
+            !buf.is_shared(),
+            "a stored message must be compacted off the ingest chunk"
+        );
+        let cached = dict.get("entry");
+        let cached = cached.as_msg().expect("cached message");
+        assert_eq!(cached.bytes_field("body"), Some(&b"cache me"[..]));
     }
 }

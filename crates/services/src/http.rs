@@ -13,7 +13,7 @@ use flick_runtime::platform::BuiltGraph;
 use flick_runtime::tasks::{InputTask, OutputTask};
 use flick_runtime::{
     ComputeLogic, ComputeTask, GraphBuilder, GraphFactory, Outputs, RuntimeError, ServiceEnv,
-    TaskId, Value,
+    TaskId, Value, Watch,
 };
 use std::sync::Arc;
 
@@ -103,13 +103,15 @@ impl GraphFactory for StaticWebServerFactory {
                 }),
             )),
         );
-        builder.install(
-            output_node,
-            Box::new(OutputTask::new("http-out", client.clone(), codec, resp_rx)),
-        );
+        let mut out_task = OutputTask::new("http-out", client.clone(), codec, resp_rx);
+        out_task.set_mode(env.output_mode);
+        builder.install(output_node, Box::new(out_task));
         Ok(BuiltGraph {
             graph: builder.build(),
-            watchers: vec![(input_node.task_id(), client)],
+            watchers: vec![
+                Watch::readable(input_node.task_id(), client.clone()),
+                Watch::writable(output_node.task_id(), client),
+            ],
             initial: vec![],
             client_tasks: vec![input_node.task_id()],
         })
@@ -224,25 +226,21 @@ impl GraphFactory for HttpLoadBalancerFactory {
                 Box::new(ForwardLogic),
             )),
         );
-        builder.install(
-            backend_out,
-            Box::new(OutputTask::new(
-                "backend-out",
-                backend.clone(),
-                codec.clone(),
-                fwd_rx,
-            )),
-        );
-        builder.install(
-            client_out,
-            Box::new(OutputTask::new("client-out", client.clone(), codec, ret_rx)),
-        );
+        let mut backend_out_task =
+            OutputTask::new("backend-out", backend.clone(), codec.clone(), fwd_rx);
+        backend_out_task.set_mode(env.output_mode);
+        builder.install(backend_out, Box::new(backend_out_task));
+        let mut client_out_task = OutputTask::new("client-out", client.clone(), codec, ret_rx);
+        client_out_task.set_mode(env.output_mode);
+        builder.install(client_out, Box::new(client_out_task));
 
         Ok(BuiltGraph {
             graph: builder.build(),
             watchers: vec![
-                (client_in.task_id(), client.clone()),
-                (backend_in.task_id(), backend),
+                Watch::readable(client_in.task_id(), client.clone()),
+                Watch::readable(backend_in.task_id(), backend.clone()),
+                Watch::writable(backend_out.task_id(), backend),
+                Watch::writable(client_out.task_id(), client),
             ],
             initial: vec![],
             client_tasks: vec![client_in.task_id()],

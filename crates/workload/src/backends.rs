@@ -258,10 +258,152 @@ pub fn start_sink_backend(net: &Arc<SimNetwork>, port: u16) -> (BackendHandle, A
     )
 }
 
+// ---------------------------------------------------------------------------
+// Real-socket back-ends
+// ---------------------------------------------------------------------------
+
+/// Handle to a running loopback TCP back-end; dropping it stops the server.
+///
+/// The kernel-socket counterpart of [`start_http_backend`]: a blocking
+/// `std::net` HTTP server used behind a TCP-fronted load balancer so the
+/// whole `client → LB → backend` path traverses real sockets.
+pub struct TcpBackendHandle {
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+    addr: String,
+}
+
+impl std::fmt::Debug for TcpBackendHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBackendHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl TcpBackendHandle {
+    /// The socket address the back-end listens on (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server and joins the acceptor thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Poke the blocking accept loop so it observes the flag.
+        let _ = std::net::TcpStream::connect(&self.addr);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpBackendHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts a static HTTP back-end on a real loopback socket, serving `body`
+/// for every request. Binds an ephemeral port; read it back with
+/// [`TcpBackendHandle::addr`].
+pub fn start_tcp_http_backend(body: &[u8]) -> TcpBackendHandle {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback backend");
+    let addr = format!(
+        "127.0.0.1:{}",
+        listener.local_addr().expect("local addr").port()
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    let body = body.to_vec();
+    let accept_stop = Arc::clone(&stop);
+    let accept_requests = Arc::clone(&requests);
+    let acceptor = std::thread::spawn(move || {
+        let codec = HttpCodec::new();
+        let mut response = Vec::new();
+        codec
+            .serialize(&flick_grammar::http::response(200, &body), &mut response)
+            .expect("static response serialises");
+        let response = Arc::new(response);
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let requests = Arc::clone(&accept_requests);
+            let stop = Arc::clone(&accept_stop);
+            let response = Arc::clone(&response);
+            std::thread::spawn(move || {
+                use std::io::{Read, Write};
+                let codec = HttpCodec::new();
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 8 * 1024];
+                while !stop.load(Ordering::Acquire) {
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock
+                                    | std::io::ErrorKind::TimedOut
+                                    | std::io::ErrorKind::Interrupted
+                            ) =>
+                        {
+                            continue
+                        }
+                        Err(_) => return,
+                    }
+                    loop {
+                        match codec.parse(&buf, None) {
+                            Ok(ParseOutcome::Complete { message, consumed }) => {
+                                buf.drain(..consumed);
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                if stream.write_all(&response).is_err()
+                                    || flick_grammar::http::wants_close(&message)
+                                {
+                                    return;
+                                }
+                            }
+                            Ok(ParseOutcome::Incomplete { .. }) => break,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    TcpBackendHandle {
+        stop,
+        acceptor: Some(acceptor),
+        requests,
+        addr,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use flick_net::StackModel;
+
+    #[test]
+    fn tcp_http_backend_serves_requests_over_the_kernel() {
+        let backend = start_tcp_http_backend(b"tcp-body");
+        let response =
+            crate::tcp::fetch_http(backend.addr(), "/x", Duration::from_secs(5)).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("tcp-body"));
+        assert!(backend.requests_served() >= 1);
+    }
 
     #[test]
     fn http_backend_serves_requests() {

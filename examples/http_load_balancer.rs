@@ -8,17 +8,18 @@
 //!
 //! Run with: `cargo run --example http_load_balancer`
 //!
-//! With `--tcp [addr]` (default `127.0.0.1:0`) the balancer's front door is
-//! a **real OS socket**: clients connect through the kernel while the ten
-//! back-ends stay on the simulated fabric — one task graph reads from a
-//! kernel TCP endpoint and writes to simulated endpoints, multiplexed by
-//! the same per-shard pollers. The run prints a curl-style smoke response
-//! before the load results.
+//! With `--tcp [addr]` (default `127.0.0.1:0`) the balancer runs the
+//! **all-TCP path**: the front door is a real OS socket
+//! (`Platform::deploy_tcp`), the ten back-ends are real loopback HTTP
+//! servers, and the balancer's backend pool connects to them through the
+//! kernel — every hop of `client → LB → backend` crosses real sockets,
+//! multiplexed by the same per-shard pollers as the simulated substrate.
+//! The run prints a curl-style smoke response before the load results.
 
 use flick::runtime_crate::Placement;
 use flick::services::http::HttpLoadBalancerFactory;
 use flick::{Platform, PlatformConfig, ServiceSpec};
-use flick_workload::backends::start_http_backend;
+use flick_workload::backends::{start_http_backend, start_tcp_http_backend};
 use flick_workload::http::{run_http_load, HttpLoadConfig};
 use flick_workload::tcp::{fetch_http, run_tcp_http_load, TcpHttpLoadConfig};
 use std::time::Duration;
@@ -37,25 +38,25 @@ fn main() {
         ..Default::default()
     });
     let net = platform.net();
-    let backend_ports: Vec<u16> = (0..10).map(|i| 8100 + i as u16).collect();
-    let backends: Vec<_> = backend_ports
-        .iter()
-        .map(|p| start_http_backend(&net, *p, &[b'x'; 137]))
-        .collect();
-    let spec = ServiceSpec::new("http-lb", 8080, HttpLoadBalancerFactory::new())
-        .with_backends(backend_ports.clone());
 
-    let stats = match &tcp_addr {
+    let (stats, served) = match &tcp_addr {
         Some(addr) => {
+            // All-TCP: kernel-socket back-ends behind a kernel-socket front
+            // door; no request byte ever rides the simulated fabric.
+            let backends: Vec<_> = (0..10)
+                .map(|_| start_tcp_http_backend(&[b'x'; 137]))
+                .collect();
+            let spec = ServiceSpec::new("http-lb", 0, HttpLoadBalancerFactory::new())
+                .with_tcp_backends(backends.iter().map(|b| b.addr().to_string()).collect());
             let service = platform.deploy_tcp(spec, addr).expect("deploy over TCP");
             let addr = format!("127.0.0.1:{}", service.port());
-            println!("listening on a real socket: http://{addr}/");
+            println!("all-TCP path: kernel clients -> http://{addr}/ -> 10 kernel back-ends");
             // The curl-style smoke: one GET over the kernel's loopback.
             let response =
                 fetch_http(&addr, "/smoke", Duration::from_secs(5)).expect("smoke request");
             let head = String::from_utf8_lossy(&response);
             println!("smoke: {}", head.lines().next().unwrap_or("<empty>"));
-            run_tcp_http_load(
+            let stats = run_tcp_http_load(
                 &addr,
                 &TcpHttpLoadConfig {
                     concurrency: 32,
@@ -63,11 +64,20 @@ fn main() {
                     persistent: true,
                     timeout: Duration::from_secs(5),
                 },
-            )
+            );
+            let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
+            (stats, served)
         }
         None => {
+            let backend_ports: Vec<u16> = (0..10).map(|i| 8100 + i as u16).collect();
+            let backends: Vec<_> = backend_ports
+                .iter()
+                .map(|p| start_http_backend(&net, *p, &[b'x'; 137]))
+                .collect();
+            let spec = ServiceSpec::new("http-lb", 8080, HttpLoadBalancerFactory::new())
+                .with_backends(backend_ports.clone());
             let _service = platform.deploy(spec).expect("deploy");
-            run_http_load(
+            let stats = run_http_load(
                 &net,
                 &HttpLoadConfig {
                     port: 8080,
@@ -76,7 +86,9 @@ fn main() {
                     persistent: true,
                     timeout: Duration::from_secs(5),
                 },
-            )
+            );
+            let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
+            (stats, served)
         }
     };
     println!(
@@ -86,7 +98,6 @@ fn main() {
         stats.requests_per_sec(),
         stats.latency.mean.as_secs_f64() * 1000.0
     );
-    let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
     println!("per-backend request counts (hash distribution): {served:?}");
     for status in platform.shard_status() {
         println!(

@@ -96,6 +96,28 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Builds a `Bytes` view over `start..end` of a shared allocation
+    /// without copying.
+    ///
+    /// Shim extension (not part of the upstream `bytes` 1.x API): the
+    /// upstream crate reaches the same representation through `BytesMut::
+    /// freeze`, which cannot be implemented without `unsafe`. This is the
+    /// constructor behind `flick_net`'s `SharedBuf` ingest buffer; no other
+    /// caller should need it.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn from_arc_slice(data: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= data.len(),
+            "region {start}..{end} out of bounds (len {})",
+            data.len()
+        );
+        Bytes {
+            repr: Repr::Shared { data, start, end },
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,

@@ -1,10 +1,12 @@
 //! Integration tests spanning the whole stack: FLICK source → compiler →
 //! platform → simulated network → workload generators.
 
+use flick::net_substrate::listener::ConnectOptions;
 use flick::services::hadoop::hadoop_aggregator;
 use flick::services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
 use flick::services::memcached::{memcached_proxy, memcached_router};
 use flick::{Flick, Platform, PlatformConfig, ServiceSpec};
+use flick_runtime::OutputMode;
 use flick_workload::backends::{start_http_backend, start_memcached_backend, start_sink_backend};
 use flick_workload::hadoop::{run_hadoop_mappers, wait_for_quiescence, HadoopLoadConfig};
 use flick_workload::http::{run_http_load, HttpLoadConfig};
@@ -110,6 +112,150 @@ fn http_lb_and_static_server_serve_traffic() {
         assert!(stats.completed > 10, "port {port}: {stats:?}");
         assert_eq!(stats.failed, 0, "port {port}");
     }
+}
+
+/// The zero-copy data plane's regression gate: a full load-balancer run
+/// (client → LB → backend → LB → client, framed HTTP both ways) must
+/// complete without a single ingest-buffer carry — every message is parsed
+/// straight out of the refcounted buffer the socket filled, and completing
+/// one is an index bump, not a memcpy.
+#[test]
+fn shared_buffer_ingest_performs_zero_copies() {
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let net = platform.net();
+    let backend_ports = vec![8701u16, 8702];
+    let _backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_http_backend(&net, *p, b"zero-copy"))
+        .collect();
+    let _lb = platform
+        .deploy(
+            ServiceSpec::new("lb", 8700, HttpLoadBalancerFactory::new())
+                .with_backends(backend_ports),
+        )
+        .unwrap();
+    let stats = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: 8700,
+            concurrency: 4,
+            duration: Duration::from_millis(300),
+            ..Default::default()
+        },
+    );
+    assert!(stats.completed > 10, "{stats:?}");
+    assert_eq!(stats.failed, 0);
+    let snap = net.stats().snapshot();
+    assert_eq!(
+        snap.ingest_copies, 0,
+        "the shared-buffer ingest path must not copy ({} events, {} bytes)",
+        snap.ingest_copies, snap.ingest_copied_bytes
+    );
+}
+
+/// The writable-interest acceptance gate: a peer that stops reading parks
+/// the service's output task on writable readiness. While the peer is
+/// stalled the task performs **zero** busy retries and the whole platform
+/// goes quiet (no task runs at all); once the peer drains, the response
+/// arrives intact.
+#[test]
+fn stalled_peer_parks_the_output_task_without_busy_retries() {
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let net = platform.net();
+    // A 16 KB response against a 4 KB pipe guarantees the output task hits
+    // WouldBlock with most of the response still buffered.
+    let _svc = platform
+        .deploy(ServiceSpec::new(
+            "stall-web",
+            8710,
+            StaticWebServerFactory::new(vec![b'y'; 16 * 1024]),
+        ))
+        .unwrap();
+    let client = net
+        .connect_with(
+            8710,
+            &ConnectOptions {
+                capacity: Some(4 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    client
+        .write_all(b"GET /stall HTTP/1.1\r\nHost: s\r\n\r\n")
+        .unwrap();
+    // Let the graph build and the output task slam into the full pipe.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = platform.metrics().snapshot();
+    std::thread::sleep(Duration::from_millis(150));
+    let after = platform.metrics().snapshot();
+    assert_eq!(
+        after.output_busy_retries, 0,
+        "a stalled peer must park the output task, not spin it"
+    );
+    assert_eq!(
+        after.task_runs, before.task_runs,
+        "a parked output task costs zero task runs while the peer stalls"
+    );
+
+    // Draining the pipe delivers the rest of the response: the writable
+    // wakeup path works end to end.
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !response.windows(4).any(|w| w == b"yyyy") || response.len() < 16 * 1024 {
+        assert!(std::time::Instant::now() < deadline, "response stalled");
+        match client.read_timeout(&mut buf, Duration::from_secs(5)) {
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("drain failed after {} bytes: {e}", response.len()),
+        }
+    }
+    assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200 OK"));
+    client.close();
+}
+
+/// The ablation baseline still works: under `OutputMode::BusyRetry` the
+/// same stalled peer makes the output task spin runnable (the behaviour
+/// the writable-interest refactor removed from the default path).
+#[test]
+fn busy_retry_mode_spins_against_a_stalled_peer() {
+    let platform = Platform::new(PlatformConfig {
+        workers: 2,
+        output_mode: OutputMode::BusyRetry,
+        ..Default::default()
+    });
+    let net = platform.net();
+    let _svc = platform
+        .deploy(ServiceSpec::new(
+            "busy-web",
+            8711,
+            StaticWebServerFactory::new(vec![b'y'; 16 * 1024]),
+        ))
+        .unwrap();
+    let client = net
+        .connect_with(
+            8711,
+            &ConnectOptions {
+                capacity: Some(4 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    client
+        .write_all(b"GET /spin HTTP/1.1\r\nHost: s\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let retries = platform.metrics().snapshot().output_busy_retries;
+    assert!(
+        retries > 0,
+        "the busy-retry ablation baseline must actually busy-retry"
+    );
+    client.close();
 }
 
 #[test]

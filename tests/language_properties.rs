@@ -1,7 +1,7 @@
 //! Property-based tests over the FLICK front end and the grammar engine.
 
 use flick::grammar::{hadoop, memcached, ParseOutcome, WireCodec};
-use flick::lang::ast::{Block, Stmt};
+use flick::lang::ast::{Block, Expr, ExprKind, Stmt};
 use flick::lang::types::Type;
 use proptest::prelude::*;
 
@@ -26,6 +26,32 @@ fn count_stmts(block: &Block, pred: &dyn Fn(&Stmt) -> bool) -> usize {
         }
     }
     count
+}
+
+/// Counts `Call` expressions anywhere inside an expression tree.
+fn count_calls(expr: &Expr) -> usize {
+    match &expr.kind {
+        ExprKind::Call { args, .. } => 1 + args.iter().map(count_calls).sum::<usize>(),
+        ExprKind::Binary { lhs, rhs, .. } => count_calls(lhs) + count_calls(rhs),
+        ExprKind::Unary { operand, .. } => count_calls(operand),
+        ExprKind::Field(inner, _) => count_calls(inner),
+        ExprKind::Index(base, index) => count_calls(base) + count_calls(index),
+        _ => 0,
+    }
+}
+
+/// Counts `Call` expressions in every expression position of a block.
+fn count_calls_in_block(block: &Block) -> usize {
+    block
+        .stmts
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Expr { expr, .. } => count_calls(expr),
+            Stmt::Let { value, .. } => count_calls(value),
+            Stmt::Assign { target, value, .. } => count_calls(target) + count_calls(value),
+            _ => 0,
+        })
+        .sum()
 }
 
 /// Renders a chain of `depth` nested `if`/`else` statements, each arm one
@@ -148,6 +174,66 @@ proptest! {
         prop_assert_eq!(fors, loops, "source:\n{}", src);
         let typed = flick::lang::compile_to_ast(&src).expect("for loops type-check");
         prop_assert_eq!(&typed.function("f").unwrap().ret, &Type::Int);
+    }
+
+    /// Construct coverage: nested function calls (ExprKind::Call). A call
+    /// chain `inc(inc(...inc(x)...))` of any depth parses with the right
+    /// call count and type-checks — the callee's return type feeds the
+    /// next caller's parameter type at every level.
+    #[test]
+    fn nested_function_calls_typecheck_at_any_depth(depth in 1usize..10) {
+        let mut call = String::from("x");
+        for _ in 0..depth {
+            call = format!("inc({call})");
+        }
+        let src = format!(
+            "fun inc: (x: integer) -> (integer)\n  x + 1\n\n\
+             fun apply: (x: integer) -> (integer)\n  {call}\n"
+        );
+        let parsed = flick::lang::parse(&src).expect("nested calls parse");
+        let apply = parsed
+            .functions
+            .iter()
+            .find(|f| f.name == "apply")
+            .expect("apply parsed");
+        prop_assert_eq!(count_calls_in_block(&apply.body), depth, "source:\n{}", src);
+        let typed = flick::lang::compile_to_ast(&src).expect("nested calls type-check");
+        prop_assert_eq!(&typed.function("apply").unwrap().ret, &Type::Int);
+    }
+
+    /// Construct coverage: `global` declarations (Stmt::Global) and
+    /// dictionary assignment (Stmt::Assign through an Index target). A
+    /// process threading any number of global dictionaries through a
+    /// pipeline of cache-stash stages parses with the right global and
+    /// assignment counts and type-checks.
+    #[test]
+    fn global_dicts_and_assignments_typecheck(n in 1usize..6) {
+        let mut src = String::from("type cmd: record\n  key : string\n\nproc P: (cmd/cmd c)\n");
+        for i in 0..n {
+            src.push_str(&format!("  global g{i} := empty_dict\n"));
+        }
+        let stages: Vec<String> = (0..n).map(|i| format!("stash{i}(g{i})")).collect();
+        src.push_str(&format!("  c => {} => c\n", stages.join(" => ")));
+        for i in 0..n {
+            src.push_str(&format!(
+                "\nfun stash{i}: (cache: ref dict<string*cmd>, req: cmd) -> (cmd)\n  \
+                 cache[req.key] := req\n  req\n"
+            ));
+        }
+        let parsed = flick::lang::parse(&src).expect("globals parse");
+        let proc_ = parsed.processes.first().expect("process parsed");
+        let globals = count_stmts(&proc_.body, &|stmt| matches!(stmt, Stmt::Global { .. }));
+        prop_assert_eq!(globals, n, "source:\n{}", src);
+        for i in 0..n {
+            let stash = parsed
+                .functions
+                .iter()
+                .find(|f| f.name == format!("stash{i}"))
+                .expect("stash parsed");
+            let assigns = count_stmts(&stash.body, &|stmt| matches!(stmt, Stmt::Assign { .. }));
+            prop_assert_eq!(assigns, 1, "stash{} source:\n{}", i, src);
+        }
+        flick::lang::compile_to_ast(&src).expect("globals type-check");
     }
 
     /// Valid programs with a varying number of fields type-check, and the

@@ -16,8 +16,9 @@
 //!   of the cross-poller registration handoff stress.
 
 use flick::net_substrate::{Interest, NetError, Poller, StackModel, TcpStack, Token};
-use flick::services::http::StaticWebServerFactory;
+use flick::services::http::{HttpLoadBalancerFactory, StaticWebServerFactory};
 use flick::{Platform, PlatformConfig, ServiceSpec};
+use flick_workload::backends::start_tcp_http_backend;
 use flick_workload::tcp::{fetch_http, run_tcp_http_load, TcpHttpLoadConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -228,6 +229,110 @@ fn tcp_workload_driver_measures_the_service() {
     // The one-shot helper (the curl-style smoke of the README).
     let response = fetch_http(&addr, "/smoke", Duration::from_secs(5)).expect("fetch");
     assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200 OK"));
+}
+
+/// The all-TCP data path: kernel clients → TCP-fronted load balancer →
+/// kernel-socket back-ends, with the LB's `BackendPool` holding TCP
+/// targets. Every hop crosses real sockets, the hash spreads connections
+/// over the back-ends, and the shared-buffer ingest path performs zero
+/// copies on kernel traffic too.
+#[test]
+fn all_tcp_lb_path_serves_with_zero_ingest_copies() {
+    let backends: Vec<_> = (0..3)
+        .map(|_| start_tcp_http_backend(b"lb-over-tcp"))
+        .collect();
+    let platform = tcp_platform(2, 1);
+    let service = platform
+        .deploy_tcp(
+            ServiceSpec::new("tcp-lb", 0, HttpLoadBalancerFactory::new())
+                .with_tcp_backends(backends.iter().map(|b| b.addr().to_string()).collect()),
+            "127.0.0.1:0",
+        )
+        .expect("deploy the all-TCP load balancer");
+    let addr = format!("127.0.0.1:{}", service.port());
+
+    // The curl-style smoke first: one request end to end through the
+    // kernel, forwarded to a kernel back-end and back.
+    let response = fetch_http(&addr, "/smoke", Duration::from_secs(5)).expect("smoke");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(text.contains("lb-over-tcp"), "{text}");
+
+    let stats = run_tcp_http_load(
+        &addr,
+        &TcpHttpLoadConfig {
+            concurrency: 4,
+            duration: Duration::from_millis(300),
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    assert!(stats.completed > 10, "{stats:?}");
+    let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
+    assert!(
+        served.iter().filter(|s| **s > 0).count() >= 2,
+        "the TCP backend pool must spread connections: {served:?}"
+    );
+    let snap = platform.tcp_stack().stats().snapshot();
+    assert_eq!(
+        snap.ingest_copies, 0,
+        "the shared-buffer ingest path must not copy on kernel sockets \
+         ({} events, {} bytes)",
+        snap.ingest_copies, snap.ingest_copied_bytes
+    );
+}
+
+/// Writable parking over real sockets: a kernel client that stops reading
+/// fills the socket buffers, the service's output task parks on
+/// `EPOLLOUT` interest — zero busy retries and a quiet platform while the
+/// peer stalls — and the response completes once the client drains.
+#[test]
+fn stalled_tcp_peer_parks_the_output_task() {
+    const BODY: usize = 4 << 20; // Far beyond loopback socket buffering.
+    static BIG: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    let body = BIG.get_or_init(|| vec![b'w'; BODY]);
+
+    let platform = tcp_platform(2, 1);
+    let service = platform
+        .deploy_tcp(
+            ServiceSpec::new("tcp-stall", 0, StaticWebServerFactory::new(&body[..])),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+    let addr = format!("127.0.0.1:{}", service.port());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /stall HTTP/1.1\r\nHost: s\r\n\r\n")
+        .unwrap();
+    // Let the output task fill the kernel buffers and hit EAGAIN.
+    std::thread::sleep(Duration::from_millis(200));
+    let before = platform.metrics().snapshot();
+    std::thread::sleep(Duration::from_millis(150));
+    let after = platform.metrics().snapshot();
+    assert_eq!(
+        after.output_busy_retries, 0,
+        "a stalled kernel peer must park the output task, not spin it"
+    );
+    assert_eq!(
+        after.task_runs, before.task_runs,
+        "a parked output task costs zero task runs while the peer stalls"
+    );
+
+    // Drain: the EPOLLOUT wakeups resume the flush until the full body
+    // has crossed the socket.
+    let mut got = 0usize;
+    let mut buf = [0u8; 64 * 1024];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while got < BODY {
+        assert!(Instant::now() < deadline, "drain stalled at {got} bytes");
+        let n = stream.read(&mut buf).expect("drain");
+        assert!(n > 0, "early EOF at {got} bytes");
+        got += n;
+    }
 }
 
 /// Real-socket port of the poller `stress_no_lost_wakeups` test: writer
