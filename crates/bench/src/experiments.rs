@@ -289,6 +289,7 @@ pub fn run_memcached_experiment_sharded(
         key_space: 1024,
         getk_fraction: 1.0,
         timeout: Duration::from_secs(5),
+        seed: None,
     };
     let stats = run_memcached_load(&net, &config);
     let status = _platform
@@ -399,6 +400,7 @@ pub fn run_hadoop_experiment(params: &HadoopExperiment) -> f64 {
         distinct_words: 128,
         bytes_per_mapper: params.bytes_per_mapper,
         link_bits_per_sec: params.link_bits_per_sec,
+        seed: None,
     };
     let start = Instant::now();
     let stats = run_hadoop_mappers(&net, &config);

@@ -199,6 +199,12 @@ impl SimEndpoint {
         if data.is_empty() {
             return Ok(0);
         }
+        // A closed endpoint writes nothing, even to a live peer reader —
+        // so a severed ("crashed") connection can never emit a late
+        // response the peer would mistake for a healthy one.
+        if self.is_closed() {
+            return Err(NetError::Closed);
+        }
         let pipe = self.out_pipe();
         let mut state = pipe.state.lock();
         if state.reader_closed {
@@ -219,13 +225,18 @@ impl SimEndpoint {
             return Err(NetError::WouldBlock);
         }
         state.buf.extend(&data[..n]);
+        // Record the send while the pipe lock is still held: the reader
+        // can only drain these bytes after taking the lock, so its
+        // `record_read` strictly follows this `record_write` and the
+        // substrate-wide `bytes_received <= bytes_sent` conservation law
+        // holds at every instant, not just at quiescence.
+        if let Some(stats) = &self.stats {
+            stats.record_write(n);
+        }
         state.wake_reader(Readiness::readable());
         pipe.cond.notify_all();
         drop(state);
         StackCosts::charge(self.costs.io_cost(true, n));
-        if let Some(stats) = &self.stats {
-            stats.record_write(n);
-        }
         Ok(n)
     }
 

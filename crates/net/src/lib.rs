@@ -52,6 +52,7 @@ pub mod error;
 pub mod listener;
 pub mod poller;
 pub mod ratelimit;
+pub mod rng;
 pub mod stats;
 mod sys;
 pub mod tcp;
@@ -63,7 +64,8 @@ pub use error::NetError;
 pub use listener::{Listener, SimListener, SimNetwork};
 pub use poller::{Event, Interest, Poller, Readiness, Token};
 pub use ratelimit::TokenBucket;
-pub use stats::NetStats;
+pub use rng::SimRng;
+pub use stats::{NetStats, StatsSnapshot};
 pub use tcp::{TcpConn, TcpListener, TcpStack};
 
 #[cfg(test)]

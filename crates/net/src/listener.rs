@@ -26,6 +26,12 @@ struct ListenerInner {
     /// Registered by the accepting dispatcher; woken on every new pending
     /// connection and on close.
     waker: Mutex<Option<WakerSlot>>,
+    /// Server-side endpoints of every connection routed to this port,
+    /// including ones already accepted. This is the fault-injection hook:
+    /// [`SimNetwork::sever_port`] closes them all at once, modelling the
+    /// process behind the port crashing and the kernel resetting its
+    /// connections. Closed entries are pruned on each new connect.
+    established: Mutex<Vec<Endpoint>>,
 }
 
 impl ListenerInner {
@@ -206,6 +212,7 @@ impl SimNetwork {
             closed: AtomicBool::new(false),
             port,
             waker: Mutex::new(None),
+            established: Mutex::new(Vec::new()),
         });
         listeners.insert(port, Arc::clone(&inner));
         Ok(SimListener {
@@ -251,6 +258,11 @@ impl SimNetwork {
         }
         self.stats.record_open();
         {
+            let mut established = listener.established.lock();
+            established.retain(|e| !e.is_closed());
+            established.push(server.clone());
+        }
+        {
             let mut queue = listener.pending.lock();
             queue.push_back(server);
             listener.cond.notify_one();
@@ -262,6 +274,50 @@ impl SimNetwork {
     /// Number of listeners currently bound.
     pub fn listener_count(&self) -> usize {
         self.listeners.lock().len()
+    }
+
+    /// Fault injection: closes every connection ever routed to `port` —
+    /// accepted or still pending — as a crashing process would, and
+    /// returns how many were still open. The listener itself stays bound;
+    /// combine with [`SimNetwork::unlisten`] to also refuse new connects.
+    ///
+    /// Each close wakes both sides with closed readiness, so parked
+    /// readers and writers observe the crash instead of hanging.
+    pub fn sever_port(&self, port: u16) -> usize {
+        let listener = {
+            let listeners = self.listeners.lock();
+            listeners.get(&port).cloned()
+        };
+        let Some(listener) = listener else {
+            return 0;
+        };
+        let mut severed = 0;
+        let mut established = listener.established.lock();
+        for endpoint in established.drain(..) {
+            if !endpoint.is_closed() {
+                severed += 1;
+                endpoint.close();
+            }
+        }
+        severed
+    }
+
+    /// Number of connections to `port` still open (the server side has not
+    /// been closed). Pending-but-unaccepted connections count.
+    pub fn established_count(&self, port: u16) -> usize {
+        let listener = {
+            let listeners = self.listeners.lock();
+            listeners.get(&port).cloned()
+        };
+        match listener {
+            Some(listener) => listener
+                .established
+                .lock()
+                .iter()
+                .filter(|e| !e.is_closed())
+                .count(),
+            None => 0,
+        }
     }
 }
 
@@ -500,6 +556,79 @@ mod tests {
         listener.deregister(&poller);
         let _client = net.connect(91).unwrap();
         assert!(poller.wait(Duration::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn sever_port_closes_accepted_and_pending_connections() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(92).unwrap();
+        let accepted_client = net.connect(92).unwrap();
+        let accepted_server = listener.accept().unwrap();
+        let pending_client = net.connect(92).unwrap();
+        assert_eq!(net.established_count(92), 2);
+
+        let severed = net.sever_port(92);
+        assert_eq!(severed, 2);
+        assert_eq!(net.established_count(92), 0);
+        // Both clients observe the crash as EOF, not a hang.
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            accepted_client
+                .read_timeout(&mut buf, Duration::from_secs(1))
+                .unwrap_err(),
+            NetError::Closed
+        );
+        assert_eq!(
+            pending_client
+                .read_timeout(&mut buf, Duration::from_secs(1))
+                .unwrap_err(),
+            NetError::Closed
+        );
+        // The severed server side fails writes from now on.
+        assert!(accepted_server.write(b"late").is_err());
+        // The listener itself stays bound: new connects still succeed.
+        assert!(net.connect(92).is_ok());
+    }
+
+    #[test]
+    fn sever_port_wakes_the_peers_parked_registration() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(93).unwrap();
+        let client = net.connect(93).unwrap();
+        let _server = listener.accept().unwrap();
+        // The surviving peer — the side a load balancer parks on while it
+        // waits for a backend response — is registered and idle.
+        let poller = Poller::new();
+        client.register(&poller, Token(9), crate::poller::Interest::READABLE);
+        assert!(poller.wait(Duration::from_millis(10)).is_empty());
+        // Severing the server side must wake that parked registration with
+        // closed readiness instead of leaving it parked forever.
+        net.sever_port(93);
+        let events = poller.wait(Duration::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readiness.closed);
+    }
+
+    #[test]
+    fn sever_port_on_unknown_port_is_a_noop() {
+        let net = SimNetwork::new(StackModel::Free);
+        assert_eq!(net.sever_port(9999), 0);
+        assert_eq!(net.established_count(9999), 0);
+    }
+
+    #[test]
+    fn established_count_prunes_closed_connections() {
+        let net = SimNetwork::new(StackModel::Free);
+        let listener = net.listen(94).unwrap();
+        let client = net.connect(94).unwrap();
+        let server = listener.accept().unwrap();
+        assert_eq!(net.established_count(94), 1);
+        server.close();
+        drop(client);
+        assert_eq!(net.established_count(94), 0);
+        // The next connect prunes the dead entry from the registry.
+        let _second = net.connect(94).unwrap();
+        assert_eq!(net.established_count(94), 1);
     }
 
     #[test]

@@ -85,12 +85,21 @@ impl NetStats {
     }
 
     /// A point-in-time copy of all counters.
+    ///
+    /// `bytes_received` is loaded *before* `bytes_sent` (and closes before
+    /// opens): senders record under the pipe lock before their reader can
+    /// observe the bytes, so this load order means a concurrent transfer
+    /// can only ever inflate the "sent" side of a snapshot — which keeps
+    /// [`StatsSnapshot::check_conservation`] free of false positives while
+    /// traffic is in flight.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let bytes_received = self.bytes_received.load(Ordering::Acquire);
+        let connections_closed = self.connections_closed.load(Ordering::Acquire);
         StatsSnapshot {
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_closed,
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_received,
             read_calls: self.read_calls.load(Ordering::Relaxed),
             write_calls: self.write_calls.load(Ordering::Relaxed),
             readable_polls: self.readable_polls.load(Ordering::Relaxed),
@@ -131,6 +140,56 @@ impl StatsSnapshot {
     pub fn received_megabits(&self) -> f64 {
         self.bytes_received as f64 * 8.0 / 1_000_000.0
     }
+
+    /// Checks the substrate's conservation laws, shared by the simulation
+    /// harness's tick checks and the end-to-end suite so counter math is
+    /// derived in exactly one place:
+    ///
+    /// * bytes cannot be read that were never written
+    ///   (`bytes_received ≤ bytes_sent` — a pipe may still hold or drop
+    ///   buffered bytes at close, never invent them);
+    /// * a connection has two endpoints, each closed at most once
+    ///   (`connections_closed ≤ 2 × connections_opened`);
+    /// * ingest-copy events and the bytes they moved appear together.
+    ///
+    /// Counters are written with relaxed atomics. The checks stay sound
+    /// under concurrency because every receive is preceded by its send and
+    /// [`NetStats::snapshot`] reads `bytes_received` before `bytes_sent`:
+    /// a concurrent transfer can only inflate the right-hand side of the
+    /// inequality, never the left.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.bytes_received > self.bytes_sent {
+            return Err(format!(
+                "byte conservation violated: received {} > sent {}",
+                self.bytes_received, self.bytes_sent
+            ));
+        }
+        if self.connections_closed > 2 * self.connections_opened {
+            return Err(format!(
+                "connection conservation violated: {} closes for {} opens \
+                 (max 2 per connection)",
+                self.connections_closed, self.connections_opened
+            ));
+        }
+        if (self.ingest_copies == 0) != (self.ingest_copied_bytes == 0) {
+            return Err(format!(
+                "ingest accounting inconsistent: {} copy events moved {} bytes",
+                self.ingest_copies, self.ingest_copied_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// The zero-copy data-plane gate: no ingest-buffer carries at all.
+    pub fn check_zero_copy(&self) -> Result<(), String> {
+        if self.ingest_copies != 0 {
+            return Err(format!(
+                "zero-copy ingest violated: {} copy events moved {} bytes",
+                self.ingest_copies, self.ingest_copied_bytes
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +210,68 @@ mod tests {
         assert_eq!(snap.bytes_sent, 150);
         assert_eq!(snap.bytes_received, 100);
         assert_eq!(snap.write_calls, 2);
+    }
+
+    #[test]
+    fn conservation_accepts_a_real_run_shape() {
+        let snap = StatsSnapshot {
+            connections_opened: 10,
+            connections_closed: 18,
+            bytes_sent: 4096,
+            bytes_received: 4096,
+            ..Default::default()
+        };
+        snap.check_conservation().unwrap();
+        snap.check_zero_copy().unwrap();
+    }
+
+    #[test]
+    fn conservation_rejects_invented_bytes() {
+        let snap = StatsSnapshot {
+            bytes_sent: 100,
+            bytes_received: 101,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("byte conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_excess_closes() {
+        let snap = StatsSnapshot {
+            connections_opened: 3,
+            connections_closed: 7,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("connection conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_inconsistent_ingest_accounting() {
+        let snap = StatsSnapshot {
+            ingest_copies: 2,
+            ingest_copied_bytes: 0,
+            ..Default::default()
+        };
+        assert!(snap.check_conservation().is_err());
+        let snap = StatsSnapshot {
+            ingest_copies: 0,
+            ingest_copied_bytes: 5,
+            ..Default::default()
+        };
+        assert!(snap.check_conservation().is_err());
+    }
+
+    #[test]
+    fn zero_copy_gate_reports_copies() {
+        let snap = StatsSnapshot {
+            ingest_copies: 1,
+            ingest_copied_bytes: 512,
+            ..Default::default()
+        };
+        let err = snap.check_zero_copy().unwrap_err();
+        assert!(err.contains("512 bytes"), "{err}");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use channel::{ChannelConsumer, ChannelProducer, TaskChannel};
 pub use dispatcher::{DeployedService, DispatcherBackend};
 pub use error::RuntimeError;
 pub use graph::{GraphBuilder, GraphInstance, NodeId};
-pub use metrics::RuntimeMetrics;
+pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use platform::{
     default_shard_count, GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec, Watch,
 };

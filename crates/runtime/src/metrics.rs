@@ -93,6 +93,42 @@ pub struct MetricsSnapshot {
     pub output_busy_retries: u64,
 }
 
+impl MetricsSnapshot {
+    /// Graphs currently alive according to this snapshot.
+    pub fn live_graphs(&self) -> u64 {
+        self.graphs_created.saturating_sub(self.graphs_destroyed)
+    }
+
+    /// Checks the runtime's conservation laws — the counterpart of
+    /// `StatsSnapshot::check_conservation` on the substrate side, shared
+    /// by the simulation harness's tick checks and the end-to-end suite:
+    ///
+    /// * a graph must be created before it can be destroyed;
+    /// * a cooperative yield happens *inside* a task run (the run is
+    ///   counted when dispatch starts), so yields can never outnumber
+    ///   runs.
+    ///
+    /// Only inequalities that hold at every instant under concurrent
+    /// updates are checked here; point-in-time balance checks (say,
+    /// messages in vs. out) belong to quiescent assertions, not tick
+    /// checks.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.graphs_destroyed > self.graphs_created {
+            return Err(format!(
+                "graph conservation violated: {} destroyed > {} created",
+                self.graphs_destroyed, self.graphs_created
+            ));
+        }
+        if self.cooperative_yields > self.task_runs {
+            return Err(format!(
+                "yield conservation violated: {} yields > {} task runs",
+                self.cooperative_yields, self.task_runs
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +142,40 @@ mod tests {
         assert_eq!(snap.task_runs, 3);
         assert_eq!(snap.messages_in, 10);
         assert_eq!(snap.messages_out, 0);
+    }
+
+    #[test]
+    fn conservation_accepts_a_real_shape_and_counts_live_graphs() {
+        let snap = MetricsSnapshot {
+            task_runs: 100,
+            cooperative_yields: 12,
+            graphs_created: 5,
+            graphs_destroyed: 3,
+            ..Default::default()
+        };
+        snap.check_conservation().unwrap();
+        assert_eq!(snap.live_graphs(), 2);
+    }
+
+    #[test]
+    fn conservation_rejects_destroying_uncreated_graphs() {
+        let snap = MetricsSnapshot {
+            graphs_created: 1,
+            graphs_destroyed: 2,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("graph conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_excess_yields() {
+        let snap = MetricsSnapshot {
+            task_runs: 1,
+            cooperative_yields: 2,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("yield conservation"), "{err}");
     }
 }

@@ -76,6 +76,7 @@ mod tests {
             distinct_words: 32,
             bytes_per_mapper: 64 * 1024,
             link_bits_per_sec: None,
+            seed: None,
         };
         let stats = run_hadoop_mappers(&net, &config);
         assert_eq!(stats.failed, 0);

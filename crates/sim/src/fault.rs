@@ -1,0 +1,50 @@
+//! Scripted fault schedules.
+//!
+//! A scenario's chaos is a list of [`ScheduledFault`]s, applied at the
+//! *start* of their tick, before any client acts. Because the driver runs
+//! requests strictly inside a tick (send, then drain, then check), a
+//! request never spans a fault boundary — which is what keeps outcome
+//! traces replayable for full-outage schedules.
+
+/// One fault the driver can inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Kill backend `i`: sever every established connection to it, drop
+    /// its listener and join its threads. Synchronous — when the driver
+    /// moves on, no response from this backend can ever arrive.
+    CrashBackend(usize),
+    /// Bring backend `i` back on its original port.
+    RestartBackend(usize),
+    /// Sever every established client connection at the service port
+    /// (mid-message disconnect storm from the service's point of view).
+    SeverClients,
+    /// Sleep `ms` with no client activity and assert the platform stays
+    /// quiet: at most `max_extra_task_runs` task executions may happen
+    /// while nothing is runnable (a parked output task costs zero).
+    QuietCheck {
+        /// Quiet-window length in milliseconds.
+        ms: u64,
+        /// Allowed task executions during the window.
+        max_extra_task_runs: u64,
+    },
+    /// Deliberately book a fake ingest copy so the zero-copy gate fires —
+    /// the self-test that proves violations are caught and report their
+    /// seed.
+    SabotageZeroCopy,
+}
+
+/// A fault bound to the tick it fires on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Tick (0-based) at whose start the fault applies.
+    pub tick: u64,
+    /// The fault to apply.
+    pub op: FaultOp,
+}
+
+impl ScheduledFault {
+    /// Schedules `op` at the start of `tick`.
+    pub fn at(tick: u64, op: FaultOp) -> Self {
+        ScheduledFault { tick, op }
+    }
+}

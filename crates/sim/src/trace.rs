@@ -1,0 +1,95 @@
+//! Event traces and their replay hashes.
+//!
+//! A scenario records every decision the driver makes — faults applied,
+//! client actions chosen, request outcomes (when the scenario is outcome-
+//! deterministic) — as a flat list of strings. Two runs of the same
+//! scenario with the same seed must produce byte-identical traces; the
+//! FNV-1a hash over the whole list is the cheap equality witness the
+//! regression tests pin.
+
+/// An append-only log of driver decisions, hashed for replay comparison.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<String>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: impl Into<String>) {
+        self.events.push(event.into());
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a over every event (newline-terminated, so event boundaries
+    /// matter: `["ab","c"]` and `["a","bc"]` hash differently).
+    pub fn hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in &self.events {
+            for byte in event.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= u64::from(b'\n');
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_hash_identically() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        for event in ["tick 0", "crash backend 1", "tick 1"] {
+            a.push(event);
+            b.push(event);
+        }
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn different_traces_hash_differently() {
+        let mut a = Trace::new();
+        a.push("tick 0");
+        a.push("ok");
+        let mut b = Trace::new();
+        b.push("tick 0");
+        b.push("err");
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn event_boundaries_affect_the_hash() {
+        let mut a = Trace::new();
+        a.push("ab");
+        a.push("c");
+        let mut b = Trace::new();
+        b.push("a");
+        b.push("bc");
+        assert_ne!(a.hash(), b.hash());
+    }
+}

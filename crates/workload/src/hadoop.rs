@@ -11,9 +11,8 @@ use crate::metrics::RunStats;
 use flick_grammar::hadoop;
 use flick_grammar::WireCodec;
 use flick_net::listener::ConnectOptions;
-use flick_net::SimNetwork;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flick_net::{SimNetwork, SimRng};
+use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,6 +33,11 @@ pub struct HadoopLoadConfig {
     /// Link rate per mapper in bits per second (1 Gbps in the paper); `None`
     /// disables rate limiting.
     pub link_bits_per_sec: Option<u64>,
+    /// Seed for the dictionary and the mappers' word/count draws. `None`
+    /// keeps the historic streams (dictionary seed 42, mapper seeds
+    /// `1000 + index`); the simulation harness sets it so one scenario seed
+    /// derives every random choice in the run.
+    pub seed: Option<u64>,
 }
 
 impl Default for HadoopLoadConfig {
@@ -45,13 +49,21 @@ impl Default for HadoopLoadConfig {
             distinct_words: 64,
             bytes_per_mapper: 256 * 1024,
             link_bits_per_sec: Some(1_000_000_000),
+            seed: None,
         }
     }
 }
 
-/// Generates the dictionary of words used by the mappers.
+/// Generates the dictionary of words used by the mappers with the historic
+/// fixed seed, so existing callers (and benchmark baselines) see the exact
+/// same words as before.
 pub fn word_dictionary(word_len: usize, distinct_words: usize) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(42);
+    word_dictionary_seeded(42, word_len, distinct_words)
+}
+
+/// Generates a word dictionary from an explicit seed.
+pub fn word_dictionary_seeded(seed: u64, word_len: usize, distinct_words: usize) -> Vec<String> {
+    let mut rng = SimRng::new(seed);
     (0..distinct_words.max(1))
         .map(|i| {
             let mut word = format!("w{i}-");
@@ -71,7 +83,14 @@ pub fn word_dictionary(word_len: usize, distinct_words: usize) -> Vec<String> {
 /// drain and forward the combined stream.
 pub fn run_hadoop_mappers(net: &Arc<SimNetwork>, config: &HadoopLoadConfig) -> RunStats {
     let codec = hadoop::HadoopKvCodec::new();
-    let words = word_dictionary(config.word_len, config.distinct_words);
+    let words = match config.seed {
+        Some(seed) => word_dictionary_seeded(
+            SimRng::new(seed).fork("hadoop-dict").seed(),
+            config.word_len,
+            config.distinct_words,
+        ),
+        None => word_dictionary(config.word_len, config.distinct_words),
+    };
     let sent_bytes = Arc::new(AtomicU64::new(0));
     let sent_records = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
@@ -94,7 +113,10 @@ pub fn run_hadoop_mappers(net: &Arc<SimNetwork>, config: &HadoopLoadConfig) -> R
                 failed.fetch_add(1, Ordering::Relaxed);
                 return;
             };
-            let mut rng = StdRng::seed_from_u64(1000 + mapper as u64);
+            let mut rng = match config.seed {
+                Some(seed) => SimRng::new(seed).fork_indexed(mapper as u64),
+                None => SimRng::new(1000 + mapper as u64),
+            };
             let mut sent = 0usize;
             let mut batch = Vec::with_capacity(32 * 1024);
             while sent < config.bytes_per_mapper {
@@ -178,6 +200,7 @@ mod tests {
             distinct_words: 16,
             bytes_per_mapper: 64 * 1024,
             link_bits_per_sec: None,
+            seed: None,
         };
         let stats = run_hadoop_mappers(&net, &config);
         assert_eq!(stats.failed, 0);
@@ -202,6 +225,7 @@ mod tests {
             bytes_per_mapper: 192 * 1024,
             // 8 Mbit/s with a 64 KiB burst: 192 kB should take well over 100 ms.
             link_bits_per_sec: Some(8_000_000),
+            seed: None,
         };
         let start = Instant::now();
         let stats = run_hadoop_mappers(&net, &config);

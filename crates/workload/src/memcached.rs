@@ -4,9 +4,8 @@
 
 use crate::metrics::{LatencyRecorder, RunStats};
 use flick_grammar::{memcached, ParseOutcome, WireCodec};
-use flick_net::{NetError, SimNetwork};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flick_net::{NetError, SimNetwork, SimRng};
+use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,6 +26,11 @@ pub struct MemcachedLoadConfig {
     pub getk_fraction: f64,
     /// Per-request timeout.
     pub timeout: Duration,
+    /// Seed for the clients' key/opcode choices. `None` keeps the historic
+    /// per-client streams (benchmarks stay comparable across runs); the
+    /// simulation harness sets it so one scenario seed derives every random
+    /// choice in the run.
+    pub seed: Option<u64>,
 }
 
 impl Default for MemcachedLoadConfig {
@@ -38,6 +42,7 @@ impl Default for MemcachedLoadConfig {
             key_space: 1000,
             getk_fraction: 1.0,
             timeout: Duration::from_secs(5),
+            seed: None,
         }
     }
 }
@@ -60,7 +65,10 @@ pub fn run_memcached_load(net: &Arc<SimNetwork>, config: &MemcachedLoadConfig) -
         let bytes = Arc::clone(&bytes);
         handles.push(std::thread::spawn(move || {
             let codec = memcached::MemcachedCodec::new();
-            let mut rng = StdRng::seed_from_u64(client_id as u64 + 1);
+            let mut rng = match config.seed {
+                Some(seed) => SimRng::new(seed).fork_indexed(client_id as u64),
+                None => SimRng::new(client_id as u64 + 1),
+            };
             let Ok(conn) = net.connect(config.port) else {
                 failed.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -142,6 +150,7 @@ mod tests {
             key_space: 16,
             getk_fraction: 1.0,
             timeout: Duration::from_secs(2),
+            seed: None,
         };
         let stats = run_memcached_load(&net, &config);
         assert!(stats.completed > 10, "{stats:?}");

@@ -32,6 +32,7 @@ fn main() {
         distinct_words: 100,
         bytes_per_mapper: 512 * 1024,
         link_bits_per_sec: None,
+        seed: None,
     };
     let stats = run_hadoop_mappers(&net, &config);
     let forwarded = wait_for_quiescence(&reducer_bytes, Duration::from_secs(10));

@@ -148,12 +148,17 @@ fn shared_buffer_ingest_performs_zero_copies() {
     );
     assert!(stats.completed > 10, "{stats:?}");
     assert_eq!(stats.failed, 0);
+    // The same invariant helpers the simulation harness applies per tick:
+    // conservation laws plus the zero-copy gate, derived in one place.
     let snap = net.stats().snapshot();
-    assert_eq!(
-        snap.ingest_copies, 0,
-        "the shared-buffer ingest path must not copy ({} events, {} bytes)",
-        snap.ingest_copies, snap.ingest_copied_bytes
-    );
+    snap.check_conservation().expect("substrate conservation");
+    snap.check_zero_copy()
+        .expect("the shared-buffer ingest path must not copy");
+    platform
+        .metrics()
+        .snapshot()
+        .check_conservation()
+        .expect("runtime conservation");
 }
 
 /// The writable-interest acceptance gate: a peer that stops reading parks
@@ -278,6 +283,7 @@ fn listing3_hadoop_aggregation_reduces_traffic() {
             distinct_words: 50,
             bytes_per_mapper: 128 * 1024,
             link_bits_per_sec: None,
+            seed: None,
         },
     );
     assert_eq!(stats.failed, 0);

@@ -252,6 +252,7 @@ fn sharding_multi_connection_graphs_survive_placement() {
             distinct_words: 50,
             bytes_per_mapper: 64 * 1024,
             link_bits_per_sec: None,
+            seed: None,
         },
     );
     assert_eq!(stats.failed, 0);

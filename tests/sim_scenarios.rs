@@ -1,0 +1,413 @@
+//! The chaos scenario corpus (DESIGN.md §12).
+//!
+//! Each test drives a whole platform graph through a scripted fault
+//! schedule under the deterministic harness and asserts the invariant
+//! battery stayed green. Seeds are pinned: a failure prints the seed,
+//! and re-running the same test replays the run bit-identically.
+//!
+//! Run single-threaded for stable wall-clock behaviour:
+//! `cargo test --release --test sim_scenarios -- --test-threads=1`
+
+use flick_runtime::Placement;
+use flick_sim::{
+    run_poller_handoff_scenario, run_scenario, run_stall_park_scenario, FaultOp, ScenarioConfig,
+    ScheduledFault, TickChecks,
+};
+
+/// Steady traffic against the static web server: the baseline scenario
+/// must be conserving, zero-copy, busy-retry-free and leak-free.
+#[test]
+fn steady_web_traffic_is_clean_and_zero_copy() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "steady-web",
+        seed: 0x51EA_D70F_F00D_0001,
+        ticks: 10,
+        clients: 4,
+        backends: 0,
+        checks: TickChecks {
+            expect_zero_copy: true,
+            expect_no_busy_retries: true,
+        },
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert_eq!(report.requests_ok, 40, "{report:?}");
+    assert_eq!(report.requests_failed, 0);
+}
+
+/// Load-balancer under connection churn: clients constantly close and
+/// reconnect, so graphs are created and torn down the whole run.
+#[test]
+fn lb_connection_churn_stays_clean() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "lb-churn",
+        seed: 0xC401_2222,
+        ticks: 12,
+        clients: 6,
+        backends: 2,
+        churn: 0.5,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok >= 60, "{report:?}");
+    assert!(
+        report.backend_requests_served >= report.requests_ok,
+        "{report:?}"
+    );
+}
+
+/// Byte-at-a-time peers: every request arrives one byte per write, so
+/// the input path must reassemble across dozens of partial reads and
+/// wakeups per message.
+#[test]
+fn byte_at_a_time_peers_are_reassembled() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "byte-wise",
+        seed: 0xB17E_0003,
+        ticks: 8,
+        clients: 4,
+        backends: 2,
+        byte_at_a_time: 1.0,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert_eq!(report.requests_ok, 32, "{report:?}");
+}
+
+/// Mid-message disconnects: clients abort half-way through a request and
+/// vanish; the half-parsed graphs must tear down without leaking.
+#[test]
+fn mid_message_disconnects_do_not_leak() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "mid-message",
+        seed: 0xAB0_0004,
+        ticks: 12,
+        clients: 6,
+        backends: 2,
+        abort_mid_message: 0.35,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok > 0, "{report:?}");
+    assert!(report.requests_failed > 0, "aborts must happen: {report:?}");
+}
+
+/// Full backend outage and recovery: both backends crash, every request
+/// fails while they are down, and service resumes after the restart —
+/// with deterministic outcome classes (full outage routes nowhere).
+#[test]
+fn full_backend_outage_recovers() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "full-outage",
+        seed: 0xDEAD_0005,
+        ticks: 10,
+        clients: 4,
+        backends: 2,
+        faults: vec![
+            ScheduledFault::at(3, FaultOp::CrashBackend(0)),
+            ScheduledFault::at(3, FaultOp::CrashBackend(1)),
+            ScheduledFault::at(6, FaultOp::RestartBackend(0)),
+            ScheduledFault::at(6, FaultOp::RestartBackend(1)),
+        ],
+        ..Default::default()
+    });
+    report.assert_clean();
+    // Ticks 0-2 and 6-9 are healthy (4 clients each), 3-5 are dark.
+    assert_eq!(report.requests_ok, 28, "{report:?}");
+    assert_eq!(report.requests_failed, 12, "{report:?}");
+}
+
+/// Mid-message disconnect storm from the service side: every established
+/// client connection is severed while requests are in flight.
+#[test]
+fn severing_all_clients_does_not_wedge_the_service() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "sever-storm",
+        seed: 0x5E4E_0006,
+        ticks: 10,
+        clients: 4,
+        backends: 2,
+        faults: vec![
+            ScheduledFault::at(3, FaultOp::SeverClients),
+            ScheduledFault::at(7, FaultOp::SeverClients),
+        ],
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok >= 32, "{report:?}");
+}
+
+/// Rate-limit storm: every client connection writes through a token
+/// bucket; the buckets must conserve tokens at every tick and the
+/// service must stay busy-retry-free (its outputs are unrated).
+#[test]
+fn rate_limit_storm_conserves_tokens() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "rate-storm",
+        seed: 0x7A7E_0007,
+        ticks: 8,
+        clients: 3,
+        backends: 2,
+        client_rate: Some((2_000_000, 16 * 1024)),
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert_eq!(report.requests_ok, 24, "{report:?}");
+}
+
+/// Cross-shard churn: four shards, least-loaded placement, heavy churn —
+/// graph placement and work stealing race constantly while connections
+/// come and go.
+#[test]
+fn cross_shard_churn_with_stealing_stays_clean() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "cross-shard",
+        seed: 0xC405_0008,
+        ticks: 10,
+        clients: 8,
+        backends: 2,
+        workers: 4,
+        shards: 4,
+        placement: Placement::LeastLoaded,
+        churn: 0.4,
+        byte_at_a_time: 0.2,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok >= 60, "{report:?}");
+}
+
+/// Satellite: the stall-park stress as a harness scenario with a pinned
+/// regression seed — a stalled reader parks the output task (zero busy
+/// retries, zero task runs) and the writable wakeup finishes the drain.
+#[test]
+fn stall_park_scenario_with_pinned_seed() {
+    let report = run_stall_park_scenario(0x57A1_1009);
+    report.assert_clean();
+    assert_eq!(report.requests_ok, 1);
+}
+
+/// Satellite: the poller-handoff stress as a harness scenario with a
+/// pinned regression seed — no byte and no EOF may fall between an old
+/// and a new poller registration while a writer races.
+#[test]
+fn poller_handoff_scenario_with_pinned_seed() {
+    let report = run_poller_handoff_scenario(0x4A4D_000A);
+    report.assert_clean();
+}
+
+/// The replay contract: the same seed produces byte-identical traces
+/// (witnessed by the trace hash) across independent runs of an
+/// outcome-deterministic chaos schedule.
+#[test]
+fn same_seed_replays_byte_identically() {
+    let config = ScenarioConfig {
+        name: "replay",
+        seed: 0x4E91_4900_000B,
+        ticks: 8,
+        clients: 4,
+        backends: 2,
+        churn: 0.3,
+        byte_at_a_time: 0.3,
+        abort_mid_message: 0.2,
+        faults: vec![
+            ScheduledFault::at(2, FaultOp::CrashBackend(0)),
+            ScheduledFault::at(2, FaultOp::CrashBackend(1)),
+            ScheduledFault::at(5, FaultOp::RestartBackend(0)),
+            ScheduledFault::at(5, FaultOp::RestartBackend(1)),
+        ],
+        ..Default::default()
+    };
+    let first = run_scenario(&config);
+    let second = run_scenario(&config);
+    first.assert_clean();
+    second.assert_clean();
+    assert_eq!(
+        first.trace_hash,
+        second.trace_hash,
+        "same seed must replay identically:\n--- first\n{:#?}\n--- second\n{:#?}",
+        first.trace.events(),
+        second.trace.events()
+    );
+    assert_eq!(first.trace.events(), second.trace.events());
+}
+
+/// Different seeds make different decisions (compared on the decision
+/// events themselves — the header embeds the seed, so it is excluded).
+#[test]
+fn different_seeds_diverge() {
+    let base = ScenarioConfig {
+        name: "diverge",
+        ticks: 8,
+        clients: 4,
+        backends: 2,
+        churn: 0.5,
+        byte_at_a_time: 0.5,
+        abort_mid_message: 0.3,
+        trace_outcomes: false,
+        ..Default::default()
+    };
+    let a = run_scenario(&ScenarioConfig {
+        seed: 0xD1F0_0001,
+        ..base.clone()
+    });
+    let b = run_scenario(&ScenarioConfig {
+        seed: 0xD1F0_0002,
+        ..base
+    });
+    a.assert_clean();
+    b.assert_clean();
+    let decisions = |r: &flick_sim::ScenarioReport| -> Vec<String> {
+        r.trace
+            .events()
+            .iter()
+            .filter(|e| !e.contains("seed"))
+            .cloned()
+            .collect()
+    };
+    assert_ne!(
+        decisions(&a),
+        decisions(&b),
+        "two seeds drew identical decision streams"
+    );
+}
+
+/// The self-test of the checker itself: a deliberately injected
+/// violation must be caught and must report the scenario seed so the
+/// run can be replayed.
+#[test]
+fn injected_violation_is_caught_and_reports_its_seed() {
+    let seed = 0xBAD_5EED_000C;
+    let report = run_scenario(&ScenarioConfig {
+        name: "sabotage",
+        seed,
+        ticks: 3,
+        clients: 2,
+        backends: 0,
+        faults: vec![ScheduledFault::at(1, FaultOp::SabotageZeroCopy)],
+        checks: TickChecks {
+            expect_zero_copy: true,
+            expect_no_busy_retries: true,
+        },
+        ..Default::default()
+    });
+    assert!(
+        !report.violations.is_empty(),
+        "the sabotaged run must be flagged"
+    );
+    let violation = &report.violations[0];
+    assert_eq!(violation.seed, seed);
+    assert_eq!(violation.tick, 1);
+    let rendered = violation.to_string();
+    assert!(
+        rendered.contains(&format!("{seed:#018x}")),
+        "violation must print its replay seed: {rendered}"
+    );
+}
+
+/// Satellite: a backend vanishing mid-run and rejoining must not leak
+/// tasks or wedge the load-balancer graph — round-robin placement.
+/// Partial outage routes nondeterministically (connection-id hash), so
+/// outcome tracing is off; the leak/conservation checks are the test.
+#[test]
+fn backend_vanishing_and_rejoining_round_robin() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "partial-outage-rr",
+        seed: 0x9A47_000D,
+        ticks: 10,
+        clients: 6,
+        backends: 3,
+        placement: Placement::RoundRobin,
+        faults: vec![
+            ScheduledFault::at(2, FaultOp::CrashBackend(1)),
+            ScheduledFault::at(6, FaultOp::RestartBackend(1)),
+        ],
+        trace_outcomes: false,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok > 0, "{report:?}");
+    assert!(
+        report.backend_requests_served >= report.requests_ok,
+        "{report:?}"
+    );
+}
+
+/// Satellite: the same vanish/rejoin schedule under least-loaded
+/// placement (the placement policy sees load shift as graphs die).
+#[test]
+fn backend_vanishing_and_rejoining_least_loaded() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "partial-outage-ll",
+        seed: 0x9A47_000E,
+        ticks: 10,
+        clients: 6,
+        backends: 3,
+        placement: Placement::LeastLoaded,
+        faults: vec![
+            ScheduledFault::at(2, FaultOp::CrashBackend(1)),
+            ScheduledFault::at(6, FaultOp::RestartBackend(1)),
+        ],
+        trace_outcomes: false,
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert!(report.requests_ok > 0, "{report:?}");
+}
+
+/// Randomized seed sweep for CI: run the churny chaos schedule over a
+/// batch of fresh seeds and print every failing seed (each failure is
+/// replayable by pinning that seed in a test above). Ignored by default;
+/// CI runs it with `-- --ignored`. `SIM_SWEEP_SEEDS` controls the batch
+/// size, `SIM_SWEEP_BASE` the first seed.
+#[test]
+#[ignore = "seed sweep — run explicitly or from CI"]
+fn randomized_seed_sweep() {
+    let count: u64 = std::env::var("SIM_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let base: u64 = std::env::var("SIM_SWEEP_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_secs()
+        });
+    let mut failing = Vec::new();
+    for i in 0..count {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let report = run_scenario(&ScenarioConfig {
+            name: "sweep",
+            seed,
+            ticks: 8,
+            clients: 4,
+            backends: 2,
+            churn: 0.4,
+            byte_at_a_time: 0.3,
+            abort_mid_message: 0.2,
+            faults: vec![
+                ScheduledFault::at(3, FaultOp::CrashBackend(0)),
+                ScheduledFault::at(3, FaultOp::CrashBackend(1)),
+                ScheduledFault::at(5, FaultOp::RestartBackend(0)),
+                ScheduledFault::at(5, FaultOp::RestartBackend(1)),
+            ],
+            ..Default::default()
+        });
+        if report.violations.is_empty() {
+            println!("sweep seed {seed:#018x}: clean ({} ok)", report.requests_ok);
+        } else {
+            println!("sweep seed {seed:#018x}: FAILED");
+            for violation in &report.violations {
+                println!("  {violation}");
+            }
+            failing.push(seed);
+        }
+    }
+    assert!(
+        failing.is_empty(),
+        "failing seeds (pin one to replay): {failing:#x?}"
+    );
+}
