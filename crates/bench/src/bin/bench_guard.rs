@@ -38,10 +38,11 @@
 
 use flick_bench::report::{print_table, rows_from_json, rows_to_json, Row};
 use flick_bench::{
-    run_dispatcher_backend_ablation, run_hadoop_experiment, run_http_experiment,
-    run_output_mode_ablation, run_sharding_ablation, run_tcp_lb_experiment,
-    run_tcp_loopback_experiment, HadoopExperiment, HttpExperiment, HttpSystem, TcpLbExperiment,
-    TcpLbResult, TcpLoopbackExperiment, TcpLoopbackResult,
+    max_open_files, run_dispatcher_backend_ablation, run_hadoop_experiment, run_http_experiment,
+    run_output_mode_ablation, run_sharding_ablation, run_tcp_c10k_experiment,
+    run_tcp_lb_experiment, run_tcp_loopback_experiment, run_tcp_sharding_curve, HadoopExperiment,
+    HttpExperiment, HttpSystem, TcpC10kExperiment, TcpLbExperiment, TcpLbResult,
+    TcpLoopbackExperiment, TcpLoopbackResult,
 };
 use std::time::Duration;
 
@@ -136,11 +137,15 @@ fn main() {
         };
         Row::new(row.x.clone(), row.series.clone(), best, row.unit.clone())
     }));
-    // Two passes over the sharding ablation; the ratio gate uses the best
-    // run per configuration so a single noisy interval on a loaded CI host
-    // cannot fail the comparison. Baseline rows come from the first pass.
+    // Three passes over the sharding ablation; the ratio gate uses the
+    // best run per configuration so a noisy interval on a loaded CI host
+    // cannot fail the comparison. On a single-core box the ratio gate has
+    // no parallel headroom at all — it measures pure sharding overhead
+    // against a 5% allowance — so it needs the extra pass more than any
+    // other gate here. Baseline rows come from the first pass.
     let sharding = run_sharding_ablation(&[1, 2], Duration::from_millis(600));
     let sharding_second = run_sharding_ablation(&[1, 2], Duration::from_millis(600));
+    let sharding_third = run_sharding_ablation(&[1, 2], Duration::from_millis(600));
     rows.extend(sharding.iter().cloned());
     rows.push(run_fig4_point());
     rows.push(run_fig6_point());
@@ -152,6 +157,7 @@ fn main() {
         concurrency: 16,
         duration: Duration::from_millis(400),
         workers: 4,
+        shards: 1,
     };
     let tcp_first = run_tcp_loopback_experiment(&tcp_params);
     let tcp_second = run_tcp_loopback_experiment(&tcp_params);
@@ -200,6 +206,71 @@ fn main() {
             .requests_per_sec()
             .max(lb_second.sim.requests_per_sec()),
         "req/s",
+    ));
+    // The kernel-path sharding curve: the same loopback service at 1 and
+    // 2 shards, each shard with its own reactor thread and SO_REUSEPORT
+    // accept socket. Three passes, best-of-three per shard count: like
+    // the runtime sharding gate above, on a single-core host the ratio
+    // measures pure sharding overhead against a 5% allowance, so it gets
+    // the extra variance-reduction pass.
+    const TCP_SHARD_MAX: usize = 2;
+    let curve_first = run_tcp_sharding_curve(&tcp_params, TCP_SHARD_MAX);
+    let curve_second = run_tcp_sharding_curve(&tcp_params, TCP_SHARD_MAX);
+    let curve_third = run_tcp_sharding_curve(&tcp_params, TCP_SHARD_MAX);
+    let curve_best_at = |shards: usize| {
+        curve_first
+            .iter()
+            .chain(curve_second.iter())
+            .chain(curve_third.iter())
+            .filter(|point| point.shards == shards)
+            .map(|point| point.tcp.requests_per_sec())
+            .fold(None, |best: Option<f64>, v| {
+                Some(best.map_or(v, |b| b.max(v)))
+            })
+    };
+    for point in &curve_first {
+        rows.push(Row::new(
+            point.shards,
+            "tcp sharded",
+            curve_best_at(point.shards).unwrap_or(point.tcp.requests_per_sec()),
+            "req/s",
+        ));
+    }
+    // The c10k idle+active point: thousands of idle kernel connections
+    // pinned against the reactor while a small closed loop measures
+    // throughput. One pass — the gates on it are structural (zero-copy
+    // laws, connection survival), not throughput-absolute beyond the 30%
+    // floor.
+    let c10k_params = TcpC10kExperiment::default();
+    let c10k = run_tcp_c10k_experiment(&c10k_params);
+    rows.push(Row::new(
+        "10k",
+        "tcp c10k active",
+        c10k.active.requests_per_sec(),
+        "req/s",
+    ));
+    rows.push(Row::new(
+        "10k",
+        "tcp c10k idle",
+        c10k.idle_connected as f64,
+        "conns",
+    ));
+    // Host metadata, recorded for context (units outside req/s|Mbps are
+    // never gated on absolute values): how many cores and fds shaped the
+    // numbers above, and the sharding config the curve ran at.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    rows.push(Row::new("host", "host cores", cores as f64, "cores"));
+    rows.push(Row::new(
+        "host",
+        "host fd limit",
+        max_open_files() as f64,
+        "fds",
+    ));
+    rows.push(Row::new(
+        "host",
+        "tcp shard config",
+        TCP_SHARD_MAX as f64,
+        "shards",
     ));
     print_table("Bench guard (current run)", &rows);
 
@@ -297,11 +368,12 @@ fn main() {
 
     // Machine-independent gate 2: the sharded runtime vs the single-shard
     // runtime, same workload, same worker budget, within this run
-    // (best-of-two per configuration).
+    // (best-of-three per configuration).
     let sharded_at = |x: usize| {
         sharding
             .iter()
             .chain(sharding_second.iter())
+            .chain(sharding_third.iter())
             .filter(|row| row.series == "sharded" && row.x == x.to_string())
             .map(|row| row.value)
             .fold(None, |best: Option<f64>, v| {
@@ -327,8 +399,8 @@ fn main() {
     }
     // Structural claims of the sharded run: both shards did comparable
     // work (placement balance) and the steal path was exercised. Like the
-    // ratio gate, these accept the better of the two passes so a single
-    // noisy interval cannot fail CI.
+    // ratio gate, these accept the best of the passes so a single noisy
+    // interval cannot fail CI.
     let structural = |pass: &[Row]| -> Result<(Vec<f64>, f64), String> {
         let utils: Vec<f64> = pass
             .iter()
@@ -356,7 +428,10 @@ fn main() {
         }
         Ok((utils, steals))
     };
-    match structural(&sharding).or_else(|first| structural(&sharding_second).map_err(|_| first)) {
+    match structural(&sharding)
+        .or_else(|first| structural(&sharding_second).map_err(|_| first))
+        .or_else(|first| structural(&sharding_third).map_err(|_| first))
+    {
         Ok((utils, steals)) => {
             println!("ok: per-shard utilization balanced ({utils:?})");
             println!("ok: cross-shard steal path exercised ({steals:.0} tasks)");
@@ -385,6 +460,64 @@ fn main() {
         ));
     } else {
         println!("ok: tcp/sim loopback ratio {tcp_ratio:.2} (floor {TCP_SIM_RATIO_FLOOR})");
+    }
+
+    // Machine-independent gate 3b: sharding the kernel event path
+    // (per-shard reactors + REUSEPORT accept sockets) must not cost
+    // throughput relative to the single-reactor run. On multi-core hosts
+    // it should win outright; on a single core the expected ratio is ~1.
+    match (curve_best_at(1), curve_best_at(TCP_SHARD_MAX)) {
+        (Some(single), Some(sharded)) => {
+            let ratio = sharded / single.max(1e-9);
+            if ratio < SHARDING_RATIO_FLOOR {
+                failures.push(format!(
+                    "kernel-path sharding lost to a single reactor: {sharded:.0} vs \
+                     {single:.0} req/s (ratio {ratio:.2}, floor {SHARDING_RATIO_FLOOR})"
+                ));
+            } else {
+                println!("ok: tcp sharded/single ratio {ratio:.2}x (floor {SHARDING_RATIO_FLOOR})");
+            }
+        }
+        _ => failures.push("tcp sharding curve missing 1-shard or max-shard point".to_string()),
+    }
+
+    // Machine-independent gate 3c: the c10k structural claims. The idle
+    // mass must actually connect and survive the active run, and the
+    // kernel path must hold both zero-copy laws under it.
+    if c10k.idle_connected * 100 < c10k.idle_requested * 99 {
+        failures.push(format!(
+            "c10k: only {}/{} idle connections established",
+            c10k.idle_connected, c10k.idle_requested
+        ));
+    } else if c10k.idle_survivors < c10k.idle_connected {
+        failures.push(format!(
+            "c10k: {} of {} idle connections died during the active run",
+            c10k.idle_connected - c10k.idle_survivors,
+            c10k.idle_connected
+        ));
+    } else {
+        println!(
+            "ok: c10k held {} idle connections through the active run \
+             ({:.0} req/s active)",
+            c10k.idle_survivors,
+            c10k.active.requests_per_sec()
+        );
+    }
+    if c10k.ingest_copies != 0 {
+        failures.push(format!(
+            "c10k: kernel path charged {} ingest copies (zero-copy law broken)",
+            c10k.ingest_copies
+        ));
+    } else {
+        println!("ok: c10k kernel path charged 0 ingest copies");
+    }
+    if c10k.output_busy_retries != 0 {
+        failures.push(format!(
+            "c10k: output tasks busy-retried {} times (writable parking broken)",
+            c10k.output_busy_retries
+        ));
+    } else {
+        println!("ok: c10k output tasks performed 0 busy retries");
     }
 
     // Machine-independent gate 4: the all-TCP LB path vs its simulated
@@ -475,5 +608,5 @@ fn main() {
         .iter()
         .filter(|row| (row.unit == "req/s" || row.unit == "Mbps") && row.series != "output busy")
         .count();
-    println!("bench guard passed ({checked} absolute series + 5 ratio gates checked)");
+    println!("bench guard passed ({checked} absolute series + 7 ratio/structural gates checked)");
 }

@@ -20,14 +20,17 @@ use flick_bench::{
 use std::time::Duration;
 
 /// The `--tcp` mode: real kernel sockets versus the simulated kernel cost
-/// model, same platform, increasing client fleets.
-fn run_tcp_mode() {
+/// model, same platform, increasing client fleets. `--shards N` runs the
+/// kernel path sharded: one reactor thread and one `SO_REUSEPORT` accept
+/// socket per shard.
+fn run_tcp_mode(shards: usize) {
     let mut rows = Vec::new();
     for concurrency in [4usize, 16, 32] {
         let result = run_tcp_loopback_experiment(&TcpLoopbackExperiment {
             concurrency,
             duration: Duration::from_millis(500),
             workers: 4,
+            shards,
         });
         rows.push(Row::new(
             concurrency,
@@ -61,8 +64,15 @@ fn run_tcp_mode() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--tcp") {
-        run_tcp_mode();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--tcp") {
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        run_tcp_mode(shards);
         return;
     }
     let concurrencies = [16usize, 32, 64, 128];

@@ -551,6 +551,8 @@ pub struct TcpLoopbackExperiment {
     pub duration: Duration,
     /// Worker threads for the middlebox.
     pub workers: usize,
+    /// Shards (per-shard reactors + `SO_REUSEPORT` accept sockets).
+    pub shards: usize,
 }
 
 impl Default for TcpLoopbackExperiment {
@@ -559,6 +561,7 @@ impl Default for TcpLoopbackExperiment {
             concurrency: 16,
             duration: Duration::from_millis(400),
             workers: 4,
+            shards: 1,
         }
     }
 }
@@ -580,6 +583,7 @@ pub fn run_tcp_loopback_experiment(params: &TcpLoopbackExperiment) -> TcpLoopbac
     let platform = Platform::with_network(
         PlatformConfig {
             workers: params.workers,
+            shards: params.shards,
             stack: StackModel::Kernel,
             ..Default::default()
         },
@@ -620,6 +624,148 @@ pub fn run_tcp_loopback_experiment(params: &TcpLoopbackExperiment) -> TcpLoopbac
         },
     );
     TcpLoopbackResult { tcp, sim }
+}
+
+/// One point of the kernel-path sharding curve.
+#[derive(Debug, Clone)]
+pub struct TcpShardingPoint {
+    /// Shard count of this run (reactors, accept sockets, dispatchers).
+    pub shards: usize,
+    /// Closed-loop stats of the real-socket run.
+    pub tcp: RunStats,
+}
+
+/// Runs the kernel-path sharding curve (the fig5 companion for the OS
+/// transport): the same loopback web service at 1, 2, 4, … shards up to
+/// `max_shards`, each shard owning its own reactor thread and
+/// `SO_REUSEPORT` accept socket. On a single-core host the interesting
+/// gate is the *ratio*: sharding the kernel path must not cost throughput
+/// even when it cannot win any.
+pub fn run_tcp_sharding_curve(
+    base: &TcpLoopbackExperiment,
+    max_shards: usize,
+) -> Vec<TcpShardingPoint> {
+    let mut points = Vec::new();
+    let mut shards = 1;
+    while shards <= max_shards.max(1) {
+        let params = TcpLoopbackExperiment {
+            shards,
+            ..base.clone()
+        };
+        let result = run_tcp_loopback_experiment(&params);
+        points.push(TcpShardingPoint {
+            shards,
+            tcp: result.tcp,
+        });
+        shards *= 2;
+    }
+    points
+}
+
+/// Reads this process's open-file limit (soft) from `/proc/self/limits`,
+/// falling back to a conservative 1024 when the file is unreadable (e.g.
+/// non-Linux hosts).
+pub fn max_open_files() -> u64 {
+    let Ok(limits) = std::fs::read_to_string("/proc/self/limits") else {
+        return 1024;
+    };
+    limits
+        .lines()
+        .find(|line| line.starts_with("Max open files"))
+        .and_then(|line| line.split_whitespace().nth(3)?.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// Parameters of the c10k idle+active point: thousands of idle kernel
+/// connections pinned open against the event dispatcher while a small
+/// closed loop measures throughput.
+#[derive(Debug, Clone)]
+pub struct TcpC10kExperiment {
+    /// Idle connections requested (clamped to the fd budget, see
+    /// [`run_tcp_c10k_experiment`]).
+    pub idle_connections: usize,
+    /// Active closed-loop clients.
+    pub concurrency: usize,
+    /// Measurement duration of the active loop.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+    /// Shard count.
+    pub shards: usize,
+}
+
+impl Default for TcpC10kExperiment {
+    fn default() -> Self {
+        TcpC10kExperiment {
+            idle_connections: 10_000,
+            concurrency: 8,
+            duration: Duration::from_millis(400),
+            workers: 2,
+            shards: 1,
+        }
+    }
+}
+
+/// The outcome of the c10k point.
+#[derive(Debug, Clone)]
+pub struct TcpC10kResult {
+    /// Idle connections actually requested after fd clamping.
+    pub idle_requested: usize,
+    /// Idle connections established.
+    pub idle_connected: usize,
+    /// Idle connections still alive after the active run.
+    pub idle_survivors: usize,
+    /// The active closed loop's stats.
+    pub active: RunStats,
+    /// Zero-copy law: ingest copies charged on the kernel path.
+    pub ingest_copies: u64,
+    /// Writable-interest law: busy retries charged by output tasks.
+    pub output_busy_retries: u64,
+}
+
+/// Runs the c10k idle+active point over real kernel sockets. Each idle
+/// connection costs two fds (client + accepted side) in this process, so
+/// the requested count is clamped to `(fd_limit - 500) / 2` — the slack
+/// covers the active loop, the reactor's own fds and everything else the
+/// process holds open.
+pub fn run_tcp_c10k_experiment(params: &TcpC10kExperiment) -> TcpC10kResult {
+    let fd_budget = (max_open_files().saturating_sub(500) / 2) as usize;
+    let idle_requested = params.idle_connections.min(fd_budget.max(1));
+    let platform = Platform::new(PlatformConfig {
+        workers: params.workers,
+        shards: params.shards,
+        stack: StackModel::Kernel,
+        ..Default::default()
+    });
+    let body = &[b'x'; 137][..];
+    let service = platform
+        .deploy_tcp(
+            ServiceSpec::new("c10k-web", 0, StaticWebServerFactory::new(body)),
+            "127.0.0.1:0",
+        )
+        .expect("deploy c10k TCP service");
+    let stats = flick_workload::tcp::run_tcp_idle_active_load(
+        &format!("127.0.0.1:{}", service.port()),
+        &flick_workload::tcp::TcpIdleActiveConfig {
+            idle_connections: idle_requested,
+            active: TcpHttpLoadConfig {
+                concurrency: params.concurrency,
+                duration: params.duration,
+                persistent: true,
+                timeout: Duration::from_secs(10),
+            },
+        },
+    );
+    let tcp_stats = platform.tcp_stack().stats().snapshot();
+    let runtime = platform.metrics().snapshot();
+    TcpC10kResult {
+        idle_requested,
+        idle_connected: stats.idle_connected,
+        idle_survivors: stats.idle_survivors,
+        active: stats.active,
+        ingest_copies: tcp_stats.ingest_copies,
+        output_busy_retries: runtime.output_busy_retries,
+    }
 }
 
 /// Parameters of the all-TCP load-balancer experiment: kernel clients →
@@ -1042,10 +1188,51 @@ mod tests {
             concurrency: 2,
             duration: Duration::from_millis(150),
             workers: 2,
+            shards: 1,
         };
         let result = run_tcp_loopback_experiment(&params);
         assert!(result.tcp.completed > 0, "tcp: {:?}", result.tcp);
         assert!(result.sim.completed > 0, "sim: {:?}", result.sim);
+    }
+
+    /// Kernel accept sharding end to end at a reduced scale: two shards,
+    /// two REUSEPORT accept sockets, requests served through both
+    /// reactors' event paths.
+    #[test]
+    fn tcp_loopback_sharded_smoke() {
+        let params = TcpLoopbackExperiment {
+            concurrency: 4,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            shards: 2,
+        };
+        let result = run_tcp_loopback_experiment(&params);
+        assert!(result.tcp.completed > 0, "tcp: {:?}", result.tcp);
+    }
+
+    /// The c10k runner at a reduced scale: the idle mass must connect,
+    /// survive, and leave the zero-copy laws intact.
+    #[test]
+    fn tcp_c10k_experiment_smoke() {
+        let params = TcpC10kExperiment {
+            idle_connections: 64,
+            concurrency: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            shards: 1,
+        };
+        let result = run_tcp_c10k_experiment(&params);
+        assert_eq!(result.idle_connected, 64, "{result:?}");
+        assert_eq!(result.idle_survivors, 64, "{result:?}");
+        assert!(result.active.completed > 0, "{result:?}");
+        assert_eq!(result.ingest_copies, 0, "{result:?}");
+        assert_eq!(result.output_busy_retries, 0, "{result:?}");
+    }
+
+    #[test]
+    fn fd_limit_parses_on_linux() {
+        let limit = max_open_files();
+        assert!(limit >= 256, "implausible fd limit {limit}");
     }
 
     #[test]

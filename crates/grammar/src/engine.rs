@@ -271,6 +271,21 @@ impl WireCodec for GrammarCodec {
         self.parse_shared(buf, projection)
     }
 
+    fn serialize_parts(
+        &self,
+        msg: &Message,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<Bytes>, GrammarError> {
+        // Pass-through messages ship their raw bytes as one shared
+        // vectored segment; anything modified goes through the full
+        // field-by-field serialisation (no split worth making there).
+        if let Some(raw) = msg.raw() {
+            return Ok(Some(raw.clone()));
+        }
+        self.serialize(msg, out)?;
+        Ok(None)
+    }
+
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError> {
         let unit = &self.grammar.name;
         // Fast path: an unmodified parsed message is copied through verbatim.

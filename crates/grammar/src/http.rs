@@ -180,6 +180,49 @@ impl WireCodec for HttpCodec {
             return Ok(());
         }
         let body = msg.bytes_field("body").unwrap_or(&[]);
+        self.serialize_head(msg, out, body.len())?;
+        out.extend_from_slice(body);
+        Ok(())
+    }
+
+    fn serialize_parts(
+        &self,
+        msg: &Message,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<Bytes>, GrammarError> {
+        // Pass-through: the unmodified raw wire bytes leave as one shared
+        // segment — nothing appended, nothing copied (the LB forwarding
+        // path stays zero-copy all the way into `writev`).
+        if let Some(raw) = msg.raw() {
+            return Ok(Some(raw.clone()));
+        }
+        match msg.shared_bytes_field("body") {
+            Some(body) if !body.is_empty() => {
+                let body = body.clone();
+                self.serialize_head(msg, out, body.len())?;
+                Ok(Some(body))
+            }
+            // No refcounted body to split off; the scalar path is already
+            // optimal.
+            _ => {
+                self.serialize(msg, out)?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl HttpCodec {
+    /// Serialises everything up to (and including) the blank line — the
+    /// status/request line and headers — leaving the body to the caller,
+    /// which either appends it ([`WireCodec::serialize`]) or ships it as a
+    /// shared vectored segment ([`WireCodec::serialize_parts`]).
+    fn serialize_head(
+        &self,
+        msg: &Message,
+        out: &mut Vec<u8>,
+        body_len: usize,
+    ) -> Result<(), GrammarError> {
         let version = msg.str_field("version").unwrap_or("HTTP/1.1");
         if msg.unit == RESPONSE_UNIT {
             let status = msg.uint_field("status").unwrap_or(200);
@@ -205,7 +248,7 @@ impl WireCodec for HttpCodec {
             for line in headers.split("\r\n").filter(|l| !l.is_empty()) {
                 if line.to_ascii_lowercase().starts_with("content-length") {
                     wrote_content_length = true;
-                    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+                    out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
                 } else {
                     out.extend_from_slice(line.as_bytes());
                     out.extend_from_slice(b"\r\n");
@@ -214,13 +257,12 @@ impl WireCodec for HttpCodec {
         } else if let Some(host) = msg.str_field("host") {
             out.extend_from_slice(format!("Host: {host}\r\n").as_bytes());
         }
-        if !wrote_content_length && !body.is_empty() {
-            out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+        if !wrote_content_length && body_len > 0 {
+            out.extend_from_slice(format!("Content-Length: {body_len}\r\n").as_bytes());
         } else if !wrote_content_length && msg.unit == RESPONSE_UNIT {
             out.extend_from_slice(b"Content-Length: 0\r\n");
         }
         out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(body);
         Ok(())
     }
 }
@@ -293,6 +335,43 @@ mod tests {
             ParseOutcome::Complete { message, consumed } => (message, consumed),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// `serialize_parts` must produce byte-for-byte the same stream as
+    /// `serialize` (as `out ++ tail`) in every shape: constructed response
+    /// with a shared body, raw pass-through, and bodyless request.
+    #[test]
+    fn serialize_parts_matches_serialize() {
+        let codec = HttpCodec::new();
+        let cases = [
+            response(200, b"hello body"),
+            response(204, b""),
+            get_request("/x", "example.org"),
+            parse_ok(&codec, b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello").0,
+        ];
+        for msg in cases {
+            let mut scalar = Vec::new();
+            codec.serialize(&msg, &mut scalar).unwrap();
+            let mut head = Vec::new();
+            let tail = codec.serialize_parts(&msg, &mut head).unwrap();
+            if let Some(tail) = tail {
+                head.extend_from_slice(&tail);
+            }
+            assert_eq!(head, scalar, "parts diverge for {msg}");
+        }
+    }
+
+    /// The pass-through fast path keeps the raw bytes as one shared
+    /// segment and appends nothing.
+    #[test]
+    fn serialize_parts_passes_raw_through_as_the_tail() {
+        let codec = HttpCodec::new();
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        let (msg, _) = parse_ok(&codec, wire);
+        let mut head = Vec::new();
+        let tail = codec.serialize_parts(&msg, &mut head).unwrap().unwrap();
+        assert!(head.is_empty());
+        assert_eq!(&tail[..], &wire[..]);
     }
 
     #[test]

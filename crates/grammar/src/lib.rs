@@ -107,6 +107,27 @@ pub trait WireCodec: Send + Sync {
     /// If the message still carries its raw wire bytes and no field has been
     /// modified, implementations should copy those bytes through unchanged.
     fn serialize(&self, msg: &Message, out: &mut Vec<u8>) -> Result<(), GrammarError>;
+
+    /// Serialises `msg` for a vectored (`writev`-style) output path:
+    /// appends the leading part (headers, framing) to `out` and returns
+    /// the trailing part — a refcounted body or the unmodified raw wire
+    /// bytes — as a separate [`bytes::Bytes`] segment, so the transport
+    /// can hand both to the kernel in one syscall without concatenating.
+    ///
+    /// Returning `Ok(None)` means everything was appended to `out` (the
+    /// default, which simply falls back to [`WireCodec::serialize`]).
+    /// Returning `Ok(Some(tail))` means the wire form is `out ++ tail`;
+    /// in particular a pass-through message may leave `out` untouched and
+    /// come back entirely as the shared segment. Implementations must
+    /// produce byte-for-byte the same stream as `serialize`.
+    fn serialize_parts(
+        &self,
+        msg: &Message,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<bytes::Bytes>, GrammarError> {
+        self.serialize(msg, out)?;
+        Ok(None)
+    }
 }
 
 #[cfg(test)]

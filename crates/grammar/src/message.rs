@@ -163,6 +163,17 @@ impl Message {
         self.get(name).and_then(MsgValue::as_bytes)
     }
 
+    /// Returns a byte field as its refcounted [`Bytes`] handle, so callers
+    /// (e.g. the vectored output path) can share the allocation instead of
+    /// copying the slice. `None` when the field is absent or not stored as
+    /// bytes.
+    pub fn shared_bytes_field(&self, name: &str) -> Option<&Bytes> {
+        match self.get(name) {
+            Some(MsgValue::Bytes(bytes)) => Some(bytes),
+            _ => None,
+        }
+    }
+
     /// Iterates over `(name, value)` pairs in wire order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &MsgValue)> {
         self.fields.iter().map(|(n, v)| (n.as_str(), v))

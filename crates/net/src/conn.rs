@@ -15,6 +15,10 @@
 //! transport they are on — the tentpole property of the OS transport
 //! subsystem (DESIGN.md §10).
 
+/// Upper bound on a coalesced ingest read ([`Endpoint::read_into`] sizes
+/// its tail request to the source's pending backlog, up to this cap).
+const MAX_COALESCED_READ: usize = 256 * 1024;
+
 use crate::costs::StackCosts;
 use crate::error::NetError;
 use crate::poller::{Interest, Poller, Readiness, Token, WakerSlot};
@@ -278,6 +282,41 @@ impl SimEndpoint {
             }
         }
         Ok(())
+    }
+
+    /// Writes the segments in `bufs` back to back — the simulated
+    /// counterpart of the OS transport's one-syscall `writev`. The sim
+    /// pipe has no scatter/gather, so segments are applied in order until
+    /// the pipe stops taking bytes, but the accounting contract is
+    /// identical (one vectored-write event, per-segment counts), so the
+    /// writev-path conservation laws hold on simulated runs too.
+    pub fn write_vectored(&self, bufs: &[&[u8]]) -> Result<usize, NetError> {
+        let mut total = 0usize;
+        let mut segments = 0usize;
+        for buf in bufs {
+            if buf.is_empty() {
+                continue;
+            }
+            match self.write(buf) {
+                Ok(n) => {
+                    total += n;
+                    segments += 1;
+                    if n < buf.len() {
+                        break; // Pipe (or rate budget) filled mid-segment.
+                    }
+                }
+                // Progress already made: report it; the next call will
+                // surface the error, exactly as the kernel's writev does.
+                Err(_) if total > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if total > 0 {
+            if let Some(stats) = &self.stats {
+                stats.record_vectored(segments);
+            }
+        }
+        Ok(total)
     }
 
     /// Reads available bytes into `buf` without blocking.
@@ -588,6 +627,15 @@ impl Endpoint {
         dispatch!(EndpointKind, self, ep => ep.write(data))
     }
 
+    /// Writes the segments in `bufs` in one call — `writev(2)` on the OS
+    /// transport (header+body leave in a single syscall, no staging
+    /// concatenation), sequential segment writes with identical accounting
+    /// on the sim transport. Returns the total bytes accepted, which may
+    /// be a prefix ending mid-segment.
+    pub fn write_vectored(&self, bufs: &[&[u8]]) -> Result<usize, NetError> {
+        dispatch!(EndpointKind, self, ep => ep.write_vectored(bufs))
+    }
+
     /// Writes all of `data`, blocking until buffer space and link budget
     /// allow. Client-workload helper; the middlebox runtime only uses the
     /// non-blocking [`Endpoint::write`].
@@ -615,15 +663,26 @@ impl Endpoint {
     /// [`SharedBuf::view`]: crate::SharedBuf::view
     pub fn read_into(&self, buf: &mut crate::SharedBuf) -> Result<usize, NetError> {
         let min = buf.read_size();
+        let pending = self.pending();
         // When filling means switching chunks (views of the current chunk
         // are still alive downstream, or the tail is out of space), probe
         // the connection first: a read that would report `WouldBlock`
         // anyway must not pay a chunk allocation — input tasks probe after
         // every drained batch.
-        if !buf.can_fill_in_place(min) && self.pending() == 0 && !self.peer_closed() {
+        if !buf.can_fill_in_place(min) && pending == 0 && !self.peer_closed() {
             return Err(NetError::WouldBlock);
         }
-        let (tail, carried) = buf.tail_mut(min);
+        // Coalesce per wakeup: when the source already holds more than one
+        // default read's worth, size the tail request to drain it in fewer
+        // calls (capped, so one hot connection cannot demand an unbounded
+        // chunk). Never at the price of a carry: if the larger request
+        // would force a chunk switch that the default size avoids, keep
+        // the default — the zero-copy law outranks the syscall count.
+        let mut want = min.max(pending.min(MAX_COALESCED_READ));
+        if want > min && buf.can_fill_in_place(min) && !buf.can_fill_in_place(want) {
+            want = min;
+        }
+        let (tail, carried) = buf.tail_mut(want);
         if carried > 0 {
             if let Some(stats) = self.stats() {
                 stats.record_ingest_copy(carried);

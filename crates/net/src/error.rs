@@ -19,6 +19,11 @@ pub enum NetError {
     ListenerClosed,
     /// A blocking operation timed out.
     TimedOut,
+    /// The process (or kernel) is temporarily out of resources —
+    /// `EMFILE`/`ENFILE`/`ENOBUFS`/`ENOMEM` on an accept, or an injected
+    /// exhaustion fault on the simulated substrate. The operation may
+    /// succeed later; accept loops must back off and retry, never die.
+    Resources,
     /// An OS-level I/O error from the real-socket transport that has no
     /// simulated counterpart (the common socket failures — would-block,
     /// resets, refusals — are mapped onto the variants above).
@@ -34,6 +39,7 @@ impl fmt::Display for NetError {
             NetError::AddrInUse => "address already in use",
             NetError::ListenerClosed => "listener closed",
             NetError::TimedOut => "operation timed out",
+            NetError::Resources => "temporarily out of resources (fd or buffer exhaustion)",
             NetError::Io(kind) => return write!(f, "os io error: {kind}"),
         };
         f.write_str(s)

@@ -32,6 +32,11 @@ struct ListenerInner {
     /// process behind the port crashing and the kernel resetting its
     /// connections. Closed entries are pruned on each new connect.
     established: Mutex<Vec<Endpoint>>,
+    /// Remaining injected accept faults (see
+    /// [`SimListener::inject_accept_faults`]): while positive, accepts
+    /// fail with [`NetError::Resources`] without consuming the backlog,
+    /// modelling an `EMFILE`-class burst deterministically.
+    accept_faults: AtomicU64,
 }
 
 impl ListenerInner {
@@ -68,6 +73,9 @@ impl SimListener {
     /// Returns [`NetError::WouldBlock`] when no connection is waiting and
     /// [`NetError::ListenerClosed`] after [`SimListener::close`].
     pub fn try_accept(&self) -> Result<Endpoint, NetError> {
+        if self.consume_accept_fault() {
+            return Err(NetError::Resources);
+        }
         let mut queue = self.inner.pending.lock();
         match queue.pop_front() {
             Some(endpoint) => {
@@ -78,6 +86,22 @@ impl SimListener {
             None if self.inner.closed.load(Ordering::Acquire) => Err(NetError::ListenerClosed),
             None => Err(NetError::WouldBlock),
         }
+    }
+
+    /// Makes the next `n` accepts fail with [`NetError::Resources`]
+    /// without consuming the backlog — the deterministic stand-in for an
+    /// `EMFILE`/`ENFILE` burst on the OS transport, used to test that
+    /// accept loops back off and survive instead of dying.
+    pub fn inject_accept_faults(&self, n: u64) {
+        self.inner.accept_faults.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Consumes one injected fault, if any remain.
+    fn consume_accept_fault(&self) -> bool {
+        self.inner
+            .accept_faults
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
     }
 
     /// Accepts a pending connection, blocking until one arrives.
@@ -213,6 +237,7 @@ impl SimNetwork {
             port,
             waker: Mutex::new(None),
             established: Mutex::new(Vec::new()),
+            accept_faults: AtomicU64::new(0),
         });
         listeners.insert(port, Arc::clone(&inner));
         Ok(SimListener {
@@ -274,6 +299,21 @@ impl SimNetwork {
     /// Number of listeners currently bound.
     pub fn listener_count(&self) -> usize {
         self.listeners.lock().len()
+    }
+
+    /// Fault injection: arms the next `n` accepts on `port` to fail with
+    /// [`NetError::Resources`] (see
+    /// [`SimListener::inject_accept_faults`]). Keyed by port so tests can
+    /// reach a listener deployed behind a platform without holding the
+    /// [`SimListener`] handle. Returns `false` when nothing listens there.
+    pub fn inject_accept_faults(&self, port: u16, n: u64) -> bool {
+        match self.listeners.lock().get(&port) {
+            Some(inner) => {
+                inner.accept_faults.fetch_add(n, Ordering::AcqRel);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Fault injection: closes every connection ever routed to `port` —

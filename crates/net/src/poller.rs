@@ -164,18 +164,61 @@ struct PollState {
 pub(crate) struct PollerInner {
     state: Mutex<PollState>,
     cond: Condvar,
+    /// The kernel reactor owned by this poller, created lazily the first
+    /// time an OS socket registers here. One reactor per poller means one
+    /// epoll instance + thread per shard — registrations never leave the
+    /// owning shard (DESIGN.md §13).
+    os_reactor: std::sync::OnceLock<Arc<crate::tcp::OsReactor>>,
 }
 
 impl PollerInner {
     pub(crate) fn post(&self, token: Token, readiness: Readiness) {
         let mut state = self.state.lock();
+        Self::post_locked(&mut state, token, readiness);
+        self.cond.notify_one();
+    }
+
+    fn post_locked(state: &mut PollState, token: Token, readiness: Readiness) {
         if let Some(existing) = state.pending.get_mut(&token) {
             existing.merge(readiness);
         } else {
             state.pending.insert(token, readiness);
             state.queue.push_back(token);
         }
-        self.cond.notify_one();
+    }
+}
+
+impl Drop for PollerInner {
+    fn drop(&mut self) {
+        // The last reference to this poller is gone: no registration can
+        // post here again, so the shard's reactor thread (if one was ever
+        // started) can exit instead of leaking a thread + epoll fd per
+        // short-lived poller.
+        if let Some(reactor) = self.os_reactor.get() {
+            reactor.initiate_shutdown();
+        }
+    }
+}
+
+/// Delivers one `epoll_wait` batch of wakes with one lock acquisition and
+/// one condvar notify per destination poller, instead of one of each per
+/// event. The batch is grouped by destination in place; relative order
+/// within one poller is preserved (stable sort), which keeps delivery
+/// order deterministic for a single-shard reactor.
+pub(crate) fn wake_batch(mut wakes: Vec<(WakerSlot, Readiness)>) {
+    wakes.sort_by_key(|(slot, _)| Arc::as_ptr(&slot.inner) as usize);
+    let mut idx = 0;
+    while idx < wakes.len() {
+        let inner = Arc::clone(&wakes[idx].0.inner);
+        {
+            let mut state = inner.state.lock();
+            while idx < wakes.len() && Arc::ptr_eq(&wakes[idx].0.inner, &inner) {
+                let (slot, readiness) = &wakes[idx];
+                PollerInner::post_locked(&mut state, slot.token, *readiness);
+                idx += 1;
+            }
+        }
+        inner.cond.notify_one();
     }
 }
 
@@ -236,8 +279,20 @@ impl Poller {
                     wakeups: 0,
                 }),
                 cond: Condvar::new(),
+                os_reactor: std::sync::OnceLock::new(),
             }),
         }
+    }
+
+    /// The kernel reactor owned by this poller, started on first use. All
+    /// OS-socket registrations made through this poller land in its epoll
+    /// set; the reactor thread shuts down when the poller is dropped.
+    pub(crate) fn os_reactor(&self) -> Arc<crate::tcp::OsReactor> {
+        Arc::clone(
+            self.inner
+                .os_reactor
+                .get_or_init(crate::tcp::OsReactor::start),
+        )
     }
 
     /// Blocks until at least one event (or a manual [`Poller::wake`])
@@ -371,6 +426,27 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].token, Token(3));
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn wake_batch_groups_by_destination_and_coalesces() {
+        let a = Poller::new();
+        let b = Poller::new();
+        wake_batch(vec![
+            (a.slot(Token(1)), Readiness::readable()),
+            (b.slot(Token(2)), Readiness::writable()),
+            (a.slot(Token(1)), Readiness::writable()),
+            (a.slot(Token(3)), Readiness::readable()),
+        ]);
+        let events_a = a.wait(Duration::from_millis(10));
+        assert_eq!(events_a.len(), 2);
+        assert_eq!(events_a[0].token, Token(1));
+        assert!(events_a[0].readiness.readable && events_a[0].readiness.writable);
+        assert_eq!(events_a[1].token, Token(3));
+        let events_b = b.wait(Duration::from_millis(10));
+        assert_eq!(events_b.len(), 1);
+        assert_eq!(events_b[0].token, Token(2));
+        assert!(events_b[0].readiness.writable);
     }
 
     /// The lost-wakeup stress test of the readiness layer: N writer threads

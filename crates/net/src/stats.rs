@@ -30,6 +30,14 @@ pub struct NetStats {
     /// `readable_polls`: the poll-mode dispatcher scans them, the event
     /// backend relies on writable-interest registrations instead).
     pub writable_polls: AtomicU64,
+    /// Vectored (`writev`-style) write calls: writes that handed the
+    /// substrate more than one segment in one call — the batched-syscall
+    /// output path, where header+body leave together without a staging
+    /// copy. Every vectored write is also counted in `write_calls` and its
+    /// bytes in `bytes_sent`, so the byte-conservation law is unchanged.
+    pub vectored_writes: AtomicU64,
+    /// Segments carried by those vectored writes (≥ one per call).
+    pub vectored_segments: AtomicU64,
     /// Ingest-buffer copy events: fills of a [`crate::SharedBuf`] that had
     /// to carry live bytes to a new (or compacted) chunk. Zero on the
     /// shared-buffer fast path — the regression assertion behind the
@@ -77,6 +85,15 @@ impl NetStats {
         self.writable_polls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one vectored write that carried `segments` segments (call
+    /// [`NetStats::record_write`] separately for the bytes, as the scalar
+    /// path does — the vectored counters only add the shape).
+    pub fn record_vectored(&self, segments: usize) {
+        self.vectored_writes.fetch_add(1, Ordering::Relaxed);
+        self.vectored_segments
+            .fetch_add(segments as u64, Ordering::Relaxed);
+    }
+
     /// Records one ingest-buffer carry of `n` live bytes.
     pub fn record_ingest_copy(&self, n: usize) {
         self.ingest_copies.fetch_add(1, Ordering::Relaxed);
@@ -104,6 +121,8 @@ impl NetStats {
             write_calls: self.write_calls.load(Ordering::Relaxed),
             readable_polls: self.readable_polls.load(Ordering::Relaxed),
             writable_polls: self.writable_polls.load(Ordering::Relaxed),
+            vectored_writes: self.vectored_writes.load(Ordering::Relaxed),
+            vectored_segments: self.vectored_segments.load(Ordering::Relaxed),
             ingest_copies: self.ingest_copies.load(Ordering::Relaxed),
             ingest_copied_bytes: self.ingest_copied_bytes.load(Ordering::Relaxed),
         }
@@ -129,6 +148,10 @@ pub struct StatsSnapshot {
     pub readable_polls: u64,
     /// `Endpoint::writable` checks issued.
     pub writable_polls: u64,
+    /// Vectored write calls (see [`NetStats::vectored_writes`]).
+    pub vectored_writes: u64,
+    /// Segments carried by vectored writes.
+    pub vectored_segments: u64,
     /// Ingest-buffer carry events (see [`NetStats::ingest_copies`]).
     pub ingest_copies: u64,
     /// Bytes moved by ingest carries.
@@ -150,7 +173,13 @@ impl StatsSnapshot {
     ///   buffered bytes at close, never invent them);
     /// * a connection has two endpoints, each closed at most once
     ///   (`connections_closed ≤ 2 × connections_opened`);
-    /// * ingest-copy events and the bytes they moved appear together.
+    /// * ingest-copy events and the bytes they moved appear together;
+    /// * the writev path is a subset of the write path: every vectored
+    ///   write is also a write call (`vectored_writes ≤ write_calls`) and
+    ///   carries at least one segment
+    ///   (`vectored_segments ≥ vectored_writes`) — so bytes leaving as
+    ///   vectored writes are already inside `bytes_sent` and the bytes-out
+    ///   law above covers them.
     ///
     /// Counters are written with relaxed atomics. The checks stay sound
     /// under concurrency because every receive is preceded by its send and
@@ -169,6 +198,20 @@ impl StatsSnapshot {
                 "connection conservation violated: {} closes for {} opens \
                  (max 2 per connection)",
                 self.connections_closed, self.connections_opened
+            ));
+        }
+        if self.vectored_writes > self.write_calls {
+            return Err(format!(
+                "writev conservation violated: {} vectored writes > {} write calls \
+                 (a vectored write must be recorded as a write call)",
+                self.vectored_writes, self.write_calls
+            ));
+        }
+        if self.vectored_segments < self.vectored_writes {
+            return Err(format!(
+                "writev conservation violated: {} segments < {} vectored writes \
+                 (every vectored write carries at least one segment)",
+                self.vectored_segments, self.vectored_writes
             ));
         }
         if (self.ingest_copies == 0) != (self.ingest_copied_bytes == 0) {
@@ -245,6 +288,44 @@ mod tests {
         };
         let err = snap.check_conservation().unwrap_err();
         assert!(err.contains("connection conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_vectored_writes_outside_write_calls() {
+        let snap = StatsSnapshot {
+            write_calls: 2,
+            vectored_writes: 3,
+            vectored_segments: 6,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("writev conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_fewer_segments_than_vectored_writes() {
+        let snap = StatsSnapshot {
+            write_calls: 5,
+            vectored_writes: 3,
+            vectored_segments: 2,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("at least one segment"), "{err}");
+    }
+
+    #[test]
+    fn conservation_accepts_a_vectored_run_shape() {
+        let snap = StatsSnapshot {
+            bytes_sent: 1000,
+            bytes_received: 1000,
+            connections_opened: 2,
+            write_calls: 10,
+            vectored_writes: 4,
+            vectored_segments: 8,
+            ..Default::default()
+        };
+        snap.check_conservation().unwrap();
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!
 //! Scope: epoll (the [`crate::tcp::OsReactor`] event source), `poll` (the
 //! blocking client helpers), `recv` with `MSG_PEEK` (socket-state probes
-//! behind [`crate::Endpoint::readable`]) and `ioctl(FIONREAD)`.
+//! behind [`crate::Endpoint::readable`]), `ioctl(FIONREAD)`, raw
+//! `socket`/`setsockopt`/`bind`/`listen` (needed because std cannot set
+//! `SO_REUSEPORT` before binding — the accept-sharding path), `writev`
+//! (vectored header+body responses) and a `pipe2` self-pipe per reactor
+//! (clean shutdown of per-shard reactor threads).
 
 #![allow(non_camel_case_types)]
 
@@ -39,6 +43,26 @@ pub(crate) struct pollfd {
     pub revents: i16,
 }
 
+/// One segment of a vectored write (`writev(2)`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct iovec {
+    pub iov_base: *const u8,
+    pub iov_len: usize,
+}
+
+/// An IPv4 socket address in kernel layout (`sin_port`/`sin_addr` are
+/// big-endian). Only the loopback/IPv4 accept-sharding path needs the raw
+/// form; everything else goes through std.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct sockaddr_in {
+    pub sin_family: u16,
+    pub sin_port: u16,
+    pub sin_addr: u32,
+    pub sin_zero: [u8; 8],
+}
+
 pub(crate) const EPOLLIN: u32 = 0x001;
 pub(crate) const EPOLLOUT: u32 = 0x004;
 pub(crate) const EPOLLERR: u32 = 0x008;
@@ -62,8 +86,27 @@ pub(crate) const MSG_DONTWAIT: c_int = 0x40;
 
 pub(crate) const FIONREAD: u64 = 0x541B;
 
+pub(crate) const AF_INET: c_int = 2;
+pub(crate) const SOCK_STREAM: c_int = 1;
+pub(crate) const SOCK_CLOEXEC: c_int = 0o2000000;
+
+pub(crate) const SOL_SOCKET: c_int = 1;
+pub(crate) const SO_REUSEADDR: c_int = 2;
+pub(crate) const SO_REUSEPORT: c_int = 15;
+
+pub(crate) const O_NONBLOCK: c_int = 0o4000;
+pub(crate) const O_CLOEXEC: c_int = 0o2000000;
+
 pub(crate) const EINTR: c_int = 4;
 pub(crate) const EAGAIN: c_int = 11;
+/// Out of memory (kernel buffers) — treated as transient accept pressure.
+pub(crate) const ENOMEM: c_int = 12;
+/// File-table overflow (system-wide fd exhaustion).
+pub(crate) const ENFILE: c_int = 23;
+/// Per-process fd limit hit — the classic accept-loop killer.
+pub(crate) const EMFILE: c_int = 24;
+/// No kernel buffer space — transient accept pressure.
+pub(crate) const ENOBUFS: c_int = 105;
 
 extern "C" {
     pub(crate) fn epoll_create1(flags: c_int) -> c_int;
@@ -77,6 +120,21 @@ extern "C" {
     pub(crate) fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
     pub(crate) fn recv(fd: c_int, buf: *mut u8, len: usize, flags: c_int) -> isize;
     pub(crate) fn ioctl(fd: c_int, request: u64, arg: *mut c_int) -> c_int;
+    pub(crate) fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub(crate) fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_int,
+        optlen: u32,
+    ) -> c_int;
+    pub(crate) fn bind(fd: c_int, addr: *const sockaddr_in, addrlen: u32) -> c_int;
+    pub(crate) fn listen(fd: c_int, backlog: c_int) -> c_int;
+    pub(crate) fn writev(fd: c_int, iov: *const iovec, iovcnt: c_int) -> isize;
+    pub(crate) fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    pub(crate) fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    pub(crate) fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    pub(crate) fn close(fd: c_int) -> c_int;
 }
 
 /// The current thread's `errno` value (via std, so no binding to the
@@ -123,6 +181,66 @@ mod tests {
         assert_eq!(n, 0);
         use std::os::fd::{FromRawFd, OwnedFd};
         drop(unsafe { OwnedFd::from_raw_fd(epfd) });
+    }
+
+    #[test]
+    fn writev_gathers_segments_into_one_stream() {
+        use std::io::Read;
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut accepted, _) = listener.accept().unwrap();
+        let head = b"HEAD";
+        let body = b"-BODY";
+        let iov = [
+            iovec {
+                iov_base: head.as_ptr(),
+                iov_len: head.len(),
+            },
+            iovec {
+                iov_base: body.as_ptr(),
+                iov_len: body.len(),
+            },
+        ];
+        let n = unsafe { writev(stream.as_raw_fd(), iov.as_ptr(), 2) };
+        assert_eq!(n, 9, "writev failed: errno {}", errno());
+        let mut buf = [0u8; 9];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"HEAD-BODY");
+    }
+
+    #[test]
+    fn two_sockets_can_share_a_port_with_reuseport() {
+        let bound = |port: u16| -> c_int {
+            let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+            assert!(fd >= 0);
+            let one: c_int = 1;
+            assert_eq!(
+                unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, 4) },
+                0
+            );
+            let addr = sockaddr_in {
+                sin_family: AF_INET as u16,
+                sin_port: port.to_be(),
+                sin_addr: u32::from(std::net::Ipv4Addr::LOCALHOST).to_be(),
+                sin_zero: [0; 8],
+            };
+            assert_eq!(
+                unsafe { bind(fd, &addr, std::mem::size_of::<sockaddr_in>() as u32) },
+                0,
+                "bind failed: errno {}",
+                errno()
+            );
+            assert_eq!(unsafe { listen(fd, 16) }, 0);
+            fd
+        };
+        // Resolve a free port via the first socket, then share it.
+        let first = bound(0);
+        use std::os::fd::{FromRawFd, OwnedFd};
+        let first = unsafe { std::net::TcpListener::from_raw_fd(first) };
+        let port = first.local_addr().unwrap().port();
+        let second = bound(port);
+        drop(unsafe { OwnedFd::from_raw_fd(second) });
     }
 
     #[test]

@@ -77,7 +77,13 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 pub struct ServiceShared {
     id: u64,
     name: String,
-    listener: Listener,
+    /// The service's accept sockets. A single listener (the common case,
+    /// and all of the simulated transport) is homed on `home_shard`. With
+    /// kernel accept sharding ([`flick_net::TcpStack::listen_group`])
+    /// there is one `SO_REUSEPORT` listener per shard and listener `i` is
+    /// owned — registered, drained and closed — by shard `i`'s
+    /// dispatcher, so accepts never funnel through one thread.
+    listeners: Vec<Listener>,
     factory: Arc<dyn GraphFactory>,
     env: ServiceEnv,
     home_shard: usize,
@@ -88,6 +94,10 @@ pub struct ServiceShared {
     pub connections_accepted: AtomicU64,
     /// Graph instances currently alive (across all shards).
     pub live_graphs: AtomicU64,
+    /// Accept attempts that failed on fd/buffer exhaustion
+    /// ([`NetError::Resources`]). The dispatchers back off and retry;
+    /// this counter is how tests (and operators) see that it happened.
+    pub accept_resource_errors: AtomicU64,
 }
 
 impl ServiceShared {
@@ -96,21 +106,26 @@ impl ServiceShared {
     pub(crate) fn new(
         id: u64,
         name: String,
-        listener: Listener,
+        listeners: Vec<Listener>,
         factory: Arc<dyn GraphFactory>,
         env: ServiceEnv,
         home_shard: usize,
     ) -> Self {
+        assert!(
+            !listeners.is_empty(),
+            "a service needs at least one listener"
+        );
         ServiceShared {
             id,
             name,
-            listener,
+            listeners,
             factory,
             env,
             home_shard,
             stopped: AtomicBool::new(false),
             connections_accepted: AtomicU64::new(0),
             live_graphs: AtomicU64::new(0),
+            accept_resource_errors: AtomicU64::new(0),
         }
     }
 
@@ -122,6 +137,26 @@ impl ServiceShared {
     /// The shard the service's listener lives on.
     pub fn home_shard(&self) -> usize {
         self.home_shard
+    }
+
+    /// The accept socket `shard`'s dispatcher owns, if any: the single
+    /// listener when `shard` is the home shard, or the shard's own
+    /// `SO_REUSEPORT` socket under accept sharding (listener `i` ↔
+    /// shard `i`).
+    pub(crate) fn listener_on(&self, shard: usize) -> Option<&Listener> {
+        if self.listeners.len() == 1 {
+            (shard == self.home_shard).then(|| &self.listeners[0])
+        } else {
+            self.listeners.get(shard)
+        }
+    }
+
+    /// Closes every accept socket. Idempotent, so the stop path and each
+    /// shard's teardown may all call it.
+    fn close_listeners(&self) {
+        for listener in &self.listeners {
+            listener.close();
+        }
     }
 
     fn stopped(&self) -> bool {
@@ -140,25 +175,57 @@ struct LiveGraph {
     draining_until: Option<Instant>,
 }
 
-/// Accepts everything currently pending on the service listener.
+/// How long a dispatcher waits before re-draining a listener whose accept
+/// failed on resource exhaustion (`EMFILE`-class errors). Long enough for
+/// fds to be released by closing connections, short enough that a backlog
+/// stuck behind the burst is picked up promptly.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Accepts everything currently pending on one of the service's
+/// listeners.
 ///
 /// Draining to `WouldBlock` is load-bearing for the OS transport: the
 /// listener is registered edge-triggered, so a connection left in the
 /// kernel backlog here produces no further event until a *new* connection
 /// arrives. A per-connection failure (e.g. the client reset before the
 /// accept — `ECONNABORTED`, surfaced as `Closed`) consumes that backlog
-/// entry and must not end the drain; only "nothing pending", "listener
-/// gone" and resource-level errors (which do not consume an entry, so
-/// retrying would spin) stop the loop.
-fn accept_pending(service: &ServiceShared, pending_clients: &mut Vec<Endpoint>) {
+/// entry and must not end the drain; only "nothing pending" and
+/// "listener gone" end it quietly.
+///
+/// Resource exhaustion (`EMFILE`/`ENFILE`/`ENOBUFS`, surfaced as
+/// [`NetError::Resources`]) is the dangerous case: it does *not* consume
+/// a backlog entry, so retrying immediately would spin, while treating it
+/// as fatal would kill the listener the first time a fd limit is
+/// breached. Returns `true` in exactly this case — the caller must
+/// re-drain after [`ACCEPT_BACKOFF`], not tear anything down.
+fn accept_pending(
+    service: &ServiceShared,
+    listener: &Listener,
+    pending_clients: &mut Vec<Endpoint>,
+) -> bool {
     loop {
-        match service.listener.try_accept() {
+        match listener.try_accept() {
             Ok(client) => {
                 service.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 pending_clients.push(client);
             }
             Err(NetError::Closed) => continue,
-            Err(_) => break,
+            Err(NetError::Resources) => {
+                let n = service
+                    .accept_resource_errors
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                // Rate-limited (exponentially thinning) log: a sustained
+                // burst produces a handful of lines, not one per accept.
+                if n.is_power_of_two() {
+                    eprintln!(
+                        "flick: service {}: accept out of resources ({n} so far), backing off",
+                        service.name
+                    );
+                }
+                return true;
+            }
+            Err(_) => return false,
         }
     }
 }
@@ -282,7 +349,11 @@ fn run_poll_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Dur
             if entry.shared.stopped() {
                 continue;
             }
-            accept_pending(&entry.shared, &mut entry.pending_clients);
+            // A Resources backoff needs no bookkeeping here: the poll
+            // backend re-drains every listener each tick anyway.
+            if let Some(listener) = entry.shared.listener_on(shard.id()) {
+                accept_pending(&entry.shared, listener, &mut entry.pending_clients);
+            }
             place_pending_graphs(
                 &set,
                 &shard,
@@ -299,7 +370,7 @@ fn run_poll_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Dur
         //    down their graphs on this shard.
         services.retain(|_, entry| {
             if entry.shared.stopped() {
-                entry.shared.listener.close();
+                entry.shared.close_listeners();
                 false
             } else {
                 true
@@ -339,7 +410,7 @@ fn run_poll_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Dur
     }
     // Tear everything down on shutdown.
     for entry in services.values() {
-        entry.shared.listener.close();
+        entry.shared.close_listeners();
     }
     for mut graph in graphs {
         teardown_graph(shard.scheduler(), &mut graph);
@@ -438,6 +509,12 @@ struct EventState {
     /// Side index of graphs currently draining (id → deadline): only these
     /// can expire, so the heartbeat never has to scan the full graph map.
     draining: HashMap<u64, Instant>,
+    /// Listeners whose last drain hit resource exhaustion (token →
+    /// retry deadline). The edge-triggered listener posts no new event
+    /// for backlog entries stranded behind an `EMFILE` burst, so the
+    /// reactor's wait deadline is clamped to the earliest retry and the
+    /// drain is re-run on that timer.
+    accept_retry: HashMap<Token, Instant>,
     next_token: u64,
 }
 
@@ -513,6 +590,7 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
         graphs: HashMap::new(),
         watch_map: HashMap::new(),
         draining: HashMap::new(),
+        accept_retry: HashMap::new(),
         next_token: CONTROL_TOKEN.0 + 1,
     };
 
@@ -521,10 +599,12 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
         // lower bound on the drain/teardown heartbeat: with no graph
         // draining the reactor sleeps in long beats (woken early by any
         // event), and with one draining it wakes at the drain deadline.
+        // An armed accept-backoff retry clamps the wait the same way.
         let now = Instant::now();
         let timeout = state
             .draining
             .values()
+            .chain(state.accept_retry.values())
             .min()
             .map(|deadline| deadline.saturating_duration_since(now))
             .unwrap_or_else(|| poll_interval.max(Duration::from_millis(50)));
@@ -539,17 +619,28 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
         for command in shard.drain_inbox() {
             match command {
                 ShardCommand::AddService(shared) => {
-                    let token = state.alloc_token();
-                    // Level-triggered: accepts that raced the deploy are
-                    // caught by the registration itself.
-                    shared.listener.register(&poller, token);
-                    state.services.insert(
-                        token,
-                        HomedService {
-                            shared,
-                            pending_clients: Vec::new(),
-                        },
-                    );
+                    // Register only this shard's own accept socket (the
+                    // home listener, or this shard's REUSEPORT socket
+                    // under accept sharding). Level-triggered: accepts
+                    // that raced the deploy are caught by the
+                    // registration itself.
+                    let registered = match shared.listener_on(shard.id()) {
+                        Some(listener) => {
+                            let token = state.alloc_token();
+                            listener.register(&poller, token);
+                            Some(token)
+                        }
+                        None => None,
+                    };
+                    if let Some(token) = registered {
+                        state.services.insert(
+                            token,
+                            HomedService {
+                                shared,
+                                pending_clients: Vec::new(),
+                            },
+                        );
+                    }
                 }
                 ShardCommand::BuildGraph { service, clients } => {
                     if !service.stopped() {
@@ -567,10 +658,22 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
                 // announce a service stop.
                 sweep = true;
             } else if let Some(entry) = state.services.get_mut(&event.token) {
-                accept_pending(&entry.shared, &mut entry.pending_clients);
+                let needs_retry = match entry.shared.listener_on(shard.id()) {
+                    Some(listener) => {
+                        accept_pending(&entry.shared, listener, &mut entry.pending_clients)
+                    }
+                    None => false,
+                };
                 accepted_any = true;
                 if event.readiness.closed || entry.shared.stopped() {
                     sweep = true;
+                }
+                if needs_retry {
+                    state
+                        .accept_retry
+                        .insert(event.token, Instant::now() + ACCEPT_BACKOFF);
+                } else {
+                    state.accept_retry.remove(&event.token);
                 }
             } else if let Some(watcher) = state.watch_map.get(&event.token) {
                 if scheduler.is_registered(watcher.task) {
@@ -588,6 +691,34 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
             } else if state.graphs.contains_key(&event.token.0) {
                 // A task-exit event: re-evaluate this graph's lifecycle.
                 dirty_graphs.push(event.token.0);
+            }
+        }
+
+        // Accept-backoff retries whose deadline has passed: re-drain the
+        // listener (resource exhaustion left its backlog intact and the
+        // edge-triggered registration will not re-fire for it), re-arming
+        // the deadline if the drain hits exhaustion again.
+        let now = Instant::now();
+        let due: Vec<Token> = state
+            .accept_retry
+            .iter()
+            .filter(|(_, deadline)| now >= **deadline)
+            .map(|(token, _)| *token)
+            .collect();
+        for token in due {
+            state.accept_retry.remove(&token);
+            let Some(entry) = state.services.get_mut(&token) else {
+                continue;
+            };
+            let needs_retry = match entry.shared.listener_on(shard.id()) {
+                Some(listener) => {
+                    accept_pending(&entry.shared, listener, &mut entry.pending_clients)
+                }
+                None => false,
+            };
+            accepted_any = true;
+            if needs_retry {
+                state.accept_retry.insert(token, now + ACCEPT_BACKOFF);
             }
         }
 
@@ -615,15 +746,20 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
         // Service stop sweep: drop stopped services homed here and tear
         // down their graphs owned here.
         if sweep {
-            state.services.retain(|_, entry| {
-                if entry.shared.stopped() {
-                    entry.shared.listener.deregister(&poller);
-                    entry.shared.listener.close();
-                    false
-                } else {
-                    true
+            let stopped_services: Vec<Token> = state
+                .services
+                .iter()
+                .filter(|(_, entry)| entry.shared.stopped())
+                .map(|(token, _)| *token)
+                .collect();
+            for token in stopped_services {
+                let entry = state.services.remove(&token).expect("collected above");
+                state.accept_retry.remove(&token);
+                if let Some(listener) = entry.shared.listener_on(shard.id()) {
+                    listener.deregister(&poller);
                 }
-            });
+                entry.shared.close_listeners();
+            }
             let stopped: Vec<u64> = state
                 .graphs
                 .iter()
@@ -659,8 +795,10 @@ fn run_event_dispatcher(set: Arc<ShardSet>, shard: Arc<Shard>, poll_interval: Du
 
     // Tear everything down on shutdown.
     for entry in state.services.values() {
-        entry.shared.listener.deregister(&poller);
-        entry.shared.listener.close();
+        if let Some(listener) = entry.shared.listener_on(shard.id()) {
+            listener.deregister(&poller);
+        }
+        entry.shared.close_listeners();
     }
     for (_, mut entry) in state.graphs {
         for watch in &entry.graph.watchers {
@@ -770,7 +908,7 @@ impl DeployedService {
     /// the service's graphs on its next control event.
     pub fn stop(&mut self) {
         self.shared.stopped.store(true, Ordering::Release);
-        self.shared.listener.close();
+        self.shared.close_listeners();
         self.set.post_control_all();
     }
 }
@@ -981,6 +1119,56 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(service.live_graphs(), 0);
+    }
+
+    /// Satellite regression for the accept-hardening contract: a burst of
+    /// `EMFILE`-class accept failures must not kill the listener. The sim
+    /// listener is armed to fail the next several accepts with
+    /// `NetError::Resources` *without* consuming its backlog — exactly
+    /// the shape of fd exhaustion on the OS transport — and the
+    /// dispatcher has to back off, retry, and eventually serve both the
+    /// connection stranded behind the burst and ones arriving after it.
+    #[test]
+    fn accept_resource_exhaustion_does_not_kill_the_listener() {
+        let platform = Platform::new(PlatformConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let service = platform
+            .deploy(ServiceSpec::new("web", 8087, Arc::new(StaticServerFactory)))
+            .unwrap();
+        let net = platform.net();
+        assert!(net.inject_accept_faults(8087, 6), "listener must be bound");
+
+        // This connection lands in the backlog while every accept fails.
+        let stranded = net.connect(8087).unwrap();
+        stranded
+            .write_all(b"GET /stranded HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 1024];
+        let n = stranded
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        assert!(n > 0, "connection behind the fault burst must be served");
+        assert!(
+            service
+                .shared
+                .accept_resource_errors
+                .load(Ordering::Relaxed)
+                > 0,
+            "the fault burst must have been observed as Resources errors"
+        );
+
+        // The listener survived: a fresh connection is also served.
+        let later = net.connect(8087).unwrap();
+        later
+            .write_all(b"GET /later HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let n = later
+            .read_timeout(&mut buf, Duration::from_secs(5))
+            .unwrap();
+        assert!(n > 0, "listener must keep serving after the burst");
+        assert_eq!(service.connections_accepted(), 2);
     }
 
     #[test]

@@ -417,9 +417,17 @@ impl Platform {
         spec: ServiceSpec,
         addr: &str,
     ) -> Result<DeployedService, RuntimeError> {
-        let listener = self.tcp_stack().listen(addr)?;
-        let port = listener.port();
-        self.deploy_on_listener(spec, Listener::from(listener), port)
+        // Kernel accept sharding: one SO_REUSEPORT socket per shard, so
+        // every shard's dispatcher drains its own kernel accept queue and
+        // new connections never funnel through a single thread. On one
+        // shard this degenerates to a plain listener.
+        let listeners = self.tcp_stack().listen_group(addr, self.set.len())?;
+        let port = listeners[0].port();
+        self.deploy_on_listeners(
+            spec,
+            listeners.into_iter().map(Listener::from).collect(),
+            port,
+        )
     }
 
     /// Deploys a service: binds its simulated port, homes its listener on
@@ -429,14 +437,17 @@ impl Platform {
     pub fn deploy(&self, spec: ServiceSpec) -> Result<DeployedService, RuntimeError> {
         let listener = self.net.listen(spec.port)?;
         let port = spec.port;
-        self.deploy_on_listener(spec, Listener::from(listener), port)
+        self.deploy_on_listeners(spec, vec![Listener::from(listener)], port)
     }
 
-    /// The transport-independent tail of service deployment.
-    fn deploy_on_listener(
+    /// The transport-independent tail of service deployment. One listener
+    /// is homed on a single shard; a listener *group* (accept sharding)
+    /// assigns listener `i` to shard `i` and announces the service to
+    /// every one of those shards.
+    fn deploy_on_listeners(
         &self,
         spec: ServiceSpec,
-        listener: Listener,
+        listeners: Vec<Listener>,
         port: u16,
     ) -> Result<DeployedService, RuntimeError> {
         let globals = SharedDict::new();
@@ -478,19 +489,26 @@ impl Platform {
             output_mode,
         };
         let id = self.next_service.fetch_add(1, Ordering::Relaxed);
-        // Listeners rotate over the shards so multiple services do not all
-        // funnel their accept paths through shard 0.
+        // Single listeners rotate over the shards so multiple services do
+        // not all funnel their accept paths through shard 0.
         let home_shard = (id as usize) % self.set.len();
+        let accept_shards: Vec<usize> = if listeners.len() == 1 {
+            vec![home_shard]
+        } else {
+            (0..listeners.len().min(self.set.len())).collect()
+        };
         let shared = Arc::new(ServiceShared::new(
             id,
             spec.name.clone(),
-            listener,
+            listeners,
             spec.factory,
             env,
             home_shard,
         ));
-        self.set
-            .send(home_shard, ShardCommand::AddService(Arc::clone(&shared)));
+        for shard in accept_shards {
+            self.set
+                .send(shard, ShardCommand::AddService(Arc::clone(&shared)));
+        }
         Ok(DeployedService::new(
             port,
             globals,

@@ -420,6 +420,12 @@ pub struct OutputTask {
     codec: Arc<dyn WireCodec>,
     input: ChannelConsumer,
     outbuf: Vec<u8>,
+    /// A refcounted trailing segment (message body or raw pass-through
+    /// bytes) plus the offset already written. Split off by
+    /// [`WireCodec::serialize_parts`] so `outbuf` (headers) and the body
+    /// leave through one vectored write instead of being concatenated —
+    /// the shared allocation goes to the kernel where it sits.
+    body: Option<(Bytes, usize)>,
     close_on_finish: bool,
     mode: OutputMode,
 }
@@ -438,6 +444,7 @@ impl OutputTask {
             codec,
             input,
             outbuf: Vec::with_capacity(READ_CHUNK),
+            body: None,
             close_on_finish: true,
             mode: OutputMode::default(),
         }
@@ -460,10 +467,28 @@ impl OutputTask {
     }
 
     fn flush(&mut self) -> Result<bool, RuntimeError> {
-        while !self.outbuf.is_empty() {
-            match self.endpoint.write(&self.outbuf) {
-                Ok(n) => {
-                    self.outbuf.drain(..n);
+        while !self.outbuf.is_empty() || self.body.is_some() {
+            // Headers and body segment leave together through the vectored
+            // path when both are pending — one `writev` on the OS
+            // transport, no staging concatenation.
+            let wrote = match &self.body {
+                Some((bytes, off)) if !self.outbuf.is_empty() => self
+                    .endpoint
+                    .write_vectored(&[&self.outbuf, &bytes[*off..]]),
+                Some((bytes, off)) => self.endpoint.write(&bytes[*off..]),
+                None => self.endpoint.write(&self.outbuf),
+            };
+            match wrote {
+                Ok(mut n) => {
+                    let head = n.min(self.outbuf.len());
+                    self.outbuf.drain(..head);
+                    n -= head;
+                    if let Some((bytes, off)) = &mut self.body {
+                        *off += n;
+                        if *off >= bytes.len() {
+                            self.body = None;
+                        }
+                    }
                 }
                 Err(NetError::WouldBlock) => return Ok(false),
                 Err(e) => return Err(e.into()),
@@ -517,11 +542,20 @@ impl Task for OutputTask {
             }
             match self.input.pop() {
                 Some(value) => {
+                    // `flush` ran to completion above, so the outbuf is
+                    // empty and no body segment is pending — the split
+                    // below can never reorder bytes behind earlier output.
                     let result = match &value {
-                        Value::Msg(msg) => self
-                            .codec
-                            .serialize(msg, &mut self.outbuf)
-                            .map_err(RuntimeError::from),
+                        Value::Msg(msg) => {
+                            match self.codec.serialize_parts(msg, &mut self.outbuf) {
+                                Ok(Some(tail)) if !tail.is_empty() => {
+                                    self.body = Some((tail, 0));
+                                    Ok(())
+                                }
+                                Ok(_) => Ok(()),
+                                Err(e) => Err(RuntimeError::from(e)),
+                            }
+                        }
                         Value::Bytes(bytes) => {
                             self.outbuf.extend_from_slice(bytes);
                             Ok(())
@@ -544,7 +578,7 @@ impl Task for OutputTask {
                     }
                 }
                 None => {
-                    if self.input.is_finished() && self.outbuf.is_empty() {
+                    if self.input.is_finished() && self.outbuf.is_empty() && self.body.is_none() {
                         if self.close_on_finish {
                             self.endpoint.close();
                         }

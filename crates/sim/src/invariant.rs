@@ -136,6 +136,45 @@ mod tests {
         assert!(rendered.contains("replay"), "{rendered}");
     }
 
+    /// The writev-path conservation laws (added with the vectored output
+    /// path) flow into the tick battery through `check_conservation`: a
+    /// healthy vectored shape passes, and a snapshot claiming more
+    /// vectored writes than write calls — impossible if every `writev` is
+    /// recorded as a write call — fires on every tick.
+    #[test]
+    fn writev_conservation_flows_into_the_tick_battery() {
+        let runtime = MetricsSnapshot::default();
+        let healthy = StatsSnapshot {
+            bytes_sent: 4096,
+            bytes_received: 4096,
+            write_calls: 10,
+            vectored_writes: 4,
+            vectored_segments: 8,
+            ..Default::default()
+        };
+        assert!(check_tick(3, 1, &healthy, &runtime, TickChecks::default()).is_empty());
+
+        let impossible = StatsSnapshot {
+            write_calls: 2,
+            vectored_writes: 3,
+            vectored_segments: 6,
+            ..Default::default()
+        };
+        let violations = check_tick(3, 2, &impossible, &runtime, TickChecks::default());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].what.contains("writev"), "{}", violations[0]);
+
+        let segmentless = StatsSnapshot {
+            write_calls: 5,
+            vectored_writes: 3,
+            vectored_segments: 2,
+            ..Default::default()
+        };
+        let violations = check_tick(3, 3, &segmentless, &runtime, TickChecks::default());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].what.contains("segment"), "{}", violations[0]);
+    }
+
     #[test]
     fn optional_gates_fire_only_when_enabled() {
         let net = StatsSnapshot {

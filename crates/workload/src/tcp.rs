@@ -175,6 +175,84 @@ pub fn run_tcp_http_load(addr: &str, config: &TcpHttpLoadConfig) -> RunStats {
     }
 }
 
+/// Configuration of a c10k-style idle+active run: a large pool of
+/// connected-but-silent clients is held open for the whole run while a
+/// small closed-loop subset drives requests through the same listener.
+#[derive(Debug, Clone)]
+pub struct TcpIdleActiveConfig {
+    /// Connections opened before the run and held idle (no bytes sent)
+    /// until it finishes.
+    pub idle_connections: usize,
+    /// The active closed-loop subset.
+    pub active: TcpHttpLoadConfig,
+}
+
+/// Result of [`run_tcp_idle_active_load`].
+#[derive(Debug)]
+pub struct IdleActiveStats {
+    /// Idle connections successfully established (may fall short of the
+    /// request under fd pressure).
+    pub idle_connected: usize,
+    /// Idle connections still alive once the active run finished — a
+    /// server that sheds or resets idle connections under load shows up
+    /// as `idle_survivors < idle_connected`.
+    pub idle_survivors: usize,
+    /// The active subset's closed-loop stats.
+    pub active: RunStats,
+}
+
+/// Floor on the warm-up request's patience: accepting and building
+/// graphs for ten thousand idle connections takes a while on small
+/// hosts, and a timed-out warm-up would put the drain back inside the
+/// measured window.
+const WARMUP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runs the c10k shape: `idle_connections` silent connections pinned open
+/// while the active closed loop measures throughput/latency. The server
+/// pays whatever its event machinery charges for the idle mass — a
+/// scanning dispatcher degrades with the idle count, a wakeup-based one
+/// must not.
+pub fn run_tcp_idle_active_load(addr: &str, config: &TcpIdleActiveConfig) -> IdleActiveStats {
+    let mut idle = Vec::with_capacity(config.idle_connections);
+    for _ in 0..config.idle_connections {
+        match connect(addr, config.active.timeout) {
+            Ok(stream) => idle.push(stream),
+            // Out of fds (locally or remotely): measure with what we got
+            // rather than dying — the caller sees the shortfall.
+            Err(_) => break,
+        }
+    }
+    let idle_connected = idle.len();
+    // The client-side connects above complete as soon as the kernel
+    // handshake does — the server may still be draining a huge accept
+    // backlog. One warm-up request (accepted behind the whole idle pool)
+    // settles the race: once it answers, the server has caught up, and
+    // the active loop below measures steady state rather than the drain.
+    let _ = fetch_http(addr, "/warmup", config.active.timeout.max(WARMUP_TIMEOUT));
+    let active = run_tcp_http_load(addr, &config.active);
+    // An idle connection survived if it still reads as "no data yet"
+    // rather than EOF/reset.
+    let idle_survivors = idle
+        .iter()
+        .filter(|stream| {
+            if stream.set_nonblocking(true).is_err() {
+                return false;
+            }
+            let mut probe = [0u8; 1];
+            match (&**stream).read(&mut probe) {
+                Ok(0) => false,
+                Ok(_) => true,
+                Err(e) => e.kind() == std::io::ErrorKind::WouldBlock,
+            }
+        })
+        .count();
+    IdleActiveStats {
+        idle_connected,
+        idle_survivors,
+        active,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +302,29 @@ mod tests {
         );
         assert!(stats.completed > 5, "{stats:?}");
         assert!(stats.requests_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn idle_active_driver_counts_survivors() {
+        let (addr, _handle) = start_tiny_server();
+        let stats = run_tcp_idle_active_load(
+            &addr,
+            &TcpIdleActiveConfig {
+                idle_connections: 3,
+                active: TcpHttpLoadConfig {
+                    concurrency: 2,
+                    duration: Duration::from_millis(200),
+                    persistent: true,
+                    timeout: Duration::from_secs(2),
+                },
+            },
+        );
+        assert_eq!(stats.idle_connected, 3);
+        assert_eq!(
+            stats.idle_survivors, 3,
+            "idle connections must outlive the run"
+        );
+        assert!(stats.active.completed > 0, "{stats:?}");
     }
 
     #[test]
