@@ -38,11 +38,12 @@
 
 use flick_bench::report::{print_table, rows_from_json, rows_to_json, Row};
 use flick_bench::{
-    max_open_files, run_dispatcher_backend_ablation, run_hadoop_experiment, run_http_experiment,
-    run_output_mode_ablation, run_sharding_ablation, run_tcp_c10k_experiment,
-    run_tcp_lb_experiment, run_tcp_loopback_experiment, run_tcp_sharding_curve, HadoopExperiment,
-    HttpExperiment, HttpSystem, TcpC10kExperiment, TcpLbExperiment, TcpLbResult,
-    TcpLoopbackExperiment, TcpLoopbackResult,
+    max_open_files, run_dispatcher_backend_ablation, run_hadoop_experiment,
+    run_hostile_goodput_experiment, run_http_experiment, run_output_mode_ablation,
+    run_sharding_ablation, run_tcp_c10k_experiment, run_tcp_lb_experiment,
+    run_tcp_loopback_experiment, run_tcp_sharding_curve, HadoopExperiment, HttpExperiment,
+    HttpSystem, TcpC10kExperiment, TcpLbExperiment, TcpLbResult, TcpLoopbackExperiment,
+    TcpLoopbackResult,
 };
 use std::time::Duration;
 
@@ -77,6 +78,23 @@ const TCP_LB_RATIO_FLOOR: f64 = 0.15;
 /// wakeup mode typically wins outright because busy retries bleed worker
 /// time).
 const OUTPUT_MODE_RATIO_FLOOR: f64 = 0.95;
+
+/// Share of the fleet's requests replaced by malformed frames in the
+/// hostile-goodput point.
+const HOSTILE_SHARE: f64 = 0.10;
+
+/// The hostile-goodput ratio floor: with `HOSTILE_SHARE` of requests
+/// poisoned, the clean requests' completed rate must stay within this
+/// fraction of the clean-run rate, within this run. Shedding a poison
+/// frame costs one connection close and a reconnect, so the expected
+/// ratio sits well above this; a collapse means malformed rejection has
+/// become expensive, and a parser that started *answering* poison shows
+/// up through the malformed-close structural check beside it. Observed
+/// ratios sit around 0.55–0.7 (every poisoned turn burns a keep-alive
+/// connection, so the cost is reconnect churn, not the poison itself);
+/// the floor leaves room for single-core CI noise while still catching
+/// a rejection path that turned quadratic or started timing out.
+const HOSTILE_GOODPUT_RATIO_FLOOR: f64 = 0.40;
 
 fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/benches/baseline.json")
@@ -149,6 +167,39 @@ fn main() {
     rows.extend(sharding.iter().cloned());
     rows.push(run_fig4_point());
     rows.push(run_fig6_point());
+    // The hostile-goodput point: the same LB shape as fig4, measured
+    // clean and then under a 10% malformed-frame storm (best-of-two per
+    // leg — door-slam shedding on a loaded host is noisy enough to want
+    // the same variance treatment as the other ratio gates).
+    let hostile_params = HttpExperiment {
+        concurrency: 32,
+        persistent: true,
+        duration: Duration::from_millis(400),
+        workers: 4,
+        backends: 4,
+    };
+    let hostile_first = run_hostile_goodput_experiment(&hostile_params, HOSTILE_SHARE);
+    let hostile_second = run_hostile_goodput_experiment(&hostile_params, HOSTILE_SHARE);
+    let hostile_clean_best = hostile_first
+        .clean
+        .requests_per_sec()
+        .max(hostile_second.clean.requests_per_sec());
+    let hostile_goodput_best = hostile_first
+        .hostile
+        .requests_per_sec()
+        .max(hostile_second.hostile.requests_per_sec());
+    rows.push(Row::new(
+        hostile_params.concurrency,
+        "hostile clean",
+        hostile_clean_best,
+        "req/s",
+    ));
+    rows.push(Row::new(
+        hostile_params.concurrency,
+        "hostile goodput",
+        hostile_goodput_best,
+        "req/s",
+    ));
     // The e2e loopback TCP point: two passes, best-of-two everywhere
     // (real sockets on a loaded CI host are noisier than the simulated
     // substrate — both the ratio gate and the absolute baseline rows use
@@ -560,6 +611,51 @@ fn main() {
         );
     }
 
+    // Machine-independent gate 5: goodput under hostile traffic. The
+    // ratio compares within a pass (best-of-two passes), so host speed
+    // cancels out; the structural checks pin down that poison actually
+    // flowed and was shed as malformed closes rather than answered.
+    let hostile_best = [&hostile_first, &hostile_second]
+        .into_iter()
+        .max_by(|a, b| {
+            let ratio = |r: &flick_bench::HostileGoodputResult| {
+                r.hostile.requests_per_sec() / r.clean.requests_per_sec().max(1e-9)
+            };
+            ratio(a).total_cmp(&ratio(b))
+        })
+        .expect("two passes");
+    let hostile_ratio =
+        hostile_best.hostile.requests_per_sec() / hostile_best.clean.requests_per_sec().max(1e-9);
+    if hostile_ratio < HOSTILE_GOODPUT_RATIO_FLOOR {
+        failures.push(format!(
+            "goodput collapsed under {}% malformed traffic: ratio {hostile_ratio:.2} \
+             (floor {HOSTILE_GOODPUT_RATIO_FLOOR}; hostile {:.0} vs clean {:.0} req/s)",
+            (HOSTILE_SHARE * 100.0) as u32,
+            hostile_best.hostile.requests_per_sec(),
+            hostile_best.clean.requests_per_sec()
+        ));
+    } else {
+        println!(
+            "ok: hostile/clean goodput ratio {hostile_ratio:.2} under {}% poison \
+             (floor {HOSTILE_GOODPUT_RATIO_FLOOR})",
+            (HOSTILE_SHARE * 100.0) as u32
+        );
+    }
+    if hostile_best.hostile.malformed_sent == 0 {
+        failures.push("hostile run sent no malformed frames (storm misconfigured)".to_string());
+    } else if hostile_best.malformed_closes == 0 {
+        failures.push(format!(
+            "{} malformed frames sent but zero malformed closes recorded \
+             (the parser stopped rejecting poison)",
+            hostile_best.hostile.malformed_sent
+        ));
+    } else {
+        println!(
+            "ok: hostile run shed poison as malformed closes ({} sent, {} closed)",
+            hostile_best.hostile.malformed_sent, hostile_best.malformed_closes
+        );
+    }
+
     // Absolute baselines, 30% floor, for every throughput series. The
     // "output busy" series is exempt: it measures throughput scraps under
     // deliberately spinning peers — inherently noisier than 30% headroom
@@ -608,5 +704,5 @@ fn main() {
         .iter()
         .filter(|row| (row.unit == "req/s" || row.unit == "Mbps") && row.series != "output busy")
         .count();
-    println!("bench guard passed ({checked} absolute series + 7 ratio/structural gates checked)");
+    println!("bench guard passed ({checked} absolute series + 8 ratio/structural gates checked)");
 }

@@ -156,8 +156,91 @@ pub fn run_http_experiment(system: HttpSystem, params: &HttpExperiment) -> RunSt
         duration: params.duration,
         persistent: params.persistent,
         timeout: Duration::from_secs(5),
+        ..Default::default()
     };
     run_http_load(&net, &config)
+}
+
+/// Result of the hostile-goodput experiment: the same FLICK kernel-stack
+/// load balancer measured clean and then under a malformed-frame storm.
+#[derive(Debug)]
+pub struct HostileGoodputResult {
+    /// The clean-traffic run.
+    pub clean: RunStats,
+    /// The run with `hostile_ratio` of the fleet's requests replaced by
+    /// poison frames (goodput = its `completed` rate).
+    pub hostile: RunStats,
+    /// Malformed closes the platform recorded over both runs (the clean
+    /// run must contribute zero).
+    pub malformed_closes: u64,
+}
+
+/// Measures what a malformed-frame storm costs the FLICK load balancer:
+/// the same platform and fleet shape runs once clean and once with
+/// `hostile_ratio` of requests poisoned (oversized/duplicate/garbled
+/// `Content-Length`). The bounded parser must shed each poison frame by
+/// closing its connection, so goodput should track the clean rate minus
+/// roughly the hostile share — a collapse means rejection has become
+/// expensive (or, worse, poison is being answered).
+pub fn run_hostile_goodput_experiment(
+    params: &HttpExperiment,
+    hostile_ratio: f64,
+) -> HostileGoodputResult {
+    let net = SimNetwork::new(StackModel::Kernel);
+    let service_port = 8080u16;
+    let backend_ports: Vec<u16> = (0..params.backends.max(1))
+        .map(|i| 8200 + i as u16)
+        .collect();
+    let _backends: Vec<_> = backend_ports
+        .iter()
+        .map(|p| start_http_backend(&net, *p, &[b'x'; 137]))
+        .collect();
+    let platform = Platform::with_network(
+        PlatformConfig {
+            workers: params.workers,
+            stack: StackModel::Kernel,
+            ..Default::default()
+        },
+        Arc::clone(&net),
+    );
+    let _service = platform
+        .deploy(
+            ServiceSpec::new("lb", service_port, HttpLoadBalancerFactory::new())
+                .with_backends(backend_ports),
+        )
+        .expect("deploy FLICK HTTP service");
+
+    let clean = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: service_port,
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: params.persistent,
+            timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+    );
+    let closes_after_clean = net.stats().snapshot().malformed_closes;
+    let hostile = run_http_load(
+        &net,
+        &HttpLoadConfig {
+            port: service_port,
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: params.persistent,
+            timeout: Duration::from_secs(5),
+            hostile_ratio,
+            ..Default::default()
+        },
+    );
+    let malformed_closes = net.stats().snapshot().malformed_closes;
+    debug_assert_eq!(closes_after_clean, 0, "clean run flagged traffic");
+    HostileGoodputResult {
+        clean,
+        hostile,
+        malformed_closes,
+    }
 }
 
 /// The systems compared in the Memcached experiment (Figure 5).
@@ -490,6 +573,7 @@ pub fn run_idle_connections_experiment(params: &IdleConnExperiment) -> IdleConnR
         duration: params.duration,
         persistent: true,
         timeout: Duration::from_secs(5),
+        ..Default::default()
     };
     let stats = run_http_load(&net, &config);
     let polls_after = net.stats().snapshot().readable_polls;
@@ -621,6 +705,7 @@ pub fn run_tcp_loopback_experiment(params: &TcpLoopbackExperiment) -> TcpLoopbac
             duration: params.duration,
             persistent: true,
             timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     TcpLoopbackResult { tcp, sim }
@@ -866,6 +951,7 @@ pub fn run_tcp_lb_experiment(params: &TcpLbExperiment) -> TcpLbResult {
             duration: params.duration,
             persistent: true,
             timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     TcpLbResult {
@@ -973,6 +1059,7 @@ pub fn run_output_mode_experiment(params: &OutputModeExperiment) -> OutputModeRe
             duration: params.duration,
             persistent: true,
             timeout: Duration::from_secs(5),
+            ..Default::default()
         },
     );
     let busy_retries = platform

@@ -22,6 +22,7 @@
 //! `projection_multikb` bench group).
 
 use crate::error::GrammarError;
+use crate::limits::ParseLimits;
 use crate::message::{Message, MsgValue};
 use crate::model::{ByteOrder, FieldKind, GrammarItem, UnitGrammar};
 use crate::projection::Projection;
@@ -33,18 +34,40 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct GrammarCodec {
     grammar: UnitGrammar,
+    limits: ParseLimits,
 }
 
 impl GrammarCodec {
-    /// Creates a codec from a grammar, validating it first.
+    /// Creates a codec from a grammar, validating it first. Parsing is
+    /// bounded by [`ParseLimits::default`].
     pub fn new(grammar: UnitGrammar) -> Result<Self, GrammarError> {
+        Self::with_limits(grammar, ParseLimits::default())
+    }
+
+    /// Creates a codec with explicit parse bounds.
+    pub fn with_limits(grammar: UnitGrammar, limits: ParseLimits) -> Result<Self, GrammarError> {
         grammar.validate()?;
-        Ok(GrammarCodec { grammar })
+        if grammar.items.len() > limits.max_fields {
+            return Err(GrammarError::invalid(
+                &grammar.name,
+                format!(
+                    "grammar has {} items, more than the {}-field parse limit",
+                    grammar.items.len(),
+                    limits.max_fields
+                ),
+            ));
+        }
+        Ok(GrammarCodec { grammar, limits })
     }
 
     /// Returns the underlying grammar.
     pub fn grammar(&self) -> &UnitGrammar {
         &self.grammar
+    }
+
+    /// Returns the parse bounds this codec enforces.
+    pub fn limits(&self) -> &ParseLimits {
+        &self.limits
     }
 
     fn read_uint(&self, buf: &[u8], offset: usize, width: usize) -> u64 {
@@ -132,24 +155,45 @@ impl GrammarCodec {
                             }
                         }
                         FieldKind::Bytes { length } | FieldKind::Str { length } => {
-                            let len = length.eval(&env, unit)? as usize;
-                            if buf.len() < offset + len {
+                            // A hostile length field must fail here, before
+                            // the transport is asked to buffer `len` bytes:
+                            // past the limit the frame is malformed, not
+                            // incomplete.
+                            let declared = length.eval(&env, unit)?;
+                            if declared > self.limits.max_body_bytes as u64 {
+                                return Err(GrammarError::malformed(
+                                    unit,
+                                    format!(
+                                        "field {name:?} declares {declared} bytes, over the \
+                                         {}-byte parse limit",
+                                        self.limits.max_body_bytes
+                                    ),
+                                ));
+                            }
+                            let len = declared as usize;
+                            let end = offset.checked_add(len).ok_or_else(|| {
+                                GrammarError::malformed(
+                                    unit,
+                                    format!("field {name:?} length overflows the frame offset"),
+                                )
+                            })?;
+                            if buf.len() < end {
                                 return Ok(Scan::Incomplete {
-                                    needed: offset + len - buf.len(),
+                                    needed: end - buf.len(),
                                 });
                             }
                             if required {
                                 spans.push(FieldSpan {
                                     name,
                                     start: offset,
-                                    end: offset + len,
+                                    end,
                                     text: matches!(kind, FieldKind::Str { .. }),
                                 });
                             }
                             if !name.is_empty() {
                                 env.insert(format!("len({name})"), len as u64);
                             }
-                            offset += len;
+                            offset = end;
                         }
                     }
                 }
@@ -674,6 +718,76 @@ mod tests {
         let mut rewire = Vec::new();
         codec.serialize(&message, &mut rewire).unwrap();
         assert_eq!(&rewire[..], &wire[..]);
+    }
+
+    /// A declared length over `max_body_bytes` is malformed immediately —
+    /// not `Incomplete` — so the transport never buffers toward it.
+    #[test]
+    fn oversized_length_field_is_malformed_not_incomplete() {
+        let codec = GrammarCodec::with_limits(
+            demo_grammar(),
+            ParseLimits {
+                max_body_bytes: 100,
+                ..ParseLimits::default()
+            },
+        )
+        .unwrap();
+        // len = 0x0101 = 257 > 100, tag = 1, no body bytes at all.
+        let wire = [0x01u8, 0x01, 1];
+        assert!(matches!(
+            codec.parse(&wire, None),
+            Err(GrammarError::Malformed { .. })
+        ));
+    }
+
+    /// Within the limit, a large-but-legal declared length still reports
+    /// `Incomplete` as before.
+    #[test]
+    fn in_bounds_length_still_reports_incomplete() {
+        let codec = demo_codec();
+        let wire = [0x01u8, 0x00, 1]; // len = 256, no body yet
+        match codec.parse(&wire, None).unwrap() {
+            ParseOutcome::Incomplete { needed } => assert_eq!(needed, 256),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// With bounds removed, a length near `usize::MAX` must not wrap the
+    /// offset arithmetic into a bogus `Complete`.
+    #[test]
+    fn unbounded_huge_length_does_not_overflow_offset() {
+        let g = UnitGrammar::new("huge")
+            .item(GI::field("len", FieldKind::UInt { width: 8 }))
+            .item(GI::field(
+                "body",
+                FieldKind::Bytes {
+                    length: LenExpr::field("len"),
+                },
+            ));
+        let codec = GrammarCodec::with_limits(g, ParseLimits::unbounded()).unwrap();
+        let mut wire = u64::MAX.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"xx");
+        assert!(matches!(
+            codec.parse(&wire, None),
+            Err(GrammarError::Malformed { .. })
+        ));
+    }
+
+    /// A grammar with more items than `max_fields` is rejected up front.
+    #[test]
+    fn field_count_limit_applies_to_the_grammar() {
+        let mut g = UnitGrammar::new("wide");
+        for i in 0..4 {
+            g = g.item(GI::field(format!("f{i}"), FieldKind::UInt { width: 1 }));
+        }
+        assert!(GrammarCodec::with_limits(
+            g,
+            ParseLimits {
+                max_fields: 3,
+                ..ParseLimits::default()
+            },
+        )
+        .is_err());
     }
 
     #[test]

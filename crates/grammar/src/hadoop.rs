@@ -57,6 +57,13 @@ impl HadoopKvCodec {
             inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid"),
         }
     }
+
+    /// Creates the codec with explicit parse bounds.
+    pub fn with_limits(limits: crate::ParseLimits) -> Self {
+        HadoopKvCodec {
+            inner: GrammarCodec::with_limits(grammar(), limits).expect("built-in grammar is valid"),
+        }
+    }
 }
 
 impl Default for HadoopKvCodec {
@@ -203,5 +210,16 @@ mod tests {
     #[test]
     fn count_of_rejects_non_numeric_values() {
         assert_eq!(count_of(&kv("w", "not-a-number")), None);
+    }
+
+    /// A record whose `key_len` is maxed out is malformed, not a request
+    /// to buffer 4 GiB.
+    #[test]
+    fn hostile_key_len_is_malformed() {
+        let codec = HadoopKvCodec::new();
+        let mut wire = Vec::new();
+        codec.serialize(&kv("word", "1"), &mut wire).unwrap();
+        wire[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(codec.parse(&wire, None).is_err());
     }
 }

@@ -10,6 +10,7 @@
 //! that the HTTP load balancer can forward traffic without re-serialisation.
 
 use crate::error::GrammarError;
+use crate::limits::ParseLimits;
 use crate::message::{Message, MsgValue};
 use crate::projection::Projection;
 use crate::{ParseOutcome, WireCodec};
@@ -22,12 +23,24 @@ pub const RESPONSE_UNIT: &str = "http_response";
 
 /// A [`WireCodec`] for HTTP/1.1 requests and responses.
 #[derive(Debug, Clone, Default)]
-pub struct HttpCodec;
+pub struct HttpCodec {
+    limits: ParseLimits,
+}
 
 impl HttpCodec {
-    /// Creates the codec.
+    /// Creates the codec, bounded by [`ParseLimits::default`].
     pub fn new() -> Self {
-        HttpCodec
+        HttpCodec::default()
+    }
+
+    /// Creates the codec with explicit parse bounds.
+    pub fn with_limits(limits: ParseLimits) -> Self {
+        HttpCodec { limits }
+    }
+
+    /// Returns the parse bounds this codec enforces.
+    pub fn limits(&self) -> &ParseLimits {
+        &self.limits
     }
 }
 
@@ -36,23 +49,65 @@ fn header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// Validates one `Content-Length` value strictly: non-empty ASCII digits
+/// only. `str::parse::<usize>` alone would accept a leading `+`, and
+/// `trim` has already eaten surrounding whitespace — both shapes are
+/// ambiguity vectors across parser implementations, so they are rejected
+/// rather than normalised.
+fn parse_content_length(value: &str) -> Result<usize, GrammarError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(GrammarError::malformed(
+            "http",
+            format!("invalid Content-Length {value:?}"),
+        ));
+    }
+    value
+        .parse()
+        .map_err(|_| GrammarError::malformed("http", format!("invalid Content-Length {value:?}")))
+}
+
 fn parse_headers(
     block: &str,
     message: &mut Message,
     projection: Option<&Projection>,
+    limits: &ParseLimits,
 ) -> Result<usize, GrammarError> {
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut header_lines = Vec::new();
     for line in block.split("\r\n").skip(1).filter(|l| !l.is_empty()) {
+        if header_lines.len() >= limits.max_fields {
+            return Err(GrammarError::malformed(
+                "http",
+                format!("more than {} header lines", limits.max_fields),
+            ));
+        }
         let (name, value) = line.split_once(':').ok_or_else(|| {
             GrammarError::malformed("http", format!("header line without colon: {line:?}"))
         })?;
         let name = name.trim();
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| GrammarError::malformed("http", "invalid Content-Length"))?;
+            // Duplicate Content-Length headers are the classic
+            // request-smuggling ambiguity: two parsers that disagree on
+            // which one wins see two different message boundaries. Reject
+            // outright rather than pick one.
+            if content_length.is_some() {
+                return Err(GrammarError::malformed(
+                    "http",
+                    "duplicate Content-Length header",
+                ));
+            }
+            let parsed = parse_content_length(value)?;
+            if parsed > limits.max_body_bytes {
+                return Err(GrammarError::malformed(
+                    "http",
+                    format!(
+                        "Content-Length {parsed} exceeds the {}-byte parse limit",
+                        limits.max_body_bytes
+                    ),
+                ));
+            }
+            content_length = Some(parsed);
         }
         if name.eq_ignore_ascii_case("host") && projection.map_or(true, |p| p.requires("host")) {
             message.set_parsed("host", MsgValue::Str(value.to_string()));
@@ -64,6 +119,7 @@ fn parse_headers(
         }
         header_lines.push(line);
     }
+    let content_length = content_length.unwrap_or(0);
     if projection.map_or(true, |p| p.requires("headers")) {
         message.set_parsed("headers", MsgValue::Str(header_lines.join("\r\n")));
     }
@@ -84,8 +140,30 @@ impl HttpCodec {
         bind: &dyn Fn(std::ops::Range<usize>) -> Bytes,
     ) -> Result<ParseOutcome, GrammarError> {
         let Some(head_len) = header_end(buf) else {
+            // Without the blank-line terminator the head is incomplete —
+            // but only up to the head limit. Past it the peer is either
+            // broken or hostile (a slowloris trickling header bytes
+            // forever), and the buffer must not keep growing.
+            if buf.len() > self.limits.max_head_bytes {
+                return Err(GrammarError::malformed(
+                    "http",
+                    format!(
+                        "header block exceeds the {}-byte parse limit without terminating",
+                        self.limits.max_head_bytes
+                    ),
+                ));
+            }
             return Ok(ParseOutcome::Incomplete { needed: 0 });
         };
+        if head_len > self.limits.max_head_bytes {
+            return Err(GrammarError::malformed(
+                "http",
+                format!(
+                    "header block of {head_len} bytes exceeds the {}-byte parse limit",
+                    self.limits.max_head_bytes
+                ),
+            ));
+        }
         let head = std::str::from_utf8(&buf[..head_len - 4])
             .map_err(|_| GrammarError::malformed("http", "header block is not valid UTF-8"))?;
         let first_line = head.split("\r\n").next().unwrap_or_default();
@@ -130,8 +208,12 @@ impl HttpCodec {
             message.set_parsed("path", MsgValue::Str(path.to_string()));
             message.set_parsed("version", MsgValue::Str(version.to_string()));
         }
-        let content_length = parse_headers(head, &mut message, projection)?;
-        let total = head_len + content_length;
+        let content_length = parse_headers(head, &mut message, projection, &self.limits)?;
+        // checked: a Content-Length near usize::MAX would wrap this sum in
+        // release builds and slice out of bounds.
+        let total = head_len.checked_add(content_length).ok_or_else(|| {
+            GrammarError::malformed("http", "Content-Length overflows the frame size")
+        })?;
         if buf.len() < total {
             return Ok(ParseOutcome::Incomplete {
                 needed: total - buf.len(),
@@ -497,5 +579,102 @@ mod tests {
         assert_eq!(reason_phrase(200), "OK");
         assert_eq!(reason_phrase(404), "Not Found");
         assert_eq!(reason_phrase(999), "Unknown");
+    }
+
+    /// Regression: with bounds removed, a Content-Length near `usize::MAX`
+    /// must not wrap `head_len + content_length` into a bogus `Complete`
+    /// that slices out of bounds.
+    #[test]
+    fn huge_content_length_does_not_overflow() {
+        let codec = HttpCodec::with_limits(ParseLimits::unbounded());
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\nxx",
+            usize::MAX
+        );
+        assert!(matches!(
+            codec.parse(wire.as_bytes(), None),
+            Err(GrammarError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let codec = HttpCodec::new();
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\ndata";
+        assert!(codec.parse(wire, None).is_err());
+        // Even two agreeing copies are ambiguous to downstream parsers.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\ndata";
+        assert!(codec.parse(wire, None).is_err());
+    }
+
+    #[test]
+    fn content_length_must_be_plain_digits() {
+        let codec = HttpCodec::new();
+        // `parse::<usize>` would quietly accept "+4"; other parsers read
+        // hex or split on internal whitespace. All are rejected.
+        for value in ["+4", "0x4", "4 4", "4+", ""] {
+            let wire = format!("POST / HTTP/1.1\r\nContent-Length:{value}\r\n\r\ndata");
+            assert!(
+                codec.parse(wire.as_bytes(), None).is_err(),
+                "Content-Length {value:?} should be rejected"
+            );
+        }
+        // Optional whitespace around the value is legal HTTP and still
+        // parses.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length:  4 \r\n\r\ndata";
+        match codec.parse(wire, None).unwrap() {
+            ParseOutcome::Complete { message, .. } => {
+                assert_eq!(message.uint_field("content_length"), Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn content_length_over_body_limit_is_malformed() {
+        let codec = HttpCodec::with_limits(ParseLimits {
+            max_body_bytes: 100,
+            ..ParseLimits::default()
+        });
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 101\r\n\r\n";
+        assert!(codec.parse(wire, None).is_err());
+        // At the limit it is still a legal (incomplete) frame.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        assert!(matches!(
+            codec.parse(wire, None).unwrap(),
+            ParseOutcome::Incomplete { needed: 100 }
+        ));
+    }
+
+    /// A head that never terminates stops being `Incomplete` once it blows
+    /// the head limit — the ingest buffer must not grow forever.
+    #[test]
+    fn unterminated_head_past_limit_is_malformed() {
+        let codec = HttpCodec::with_limits(ParseLimits {
+            max_head_bytes: 64,
+            ..ParseLimits::default()
+        });
+        let mut wire = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        wire.extend(std::iter::repeat(b'a').take(100));
+        assert!(codec.parse(&wire, None).is_err());
+        // A *terminated* head over the limit is rejected too.
+        let mut wire = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        wire.extend(std::iter::repeat(b'a').take(100));
+        wire.extend_from_slice(b"\r\n\r\n");
+        assert!(codec.parse(&wire, None).is_err());
+    }
+
+    #[test]
+    fn too_many_header_lines_is_malformed() {
+        let codec = HttpCodec::with_limits(ParseLimits {
+            max_fields: 4,
+            ..ParseLimits::default()
+        });
+        let mut wire = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..5 {
+            wire.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        wire.push_str("\r\n");
+        assert!(codec.parse(wire.as_bytes(), None).is_err());
     }
 }

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod hadoop;
 pub mod http;
+pub mod limits;
 pub mod memcached;
 pub mod message;
 pub mod model;
@@ -45,6 +46,7 @@ pub mod projection;
 
 pub use engine::GrammarCodec;
 pub use error::GrammarError;
+pub use limits::ParseLimits;
 pub use message::{Message, MsgValue};
 pub use projection::Projection;
 

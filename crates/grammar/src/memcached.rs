@@ -120,6 +120,13 @@ impl MemcachedCodec {
             inner: GrammarCodec::new(grammar()).expect("built-in grammar is valid"),
         }
     }
+
+    /// Creates the codec with explicit parse bounds.
+    pub fn with_limits(limits: crate::ParseLimits) -> Self {
+        MemcachedCodec {
+            inner: GrammarCodec::with_limits(grammar(), limits).expect("built-in grammar is valid"),
+        }
+    }
 }
 
 impl Default for MemcachedCodec {
@@ -254,6 +261,19 @@ mod tests {
             ParseOutcome::Incomplete { needed } => assert_eq!(needed, 2),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// A header whose `total_len` is maxed out (4 GiB value) is rejected as
+    /// malformed instead of being treated as a frame to buffer toward.
+    #[test]
+    fn hostile_total_len_is_malformed() {
+        let codec = MemcachedCodec::new();
+        let mut wire = Vec::new();
+        codec
+            .serialize(&request(opcode::GET, b"k", b"", b""), &mut wire)
+            .unwrap();
+        wire[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(codec.parse(&wire, None).is_err());
     }
 
     #[test]

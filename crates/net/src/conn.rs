@@ -776,6 +776,21 @@ impl Endpoint {
     pub fn close(&self) {
         dispatch!(EndpointKind, self, ep => ep.close())
     }
+
+    /// Closes this endpoint because its byte stream failed to parse,
+    /// recording the termination in [`NetStats::malformed_closes`] on top
+    /// of the regular close accounting. The plain close happens first so a
+    /// concurrent snapshot never sees the malformed count ahead of the
+    /// close count.
+    pub fn close_malformed(&self) {
+        let first = !self.is_closed();
+        self.close();
+        if first {
+            if let Some(stats) = self.stats() {
+                stats.record_malformed_close();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub struct NetStats {
     pub ingest_copies: AtomicU64,
     /// Bytes moved by those ingest copy events.
     pub ingest_copied_bytes: AtomicU64,
+    /// Connections terminated because their byte stream failed to parse
+    /// (a malformed or over-limit frame). Each such close also appears in
+    /// `connections_closed`; this counter isolates the hostile-traffic
+    /// blast radius so the sim battery can assert it stays confined to
+    /// the offending connections.
+    pub malformed_closes: AtomicU64,
 }
 
 impl NetStats {
@@ -101,6 +107,14 @@ impl NetStats {
             .fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    /// Records one connection close caused by a malformed stream. Call
+    /// *after* the close itself has been recorded, so a snapshot (which
+    /// loads this counter before `connections_closed`) can never observe
+    /// the malformed close without its plain close.
+    pub fn record_malformed_close(&self) {
+        self.malformed_closes.fetch_add(1, Ordering::Release);
+    }
+
     /// A point-in-time copy of all counters.
     ///
     /// `bytes_received` is loaded *before* `bytes_sent` (and closes before
@@ -110,9 +124,15 @@ impl NetStats {
     /// [`StatsSnapshot::check_conservation`] free of false positives while
     /// traffic is in flight.
     pub fn snapshot(&self) -> StatsSnapshot {
+        // Loaded before `connections_closed`: a malformed close records the
+        // plain close first, so the close counter can only be inflated
+        // relative to this one, keeping `malformed_closes ≤
+        // connections_closed` sound mid-flight.
+        let malformed_closes = self.malformed_closes.load(Ordering::Acquire);
         let bytes_received = self.bytes_received.load(Ordering::Acquire);
         let connections_closed = self.connections_closed.load(Ordering::Acquire);
         StatsSnapshot {
+            malformed_closes,
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_closed,
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
@@ -156,6 +176,9 @@ pub struct StatsSnapshot {
     pub ingest_copies: u64,
     /// Bytes moved by ingest carries.
     pub ingest_copied_bytes: u64,
+    /// Connections closed due to malformed input (see
+    /// [`NetStats::malformed_closes`]).
+    pub malformed_closes: u64,
 }
 
 impl StatsSnapshot {
@@ -218,6 +241,13 @@ impl StatsSnapshot {
             return Err(format!(
                 "ingest accounting inconsistent: {} copy events moved {} bytes",
                 self.ingest_copies, self.ingest_copied_bytes
+            ));
+        }
+        if self.malformed_closes > self.connections_closed {
+            return Err(format!(
+                "malformed-close conservation violated: {} malformed closes > {} closes \
+                 (every malformed close is a close)",
+                self.malformed_closes, self.connections_closed
             ));
         }
         Ok(())
@@ -342,6 +372,29 @@ mod tests {
             ..Default::default()
         };
         assert!(snap.check_conservation().is_err());
+    }
+
+    #[test]
+    fn conservation_rejects_malformed_closes_outside_closes() {
+        let snap = StatsSnapshot {
+            connections_opened: 2,
+            connections_closed: 1,
+            malformed_closes: 2,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("malformed-close conservation"), "{err}");
+    }
+
+    #[test]
+    fn malformed_close_is_recorded_alongside_the_close() {
+        let stats = NetStats::default();
+        stats.record_open();
+        stats.record_close();
+        stats.record_malformed_close();
+        let snap = stats.snapshot();
+        assert_eq!(snap.malformed_closes, 1);
+        snap.check_conservation().unwrap();
     }
 
     #[test]

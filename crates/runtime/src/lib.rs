@@ -51,7 +51,7 @@ pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use platform::{
     default_shard_count, GraphFactory, Platform, PlatformConfig, ServiceEnv, ServiceSpec, Watch,
 };
-pub use pool::{BackendPool, BackendTarget, BufferPool};
+pub use pool::{BackendPolicy, BackendPool, BackendTarget, BufferPool, RoutePolicy};
 pub use scheduler::{Scheduler, ShardLoad, StealGroup};
 pub use shard::{
     LeastLoadedPlacement, Placement, PlacementPolicy, RoundRobinPlacement, Shard, ShardStatus,

@@ -33,6 +33,20 @@ pub struct RuntimeMetrics {
     /// parking on writable readiness. Zero under the wakeup-driven output
     /// mode while a peer is stalled — the stress tests assert it.
     pub output_busy_retries: AtomicU64,
+    /// Health-aware backend checkouts (`BackendPool::checkout_healthy`
+    /// calls), each allowed at most the policy's retry budget of extra
+    /// attempts.
+    pub backend_checkouts: AtomicU64,
+    /// Extra connection attempts spent by those checkouts after their
+    /// first pick failed. Bounded by `backend_checkouts × retry_budget` —
+    /// the no-retry-storm law the sim battery gates.
+    pub backend_retries: AtomicU64,
+    /// Healthy→ejected transitions: a backend crossed its consecutive-
+    /// failure threshold and was taken out of rotation.
+    pub backend_ejections: AtomicU64,
+    /// Ejected→healthy transitions: a readmit probe against an ejected
+    /// backend succeeded and put it back in rotation.
+    pub backend_readmits: AtomicU64,
 }
 
 impl RuntimeMetrics {
@@ -52,8 +66,20 @@ impl RuntimeMetrics {
     }
 
     /// A point-in-time copy of all counters.
+    ///
+    /// `backend_retries` is loaded *before* `backend_checkouts`: a
+    /// checkout records itself before spending any retry, so this order
+    /// can only inflate the checkout side of a concurrent snapshot and
+    /// keeps [`MetricsSnapshot::check_retry_budget`] free of false
+    /// positives mid-flight (same trick as the substrate counters).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let backend_retries = self.backend_retries.load(Ordering::Acquire);
+        let backend_readmits = self.backend_readmits.load(Ordering::Acquire);
         MetricsSnapshot {
+            backend_retries,
+            backend_readmits,
+            backend_checkouts: Self::get(&self.backend_checkouts),
+            backend_ejections: Self::get(&self.backend_ejections),
             task_runs: Self::get(&self.task_runs),
             cooperative_yields: Self::get(&self.cooperative_yields),
             values_processed: Self::get(&self.values_processed),
@@ -91,6 +117,14 @@ pub struct MetricsSnapshot {
     pub tasks_stolen: u64,
     /// Output-task busy retries (blocked write + immediate re-run).
     pub output_busy_retries: u64,
+    /// Health-aware backend checkouts.
+    pub backend_checkouts: u64,
+    /// Extra attempts spent after a failed first pick.
+    pub backend_retries: u64,
+    /// Backends ejected after repeated failures.
+    pub backend_ejections: u64,
+    /// Ejected backends readmitted by a successful probe.
+    pub backend_readmits: u64,
 }
 
 impl MetricsSnapshot {
@@ -123,6 +157,27 @@ impl MetricsSnapshot {
             return Err(format!(
                 "yield conservation violated: {} yields > {} task runs",
                 self.cooperative_yields, self.task_runs
+            ));
+        }
+        if self.backend_readmits > self.backend_ejections {
+            return Err(format!(
+                "backend health conservation violated: {} readmits > {} ejections \
+                 (a backend must be ejected before it can be readmitted)",
+                self.backend_readmits, self.backend_ejections
+            ));
+        }
+        Ok(())
+    }
+
+    /// The no-retry-storm law: every health-aware checkout may spend at
+    /// most `budget` extra attempts, so the retry counter is bounded by
+    /// the checkout counter. Gated per tick by the sim battery.
+    pub fn check_retry_budget(&self, budget: u64) -> Result<(), String> {
+        let allowed = self.backend_checkouts.saturating_mul(budget);
+        if self.backend_retries > allowed {
+            return Err(format!(
+                "retry budget exceeded: {} retries > {} checkouts × budget {}",
+                self.backend_retries, self.backend_checkouts, budget
             ));
         }
         Ok(())
@@ -177,5 +232,28 @@ mod tests {
         };
         let err = snap.check_conservation().unwrap_err();
         assert!(err.contains("yield conservation"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_readmits_without_ejections() {
+        let snap = MetricsSnapshot {
+            backend_ejections: 1,
+            backend_readmits: 2,
+            ..Default::default()
+        };
+        let err = snap.check_conservation().unwrap_err();
+        assert!(err.contains("backend health conservation"), "{err}");
+    }
+
+    #[test]
+    fn retry_budget_gate() {
+        let snap = MetricsSnapshot {
+            backend_checkouts: 10,
+            backend_retries: 20,
+            ..Default::default()
+        };
+        snap.check_retry_budget(2).unwrap();
+        let err = snap.check_retry_budget(1).unwrap_err();
+        assert!(err.contains("retry budget exceeded"), "{err}");
     }
 }

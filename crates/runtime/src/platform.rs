@@ -16,7 +16,7 @@ use crate::dispatcher::{run_shard_dispatcher, DeployedService, DispatcherBackend
 use crate::error::RuntimeError;
 use crate::graph::{GraphInstance, TaskIdAllocator};
 use crate::metrics::RuntimeMetrics;
-use crate::pool::{BackendPool, BackendTarget};
+use crate::pool::{BackendPolicy, BackendPool, BackendTarget};
 use crate::scheduler::{Scheduler, StealGroup};
 use crate::shard::{Placement, Shard, ShardCommand, ShardSet, ShardStatus};
 use crate::task::{SchedulingPolicy, TaskId};
@@ -68,6 +68,9 @@ pub struct PlatformConfig {
     pub channel_capacity: usize,
     /// Whether backend connections are drawn from a pre-established pool.
     pub backend_pooling: bool,
+    /// Backend health/routing policy: candidate ordering, passive
+    /// ejection thresholds and the per-checkout retry budget.
+    pub backend_policy: BackendPolicy,
     /// How output tasks behave when a write blocks (wakeup-driven parking
     /// by default; the busy-retry loop remains available for ablations).
     pub output_mode: OutputMode,
@@ -85,6 +88,7 @@ impl Default for PlatformConfig {
             poll_interval: Duration::from_micros(50),
             channel_capacity: 1024,
             backend_pooling: false,
+            backend_policy: BackendPolicy::default(),
             output_mode: OutputMode::default(),
         }
     }
@@ -469,7 +473,12 @@ impl Platform {
                 addr: addr.clone(),
             }));
         }
-        let backends = BackendPool::over(targets, self.config.backend_pooling);
+        let backends = BackendPool::configured(
+            targets,
+            self.config.backend_pooling,
+            self.config.backend_policy,
+            Some(Arc::clone(&self.metrics)),
+        );
         // The poll backend has no writable-event path (it is the
         // historical sleep-poll baseline), so its output tasks keep the
         // historical busy-retry behaviour; parking them would strand a

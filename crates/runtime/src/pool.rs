@@ -7,10 +7,13 @@
 //! (`benches/dispatch.rs`) measures their effect.
 
 use crate::error::RuntimeError;
+use crate::metrics::RuntimeMetrics;
 use flick_net::{Endpoint, SimNetwork, TcpStack};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A pool of reusable byte buffers.
 ///
@@ -102,6 +105,72 @@ impl BackendTarget {
     }
 }
 
+/// How a [`BackendPool`] orders candidate back-ends for a checkout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rotate over the targets, starting from the caller's hint (the
+    /// connection-hash distribution) or an internal cursor.
+    #[default]
+    RoundRobin,
+    /// Start from the target with the fewest outstanding checked-out
+    /// connections (ties broken by index).
+    LeastLoaded,
+}
+
+/// Backend health and retry policy.
+///
+/// Following the policy/mechanism separation argument, everything here is
+/// *policy*: which backend to try first, how many failures eject one, how
+/// long it sits out, and how many extra attempts a single checkout may
+/// spend. The parsing bounds ([`flick_grammar::ParseLimits`]-style hard
+/// mechanism limits) are enforced elsewhere regardless of this policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendPolicy {
+    /// Candidate ordering.
+    pub route: RoutePolicy,
+    /// Consecutive connect/IO failures after which a backend is ejected
+    /// from rotation.
+    pub eject_after: u32,
+    /// How long an ejected backend sits out before a readmit probe may
+    /// try it again.
+    pub eject_for: Duration,
+    /// Extra connection attempts (against further targets) one
+    /// [`BackendPool::checkout_healthy`] call may spend after its first
+    /// pick fails. `0` fails fast.
+    pub retry_budget: u32,
+}
+
+impl Default for BackendPolicy {
+    fn default() -> Self {
+        BackendPolicy {
+            route: RoutePolicy::RoundRobin,
+            eject_after: 2,
+            eject_for: Duration::from_millis(250),
+            retry_budget: 2,
+        }
+    }
+}
+
+/// Per-backend passive health state.
+#[derive(Debug, Default)]
+struct HealthSlot {
+    state: Mutex<HealthState>,
+    /// Connections handed out by `checkout_healthy` minus those returned
+    /// via `checkin`/`release` — the least-loaded signal. Callers that
+    /// never return connections degrade it to cumulative-assignment
+    /// balancing, which still spreads load evenly across healthy targets.
+    outstanding: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    consecutive_failures: u32,
+    /// `Some` while ejected: no regular traffic until the deadline, after
+    /// which the backend becomes a probe candidate. Cleared (with a
+    /// readmit) by the first success.
+    ejected_until: Option<Instant>,
+}
+
 /// Access to a service's back-end servers, over either transport.
 ///
 /// `connect` always establishes a fresh connection (paying the stack's
@@ -110,10 +179,21 @@ impl BackendTarget {
 /// Targets may be simulated ports, real TCP addresses, or a mix — a
 /// TCP-fronted service can pool kernel-socket back-ends and complete the
 /// all-TCP `client → LB → backend` path.
+///
+/// [`BackendPool::checkout_healthy`] adds passive failure detection on
+/// top: connect failures are remembered per backend, a backend that fails
+/// [`BackendPolicy::eject_after`] times in a row is ejected for
+/// [`BackendPolicy::eject_for`], one checkout spends at most
+/// [`BackendPolicy::retry_budget`] extra attempts, and candidate order is
+/// set by [`RoutePolicy`].
 pub struct BackendPool {
     targets: Vec<BackendTarget>,
     pooled: Vec<Mutex<VecDeque<Endpoint>>>,
     pooling_enabled: bool,
+    policy: BackendPolicy,
+    health: Vec<HealthSlot>,
+    cursor: AtomicUsize,
+    metrics: Option<Arc<RuntimeMetrics>>,
 }
 
 impl std::fmt::Debug for BackendPool {
@@ -154,17 +234,39 @@ impl BackendPool {
     }
 
     /// Creates a backend pool over an explicit (possibly mixed-transport)
-    /// target list.
+    /// target list, with the default [`BackendPolicy`] and no metrics.
     pub fn over(targets: Vec<BackendTarget>, pooling_enabled: bool) -> Arc<Self> {
+        Self::configured(targets, pooling_enabled, BackendPolicy::default(), None)
+    }
+
+    /// Creates a backend pool with an explicit health/routing policy and
+    /// an optional metrics block to record checkouts, retries, ejections
+    /// and readmits into.
+    pub fn configured(
+        targets: Vec<BackendTarget>,
+        pooling_enabled: bool,
+        policy: BackendPolicy,
+        metrics: Option<Arc<RuntimeMetrics>>,
+    ) -> Arc<Self> {
         let pooled = targets
             .iter()
             .map(|_| Mutex::new(VecDeque::new()))
             .collect();
+        let health = targets.iter().map(|_| HealthSlot::default()).collect();
         Arc::new(BackendPool {
             targets,
             pooled,
             pooling_enabled,
+            policy,
+            health,
+            cursor: AtomicUsize::new(0),
+            metrics,
         })
+    }
+
+    /// The health/routing policy in effect.
+    pub fn policy(&self) -> &BackendPolicy {
+        &self.policy
     }
 
     /// Number of configured back-ends.
@@ -207,6 +309,7 @@ impl BackendPool {
 
     /// Returns a still-usable connection to the pool.
     pub fn checkin(&self, idx: usize, endpoint: Endpoint) {
+        self.release(idx);
         if !self.pooling_enabled || endpoint.is_closed() || endpoint.peer_closed() {
             return;
         }
@@ -218,6 +321,180 @@ impl BackendPool {
     /// Number of pooled connections for backend `idx`.
     pub fn pooled_count(&self, idx: usize) -> usize {
         self.pooled.get(idx).map(|s| s.lock().len()).unwrap_or(0)
+    }
+
+    // --- passive health -------------------------------------------------
+
+    /// Obtains a connection to a *healthy* backend, retrying within the
+    /// policy's budget.
+    ///
+    /// Candidates are ordered by [`RoutePolicy`] (round-robin starts at
+    /// `hint % len` when a hint is given — the connection-hash
+    /// distribution — or at an internal cursor otherwise), backends under
+    /// an unexpired ejection are skipped, and a failed connect advances to
+    /// the next candidate *within this same call*, so one dead backend
+    /// never turns into a failed request while a sibling is up. Each extra
+    /// attempt after the first consumes retry budget; when the budget (or
+    /// the candidate list) is exhausted the last error is returned.
+    ///
+    /// A backend whose ejection period has expired is a probe candidate:
+    /// it rejoins the candidate order, a success readmits it, a failure
+    /// re-arms its ejection without a fresh ejection transition.
+    ///
+    /// When *every* backend is under an unexpired ejection there is
+    /// nothing left to protect, so the ejection filter is dropped and the
+    /// call routes over the full candidate order anyway — the checkout
+    /// doubles as a probe, and a fleet that has come back is rediscovered
+    /// on the first request instead of after the longest sit-out.
+    ///
+    /// Returns the backend index alongside the endpoint so the caller can
+    /// [`BackendPool::checkin`] or [`BackendPool::release`] it later.
+    pub fn checkout_healthy(&self, hint: Option<usize>) -> Result<(usize, Endpoint), RuntimeError> {
+        let len = self.targets.len();
+        if len == 0 {
+            return Err(RuntimeError::Config("no backends configured".into()));
+        }
+        if let Some(m) = &self.metrics {
+            RuntimeMetrics::add(&m.backend_checkouts, 1);
+        }
+        let order: Vec<usize> = match self.policy.route {
+            RoutePolicy::RoundRobin => {
+                let start = hint
+                    .map(|h| h % len)
+                    .unwrap_or_else(|| self.cursor.fetch_add(1, Ordering::Relaxed) % len);
+                (0..len).map(|i| (start + i) % len).collect()
+            }
+            RoutePolicy::LeastLoaded => {
+                let mut idxs: Vec<usize> = (0..len).collect();
+                idxs.sort_by_key(|&i| (self.outstanding(i), i));
+                idxs
+            }
+        };
+        let now = Instant::now();
+        let mut routable: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&idx| self.may_route_to(idx, now))
+            .collect();
+        if routable.is_empty() {
+            // All ejected: last-resort probing over the full order.
+            routable = order;
+        }
+        let max_attempts = len.min(self.policy.retry_budget as usize + 1);
+        let mut attempts = 0usize;
+        let mut last_err = None;
+        for &idx in &routable {
+            if attempts >= max_attempts {
+                break;
+            }
+            attempts += 1;
+            if attempts > 1 {
+                if let Some(m) = &self.metrics {
+                    RuntimeMetrics::add(&m.backend_retries, 1);
+                }
+            }
+            match self.checkout(idx) {
+                Ok(endpoint) => {
+                    self.report_success(idx);
+                    if let Some(slot) = self.health.get(idx) {
+                        slot.outstanding.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok((idx, endpoint));
+                }
+                Err(err) => {
+                    self.report_failure(idx);
+                    last_err = Some(err);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            RuntimeError::Config("all backends are ejected; none available".into())
+        }))
+    }
+
+    /// Drops the outstanding-connection count for backend `idx` without
+    /// returning a connection — for callers that close an endpoint
+    /// obtained from [`BackendPool::checkout_healthy`] instead of checking
+    /// it in.
+    pub fn release(&self, idx: usize) {
+        if let Some(slot) = self.health.get(idx) {
+            let _ = slot
+                .outstanding
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        }
+    }
+
+    /// Outstanding checked-out connections for backend `idx` (the
+    /// least-loaded routing signal).
+    pub fn outstanding(&self, idx: usize) -> u64 {
+        self.health
+            .get(idx)
+            .map(|s| s.outstanding.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records an IO success against backend `idx`, resetting its failure
+    /// streak and readmitting it if it was ejected.
+    pub fn report_success(&self, idx: usize) {
+        let Some(slot) = self.health.get(idx) else {
+            return;
+        };
+        let mut state = slot.state.lock();
+        state.consecutive_failures = 0;
+        if state.ejected_until.take().is_some() {
+            if let Some(m) = &self.metrics {
+                RuntimeMetrics::add(&m.backend_readmits, 1);
+            }
+        }
+    }
+
+    /// Records a connect/IO failure against backend `idx` — the passive
+    /// detection input. Crossing the policy's threshold ejects the
+    /// backend; a failure while ejected (a failed readmit probe) re-arms
+    /// the ejection deadline.
+    pub fn report_failure(&self, idx: usize) {
+        let Some(slot) = self.health.get(idx) else {
+            return;
+        };
+        let mut state = slot.state.lock();
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.consecutive_failures >= self.policy.eject_after {
+            let newly_ejected = state.ejected_until.is_none();
+            state.ejected_until = Some(Instant::now() + self.policy.eject_for);
+            if newly_ejected {
+                if let Some(m) = &self.metrics {
+                    RuntimeMetrics::add(&m.backend_ejections, 1);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if backend `idx` is currently ejected (its sit-out
+    /// period has not expired).
+    pub fn is_ejected(&self, idx: usize) -> bool {
+        self.health
+            .get(idx)
+            .map(|slot| {
+                slot.state
+                    .lock()
+                    .ejected_until
+                    .is_some_and(|until| until > Instant::now())
+            })
+            .unwrap_or(false)
+    }
+
+    /// Regular traffic goes to non-ejected backends; an expired ejection
+    /// makes the backend a probe candidate again.
+    fn may_route_to(&self, idx: usize, now: Instant) -> bool {
+        self.health
+            .get(idx)
+            .map(|slot| {
+                slot.state
+                    .lock()
+                    .ejected_until
+                    .map_or(true, |until| until <= now)
+            })
+            .unwrap_or(true)
     }
 }
 
@@ -297,5 +574,182 @@ mod tests {
         pool.checkin(0, conn);
         let again = pool.checkout(0).unwrap();
         assert_ne!(again.id(), id);
+    }
+
+    fn sim_targets(net: &Arc<SimNetwork>, ports: &[u16]) -> Vec<BackendTarget> {
+        ports
+            .iter()
+            .map(|&port| BackendTarget::Sim {
+                net: Arc::clone(net),
+                port,
+            })
+            .collect()
+    }
+
+    /// The satellite fix: a failed connect advances past the dead target
+    /// *within the same request* — the caller gets a sibling's connection,
+    /// not an error.
+    #[test]
+    fn failed_connect_advances_past_dead_backend_in_the_same_call() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _live = net.listen(9011).unwrap(); // 9010 has no listener
+        let metrics = RuntimeMetrics::new_shared();
+        let pool = BackendPool::configured(
+            sim_targets(&net, &[9010, 9011]),
+            false,
+            BackendPolicy::default(),
+            Some(Arc::clone(&metrics)),
+        );
+        let (idx, _conn) = pool.checkout_healthy(Some(0)).unwrap();
+        assert_eq!(idx, 1, "checkout must advance past the dead target");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.backend_checkouts, 1);
+        assert_eq!(snap.backend_retries, 1);
+        snap.check_retry_budget(pool.policy().retry_budget as u64)
+            .unwrap();
+    }
+
+    #[test]
+    fn repeated_failures_eject_then_probe_readmits() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _live = net.listen(9013).unwrap();
+        let metrics = RuntimeMetrics::new_shared();
+        let policy = BackendPolicy {
+            eject_after: 2,
+            eject_for: Duration::from_millis(40),
+            ..BackendPolicy::default()
+        };
+        let pool = BackendPool::configured(
+            sim_targets(&net, &[9012, 9013]),
+            false,
+            policy,
+            Some(Arc::clone(&metrics)),
+        );
+        // Two failed picks of backend 0 cross the threshold.
+        for _ in 0..2 {
+            let (idx, _conn) = pool.checkout_healthy(Some(0)).unwrap();
+            assert_eq!(idx, 1);
+        }
+        assert!(pool.is_ejected(0));
+        assert_eq!(metrics.snapshot().backend_ejections, 1);
+        // While ejected, backend 0 is skipped without spending retries.
+        let before = metrics.snapshot().backend_retries;
+        let (idx, _conn) = pool.checkout_healthy(Some(0)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(metrics.snapshot().backend_retries, before);
+        // After the sit-out the backend comes back up; the probe readmits.
+        std::thread::sleep(Duration::from_millis(50));
+        let _revived = net.listen(9012).unwrap();
+        let (idx, _conn) = pool.checkout_healthy(Some(0)).unwrap();
+        assert_eq!(idx, 0);
+        assert!(!pool.is_ejected(0));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.backend_readmits, 1);
+        snap.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn failed_probe_rearms_ejection_without_a_new_transition() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _live = net.listen(9015).unwrap();
+        let metrics = RuntimeMetrics::new_shared();
+        let policy = BackendPolicy {
+            eject_after: 1,
+            eject_for: Duration::from_millis(20),
+            ..BackendPolicy::default()
+        };
+        let pool = BackendPool::configured(
+            sim_targets(&net, &[9014, 9015]),
+            false,
+            policy,
+            Some(Arc::clone(&metrics)),
+        );
+        let _ = pool.checkout_healthy(Some(0)).unwrap();
+        assert!(pool.is_ejected(0));
+        std::thread::sleep(Duration::from_millis(25));
+        // Probe fails (still no listener): the deadline re-arms but the
+        // ejection count stays at one.
+        let (idx, _conn) = pool.checkout_healthy(Some(0)).unwrap();
+        assert_eq!(idx, 1);
+        assert!(pool.is_ejected(0));
+        assert_eq!(metrics.snapshot().backend_ejections, 1);
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_fast() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _live = net.listen(9017).unwrap();
+        let policy = BackendPolicy {
+            retry_budget: 0,
+            ..BackendPolicy::default()
+        };
+        let pool = BackendPool::configured(sim_targets(&net, &[9016, 9017]), false, policy, None);
+        assert!(
+            pool.checkout_healthy(Some(0)).is_err(),
+            "budget 0 must not fail over"
+        );
+        // But a hint pointing at the live backend still succeeds.
+        let (idx, _conn) = pool.checkout_healthy(Some(1)).unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn all_backends_ejected_falls_back_to_probing() {
+        let net = SimNetwork::new(StackModel::Free);
+        let policy = BackendPolicy {
+            eject_after: 1,
+            eject_for: Duration::from_secs(60),
+            ..BackendPolicy::default()
+        };
+        let pool = BackendPool::configured(sim_targets(&net, &[9018]), false, policy, None);
+        assert!(pool.checkout_healthy(None).is_err()); // fails and ejects
+        assert!(pool.is_ejected(0));
+        // With every target ejected the filter is dropped: the checkout
+        // probes the dead backend (and still fails)...
+        assert!(pool.checkout_healthy(None).is_err());
+        // ...but the same last-resort probe rediscovers a revived fleet
+        // immediately, without waiting out the 60s ejection.
+        let _revived = net.listen(9018).unwrap();
+        let (idx, _conn) = pool.checkout_healthy(None).unwrap();
+        assert_eq!(idx, 0);
+        assert!(!pool.is_ejected(0));
+    }
+
+    #[test]
+    fn least_loaded_routes_to_the_idle_backend() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _l1 = net.listen(9020).unwrap();
+        let _l2 = net.listen(9021).unwrap();
+        let policy = BackendPolicy {
+            route: RoutePolicy::LeastLoaded,
+            ..BackendPolicy::default()
+        };
+        let pool = BackendPool::configured(sim_targets(&net, &[9020, 9021]), false, policy, None);
+        let (first, conn_a) = pool.checkout_healthy(None).unwrap();
+        assert_eq!(first, 0, "ties break by index");
+        let (second, _conn_b) = pool.checkout_healthy(None).unwrap();
+        assert_eq!(second, 1, "the loaded backend is passed over");
+        assert_eq!(pool.outstanding(0), 1);
+        // Returning the first connection makes backend 0 least loaded again.
+        drop(conn_a);
+        pool.release(0);
+        let (third, _conn_c) = pool.checkout_healthy(None).unwrap();
+        assert_eq!(third, 0);
+    }
+
+    #[test]
+    fn round_robin_without_hint_rotates() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _l1 = net.listen(9022).unwrap();
+        let _l2 = net.listen(9023).unwrap();
+        let pool = BackendPool::configured(
+            sim_targets(&net, &[9022, 9023]),
+            false,
+            BackendPolicy::default(),
+            None,
+        );
+        let (a, _ca) = pool.checkout_healthy(None).unwrap();
+        let (b, _cb) = pool.checkout_healthy(None).unwrap();
+        assert_ne!(a, b, "cursor must rotate across calls");
     }
 }

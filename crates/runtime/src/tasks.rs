@@ -150,8 +150,11 @@ impl Task for InputTask {
             Ok(false) => return TaskStatus::Runnable,
             Err(_) => {
                 // A malformed stream terminates the connection, as the paper's
-                // default behaviour for unparseable input.
-                self.endpoint.close();
+                // default behaviour for unparseable input. The blast radius
+                // is this one connection: siblings on the same service keep
+                // running, and the close is tallied separately so the sim
+                // battery can bound it.
+                self.endpoint.close_malformed();
                 self.output.close();
                 return TaskStatus::Finished;
             }
@@ -165,7 +168,7 @@ impl Task for InputTask {
                         Ok(true) => {}
                         Ok(false) => return TaskStatus::Runnable,
                         Err(_) => {
-                            self.endpoint.close();
+                            self.endpoint.close_malformed();
                             self.output.close();
                             return TaskStatus::Finished;
                         }

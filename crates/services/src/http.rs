@@ -175,10 +175,12 @@ impl GraphFactory for HttpLoadBalancerFactory {
                 "the HTTP load balancer needs at least one backend".into(),
             ));
         }
-        // Naive hash of the connection identity picks the backend for this
-        // connection; all requests on the connection stick to it.
-        let backend_idx = (client.id() as usize) % env.backends.len();
-        let backend = env.backends.checkout(backend_idx)?;
+        // Naive hash of the connection identity seeds the backend pick for
+        // this connection; all requests on the connection stick to it. The
+        // health-aware checkout skips ejected backends and fails over past
+        // a dead target within this same call, so one crashed backend does
+        // not refuse the connection while siblings are up.
+        let (_backend_idx, backend) = env.backends.checkout_healthy(Some(client.id() as usize))?;
 
         let codec: Arc<HttpCodec> = Arc::new(HttpCodec::new());
         let mut builder = GraphBuilder::new("http-lb", &env.allocator)
@@ -364,6 +366,46 @@ mod tests {
             served.iter().filter(|s| **s > 0).count() >= 2,
             "requests should hit both backends: {served:?}"
         );
+    }
+
+    /// One dead backend must not refuse connections: the health-aware
+    /// checkout fails over to the live sibling within the same request.
+    #[test]
+    fn load_balancer_fails_over_past_a_dead_backend() {
+        let net = SimNetwork::new(StackModel::Free);
+        // Only 8392 is listening; hashed picks of 8391 must fail over.
+        let _live = start_http_backend(&net, 8392, b"alive");
+        let platform = Platform::with_network(
+            PlatformConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::clone(&net),
+        );
+        let _svc = platform
+            .deploy(
+                ServiceSpec::new("lb", 8394, HttpLoadBalancerFactory::new())
+                    .with_backends(vec![8391, 8392]),
+            )
+            .unwrap();
+        let stats = run_http_load(
+            &net,
+            &HttpLoadConfig {
+                port: 8394,
+                concurrency: 4,
+                duration: Duration::from_millis(200),
+                ..Default::default()
+            },
+        );
+        assert!(
+            stats.completed > 10,
+            "every connection should reach the live backend: {stats:?}"
+        );
+        let snap = platform.metrics().snapshot();
+        assert!(snap.backend_checkouts > 0);
+        snap.check_conservation().unwrap();
+        snap.check_retry_budget(flick_runtime::BackendPolicy::default().retry_budget as u64)
+            .unwrap();
     }
 
     #[test]

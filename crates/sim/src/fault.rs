@@ -31,6 +31,15 @@ pub enum FaultOp {
     /// the self-test that proves violations are caught and report their
     /// seed.
     SabotageZeroCopy,
+    /// Set the hostile-traffic rate to `permille / 1000` from this tick
+    /// on: each client request is replaced, with that probability, by a
+    /// grammar-aware mutated frame from the seeded
+    /// [`crate::MessageMutator`]. Overrides the scenario's baseline
+    /// `hostile` knob; `permille: 0` turns the storm off again.
+    HostileTraffic {
+        /// Mutation probability in thousandths (300 = 30%).
+        permille: u16,
+    },
 }
 
 /// A fault bound to the tick it fires on.

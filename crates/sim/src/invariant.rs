@@ -52,6 +52,12 @@ pub struct TickChecks {
     pub expect_zero_copy: bool,
     /// Require `output_busy_retries == 0` (wakeup-driven output mode).
     pub expect_no_busy_retries: bool,
+    /// Gate the no-retry-storm law: backend retries must stay within
+    /// `checkouts × budget`. `None` here means "use the scenario's own
+    /// backend policy budget" — the scenario driver resolves it before
+    /// the first tick, so the gate is always on under `run_scenario`;
+    /// only direct `check_tick` callers can opt out by leaving `None`.
+    pub retry_budget: Option<u64>,
 }
 
 impl Default for TickChecks {
@@ -59,6 +65,7 @@ impl Default for TickChecks {
         TickChecks {
             expect_zero_copy: false,
             expect_no_busy_retries: true,
+            retry_budget: None,
         }
     }
 }
@@ -93,6 +100,11 @@ pub fn check_tick(
                 runtime.output_busy_retries
             ),
         ));
+    }
+    if let Some(budget) = checks.retry_budget {
+        if let Err(what) = runtime.check_retry_budget(budget) {
+            violations.push(Violation::new(seed, tick, what));
+        }
     }
     violations
 }
@@ -190,12 +202,43 @@ mod tests {
         let lax = TickChecks {
             expect_zero_copy: false,
             expect_no_busy_retries: false,
+            retry_budget: None,
         };
         assert!(check_tick(1, 0, &net, &runtime, lax).is_empty());
         let strict = TickChecks {
             expect_zero_copy: true,
             expect_no_busy_retries: true,
+            retry_budget: None,
         };
         assert_eq!(check_tick(1, 0, &net, &runtime, strict).len(), 2);
+    }
+
+    /// The no-retry-storm law flows into the tick battery when a budget is
+    /// set: retries within `checkouts × budget` pass, a storm fires.
+    #[test]
+    fn retry_budget_gate_flows_into_the_tick_battery() {
+        let net = StatsSnapshot::default();
+        let runtime = MetricsSnapshot {
+            task_runs: 10,
+            backend_checkouts: 4,
+            backend_retries: 8,
+            ..Default::default()
+        };
+        let gated = TickChecks {
+            retry_budget: Some(2),
+            ..TickChecks::default()
+        };
+        assert!(check_tick(9, 1, &net, &runtime, gated).is_empty());
+        let tight = TickChecks {
+            retry_budget: Some(1),
+            ..TickChecks::default()
+        };
+        let violations = check_tick(9, 2, &net, &runtime, tight);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].what.contains("retry budget"),
+            "{}",
+            violations[0]
+        );
     }
 }

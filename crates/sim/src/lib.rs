@@ -14,12 +14,14 @@
 
 pub mod fault;
 pub mod invariant;
+pub mod message_mutator;
 pub mod scenario;
 pub mod stress;
 pub mod trace;
 
 pub use fault::{FaultOp, ScheduledFault};
 pub use invariant::{check_tick, TickChecks, Violation};
+pub use message_mutator::{Delivery, MessageMutator, MutatedFrame, MutationKind};
 pub use scenario::{run_scenario, wait_until, ScenarioConfig, ScenarioReport};
 pub use stress::{run_poller_handoff_scenario, run_stall_park_scenario};
 pub use trace::Trace;

@@ -22,13 +22,16 @@
 
 use crate::fault::{FaultOp, ScheduledFault};
 use crate::invariant::{check_tick, TickChecks, Violation};
+use crate::message_mutator::{Delivery, MessageMutator};
 use crate::trace::Trace;
 use flick_grammar::http::HttpCodec;
 use flick_grammar::{ParseOutcome, WireCodec};
 use flick_net::listener::ConnectOptions;
 use flick_net::ratelimit::TokenBucket;
+use flick_net::stats::StatsSnapshot;
 use flick_net::{Endpoint, NetError, SimNetwork, SimRng};
-use flick_runtime::{Placement, Platform, PlatformConfig, ServiceSpec};
+use flick_runtime::metrics::MetricsSnapshot;
+use flick_runtime::{BackendPolicy, Placement, Platform, PlatformConfig, ServiceSpec};
 use flick_services::{HttpLoadBalancerFactory, StaticWebServerFactory};
 use flick_workload::backends::{start_http_backend, BackendHandle};
 use std::sync::Arc;
@@ -77,6 +80,15 @@ pub struct ScenarioConfig {
     /// Per-request probability of writing half the request and
     /// disconnecting (mid-message abort).
     pub abort_mid_message: f64,
+    /// Per-request probability of replacing the clean request with a
+    /// grammar-aware mutated frame (see [`crate::MessageMutator`]).
+    /// [`FaultOp::HostileTraffic`] can change the rate mid-run. The
+    /// mutation decision draws from its own per-client RNG fork, so
+    /// turning the knob never shifts the churn/byte-wise/abort streams.
+    pub hostile: f64,
+    /// Backend health/routing policy the platform runs with (ejection
+    /// threshold, sit-out, retry budget).
+    pub backend_policy: BackendPolicy,
     /// Write-rate limit applied to every client connection as
     /// `(bits_per_sec, burst_bytes)` — the rate-storm knob. Service
     /// outputs stay unrated so the busy-retry gate remains meaningful.
@@ -107,6 +119,8 @@ impl Default for ScenarioConfig {
             byte_at_a_time: 0.0,
             churn: 0.0,
             abort_mid_message: 0.0,
+            hostile: 0.0,
+            backend_policy: BackendPolicy::default(),
             client_rate: None,
             pipe_capacity: None,
             trace_outcomes: true,
@@ -134,6 +148,17 @@ pub struct ScenarioReport {
     pub requests_failed: u64,
     /// Requests the backend fleet served, accumulated across restarts.
     pub backend_requests_served: u64,
+    /// Mutated frames sent (hostile traffic is accounted separately from
+    /// clean requests — a rejected poison frame is a success story).
+    pub hostile_sent: u64,
+    /// Mutated frames the service answered by closing the connection —
+    /// the observed malformed rejections.
+    pub hostile_rejected: u64,
+    /// Runtime counters at teardown (backend ejections/readmits, retry
+    /// totals — what the acceptance assertions read).
+    pub final_metrics: MetricsSnapshot,
+    /// Substrate counters at teardown (`malformed_closes` and friends).
+    pub final_net: StatsSnapshot,
 }
 
 impl ScenarioReport {
@@ -194,6 +219,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         workers: config.workers,
         shards: config.shards,
         placement: config.placement.clone(),
+        backend_policy: config.backend_policy,
         ..Default::default()
     });
     let net = platform.net();
@@ -232,6 +258,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let mut client_rngs: Vec<SimRng> = (0..config.clients)
         .map(|i| root.fork("client").fork_indexed(i as u64))
         .collect();
+    // The mutators fork from their own label so hostile decisions never
+    // perturb the established client decision streams.
+    let mut mutators: Vec<MessageMutator> = (0..config.clients)
+        .map(|i| MessageMutator::new(root.fork("mutator").fork_indexed(i as u64)))
+        .collect();
     let mut clients: Vec<ClientSlot> = (0..config.clients)
         .map(|_| ClientSlot { conn: None })
         .collect();
@@ -239,8 +270,18 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let codec = HttpCodec::new();
     let metrics = platform.metrics();
 
+    // Resolve the retry-budget gate against the policy actually deployed
+    // (None in the config means "gate at the scenario's own budget").
+    let mut checks = config.checks;
+    if checks.retry_budget.is_none() {
+        checks.retry_budget = Some(config.backend_policy.retry_budget as u64);
+    }
+
     let mut requests_ok = 0u64;
     let mut requests_failed = 0u64;
+    let mut hostile_rate = config.hostile;
+    let mut hostile_sent = 0u64;
+    let mut hostile_rejected = 0u64;
 
     let connect_options = ConnectOptions {
         link_bits_per_sec: None,
@@ -315,6 +356,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
                     net.stats().record_ingest_copy(1);
                     trace.push(format!("t{tick} sabotage zero-copy"));
                 }
+                FaultOp::HostileTraffic { permille } => {
+                    hostile_rate = *permille as f64 / 1000.0;
+                    trace.push(format!("t{tick} hostile rate {permille} per-mille"));
+                }
             }
         }
         if faulted {
@@ -331,13 +376,17 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
 
         // --- Client actions, in index order. ---
         let mut pending: Vec<bool> = vec![false; config.clients];
+        let mut pending_hostile: Vec<bool> = vec![false; config.clients];
         for (i, client) in clients.iter_mut().enumerate() {
             let rng = &mut client_rngs[i];
             // Fixed draw order per tick keeps every client's stream
-            // aligned across runs regardless of outcomes.
+            // aligned across runs regardless of outcomes. The hostile
+            // draw comes off the mutator's own stream, every tick, for
+            // the same reason.
             let churn = rng.chance(config.churn);
             let byte_wise = rng.chance(config.byte_at_a_time);
             let abort = rng.chance(config.abort_mid_message);
+            let hostile = mutators[i].roll(hostile_rate);
             if churn {
                 if let Some(conn) = client.conn.take() {
                     conn.close();
@@ -359,6 +408,47 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
             let conn = client.conn.as_ref().expect("connected above");
             let request = format!("GET /c{i}/t{tick} HTTP/1.1\r\nHost: sim\r\n\r\n");
             let bytes = request.as_bytes();
+            if hostile {
+                let mutation = mutators[i].mutate(bytes);
+                trace.push(format!("t{tick} c{i} hostile {}", mutation.kind.name()));
+                hostile_sent += 1;
+                if mutation.kind.expects_malformed_close() {
+                    // Deliver the poison. The server may slam the door
+                    // mid-write (the head flood is *designed* to be cut
+                    // off), so write errors are part of the plan.
+                    match mutation.delivery {
+                        Delivery::Chunked(step) => {
+                            for chunk in mutation.bytes.chunks(step) {
+                                if conn.write_all(chunk).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {
+                            let _ = conn.write_all(&mutation.bytes);
+                        }
+                    }
+                    pending_hostile[i] = true;
+                } else {
+                    // Incomplete frames (truncation, slowloris): deliver
+                    // and hang up; the server owes only a clean teardown.
+                    match mutation.delivery {
+                        Delivery::ByteWiseThenStall => {
+                            for b in &mutation.bytes {
+                                if conn.write_all(&[*b]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {
+                            let _ = conn.write_all(&mutation.bytes);
+                        }
+                    }
+                    conn.close();
+                    client.conn = None;
+                }
+                continue;
+            }
             if abort {
                 let half = &bytes[..bytes.len() / 2];
                 let _ = conn.write_all(half);
@@ -393,6 +483,56 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
             HEALTHY_DEADLINE
         };
         for (i, client) in clients.iter_mut().enumerate() {
+            if pending_hostile[i] {
+                // A malformed-expecting frame: the only acceptable answer
+                // is a closed connection. A parsed response means the
+                // bounded parser waved poison through; a healthy-mode
+                // timeout means the connection (and its buffer) leaked.
+                let conn = client.conn.as_ref().expect("pending implies connected");
+                let deadline = Instant::now() + patience;
+                let mut buf = Vec::with_capacity(256);
+                let mut chunk = [0u8; 8192];
+                let outcome = loop {
+                    if Instant::now() >= deadline {
+                        break "hostile-timeout";
+                    }
+                    match conn.read_timeout(&mut chunk, Duration::from_millis(50)) {
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            match codec.parse(&buf, None) {
+                                Ok(ParseOutcome::Complete { .. }) => break "hostile-answered",
+                                _ => continue,
+                            }
+                        }
+                        Err(NetError::TimedOut) => continue,
+                        Err(_) => break "hostile-rejected",
+                    }
+                };
+                match outcome {
+                    "hostile-rejected" => hostile_rejected += 1,
+                    "hostile-answered" => violations.push(Violation::new(
+                        seed,
+                        tick,
+                        format!("client {i}: service answered a malformed frame with a response"),
+                    )),
+                    _ if !degraded => violations.push(Violation::new(
+                        seed,
+                        tick,
+                        format!(
+                            "client {i}: service neither closed nor rejected a malformed \
+                             frame within {patience:?}"
+                        ),
+                    )),
+                    _ => {}
+                }
+                if let Some(conn) = client.conn.take() {
+                    conn.close();
+                }
+                if config.trace_outcomes {
+                    trace.push(format!("t{tick} c{i} {outcome}"));
+                }
+                continue;
+            }
             if !pending[i] {
                 continue;
             }
@@ -451,7 +591,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
             tick,
             &net.stats().snapshot(),
             &metrics.snapshot(),
-            config.checks,
+            checks,
         ));
         for bucket in &buckets {
             if let Err(what) = bucket.check_conservation() {
@@ -502,9 +642,42 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
             ),
         ));
     }
-    if let Err(what) = net.stats().snapshot().check_conservation() {
+    // Malformed accounting. The substrate records a malformed close
+    // *after* the socket is torn down, so the client-side rejection can
+    // race ahead of the counter — give it a moment to catch up, then
+    // bound it from both sides: every observed rejection must have been
+    // counted, and clean traffic must never be flagged.
+    if hostile_rejected > 0 {
+        wait_until(Duration::from_secs(2), || {
+            net.stats().snapshot().malformed_closes >= hostile_rejected
+        });
+    }
+    let final_net = net.stats().snapshot();
+    if let Err(what) = final_net.check_conservation() {
         violations.push(Violation::new(seed, u64::MAX, what));
     }
+    if final_net.malformed_closes < hostile_rejected {
+        violations.push(Violation::new(
+            seed,
+            u64::MAX,
+            format!(
+                "{} hostile rejections observed but only {} malformed closes recorded",
+                hostile_rejected, final_net.malformed_closes
+            ),
+        ));
+    }
+    if final_net.malformed_closes > hostile_sent {
+        violations.push(Violation::new(
+            seed,
+            u64::MAX,
+            format!(
+                "{} malformed closes recorded for only {} hostile frames sent \
+                 (clean traffic misflagged)",
+                final_net.malformed_closes, hostile_sent
+            ),
+        ));
+    }
+    let final_metrics = metrics.snapshot();
 
     for slot in backends.iter_mut() {
         if let Some(mut handle) = slot.handle.take() {
@@ -516,6 +689,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         trace.push(format!(
             "done ok {requests_ok} failed {requests_failed} served {backend_requests_served}"
         ));
+        if hostile_sent > 0 {
+            trace.push(format!(
+                "hostile {hostile_sent} rejected {hostile_rejected}"
+            ));
+        }
     }
     let trace_hash = trace.hash();
     ScenarioReport {
@@ -527,6 +705,10 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         requests_ok,
         requests_failed,
         backend_requests_served,
+        hostile_sent,
+        hostile_rejected,
+        final_metrics,
+        final_net,
     }
 }
 

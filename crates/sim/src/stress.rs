@@ -157,6 +157,10 @@ pub fn run_stall_park_scenario(seed: u64) -> ScenarioReport {
         requests_ok,
         requests_failed: 1 - requests_ok,
         backend_requests_served: 0,
+        hostile_sent: 0,
+        hostile_rejected: 0,
+        final_metrics: Default::default(),
+        final_net: Default::default(),
     }
 }
 
@@ -279,6 +283,10 @@ pub fn run_poller_handoff_scenario(seed: u64) -> ScenarioReport {
         requests_ok: u64::from(ok),
         requests_failed: u64::from(!ok),
         backend_requests_served: 0,
+        hostile_sent: 0,
+        hostile_rejected: 0,
+        final_metrics: Default::default(),
+        final_net: Default::default(),
     }
 }
 

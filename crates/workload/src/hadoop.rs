@@ -148,6 +148,7 @@ pub fn run_hadoop_mappers(net: &Arc<SimNetwork>, config: &HadoopLoadConfig) -> R
         elapsed: start.elapsed(),
         latency: Default::default(),
         bytes: sent_bytes.load(Ordering::Relaxed),
+        malformed_sent: 0,
     }
 }
 

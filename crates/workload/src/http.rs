@@ -3,7 +3,7 @@
 use crate::metrics::{LatencyRecorder, RunStats};
 use flick_grammar::http::HttpCodec;
 use flick_grammar::{ParseOutcome, WireCodec};
-use flick_net::{NetError, SimNetwork};
+use flick_net::{NetError, SimNetwork, SimRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,6 +22,14 @@ pub struct HttpLoadConfig {
     pub persistent: bool,
     /// Per-request timeout before the request counts as failed.
     pub timeout: Duration,
+    /// Fraction of requests replaced by a malformed frame from the canned
+    /// hostile corpus (oversized, duplicate and garbled `Content-Length`
+    /// declarations). The server closing the poisoned connection is the
+    /// expected outcome; such frames count in
+    /// [`RunStats::malformed_sent`], never in completed/failed.
+    pub hostile_ratio: f64,
+    /// Seed for the deterministic per-client hostile draw.
+    pub hostile_seed: u64,
 }
 
 impl Default for HttpLoadConfig {
@@ -32,9 +40,24 @@ impl Default for HttpLoadConfig {
             duration: Duration::from_millis(500),
             persistent: true,
             timeout: Duration::from_secs(5),
+            hostile_ratio: 0.0,
+            hostile_seed: 0x4057,
         }
     }
 }
+
+/// The canned poison corpus for hostile load runs: one frame per strict
+/// `Content-Length` rejection class, mirroring the grammar-aware mutator
+/// in `flick_sim` (which the workload crate cannot depend on — the sim
+/// depends on us).
+const HOSTILE_FRAMES: [&[u8]; 3] = [
+    // Oversized declaration: 16 GiB against the 16 MiB default body cap.
+    b"POST /hostile HTTP/1.1\r\nHost: bench\r\nContent-Length: 17179869184\r\n\r\n",
+    // Two declarations that disagree.
+    b"GET /hostile HTTP/1.1\r\nHost: bench\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\n",
+    // A sign prefix is not a plain digit string.
+    b"GET /hostile HTTP/1.1\r\nHost: bench\r\nContent-Length: +1\r\n\r\n",
+];
 
 /// Runs a closed-loop HTTP workload: each client keeps exactly one request
 /// outstanding, as ApacheBench does.
@@ -43,6 +66,7 @@ pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats
     let completed = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
     let bytes = Arc::new(AtomicU64::new(0));
+    let malformed = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let deadline = start + config.duration;
     let mut handles = Vec::new();
@@ -53,8 +77,10 @@ pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats
         let completed = Arc::clone(&completed);
         let failed = Arc::clone(&failed);
         let bytes = Arc::clone(&bytes);
+        let malformed = Arc::clone(&malformed);
         handles.push(std::thread::spawn(move || {
             let codec = HttpCodec::new();
+            let mut rng = SimRng::new(config.hostile_seed).fork_indexed(client_id as u64);
             let mut connection = None;
             let mut request_id = 0usize;
             while Instant::now() < deadline {
@@ -71,6 +97,29 @@ pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats
                 }
                 let conn = connection.as_ref().expect("connection established");
                 request_id += 1;
+                if rng.chance(config.hostile_ratio) {
+                    // Poison this turn: send a malformed frame and wait
+                    // for the slammed door. The connection is spent
+                    // either way — a server that answered would be the
+                    // real problem, and the bench gate catches that as
+                    // collapsed goodput.
+                    let frame = HOSTILE_FRAMES[rng.pick(HOSTILE_FRAMES.len())];
+                    malformed.fetch_add(1, Ordering::Relaxed);
+                    if conn.write_all(frame).is_ok() {
+                        let started = Instant::now();
+                        let mut chunk = [0u8; 4096];
+                        while started.elapsed() < config.timeout {
+                            match conn.read_timeout(&mut chunk, config.timeout) {
+                                Ok(_) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    if let Some(conn) = connection.take() {
+                        conn.close();
+                    }
+                    continue;
+                }
                 let request = format!(
                     "GET /c{client_id}/r{request_id} HTTP/1.1\r\nHost: bench\r\n{}\r\n",
                     if config.persistent {
@@ -134,6 +183,7 @@ pub fn run_http_load(net: &Arc<SimNetwork>, config: &HttpLoadConfig) -> RunStats
         elapsed: start.elapsed(),
         latency: recorder.stats(),
         bytes: bytes.load(Ordering::Relaxed),
+        malformed_sent: malformed.load(Ordering::Relaxed),
     }
 }
 
@@ -153,6 +203,7 @@ mod tests {
             duration: Duration::from_millis(200),
             persistent: true,
             timeout: Duration::from_secs(2),
+            ..Default::default()
         };
         let stats = run_http_load(&net, &config);
         assert!(
@@ -161,6 +212,27 @@ mod tests {
         );
         assert!(stats.requests_per_sec() > 0.0);
         assert!(stats.latency.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn hostile_ratio_sends_poison_without_sinking_the_run() {
+        let net = SimNetwork::new(StackModel::Free);
+        let _backend = start_http_backend(&net, 9403, b"ok");
+        let config = HttpLoadConfig {
+            port: 9403,
+            concurrency: 4,
+            duration: Duration::from_millis(200),
+            persistent: true,
+            timeout: Duration::from_secs(2),
+            hostile_ratio: 0.25,
+            ..Default::default()
+        };
+        let stats = run_http_load(&net, &config);
+        assert!(stats.malformed_sent > 0, "poison never drawn: {stats:?}");
+        assert!(
+            stats.completed > 10,
+            "clean traffic must keep flowing: {stats:?}"
+        );
     }
 
     #[test]
@@ -173,6 +245,7 @@ mod tests {
             duration: Duration::from_millis(150),
             persistent: false,
             timeout: Duration::from_secs(2),
+            ..Default::default()
         };
         let stats = run_http_load(&net, &config);
         assert!(stats.completed > 5);

@@ -130,6 +130,7 @@ pub fn run_memcached_load(net: &Arc<SimNetwork>, config: &MemcachedLoadConfig) -
         elapsed: start.elapsed(),
         latency: recorder.stats(),
         bytes: bytes.load(Ordering::Relaxed),
+        malformed_sent: 0,
     }
 }
 

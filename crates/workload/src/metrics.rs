@@ -85,6 +85,10 @@ pub struct RunStats {
     pub latency: LatencyStats,
     /// Payload bytes moved (used for throughput-oriented runs).
     pub bytes: u64,
+    /// Deliberately malformed frames sent (hostile-traffic runs). These
+    /// count in neither `completed` nor `failed`: the server closing the
+    /// poisoned connection is the expected outcome, not a request result.
+    pub malformed_sent: u64,
 }
 
 impl RunStats {
@@ -141,6 +145,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             latency: LatencyStats::default(),
             bytes: 2_000_000,
+            malformed_sent: 0,
         };
         assert!((stats.requests_per_sec() - 500.0).abs() < 1e-9);
         assert!((stats.megabits_per_sec() - 8.0).abs() < 1e-9);

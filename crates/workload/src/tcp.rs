@@ -172,6 +172,7 @@ pub fn run_tcp_http_load(addr: &str, config: &TcpHttpLoadConfig) -> RunStats {
         elapsed: start.elapsed(),
         latency: recorder.stats(),
         bytes: bytes.load(Ordering::Relaxed),
+        malformed_sent: 0,
     }
 }
 

@@ -15,6 +15,13 @@
 //! kernel — every hop of `client → LB → backend` crosses real sockets,
 //! multiplexed by the same per-shard pollers as the simulated substrate.
 //! The run prints a curl-style smoke response before the load results.
+//!
+//! With `--hostile [ratio]` (default `0.1`) that fraction of the fleet's
+//! requests is replaced by malformed frames (oversized, duplicate and
+//! garbled `Content-Length` declarations). The strict bounded parser must
+//! close each poisoned connection without answering, and the run report
+//! shows the goodput the clean requests kept next to the malformed-close
+//! count the platform recorded. Simulated-fabric mode only.
 
 use flick::runtime_crate::Placement;
 use flick::services::http::HttpLoadBalancerFactory;
@@ -30,6 +37,18 @@ fn main() {
         .iter()
         .position(|a| a == "--tcp")
         .map(|i| args.get(i + 1).cloned().unwrap_or("127.0.0.1:0".into()));
+    let hostile_ratio = args
+        .iter()
+        .position(|a| a == "--hostile")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.1)
+        })
+        .unwrap_or(0.0);
+    if hostile_ratio > 0.0 && tcp_addr.is_some() {
+        eprintln!("--hostile runs on the simulated fabric; ignoring it with --tcp");
+    }
 
     let platform = Platform::new(PlatformConfig {
         workers: 4,
@@ -77,6 +96,12 @@ fn main() {
             let spec = ServiceSpec::new("http-lb", 8080, HttpLoadBalancerFactory::new())
                 .with_backends(backend_ports.clone());
             let _service = platform.deploy(spec).expect("deploy");
+            if hostile_ratio > 0.0 {
+                println!(
+                    "hostile mode: {:.0}% of requests are malformed frames",
+                    hostile_ratio * 100.0
+                );
+            }
             let stats = run_http_load(
                 &net,
                 &HttpLoadConfig {
@@ -85,6 +110,8 @@ fn main() {
                     duration: Duration::from_secs(1),
                     persistent: true,
                     timeout: Duration::from_secs(5),
+                    hostile_ratio,
+                    ..Default::default()
                 },
             );
             let served: Vec<u64> = backends.iter().map(|b| b.requests_served()).collect();
@@ -98,6 +125,13 @@ fn main() {
         stats.requests_per_sec(),
         stats.latency.mean.as_secs_f64() * 1000.0
     );
+    if stats.malformed_sent > 0 {
+        let snap = net.stats().snapshot();
+        println!(
+            "hostile: {} malformed frames sent, {} malformed closes recorded",
+            stats.malformed_sent, snap.malformed_closes
+        );
+    }
     println!("per-backend request counts (hash distribution): {served:?}");
     for status in platform.shard_status() {
         println!(

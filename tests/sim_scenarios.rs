@@ -8,11 +8,12 @@
 //! Run single-threaded for stable wall-clock behaviour:
 //! `cargo test --release --test sim_scenarios -- --test-threads=1`
 
-use flick_runtime::Placement;
+use flick_runtime::{BackendPolicy, Placement, RoutePolicy};
 use flick_sim::{
     run_poller_handoff_scenario, run_scenario, run_stall_park_scenario, FaultOp, ScenarioConfig,
     ScheduledFault, TickChecks,
 };
+use std::time::Duration;
 
 /// Steady traffic against the static web server: the baseline scenario
 /// must be conserving, zero-copy, busy-retry-free and leak-free.
@@ -27,6 +28,7 @@ fn steady_web_traffic_is_clean_and_zero_copy() {
         checks: TickChecks {
             expect_zero_copy: true,
             expect_no_busy_retries: true,
+            retry_budget: None,
         },
         ..Default::default()
     });
@@ -288,6 +290,7 @@ fn injected_violation_is_caught_and_reports_its_seed() {
         checks: TickChecks {
             expect_zero_copy: true,
             expect_no_busy_retries: true,
+            retry_budget: None,
         },
         ..Default::default()
     });
@@ -353,6 +356,187 @@ fn backend_vanishing_and_rejoining_least_loaded() {
     });
     report.assert_clean();
     assert!(report.requests_ok > 0, "{report:?}");
+}
+
+/// The headline hostile scenario (ISSUE 8 acceptance): a quarter of all
+/// frames are grammar-aware mutations switched on via
+/// [`FaultOp::HostileTraffic`], one backend crashes and comes back
+/// mid-storm, and the ejection clock gets a quiet window to expire so a
+/// readmit probe must fire. The full tick battery (conservation,
+/// busy-retry, always-on retry budget) runs every tick; on top the test
+/// pins the malformed accounting and the eject/readmit cycle.
+#[test]
+fn hostile_traffic_with_backend_crash_cycle() {
+    let policy = BackendPolicy {
+        eject_for: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let report = run_scenario(&ScenarioConfig {
+        name: "hostile-crash-cycle",
+        seed: 0x4057_11E0_000F,
+        ticks: 12,
+        clients: 6,
+        backends: 2,
+        faults: vec![
+            ScheduledFault::at(1, FaultOp::HostileTraffic { permille: 250 }),
+            ScheduledFault::at(4, FaultOp::CrashBackend(0)),
+            ScheduledFault::at(8, FaultOp::RestartBackend(0)),
+            // Let the shortened ejection sit-out expire so tick 9's
+            // checkouts may probe (and readmit) the revived backend. The
+            // window is for the clock, not for quietness: hostile
+            // connections torn down at the end of tick 8 are still
+            // draining into it, so the run allowance stays loose.
+            ScheduledFault::at(
+                9,
+                FaultOp::QuietCheck {
+                    ms: 100,
+                    max_extra_task_runs: 64,
+                },
+            ),
+        ],
+        backend_policy: policy,
+        // Partial outage routes by connection id — outcomes off.
+        trace_outcomes: false,
+        ..Default::default()
+    });
+    report.assert_clean();
+    let total = report.requests_ok + report.requests_failed + report.hostile_sent;
+    assert!(
+        report.hostile_sent * 10 >= total,
+        "storm must mutate at least 10% of traffic: {} of {total}",
+        report.hostile_sent
+    );
+    assert!(
+        report.hostile_rejected > 0,
+        "no malformed rejection observed: {report:?}"
+    );
+    assert!(
+        report.final_net.malformed_closes >= report.hostile_rejected,
+        "rejections must be counted as malformed closes: {report:?}"
+    );
+    assert!(
+        report.final_net.malformed_closes <= report.hostile_sent,
+        "clean traffic was misflagged as malformed: {report:?}"
+    );
+    assert_eq!(report.final_metrics.output_busy_retries, 0, "{report:?}");
+    assert!(
+        report.final_metrics.backend_ejections >= 1,
+        "the crashed backend must get ejected: {report:?}"
+    );
+    assert!(
+        report.final_metrics.backend_readmits >= 1,
+        "the revived backend must get readmitted: {report:?}"
+    );
+    report
+        .final_metrics
+        .check_retry_budget(u64::from(BackendPolicy::default().retry_budget))
+        .expect("retry budget exceeded");
+    assert!(report.requests_ok > 0, "{report:?}");
+}
+
+/// Hostile replay contract: with every backend healthy, a mutation storm
+/// has deterministic outcome classes, so two runs of the same seed must
+/// produce identical traces, identical hostile accounting, and matching
+/// substrate-side malformed-close counters — under least-loaded routing
+/// for good measure.
+#[test]
+fn hostile_storm_replays_byte_identically() {
+    let config = ScenarioConfig {
+        name: "hostile-replay",
+        seed: 0x4057_11E1_0010,
+        ticks: 8,
+        clients: 4,
+        backends: 2,
+        hostile: 0.3,
+        churn: 0.2,
+        byte_at_a_time: 0.2,
+        backend_policy: BackendPolicy {
+            route: RoutePolicy::LeastLoaded,
+            ..Default::default()
+        },
+        trace_outcomes: true,
+        ..Default::default()
+    };
+    let first = run_scenario(&config);
+    let second = run_scenario(&config);
+    first.assert_clean();
+    second.assert_clean();
+    assert!(first.hostile_sent > 0, "{first:?}");
+    assert!(first.hostile_rejected > 0, "{first:?}");
+    assert_eq!(
+        first.trace_hash,
+        second.trace_hash,
+        "same seed must replay the storm identically:\n--- first\n{:#?}\n--- second\n{:#?}",
+        first.trace.events(),
+        second.trace.events()
+    );
+    assert_eq!(first.hostile_sent, second.hostile_sent);
+    assert_eq!(first.hostile_rejected, second.hostile_rejected);
+    assert!(
+        first.final_net.malformed_closes >= first.hostile_rejected
+            && first.final_net.malformed_closes <= first.hostile_sent,
+        "malformed closes out of bounds: {first:?}"
+    );
+}
+
+/// Randomized mutator sweep for CI: fresh seeds drive the hostile storm
+/// (plus churn and a full crash/restart cycle) and every failing seed is
+/// printed for pinning. Ignored by default; CI runs it with
+/// `-- --ignored`. `SIM_SWEEP_SEEDS` / `SIM_SWEEP_BASE` as for the
+/// clean-traffic sweep.
+#[test]
+#[ignore = "mutator sweep — run explicitly or from CI"]
+fn randomized_mutator_sweep() {
+    let count: u64 = std::env::var("SIM_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let base: u64 = std::env::var("SIM_SWEEP_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_secs()
+                .wrapping_mul(0xA57)
+        });
+    let mut failing = Vec::new();
+    for i in 0..count {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let report = run_scenario(&ScenarioConfig {
+            name: "mutator-sweep",
+            seed,
+            ticks: 8,
+            clients: 4,
+            backends: 2,
+            hostile: 0.3,
+            churn: 0.3,
+            faults: vec![
+                ScheduledFault::at(3, FaultOp::CrashBackend(0)),
+                ScheduledFault::at(3, FaultOp::CrashBackend(1)),
+                ScheduledFault::at(5, FaultOp::RestartBackend(0)),
+                ScheduledFault::at(5, FaultOp::RestartBackend(1)),
+            ],
+            ..Default::default()
+        });
+        if report.violations.is_empty() {
+            println!(
+                "mutator seed {seed:#018x}: clean ({} ok, {} hostile, {} rejected)",
+                report.requests_ok, report.hostile_sent, report.hostile_rejected
+            );
+        } else {
+            println!("mutator seed {seed:#018x}: FAILED");
+            for violation in &report.violations {
+                println!("  {violation}");
+            }
+            failing.push(seed);
+        }
+    }
+    assert!(
+        failing.is_empty(),
+        "failing seeds (pin one to replay): {failing:#x?}"
+    );
 }
 
 /// Randomized seed sweep for CI: run the churny chaos schedule over a

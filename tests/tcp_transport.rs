@@ -344,6 +344,118 @@ fn stalled_tcp_peer_parks_the_output_task() {
     }
 }
 
+/// Malformed frames over real kernel sockets (the fuzz corpus's greatest
+/// hits, replayed byte-for-byte through the OS transport): an oversized
+/// `Content-Length` declaration, a spliced frame fusing two heads, and a
+/// truncated head followed by FIN. Each poison must cost exactly its own
+/// connection — the server closes the offender without answering and
+/// records the malformed close — and a clean sibling request on a fresh
+/// connection must succeed immediately after every one.
+#[test]
+fn malformed_frames_cost_only_their_own_connection() {
+    let platform = tcp_platform(2, 1);
+    let service = deploy_web(&platform, b"still alive");
+    let addr = format!("127.0.0.1:{}", service.port());
+    let stack = platform.tcp_stack();
+    let stats = stack.stats();
+
+    let read_until_close = |stream: &mut TcpStream| -> Vec<u8> {
+        let mut all = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => all.extend_from_slice(&buf[..n]),
+                Err(_) => break, // an RST after the server's close is a close too
+            }
+        }
+        all
+    };
+    let wait_for_malformed = |at_least: u64| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.snapshot().malformed_closes < at_least {
+            assert!(
+                Instant::now() < deadline,
+                "malformed close never recorded: {} < {at_least}",
+                stats.snapshot().malformed_closes
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+    let sibling_still_served = || {
+        let response = fetch_http(&addr, "/ok", Duration::from_secs(5)).expect("sibling");
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("still alive"), "{text}");
+    };
+
+    // 1. Oversized declaration: 16 GiB against the 16 MiB body cap. The
+    //    limit check fires on the declared size, long before any body
+    //    byte arrives, so nothing gets buffered.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"POST /huge HTTP/1.1\r\nHost: t\r\nContent-Length: 17179869184\r\n\r\n")
+        .unwrap();
+    let leaked = read_until_close(&mut stream);
+    assert!(
+        leaked.is_empty(),
+        "server answered an oversized declaration: {:?}",
+        String::from_utf8_lossy(&leaked)
+    );
+    wait_for_malformed(1);
+    sibling_still_served();
+
+    // 2. Spliced frame: a partial head with a second complete request
+    //    fused onto it ("GEGET /…" is no method). The splice is only
+    //    detectable once the head terminator lands — incremental
+    //    reassembly must carry the poison across the two writes.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(b"GE").unwrap();
+    stream
+        .write_all(b"GET /spliced HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let leaked = read_until_close(&mut stream);
+    assert!(
+        leaked.is_empty(),
+        "server answered a spliced frame: {:?}",
+        String::from_utf8_lossy(&leaked)
+    );
+    wait_for_malformed(2);
+    sibling_still_served();
+
+    // 3. Truncated head, then FIN. No verdict is possible — the bytes so
+    //    far are a legal prefix — so this is not a malformed close; the
+    //    server just owes a leak-free teardown of the half-parsed graph.
+    let before_graphs = service.live_graphs();
+    let stream = {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /cut HTTP/1.1\r\nHo").unwrap();
+        s
+    };
+    drop(stream); // FIN mid-head.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.live_graphs() > before_graphs && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        service.live_graphs() <= before_graphs,
+        "truncated-head graph leaked"
+    );
+    sibling_still_served();
+
+    assert_eq!(
+        stats.snapshot().malformed_closes,
+        2,
+        "exactly the two poisoned connections may be flagged"
+    );
+}
+
 /// Real-socket port of the poller `stress_no_lost_wakeups` test: writer
 /// threads race closers over kernel TCP while one consumer drains via
 /// readiness events. A lost kernel edge shows up as a timeout.
