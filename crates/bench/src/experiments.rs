@@ -1184,6 +1184,225 @@ pub fn run_sharing_experiment(
     }
 }
 
+/// The FLICK program measured by the execution-mode dispatch ablation: a
+/// weighted router whose per-message work — a field read, a hash, a
+/// 16-step accumulation loop, a modulo route and a send — is typical of
+/// compiled service logic and large enough for the engines' dispatch
+/// costs to dominate over the call harness.
+const DISPATCH_BENCH_SOURCE: &str = "\
+type cmd: record
+  key : string
+
+proc P: (cmd/cmd client, [cmd/cmd] backends)
+  client => target_backend(backends)
+
+fun target_backend: ([-/cmd] backends, req: cmd) -> ()
+  let target = hash(req.key) mod len(backends)
+  req => backends[target]
+
+fun dispatch: ([-/cmd] outs, req: cmd, weights: [integer]) -> ()
+  let h = hash(req.key)
+  let acc = 0
+  for w in weights:
+    acc := ((acc * 31) + w + h) mod 65521
+  req => outs[acc mod len(outs)]
+";
+
+/// Parameters of the interp-vs-VM dispatch ablation.
+#[derive(Debug, Clone)]
+pub struct ExecModeDispatchExperiment {
+    /// Messages dispatched per engine per pass.
+    pub messages: usize,
+    /// Entries in the per-message accumulation loop.
+    pub weights: usize,
+    /// Output channels routed over.
+    pub channels: usize,
+}
+
+impl Default for ExecModeDispatchExperiment {
+    fn default() -> Self {
+        ExecModeDispatchExperiment {
+            messages: 20_000,
+            weights: 48,
+            channels: 8,
+        }
+    }
+}
+
+/// Result of [`run_exec_mode_dispatch_experiment`]: per-message dispatch
+/// throughput of the tree-walking interpreter and of the bytecode VM over
+/// the same lowered program.
+#[derive(Debug, Clone)]
+pub struct ExecModeDispatchResult {
+    /// Messages per second through the interpreter.
+    pub interp_msgs_per_sec: f64,
+    /// Messages per second through the VM.
+    pub vm_msgs_per_sec: f64,
+}
+
+/// Measures per-message dispatch cost of the two execution engines on the
+/// same lowered FLICK program (`DISPATCH_BENCH_SOURCE`'s `dispatch`
+/// function). Both engines see identical arguments per message and their
+/// routed sends are checked against each other, so the comparison cannot
+/// silently drift semantically. The unit is msg/s: the within-run
+/// interp/VM ratio is the guarded quantity (`bench_guard` gates it above
+/// 1.0); absolute rates are recorded for context only.
+pub fn run_exec_mode_dispatch_experiment(
+    params: &ExecModeDispatchExperiment,
+) -> ExecModeDispatchResult {
+    use flick_compiler::interp::{CollectSink, Interpreter, RtVal};
+    use flick_compiler::vm::Vm;
+    use flick_runtime::Value;
+
+    let service = flick_compiler::compile_source(
+        DISPATCH_BENCH_SOURCE,
+        "P",
+        &flick_compiler::CompileOptions::default(),
+    )
+    .expect("bench source compiles");
+    let program = Arc::clone(service.program());
+    let compiled = Arc::clone(service.compiled());
+    let index = program
+        .functions
+        .iter()
+        .position(|f| f.name == "dispatch")
+        .expect("dispatch function present");
+
+    let weights: Vec<Value> = (0..params.weights as i64).map(Value::Int).collect();
+    let keys: Vec<String> = (0..64).map(|i| format!("key-{i:04}")).collect();
+    let args_for = |message: usize| {
+        let mut msg = flick_grammar::Message::new("cmd");
+        msg.set(
+            "key",
+            flick_grammar::MsgValue::Str(keys[message % keys.len()].clone()),
+        );
+        vec![
+            RtVal::ChannelArray((0..params.channels).collect()),
+            RtVal::Val(Value::Msg(msg)),
+            RtVal::Val(Value::List(weights.clone())),
+        ]
+    };
+
+    // Interpreter pass.
+    let interp = Interpreter::new(&program);
+    let mut interp_sink = CollectSink::default();
+    let interp_start = Instant::now();
+    for message in 0..params.messages {
+        interp
+            .call_function(index, args_for(message), &mut interp_sink)
+            .expect("interp dispatch");
+    }
+    let interp_elapsed = interp_start.elapsed();
+
+    // VM pass over the same message stream.
+    let mut cache = compiled.field_offsets.clone();
+    let mut vm = Vm::new(&compiled, &mut cache);
+    let mut vm_sink = CollectSink::default();
+    let vm_start = Instant::now();
+    for message in 0..params.messages {
+        vm.call_function(index, args_for(message), &mut vm_sink)
+            .expect("vm dispatch");
+    }
+    let vm_elapsed = vm_start.elapsed();
+
+    // Semantic tripwire: both engines must have routed every message to
+    // the same channel sequence.
+    assert_eq!(
+        interp_sink.sent.len(),
+        vm_sink.sent.len(),
+        "engines dispatched different send counts"
+    );
+    for (a, b) in interp_sink.sent.iter().zip(&vm_sink.sent) {
+        assert_eq!(a.0, b.0, "engines routed a message differently");
+    }
+
+    ExecModeDispatchResult {
+        interp_msgs_per_sec: params.messages as f64 / interp_elapsed.as_secs_f64().max(1e-9),
+        vm_msgs_per_sec: params.messages as f64 / vm_elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Parameters of the end-to-end compiled-LB point: the FLICK-compiled
+/// HTTP load balancer (not the hand-written factory) deployed over real
+/// kernel sockets in VM mode, measured with the closed-loop TCP driver.
+#[derive(Debug, Clone)]
+pub struct FlickVmLbExperiment {
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Worker threads for the middlebox.
+    pub workers: usize,
+    /// Number of back-end web servers.
+    pub backends: usize,
+}
+
+impl Default for FlickVmLbExperiment {
+    fn default() -> Self {
+        FlickVmLbExperiment {
+            concurrency: 16,
+            duration: Duration::from_millis(400),
+            workers: 4,
+            backends: 4,
+        }
+    }
+}
+
+/// The outcome of the compiled-LB-in-VM-mode experiment.
+#[derive(Debug, Clone)]
+pub struct FlickVmLbResult {
+    /// Stats of the all-TCP run through the compiled balancer.
+    pub stats: RunStats,
+    /// Requests each TCP back-end served (hash distribution sanity).
+    pub backend_requests: Vec<u64>,
+}
+
+/// Runs the end-to-end compiled-LB point: `client → FLICK-compiled LB →
+/// backend`, every hop over a real kernel socket, with the balancer's
+/// routing logic executing on the bytecode VM (the default
+/// [`flick_runtime::ExecMode`]). The same shape as
+/// [`run_tcp_lb_experiment`]'s TCP leg, but through the whole compiler
+/// pipeline instead of the hand-written factory.
+pub fn run_flick_vm_lb_experiment(params: &FlickVmLbExperiment) -> FlickVmLbResult {
+    let platform = Platform::new(PlatformConfig {
+        workers: params.workers,
+        stack: StackModel::Kernel,
+        ..Default::default()
+    });
+    let body = &[b'x'; 137][..];
+    let service = flick_compiler::compile_source(
+        flick_services::http::HTTP_LB_FLICK_SOURCE,
+        "HttpBalancer",
+        &flick_compiler::CompileOptions::default(),
+    )
+    .expect("bundled FLICK balancer compiles");
+    let tcp_backends: Vec<_> = (0..params.backends)
+        .map(|_| start_tcp_http_backend(body))
+        .collect();
+    let lb = platform
+        .deploy_tcp(
+            ServiceSpec::new("flick-vm-lb", 0, service)
+                .with_tcp_backends(tcp_backends.iter().map(|b| b.addr().to_string()).collect())
+                .with_exec_mode(flick_runtime::ExecMode::Vm),
+            "127.0.0.1:0",
+        )
+        .expect("deploy compiled balancer over TCP");
+    let stats = run_tcp_http_load(
+        &format!("127.0.0.1:{}", lb.port()),
+        &TcpHttpLoadConfig {
+            concurrency: params.concurrency,
+            duration: params.duration,
+            persistent: true,
+            timeout: Duration::from_secs(5),
+        },
+    );
+    let backend_requests = tcp_backends.iter().map(|b| b.requests_served()).collect();
+    FlickVmLbResult {
+        stats,
+        backend_requests,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1359,6 +1578,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn exec_mode_dispatch_experiment_smoke() {
+        let result = run_exec_mode_dispatch_experiment(&ExecModeDispatchExperiment {
+            messages: 500,
+            weights: 8,
+            channels: 4,
+        });
+        assert!(result.interp_msgs_per_sec > 0.0, "{result:?}");
+        assert!(result.vm_msgs_per_sec > 0.0, "{result:?}");
+    }
+
+    #[test]
+    fn flick_vm_lb_experiment_smoke() {
+        let result = run_flick_vm_lb_experiment(&FlickVmLbExperiment {
+            concurrency: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            backends: 2,
+        });
+        assert!(result.stats.completed > 0, "{:?}", result.stats);
+        assert!(
+            result.backend_requests.iter().sum::<u64>() > 0,
+            "compiled LB never reached a TCP back-end: {:?}",
+            result.backend_requests
+        );
     }
 
     #[test]

@@ -1,7 +1,68 @@
-//! Compiler error type.
+//! Compiler error type and located runtime diagnostics.
+//!
+//! Besides the compile-time [`CompileError`], this module carries the
+//! helpers both executors use to attach an execution location to runtime
+//! logic errors: the interpreter names the failing IR node (`fn` + `stmt`
+//! path), the bytecode VM names the program counter (`fn` + `pc`). The
+//! annotation format is shared so diagnostics from the two execution
+//! modes are directly comparable (the differential proptest strips the
+//! location with [`split_located`] and asserts the base messages agree).
 
 use flick_lang::LangError;
+use flick_runtime::RuntimeError;
 use std::fmt;
+
+/// The separator introducing an execution location in a logic-error
+/// message: `"division by zero [at fn \`f\`, stmt 2]"`.
+const LOCATION_MARKER: &str = " [at ";
+
+/// Attaches a location to a [`RuntimeError::Logic`] message unless one is
+/// already present — the innermost annotation wins, so nested evaluation
+/// keeps the deepest (most precise) location. Non-logic errors pass
+/// through untouched.
+pub fn locate(err: RuntimeError, location: impl FnOnce() -> String) -> RuntimeError {
+    match err {
+        RuntimeError::Logic(msg) if !msg.contains(LOCATION_MARKER) => {
+            RuntimeError::Logic(format!("{msg}{LOCATION_MARKER}{}]", location()))
+        }
+        other => other,
+    }
+}
+
+/// Prefixes the enclosing function name onto an existing location that
+/// does not name one yet (`"… [at stmt 2]"` → `"… [at fn \`f\`, stmt 2]"`),
+/// or attaches a bare `fn` location if the error carries none. Errors
+/// already naming a function (raised inside a callee) pass through, so
+/// the innermost frame wins.
+pub fn locate_frame(err: RuntimeError, function: &str) -> RuntimeError {
+    match err {
+        RuntimeError::Logic(msg) => match msg.rfind(LOCATION_MARKER) {
+            Some(at) if msg[at..].contains("fn `") => RuntimeError::Logic(msg),
+            Some(at) => {
+                let split = at + LOCATION_MARKER.len();
+                RuntimeError::Logic(format!(
+                    "{}fn `{function}`, {}",
+                    &msg[..split],
+                    &msg[split..]
+                ))
+            }
+            None => RuntimeError::Logic(format!("{msg}{LOCATION_MARKER}fn `{function}`]")),
+        },
+        other => other,
+    }
+}
+
+/// Splits a logic-error message into its base diagnostic and the optional
+/// execution location (without the surrounding `[at …]`).
+pub fn split_located(message: &str) -> (&str, Option<&str>) {
+    match message.rfind(LOCATION_MARKER) {
+        Some(at) if message.ends_with(']') => {
+            let location = &message[at + LOCATION_MARKER.len()..message.len() - 1];
+            (&message[..at], Some(location))
+        }
+        _ => (message, None),
+    }
+}
 
 /// Errors produced while compiling a FLICK program to a task-graph factory.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,5 +119,37 @@ mod tests {
         assert!(CompileError::Signature("x".into())
             .to_string()
             .contains("signature"));
+    }
+
+    #[test]
+    fn locate_annotates_once_and_splits_back() {
+        let err = locate(RuntimeError::Logic("division by zero".into()), || {
+            "stmt 2".into()
+        });
+        let again = locate(err, || "stmt 9".into());
+        let RuntimeError::Logic(msg) = &again else {
+            panic!("logic error expected");
+        };
+        assert_eq!(msg, "division by zero [at stmt 2]");
+        assert_eq!(split_located(msg), ("division by zero", Some("stmt 2")));
+        assert_eq!(split_located("plain"), ("plain", None));
+    }
+
+    #[test]
+    fn locate_frame_names_the_innermost_function() {
+        let err = locate(RuntimeError::Logic("modulo by zero".into()), || {
+            "stmt 1".into()
+        });
+        let inner = locate_frame(err, "inner");
+        let outer = locate_frame(inner, "outer");
+        let RuntimeError::Logic(msg) = &outer else {
+            panic!("logic error expected");
+        };
+        assert_eq!(msg, "modulo by zero [at fn `inner`, stmt 1]");
+        let bare = locate_frame(RuntimeError::Logic("boom".into()), "f");
+        assert_eq!(bare, RuntimeError::Logic("boom [at fn `f`]".into()));
+        // Non-logic errors pass through untouched.
+        let other = locate_frame(RuntimeError::ChannelClosed, "f");
+        assert_eq!(other, RuntimeError::ChannelClosed);
     }
 }

@@ -16,18 +16,20 @@
 //! [`CompileOptions::codecs`] registry (pre-populated with the framework's
 //! reusable HTTP, Memcached and Hadoop grammars).
 
+use crate::bytecode::{self, CompiledProgram};
 use crate::error::CompileError;
 use crate::grammar_gen;
 use crate::ir::{lower, ProgramIr};
 use crate::logic::{ChannelBindings, CompiledGlobals, FoldtLogic, InterpreterLogic, ParamBinding};
 use crate::projection;
+use crate::vm::VmLogic;
 use flick_grammar::{
     hadoop::HadoopKvCodec, http::HttpCodec, memcached::MemcachedCodec, Projection, WireCodec,
 };
 use flick_lang::TypedProgram;
 use flick_net::Endpoint;
 use flick_runtime::platform::BuiltGraph;
-use flick_runtime::tasks::{InputTask, OutputTask};
+use flick_runtime::tasks::{ExecMode, InputTask, OutputTask};
 use flick_runtime::{
     ComputeTask, GraphBuilder, GraphFactory, RuntimeError, ServiceEnv, TaskId, Watch,
 };
@@ -94,6 +96,9 @@ struct ParamPlan {
 /// A compiled FLICK service, deployable on the platform.
 pub struct CompiledService {
     program: Arc<ProgramIr>,
+    /// The bytecode lowering of `program`, executed when the deployment
+    /// environment selects `ExecMode::Vm` (the default).
+    compiled: Arc<CompiledProgram>,
     globals: Arc<CompiledGlobals>,
     plans: Vec<ParamPlan>,
     client_connections: usize,
@@ -117,6 +122,7 @@ impl CompiledService {
         let program = Arc::new(lower(typed, proc_name)?);
         let globals = CompiledGlobals::for_process(&program.process);
         let mut plans = Vec::new();
+        let mut layouts: Vec<(String, Vec<String>)> = Vec::new();
         for param in &program.process.params {
             let record = typed
                 .record(&param.record)
@@ -128,13 +134,30 @@ impl CompiledService {
             } else {
                 return Err(CompileError::MissingCodec(param.record.clone()));
             };
+            let proj = projection::derive(typed, &param.record);
+            if !layouts.iter().any(|(name, _)| *name == param.record) {
+                // The grammar's field layout for this record, restricted
+                // to the fields the projection materialises — the parse
+                // order messages of this unit carry at run time. Seeds the
+                // VM's field-offset sites (verified per message, so codecs
+                // with a different emission order stay correct).
+                let fields: Vec<String> = record
+                    .fields
+                    .iter()
+                    .filter_map(|f| f.name.clone())
+                    .filter(|name| proj.requires(name))
+                    .collect();
+                layouts.push((param.record.clone(), fields));
+            }
             plans.push(ParamPlan {
                 codec,
-                projection: projection::derive(typed, &param.record),
+                projection: proj,
             });
         }
+        let compiled = Arc::new(bytecode::compile_with_layouts(&program, &layouts));
         Ok(CompiledService {
             program,
+            compiled,
             globals,
             plans,
             client_connections: options.client_connections,
@@ -149,6 +172,12 @@ impl CompiledService {
     /// The lowered program (for inspection and tests).
     pub fn program(&self) -> &Arc<ProgramIr> {
         &self.program
+    }
+
+    /// The bytecode lowering of the program (for inspection, benches and
+    /// tests).
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
     }
 
     /// The per-service globals.
@@ -319,8 +348,10 @@ impl GraphFactory for CompiledService {
             bindings.params.push(binding);
         }
 
-        // Build the compute logic: either the specialised foldt merge or the
-        // general interpreter.
+        // Build the compute logic: the specialised foldt merge or the
+        // general per-rule dispatch, each executing on the engine the
+        // environment selects (`ExecMode::Vm` bytecode by default,
+        // `ExecMode::Interp` tree-walking as the ablation baseline).
         let logic: Box<dyn flick_runtime::ComputeLogic> = if let Some(foldt) = &process.foldt {
             let total_inputs = bindings.params[foldt.source_param].inputs.len();
             let sink_output = bindings.params[foldt.sink_param]
@@ -330,17 +361,32 @@ impl GraphFactory for CompiledService {
                 .ok_or_else(|| {
                     RuntimeError::Config("foldt output channel is not writable".into())
                 })?;
-            Box::new(FoldtLogic::new(
-                Arc::clone(&self.program),
-                total_inputs,
-                sink_output,
-            ))
+            match env.exec_mode {
+                ExecMode::Vm => Box::new(FoldtLogic::with_vm(
+                    Arc::clone(&self.program),
+                    Arc::clone(&self.compiled),
+                    total_inputs,
+                    sink_output,
+                )),
+                ExecMode::Interp => Box::new(FoldtLogic::new(
+                    Arc::clone(&self.program),
+                    total_inputs,
+                    sink_output,
+                )),
+            }
         } else {
-            Box::new(InterpreterLogic::new(
-                Arc::clone(&self.program),
-                bindings,
-                Arc::clone(&self.globals),
-            ))
+            match env.exec_mode {
+                ExecMode::Vm => Box::new(VmLogic::new(
+                    Arc::clone(&self.compiled),
+                    bindings,
+                    Arc::clone(&self.globals),
+                )),
+                ExecMode::Interp => Box::new(InterpreterLogic::new(
+                    Arc::clone(&self.program),
+                    bindings,
+                    Arc::clone(&self.globals),
+                )),
+            }
         };
         builder.install(
             compute_node,
@@ -444,6 +490,85 @@ proc Echo: (pkt/pkt client)
         client.write_all(&wire).unwrap();
         let mut buf = [0u8; 16];
         client
+            .read_exact_timeout(&mut buf[..7], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&buf[..7], &wire);
+        drop(deployed);
+    }
+
+    #[test]
+    fn exec_mode_interp_still_serves_end_to_end() {
+        // The ablation switch: the same program deployed with
+        // `ExecMode::Interp` runs on the tree-walking interpreter and
+        // behaves identically on the wire.
+        let src = r#"
+type pkt: record
+  tag : integer {signed=false, size=1}
+  keylen : integer {signed=false, size=2}
+  key : string {size=keylen}
+
+proc Echo: (pkt/pkt client)
+  client => client
+"#;
+        let service = crate::compile_source(src, "Echo", &CompileOptions::default()).unwrap();
+        let platform = Platform::new(PlatformConfig::default());
+        let deployed = platform
+            .deploy(ServiceSpec::new("echo-interp", 7150, service).with_exec_mode(ExecMode::Interp))
+            .unwrap();
+        let net = platform.net();
+        let client = net.connect(7150).unwrap();
+        let wire = [3u8, 0, 2, b'h', b'i'];
+        client.write_all(&wire).unwrap();
+        let mut buf = [0u8; 8];
+        client
+            .read_exact_timeout(&mut buf[..5], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(&buf[..5], &wire);
+        drop(deployed);
+    }
+
+    #[test]
+    fn vm_mode_service_still_closes_malformed_frames() {
+        // §14 behaviour is a property of the parsing layer, not the
+        // execution engine: a VM-mode service (the default) fed a hostile
+        // length declaration must slam the connection and draw
+        // `malformed_closes`, and a clean sibling connection must still be
+        // served. The 4-byte length field lets the declaration exceed the
+        // 16 MiB per-field parse limit.
+        let src = r#"
+type pkt: record
+  tag : integer {signed=false, size=1}
+  keylen : integer {signed=false, size=4}
+  key : string {size=keylen}
+
+proc Echo: (pkt/pkt client)
+  client => client
+"#;
+        let service = crate::compile_source(src, "Echo", &CompileOptions::default()).unwrap();
+        let platform = Platform::new(PlatformConfig::default());
+        let deployed = platform
+            .deploy(ServiceSpec::new("echo-vm-hostile", 7151, service))
+            .unwrap();
+        let net = platform.net();
+        let hostile = net.connect(7151).unwrap();
+        // tag=1, keylen=0xFFFFFFFF: a 4 GiB key against the 16 MiB cap.
+        hostile.write_all(&[1u8, 0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while net.stats().snapshot().malformed_closes < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "malformed close never recorded in VM mode: {:?}",
+                net.stats().snapshot()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The service survives the poison: a well-formed frame on a fresh
+        // connection still echoes.
+        let clean = net.connect(7151).unwrap();
+        let wire = [2u8, 0, 0, 0, 2, b'h', b'i'];
+        clean.write_all(&wire).unwrap();
+        let mut buf = [0u8; 8];
+        clean
             .read_exact_timeout(&mut buf[..7], Duration::from_secs(5))
             .unwrap();
         assert_eq!(&buf[..7], &wire);

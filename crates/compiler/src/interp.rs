@@ -6,6 +6,7 @@
 //! [`EmitSink`] callback so the interpreter itself has no dependency on the
 //! task machinery.
 
+use crate::error::{locate, locate_frame};
 use crate::ir::{Builtin, FunctionIr, IrCall, IrExpr, IrSink, IrStmt, ProgramIr};
 use flick_grammar::{Message, MsgValue};
 use flick_lang::ast::{BinOp, UnOp};
@@ -36,7 +37,7 @@ impl RtVal {
         }
     }
 
-    fn as_value(&self) -> Result<&Value, RuntimeError> {
+    pub(crate) fn as_value(&self) -> Result<&Value, RuntimeError> {
         match self {
             RtVal::Val(v) => Ok(v),
             other => Err(RuntimeError::Logic(format!(
@@ -101,12 +102,16 @@ impl<'a> Interpreter<'a> {
         for (i, arg) in args.into_iter().enumerate() {
             frame[i] = arg;
         }
-        let result = self.exec_block(&function.body, &mut frame, sink)?;
+        let result = self
+            .exec_block(&function.body, &mut frame, sink)
+            .map_err(|e| locate_frame(e, &function.name))?;
         Ok(result.unwrap_or(RtVal::Val(Value::Unit)))
     }
 
     /// Executes a statement block, returning the value of its final
-    /// expression statement (if any).
+    /// expression statement (if any). Errors are annotated with the index
+    /// of the failing statement (the innermost block wins), so interpreter
+    /// diagnostics name the IR node like the VM's name its pc.
     pub fn exec_block(
         &self,
         stmts: &[IrStmt],
@@ -114,8 +119,10 @@ impl<'a> Interpreter<'a> {
         sink: &mut dyn EmitSink,
     ) -> Result<Option<RtVal>, RuntimeError> {
         let mut last = None;
-        for stmt in stmts {
-            last = self.exec_stmt(stmt, frame, sink)?;
+        for (i, stmt) in stmts.iter().enumerate() {
+            last = self
+                .exec_stmt(stmt, frame, sink)
+                .map_err(|e| locate(e, || format!("stmt {i}")))?;
         }
         Ok(last)
     }
@@ -303,7 +310,7 @@ impl<'a> Interpreter<'a> {
                 for a in args {
                     values.push(self.eval(a, frame, sink)?);
                 }
-                self.eval_builtin(*builtin, values)?
+                eval_builtin(*builtin, values)?
             }
             IrExpr::MakeRecord(unit, fields, values) => {
                 let mut msg = Message::with_capacity(unit.clone(), fields.len());
@@ -356,68 +363,77 @@ impl<'a> Interpreter<'a> {
         frame: &mut Vec<RtVal>,
         sink: &mut dyn EmitSink,
     ) -> Result<Vec<Value>, RuntimeError> {
-        match self.eval(list, frame, sink)? {
-            RtVal::Val(Value::List(items)) => Ok(items),
-            RtVal::Val(Value::Str(s)) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
-            other => Err(RuntimeError::Logic(format!(
-                "expected a list, found {other:?}"
-            ))),
-        }
+        list_items(self.eval(list, frame, sink)?)
     }
+}
 
-    fn eval_builtin(&self, builtin: Builtin, args: Vec<RtVal>) -> Result<RtVal, RuntimeError> {
-        Ok(match builtin {
-            Builtin::Hash => {
-                let v = args
-                    .first()
-                    .ok_or_else(|| RuntimeError::Logic("`hash` needs an argument".into()))?;
-                RtVal::Val(Value::Int(hash_value(v.as_value()?)))
-            }
-            Builtin::Len => {
-                let v = args
-                    .first()
-                    .ok_or_else(|| RuntimeError::Logic("`len` needs an argument".into()))?;
-                let len = match v {
-                    RtVal::ChannelArray(indices) => indices.len() as i64,
-                    RtVal::Dict(dict) => dict.len() as i64,
-                    RtVal::Val(Value::List(items)) => items.len() as i64,
-                    RtVal::Val(Value::Str(s)) => s.len() as i64,
-                    RtVal::Val(Value::Bytes(b)) => b.len() as i64,
-                    other => {
-                        return Err(RuntimeError::Logic(format!(
-                            "`len` of unsupported value {other:?}"
-                        )))
-                    }
-                };
-                RtVal::Val(Value::Int(len))
-            }
-            Builtin::EmptyDict => RtVal::Dict(SharedDict::new()),
-            Builtin::AllReady => RtVal::Val(Value::Bool(true)),
-            Builtin::Str => {
-                let v = args
-                    .first()
-                    .ok_or_else(|| RuntimeError::Logic("`str` needs an argument".into()))?;
-                RtVal::Val(Value::Str(match v.as_value()? {
-                    Value::Str(s) => s.clone(),
-                    Value::Int(i) => i.to_string(),
-                    Value::Bool(b) => b.to_string(),
-                    other => other.to_string(),
-                }))
-            }
-            Builtin::Int => {
-                let v = args
-                    .first()
-                    .ok_or_else(|| RuntimeError::Logic("`int` needs an argument".into()))?;
-                let value = match v.as_value()? {
-                    Value::Int(i) => *i,
-                    Value::Str(s) => s.trim().parse().unwrap_or(0),
-                    Value::Bool(b) => *b as i64,
-                    _ => 0,
-                };
-                RtVal::Val(Value::Int(value))
-            }
-        })
+/// Coerces a value into the item list that `fold`/`map`/`filter` iterate
+/// (strings explode into single-character strings). Shared by the
+/// interpreter and the bytecode VM.
+pub(crate) fn list_items(value: RtVal) -> Result<Vec<Value>, RuntimeError> {
+    match value {
+        RtVal::Val(Value::List(items)) => Ok(items),
+        RtVal::Val(Value::Str(s)) => Ok(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+        other => Err(RuntimeError::Logic(format!(
+            "expected a list, found {other:?}"
+        ))),
     }
+}
+
+/// Evaluates a builtin over already-evaluated arguments. Shared by the
+/// interpreter and the bytecode VM.
+pub(crate) fn eval_builtin(builtin: Builtin, args: Vec<RtVal>) -> Result<RtVal, RuntimeError> {
+    Ok(match builtin {
+        Builtin::Hash => {
+            let v = args
+                .first()
+                .ok_or_else(|| RuntimeError::Logic("`hash` needs an argument".into()))?;
+            RtVal::Val(Value::Int(hash_value(v.as_value()?)))
+        }
+        Builtin::Len => {
+            let v = args
+                .first()
+                .ok_or_else(|| RuntimeError::Logic("`len` needs an argument".into()))?;
+            let len = match v {
+                RtVal::ChannelArray(indices) => indices.len() as i64,
+                RtVal::Dict(dict) => dict.len() as i64,
+                RtVal::Val(Value::List(items)) => items.len() as i64,
+                RtVal::Val(Value::Str(s)) => s.len() as i64,
+                RtVal::Val(Value::Bytes(b)) => b.len() as i64,
+                other => {
+                    return Err(RuntimeError::Logic(format!(
+                        "`len` of unsupported value {other:?}"
+                    )))
+                }
+            };
+            RtVal::Val(Value::Int(len))
+        }
+        Builtin::EmptyDict => RtVal::Dict(SharedDict::new()),
+        Builtin::AllReady => RtVal::Val(Value::Bool(true)),
+        Builtin::Str => {
+            let v = args
+                .first()
+                .ok_or_else(|| RuntimeError::Logic("`str` needs an argument".into()))?;
+            RtVal::Val(Value::Str(match v.as_value()? {
+                Value::Str(s) => s.clone(),
+                Value::Int(i) => i.to_string(),
+                Value::Bool(b) => b.to_string(),
+                other => other.to_string(),
+            }))
+        }
+        Builtin::Int => {
+            let v = args
+                .first()
+                .ok_or_else(|| RuntimeError::Logic("`int` needs an argument".into()))?;
+            let value = match v.as_value()? {
+                Value::Int(i) => *i,
+                Value::Str(s) => s.trim().parse().unwrap_or(0),
+                Value::Bool(b) => *b as i64,
+                _ => 0,
+            };
+            RtVal::Val(Value::Int(value))
+        }
+    })
 }
 
 /// Converts a runtime value used as a dictionary key to its canonical string
@@ -483,7 +499,10 @@ pub fn hash_value(value: &Value) -> i64 {
     (hash >> 1) as i64
 }
 
-fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, RuntimeError> {
+/// Applies a binary operator with FLICK's coercion rules (`+` concatenates
+/// strings, arithmetic coerces through [`int_of`]). Shared verbatim by the
+/// interpreter and the bytecode VM so the two execution modes cannot drift.
+pub(crate) fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, RuntimeError> {
     use BinOp::*;
     Ok(match op {
         Add => match (l, r) {
@@ -517,7 +536,7 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, RuntimeError> {
     })
 }
 
-fn int_of(v: &Value) -> i64 {
+pub(crate) fn int_of(v: &Value) -> i64 {
     match v {
         Value::Int(i) => *i,
         Value::Bool(b) => *b as i64,
@@ -526,7 +545,7 @@ fn int_of(v: &Value) -> i64 {
     }
 }
 
-fn values_equal(l: &Value, r: &Value) -> bool {
+pub(crate) fn values_equal(l: &Value, r: &Value) -> bool {
     match (l, r) {
         (Value::None, Value::None) => true,
         (Value::None, _) | (_, Value::None) => false,
@@ -536,7 +555,7 @@ fn values_equal(l: &Value, r: &Value) -> bool {
     }
 }
 
-fn compare(l: &Value, r: &Value) -> std::cmp::Ordering {
+pub(crate) fn compare(l: &Value, r: &Value) -> std::cmp::Ordering {
     match (l, r) {
         (Value::Str(a), Value::Str(b)) => a.cmp(b),
         _ => int_of(l).cmp(&int_of(r)),

@@ -13,8 +13,14 @@
 //! * [`ir`] lowers function and process bodies to a slot-resolved expression
 //!   IR (all variable references are resolved to frame indices at compile
 //!   time; no name lookups happen on the data path);
-//! * [`interp`] evaluates that IR inside compute tasks from a pre-sized
-//!   frame of values;
+//! * [`bytecode`] lowers the IR once more into compact chunks of
+//!   pre-decoded ops (constants pool, absolute jumps, grammar-seeded
+//!   field-offset sites);
+//! * [`vm`] executes those chunks with a direct-threaded dispatch loop —
+//!   the default execution mode (`ExecMode::Vm`);
+//! * [`interp`] evaluates the tree-shaped IR inside compute tasks from a
+//!   pre-sized frame of values — kept as the `ExecMode::Interp` ablation
+//!   baseline and as the semantic reference the VM is tested against;
 //! * [`logic`] wraps the interpreter in the runtime's `ComputeLogic` trait,
 //!   including the specialised `foldt` merge logic;
 //! * [`factory`] assembles everything into a `GraphFactory` the platform can
@@ -42,6 +48,7 @@
 //! assert_eq!(service.process_name(), "Memcached");
 //! ```
 
+pub mod bytecode;
 pub mod error;
 pub mod factory;
 pub mod grammar_gen;
@@ -49,6 +56,7 @@ pub mod interp;
 pub mod ir;
 pub mod logic;
 pub mod projection;
+pub mod vm;
 
 pub use error::CompileError;
 pub use factory::{CompileOptions, CompiledService};

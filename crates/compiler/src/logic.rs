@@ -78,8 +78,8 @@ impl CompiledGlobals {
     }
 }
 
-struct OutputsSink<'a, 'c> {
-    outputs: &'a mut Outputs<'c>,
+pub(crate) struct OutputsSink<'a, 'c> {
+    pub(crate) outputs: &'a mut Outputs<'c>,
 }
 
 impl EmitSink for OutputsSink<'_, '_> {
@@ -195,6 +195,10 @@ impl ComputeLogic for InterpreterLogic {
 /// The specialised merge logic for `foldt` (Listing 3 / Figure 3c).
 pub struct FoldtLogic {
     program: Arc<ProgramIr>,
+    /// When set, the combine body runs on the bytecode VM
+    /// (`ExecMode::Vm`) with this compiled program and its field-site
+    /// offset cache; otherwise the tree-walking interpreter runs it.
+    vm: Option<(Arc<crate::bytecode::CompiledProgram>, Vec<u32>)>,
     /// Output index of the reducer channel.
     sink_output: usize,
     /// Number of inputs that have finished.
@@ -207,10 +211,12 @@ pub struct FoldtLogic {
 }
 
 impl FoldtLogic {
-    /// Creates the merge logic.
+    /// Creates the merge logic with the interpreter executing the combine
+    /// body.
     pub fn new(program: Arc<ProgramIr>, total_inputs: usize, sink_output: usize) -> Self {
         FoldtLogic {
             program,
+            vm: None,
             sink_output,
             finished_inputs: 0,
             total_inputs,
@@ -219,7 +225,51 @@ impl FoldtLogic {
         }
     }
 
-    fn combine(&self, existing: Value, incoming: Value, key: &str) -> Result<Value, RuntimeError> {
+    /// Creates the merge logic with the bytecode VM executing the combine
+    /// body.
+    pub fn with_vm(
+        program: Arc<ProgramIr>,
+        compiled: Arc<crate::bytecode::CompiledProgram>,
+        total_inputs: usize,
+        sink_output: usize,
+    ) -> Self {
+        let cache = compiled.field_offsets.clone();
+        let mut logic = Self::new(program, total_inputs, sink_output);
+        logic.vm = Some((compiled, cache));
+        logic
+    }
+
+    fn combine(
+        &mut self,
+        existing: Value,
+        incoming: Value,
+        key: &str,
+    ) -> Result<Value, RuntimeError> {
+        if let Some((compiled, cache)) = &mut self.vm {
+            let foldt = compiled
+                .foldt
+                .as_ref()
+                .ok_or_else(|| RuntimeError::Logic("process has no foldt".into()))?;
+            let mut frame = vec![RtVal::Val(Value::Unit); foldt.chunk.frame_size];
+            let (s1, s2, sk) = foldt.binder_slots;
+            frame[s1] = RtVal::Val(existing);
+            frame[s2] = RtVal::Val(incoming);
+            frame[sk] = RtVal::Val(Value::Str(key.to_string()));
+            let mut sink = crate::interp::CollectSink::default();
+            let mut stack = Vec::new();
+            let mut vm = crate::vm::Vm::new(compiled, cache);
+            let result = vm.run_chunk(&foldt.chunk, &mut frame, &mut stack, &mut sink)?;
+            // In the chunk encoding a body whose tail is not an expression
+            // yields `Unit`; a well-typed combine body always produces the
+            // (non-unit) element, so `Unit` here is the interpreter's
+            // "no element" defect.
+            return match result {
+                RtVal::Val(Value::Unit) => {
+                    Err(RuntimeError::Logic("foldt body produced no element".into()))
+                }
+                other => other.into_value(),
+            };
+        }
         let foldt = self
             .program
             .process

@@ -148,6 +148,16 @@ impl Message {
         self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
+    /// Returns the field at wire-order position `idx` with its name.
+    ///
+    /// Messages of one grammar unit carry their fields in a fixed parse
+    /// order, so consumers that resolve a name to an offset once (the
+    /// bytecode VM's field-site caches) can re-read by index and merely
+    /// verify the name still matches.
+    pub fn field_at(&self, idx: usize) -> Option<(&str, &MsgValue)> {
+        self.fields.get(idx).map(|(n, v)| (n.as_str(), v))
+    }
+
     /// Returns a numeric field as `u64`.
     pub fn uint_field(&self, name: &str) -> Option<u64> {
         self.get(name).and_then(MsgValue::as_u64)

@@ -58,6 +58,6 @@ pub use shard::{
 };
 pub use task::{SchedulingPolicy, Task, TaskContext, TaskId, TaskStatus};
 pub use tasks::{
-    ComputeLogic, ComputeTask, InputTask, OutputMode, OutputTask, Outputs, SourceTask,
+    ComputeLogic, ComputeTask, ExecMode, InputTask, OutputMode, OutputTask, Outputs, SourceTask,
 };
 pub use value::{SharedDict, Value};

@@ -20,7 +20,7 @@ use crate::pool::{BackendPolicy, BackendPool, BackendTarget};
 use crate::scheduler::{Scheduler, StealGroup};
 use crate::shard::{Placement, Shard, ShardCommand, ShardSet, ShardStatus};
 use crate::task::{SchedulingPolicy, TaskId};
-use crate::tasks::OutputMode;
+use crate::tasks::{ExecMode, OutputMode};
 use crate::value::SharedDict;
 use flick_net::{Endpoint, Interest, Listener, SimNetwork, StackModel, TcpStack};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +74,9 @@ pub struct PlatformConfig {
     /// How output tasks behave when a write blocks (wakeup-driven parking
     /// by default; the busy-retry loop remains available for ablations).
     pub output_mode: OutputMode,
+    /// How compiled service logic executes (bytecode VM by default; the
+    /// tree-walking interpreter remains available for ablations).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for PlatformConfig {
@@ -90,6 +93,7 @@ impl Default for PlatformConfig {
             backend_pooling: false,
             backend_policy: BackendPolicy::default(),
             output_mode: OutputMode::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -143,6 +147,9 @@ pub struct ServiceEnv {
     /// Blocked-write behaviour factories should install on the output
     /// tasks they build ([`crate::tasks::OutputTask::set_mode`]).
     pub output_mode: OutputMode,
+    /// Execution mode compiled-service factories should build their
+    /// compute logic for (bytecode VM or tree-walking interpreter).
+    pub exec_mode: ExecMode,
 }
 
 /// One readiness watch a graph asks its dispatcher to maintain: when
@@ -227,6 +234,9 @@ pub struct ServiceSpec {
     pub tcp_backends: Vec<String>,
     /// The graph factory.
     pub factory: Arc<dyn GraphFactory>,
+    /// Per-service execution-mode override; `None` inherits
+    /// [`PlatformConfig::exec_mode`].
+    pub exec_mode: Option<ExecMode>,
 }
 
 impl std::fmt::Debug for ServiceSpec {
@@ -249,6 +259,7 @@ impl ServiceSpec {
             backends: Vec::new(),
             tcp_backends: Vec::new(),
             factory,
+            exec_mode: None,
         }
     }
 
@@ -263,6 +274,14 @@ impl ServiceSpec {
     /// kernel-socket stack — the all-TCP `client → LB → backend` path.
     pub fn with_tcp_backends(mut self, addrs: Vec<String>) -> Self {
         self.tcp_backends = addrs;
+        self
+    }
+
+    /// Overrides the execution mode for this service only (e.g. pinning
+    /// one deployment to the interpreter while the platform default is the
+    /// bytecode VM).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = Some(mode);
         self
     }
 }
@@ -496,6 +515,7 @@ impl Platform {
             allocator: Arc::clone(&self.allocator),
             channel_capacity: self.config.channel_capacity,
             output_mode,
+            exec_mode: spec.exec_mode.unwrap_or(self.config.exec_mode),
         };
         let id = self.next_service.fetch_add(1, Ordering::Relaxed);
         // Single listeners rotate over the shards so multiple services do

@@ -410,6 +410,37 @@ impl OutputMode {
     }
 }
 
+/// How compiled service logic executes inside compute tasks.
+///
+/// The runtime only carries the switch; the compiler crate interprets it
+/// when it builds the compute logic for a graph. Both modes run the same
+/// lowered program — the tree-walking interpreter stays available as the
+/// ablation baseline for the bytecode VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Walk the IR tree per message — the original execution path, kept
+    /// as the ablation baseline (`flick_bench`'s vm-dispatch ablation).
+    Interp,
+    /// Run the program lowered to direct-threaded bytecode. The default.
+    #[default]
+    Vm,
+}
+
+impl ExecMode {
+    /// Short label used in benchmark output ("interp", "vm").
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Vm => "vm",
+        }
+    }
+
+    /// Both modes, interp first (the ablation's baseline ordering).
+    pub fn all() -> [ExecMode; 2] {
+        [ExecMode::Interp, ExecMode::Vm]
+    }
+}
+
 /// A task that serialises values and writes them to one connection.
 ///
 /// A blocked write never spins: under the default [`OutputMode::Wakeup`]

@@ -31,7 +31,7 @@ use flick_net::ratelimit::TokenBucket;
 use flick_net::stats::StatsSnapshot;
 use flick_net::{Endpoint, NetError, SimNetwork, SimRng};
 use flick_runtime::metrics::MetricsSnapshot;
-use flick_runtime::{BackendPolicy, Placement, Platform, PlatformConfig, ServiceSpec};
+use flick_runtime::{BackendPolicy, ExecMode, Placement, Platform, PlatformConfig, ServiceSpec};
 use flick_services::{HttpLoadBalancerFactory, StaticWebServerFactory};
 use flick_workload::backends::{start_http_backend, BackendHandle};
 use std::sync::Arc;
@@ -101,6 +101,13 @@ pub struct ScenarioConfig {
     pub trace_outcomes: bool,
     /// Tick-level gates layered over the conservation laws.
     pub checks: TickChecks,
+    /// When set, the service under test is the FLICK-compiled HTTP load
+    /// balancer (`flick_services::http::HTTP_LB_FLICK_SOURCE`) deployed
+    /// under the given execution mode, instead of the hand-written
+    /// factory (which bypasses the compiler's execution engines
+    /// entirely). Requires `backends > 0`. `None` — the default — keeps
+    /// the built-in factories, so pinned traces replay unchanged.
+    pub flick_lb: Option<ExecMode>,
 }
 
 impl Default for ScenarioConfig {
@@ -125,6 +132,7 @@ impl Default for ScenarioConfig {
             pipe_capacity: None,
             trace_outcomes: true,
             checks: TickChecks::default(),
+            flick_lb: None,
         }
     }
 }
@@ -236,7 +244,29 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
         })
         .collect();
 
-    let mut service = if config.backends > 0 {
+    let mut service = if let Some(mode) = config.flick_lb {
+        // Compile the bundled FLICK balancer so the scenario exercises
+        // the full compiler pipeline (grammar projection, IR, bytecode)
+        // under the chosen execution engine, not a hand-written factory.
+        assert!(
+            config.backends > 0,
+            "the FLICK-compiled load balancer needs at least one backend"
+        );
+        let compiled = flick_compiler::compile_source(
+            flick_services::http::HTTP_LB_FLICK_SOURCE,
+            "HttpBalancer",
+            &flick_compiler::CompileOptions::default(),
+        )
+        .expect("bundled FLICK balancer compiles");
+        let ports: Vec<u16> = backends.iter().map(|b| b.port).collect();
+        platform
+            .deploy(
+                ServiceSpec::new(config.name, SERVICE_PORT, compiled)
+                    .with_backends(ports)
+                    .with_exec_mode(mode),
+            )
+            .expect("service deploys")
+    } else if config.backends > 0 {
         let ports: Vec<u16> = backends.iter().map(|b| b.port).collect();
         platform
             .deploy(

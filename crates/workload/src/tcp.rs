@@ -208,21 +208,49 @@ pub struct IdleActiveStats {
 /// measured window.
 const WARMUP_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Size of the connect pool used to establish the idle mass. Serial
+/// connects pay one loopback round-trip each — tens of seconds at c10k
+/// scale — while a handful of workers overlap the handshakes without
+/// stampeding the server's accept queue.
+const IDLE_CONNECT_WORKERS: usize = 8;
+
+/// Opens up to `count` idle connections from `count.min(8)` worker
+/// threads. Each worker stops at its first connect failure (fd
+/// exhaustion, locally or remotely, hits every worker the same way), so
+/// the pool as a whole degrades to "measure with what we got" exactly
+/// like the old serial loop did.
+fn connect_idle_pool(addr: &str, count: usize, timeout: Duration) -> Vec<TcpStream> {
+    let workers = IDLE_CONNECT_WORKERS.min(count.max(1));
+    let mut handles = Vec::with_capacity(workers);
+    for worker in 0..workers {
+        // Spread the remainder over the first `count % workers` workers.
+        let quota = count / workers + usize::from(worker < count % workers);
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut opened = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                match connect(&addr, timeout) {
+                    Ok(stream) => opened.push(stream),
+                    Err(_) => break,
+                }
+            }
+            opened
+        }));
+    }
+    let mut idle = Vec::with_capacity(count);
+    for handle in handles {
+        idle.extend(handle.join().unwrap_or_default());
+    }
+    idle
+}
+
 /// Runs the c10k shape: `idle_connections` silent connections pinned open
 /// while the active closed loop measures throughput/latency. The server
 /// pays whatever its event machinery charges for the idle mass — a
 /// scanning dispatcher degrades with the idle count, a wakeup-based one
 /// must not.
 pub fn run_tcp_idle_active_load(addr: &str, config: &TcpIdleActiveConfig) -> IdleActiveStats {
-    let mut idle = Vec::with_capacity(config.idle_connections);
-    for _ in 0..config.idle_connections {
-        match connect(addr, config.active.timeout) {
-            Ok(stream) => idle.push(stream),
-            // Out of fds (locally or remotely): measure with what we got
-            // rather than dying — the caller sees the shortfall.
-            Err(_) => break,
-        }
-    }
+    let idle = connect_idle_pool(addr, config.idle_connections, config.active.timeout);
     let idle_connected = idle.len();
     // The client-side connects above complete as soon as the kernel
     // handshake does — the server may still be draining a huge accept
@@ -326,6 +354,25 @@ mod tests {
             "idle connections must outlive the run"
         );
         assert!(stats.active.completed > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn idle_pool_connects_in_parallel_with_remainder_quotas() {
+        // More connections than workers, not divisible by the pool size:
+        // the per-worker quotas must still sum to the request.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_addr().unwrap().port());
+        let accepter = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().take(19).flatten() {
+                held.push(stream);
+            }
+            held
+        });
+        let idle = connect_idle_pool(&addr, 19, Duration::from_secs(5));
+        assert_eq!(idle.len(), 19);
+        drop(idle);
+        let _ = accepter.join();
     }
 
     #[test]

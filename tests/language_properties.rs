@@ -249,3 +249,292 @@ proptest! {
         prop_assert_eq!(typed.record("rec").unwrap().fields.len(), n);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential execution: tree-walking interpreter ≡ bytecode VM
+// ---------------------------------------------------------------------------
+//
+// The proptest shim has no recursive combinator strategies (`prop_oneof`,
+// `prop_recursive`), so differential programs are derived from
+// proptest-supplied byte vectors through a small hand-rolled generator: the
+// byte stream steers a grammar of type-correct integer expressions, and the
+// generated function is executed under both engines with identical
+// arguments. Results, emitted sends and errors (base message plus the
+// located function name) must agree exactly.
+
+use flick::compiler::bytecode;
+use flick::compiler::error::split_located;
+use flick::compiler::interp::{CollectSink, Interpreter, RtVal};
+use flick::compiler::vm::Vm;
+use flick::grammar::{Message, MsgValue};
+use flick::runtime::Value;
+
+/// One engine run: final value (or rendered error) plus every
+/// `(channel, value)` send the function performed.
+type EngineOutcome = (Result<Value, String>, Vec<(usize, Value)>);
+
+/// Runs function `fn_name` of `src` under both the tree-walking
+/// interpreter and the bytecode VM with identical arguments.
+fn run_differential(src: &str, fn_name: &str, args: Vec<RtVal>) -> (EngineOutcome, EngineOutcome) {
+    let typed = flick::lang::compile_to_ast(src)
+        .unwrap_or_else(|e| panic!("generated program must type-check: {e}\nsource:\n{src}"));
+    let program = flick::compiler::ir::lower(&typed, "P")
+        .unwrap_or_else(|e| panic!("generated program must lower: {e}\nsource:\n{src}"));
+    let compiled = bytecode::compile(&program);
+    let index = program
+        .functions
+        .iter()
+        .position(|f| f.name == fn_name)
+        .unwrap_or_else(|| panic!("function `{fn_name}` not lowered\nsource:\n{src}"));
+
+    let mut interp_sink = CollectSink::default();
+    let interp_result = Interpreter::new(&program)
+        .call_function(index, args.clone(), &mut interp_sink)
+        .and_then(RtVal::into_value);
+
+    let mut cache = compiled.field_offsets.clone();
+    let mut vm_sink = CollectSink::default();
+    let vm_result = Vm::new(&compiled, &mut cache)
+        .call_function(index, args, &mut vm_sink)
+        .and_then(RtVal::into_value);
+
+    (
+        (interp_result.map_err(|e| e.to_string()), interp_sink.sent),
+        (vm_result.map_err(|e| e.to_string()), vm_sink.sent),
+    )
+}
+
+/// Extracts the `fn `name`` prefix of a diagnostic location (the part
+/// before the engine-specific `stmt N` / `pc N` cursor).
+fn located_function(location: &str) -> &str {
+    location.split(',').next().unwrap_or(location).trim()
+}
+
+/// Asserts both engines produced the same outcome: identical sends, and
+/// either identical values or errors with the same base message whose
+/// locations name the same innermost function.
+fn assert_engines_agree(src: &str, fn_name: &str, args: Vec<RtVal>) {
+    let ((interp, interp_sent), (vm, vm_sent)) = run_differential(src, fn_name, args);
+    assert_eq!(interp_sent, vm_sent, "sends diverge\nsource:\n{src}");
+    match (&interp, &vm) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "results diverge\nsource:\n{src}"),
+        (Err(a), Err(b)) => {
+            let (a_base, a_loc) = split_located(a);
+            let (b_base, b_loc) = split_located(b);
+            assert_eq!(a_base, b_base, "error bases diverge\nsource:\n{src}");
+            let a_loc = a_loc
+                .unwrap_or_else(|| panic!("interp error lacks a location: {a}\nsource:\n{src}"));
+            let b_loc =
+                b_loc.unwrap_or_else(|| panic!("vm error lacks a location: {b}\nsource:\n{src}"));
+            assert!(
+                a_loc.contains("fn `") && b_loc.contains("fn `"),
+                "locations do not name a function: interp `{a_loc}` vm `{b_loc}`\nsource:\n{src}"
+            );
+            assert_eq!(
+                located_function(a_loc),
+                located_function(b_loc),
+                "engines blame different functions\nsource:\n{src}"
+            );
+        }
+        _ => panic!("engines disagree on success: interp={interp:?} vm={vm:?}\nsource:\n{src}"),
+    }
+}
+
+/// A cursor over a proptest-supplied byte vector; exhausted streams repeat
+/// a fixed byte so generation always terminates deterministically.
+struct ByteGen<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl ByteGen<'_> {
+    fn next(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(7);
+        self.pos += 1;
+        b
+    }
+}
+
+/// Renders a type-correct integer expression over `vars`, at most `depth`
+/// operator levels deep. Depth is capped at 2 by callers so products of
+/// mod-bounded variables stay far below `i64::MAX` (debug builds panic on
+/// overflow, and both engines use plain arithmetic).
+fn gen_int_expr(g: &mut ByteGen, vars: &[&str], depth: usize) -> String {
+    let choice = g.next();
+    if depth == 0 || choice < 96 {
+        return if choice % 2 == 0 {
+            format!("{}", i64::from(g.next()) - 128)
+        } else {
+            vars[g.next() as usize % vars.len()].to_string()
+        };
+    }
+    let op = match choice % 6 {
+        0 => "+",
+        1 => "-",
+        2 => "*",
+        3 => "/",
+        4 => "mod",
+        _ => {
+            return format!("(-{})", gen_int_expr(g, vars, depth - 1));
+        }
+    };
+    format!(
+        "({} {} {})",
+        gen_int_expr(g, vars, depth - 1),
+        op,
+        gen_int_expr(g, vars, depth - 1)
+    )
+}
+
+/// Renders a boolean comparison between two shallow integer expressions.
+fn gen_condition(g: &mut ByteGen, vars: &[&str]) -> String {
+    let op = ["=", "<>", "<", ">", "<=", ">="][g.next() as usize % 6];
+    format!(
+        "{} {} {}",
+        gen_int_expr(g, vars, 1),
+        op,
+        gen_int_expr(g, vars, 1)
+    )
+}
+
+/// Builds a type-correct FLICK program whose `main_f` exercises
+/// let-bindings, local reassignment, statement- and tail-position
+/// `if`/`else`, a `for` accumulation loop, a nested helper call, and the
+/// `/` and `mod` error arms — all shaped by the byte stream. Every
+/// accumulator is re-bounded with `mod` so debug-build arithmetic cannot
+/// overflow regardless of the generated shape.
+fn gen_differential_program(bytes: &[u8]) -> String {
+    let g = &mut ByteGen { bytes, pos: 0 };
+    let helper_tail = gen_int_expr(g, &["a", "b"], 2);
+    let seed = gen_int_expr(g, &["x", "y"], 2);
+    let step = gen_int_expr(g, &["x", "y", "v", "acc"], 2);
+    let cond = gen_condition(g, &["x", "y", "acc"]);
+    let then_arg = gen_int_expr(g, &["x", "y", "acc"], 2);
+    let else_arg = gen_int_expr(g, &["x", "y", "acc"], 2);
+    let tail_cond = gen_condition(g, &["x", "acc"]);
+    let tail_then = gen_int_expr(g, &["x", "y", "acc"], 2);
+    let tail_else = gen_int_expr(g, &["x", "y", "acc"], 2);
+    format!(
+        "type cmd: record\n  key : string\n\n\
+         proc P: (cmd/cmd c)\n  c => c\n\n\
+         fun helper: (a0: integer, b0: integer) -> (integer)\n  \
+         let a = a0 mod 9973\n  \
+         let b = b0 mod 97\n  \
+         if b = 0:\n    \
+         a - 1\n  \
+         else:\n    \
+         (a / b) + {helper_tail}\n\n\
+         fun main_f: (x: integer, y: integer, xs: [integer]) -> (integer)\n  \
+         let acc = ({seed}) mod 9973\n  \
+         for v in xs:\n    \
+         acc := ((acc + {step}) mod 9973)\n  \
+         if {cond}:\n    \
+         acc := ((acc + helper({then_arg}, y)) mod 9973)\n  \
+         else:\n    \
+         acc := ((acc - helper(x, {else_arg})) mod 9973)\n  \
+         if {tail_cond}:\n    \
+         (acc * 3) + {tail_then}\n  \
+         else:\n    \
+         (acc * 5) - {tail_else}\n"
+    )
+}
+
+/// The routing program used by the send-differential properties: the same
+/// hash-and-forward shape as the paper's Memcached proxy, plus a raw-index
+/// variant whose out-of-range arm exercises the channel error path.
+const ROUTING_DIFFERENTIAL_SRC: &str = "\
+type cmd: record
+  key : string
+
+proc P: (cmd/cmd client, [cmd/cmd] backends)
+  client => target_backend(backends)
+
+fun target_backend: ([-/cmd] backends, req: cmd) -> ()
+  let target = hash(req.key) mod len(backends)
+  req => backends[target]
+
+fun direct: ([-/cmd] backends, req: cmd, k: integer) -> ()
+  req => backends[k]
+";
+
+/// Builds a `cmd` message with the given key, as the wire parser would.
+fn cmd_msg(key: &str) -> Value {
+    let mut msg = Message::new("cmd");
+    msg.set("key", MsgValue::Str(key.to_string()));
+    Value::Msg(msg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential: generated integer programs (arithmetic, control flow,
+    /// nested calls, division/modulo error arms) produce identical results
+    /// — or identical errors blaming the same function — under the
+    /// interpreter and the VM.
+    #[test]
+    fn interp_and_vm_agree_on_generated_programs(
+        bytes in proptest::collection::vec(any::<u8>(), 16..96),
+        x in -1000i64..1000,
+        y in -1000i64..1000,
+        xs in proptest::collection::vec(-100i64..100, 0..12),
+    ) {
+        let src = gen_differential_program(&bytes);
+        let args = vec![
+            RtVal::Val(Value::Int(x)),
+            RtVal::Val(Value::Int(y)),
+            RtVal::Val(Value::List(xs.iter().copied().map(Value::Int).collect())),
+        ];
+        assert_engines_agree(&src, "main_f", args);
+    }
+
+    /// Differential: hash-based routing forwards every key to the same
+    /// backend channel under both engines, for any key set and pool size.
+    #[test]
+    fn interp_and_vm_route_keys_identically(
+        keys in proptest::collection::vec("[a-z0-9]{0,12}", 1..8),
+        nbackends in 1usize..6,
+    ) {
+        for key in &keys {
+            let args = vec![
+                RtVal::ChannelArray((0..nbackends).collect()),
+                RtVal::Val(cmd_msg(key)),
+            ];
+            assert_engines_agree(ROUTING_DIFFERENTIAL_SRC, "target_backend", args);
+        }
+    }
+
+    /// Differential: raw channel indexing agrees between engines both when
+    /// the index is valid (same send) and when it is out of range (same
+    /// `channel index N out of range` error, same blamed function).
+    #[test]
+    fn interp_and_vm_agree_on_channel_index_errors(
+        nbackends in 1usize..4,
+        k in 0i64..8,
+    ) {
+        let args = vec![
+            RtVal::ChannelArray((0..nbackends).collect()),
+            RtVal::Val(cmd_msg("k")),
+            RtVal::Val(Value::Int(k)),
+        ];
+        assert_engines_agree(ROUTING_DIFFERENTIAL_SRC, "direct", args);
+    }
+
+    /// Differential: deeply nested if/else chains (long forward-jump
+    /// ladders in bytecode) pick the same arm at every depth.
+    #[test]
+    fn interp_and_vm_agree_on_nested_branches(depth in 1usize..9, x in -5i64..15) {
+        let mut src = String::from("type cmd: record\n  key : string\n\nproc P: (cmd/cmd c)\n  c => c\n\n");
+        src.push_str(&nested_if_source(depth));
+        assert_engines_agree(&src, "f", vec![RtVal::Val(Value::Int(x))]);
+    }
+
+    /// Differential: division by zero raises the same base error in both
+    /// engines, and both diagnostics blame `fn f` (interp with a statement
+    /// index, VM with a pc).
+    #[test]
+    fn interp_and_vm_report_comparable_division_errors(x in -50i64..50, y in -2i64..3) {
+        let src = "type cmd: record\n  key : string\n\nproc P: (cmd/cmd c)\n  c => c\n\n\
+                   fun f: (x: integer, y: integer) -> (integer)\n  let d = x / y\n  d + 1\n";
+        assert_engines_agree(src, "f", vec![RtVal::Val(Value::Int(x)), RtVal::Val(Value::Int(y))]);
+    }
+}

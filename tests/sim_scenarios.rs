@@ -76,6 +76,33 @@ fn byte_at_a_time_peers_are_reassembled() {
     assert_eq!(report.requests_ok, 32, "{report:?}");
 }
 
+/// The FLICK-compiled load balancer running on the bytecode VM (the
+/// default execution mode) under churn plus byte-at-a-time delivery: the
+/// whole compiler pipeline — grammar projection, IR, bytecode dispatch —
+/// sits on the data path, and the full invariant battery must stay green
+/// with a pinned seed, exactly as it does for the hand-written factory.
+#[test]
+fn flick_vm_lb_scenario_with_pinned_seed() {
+    let report = run_scenario(&ScenarioConfig {
+        name: "flick-vm-lb",
+        seed: 0xB1_7EC0_DE05,
+        ticks: 10,
+        clients: 4,
+        backends: 2,
+        churn: 0.3,
+        byte_at_a_time: 0.5,
+        flick_lb: Some(flick_runtime::ExecMode::Vm),
+        ..Default::default()
+    });
+    report.assert_clean();
+    assert_eq!(report.requests_ok, 40, "{report:?}");
+    assert_eq!(report.requests_failed, 0, "{report:?}");
+    assert!(
+        report.backend_requests_served >= report.requests_ok,
+        "{report:?}"
+    );
+}
+
 /// Mid-message disconnects: clients abort half-way through a request and
 /// vanish; the half-parsed graphs must tear down without leaking.
 #[test]
